@@ -1,0 +1,198 @@
+// Ablation harness for the design choices called out in DESIGN.md:
+//   A1 hidden-width sweep around the paper architecture (128-256-128);
+//   A2 optimizer: AdamW vs plain SGD vs SGD+momentum;
+//   A3 decoupled weight decay on/off;
+//   A4 input-noise density surrogate on/off;
+//   A4b kNN baseline on CSI features;
+//   A5 sampling-rate sensitivity of the detector.
+// Runs on a reduced-rate dataset so the whole sweep stays in CPU minutes.
+#include <chrono>
+#include <cstdio>
+#include <random>
+
+#include "bench_common.hpp"
+#include "core/occupancy_detector.hpp"
+#include "ml/knn.hpp"
+#include "data/scaler.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+
+namespace {
+
+using namespace wifisense;
+
+struct Fold5Eval {
+    std::array<nn::Matrix, data::kNumTestFolds> x;
+    std::array<std::vector<int>, data::kNumTestFolds> y;
+};
+
+double avg_accuracy(nn::Mlp& net, const Fold5Eval& eval) {
+    double acc = 0.0;
+    for (std::size_t f = 0; f < data::kNumTestFolds; ++f) {
+        const std::vector<int> pred = nn::predict_binary(net, eval.x[f]);
+        std::size_t hit = 0;
+        for (std::size_t i = 0; i < pred.size(); ++i)
+            hit += pred[i] == eval.y[f][i] ? 1u : 0u;
+        acc += static_cast<double>(hit) / static_cast<double>(pred.size());
+    }
+    return 100.0 * acc / static_cast<double>(data::kNumTestFolds);
+}
+
+}  // namespace
+
+int main() {
+    using namespace wifisense;
+    bench::print_header("Ablations - architecture / optimizer / augmentation");
+
+    // Fixed reduced-rate dataset for A1-A4.
+    envsim::SimulationConfig sim_cfg = envsim::paper_config(0.5);
+    const data::Dataset ds = envsim::OfficeSimulator(sim_cfg).run();
+    std::printf("dataset: %zu samples @ 0.5 Hz\n\n", ds.size());
+    const data::FoldSplit split = data::split_paper_folds(ds);
+
+    // Preprocess once (CSI features).
+    std::vector<data::SampleRecord> rows;
+    for (std::size_t i = 0; i < split.train.size(); i += 2)
+        rows.push_back(split.train[i]);
+    data::StandardScaler scaler;
+    const nn::Matrix train_x =
+        scaler.fit_transform(data::make_features(rows, data::FeatureSet::kCsi));
+    nn::Matrix train_y(rows.size(), 1);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        train_y.at(i, 0) = static_cast<float>(rows[i].occupancy);
+
+    Fold5Eval eval;
+    for (std::size_t f = 0; f < data::kNumTestFolds; ++f) {
+        eval.x[f] = scaler.transform(split.test[f].features(data::FeatureSet::kCsi));
+        eval.y[f] = split.test[f].labels();
+    }
+
+    const nn::BceWithLogitsLoss loss;
+
+    const auto train_and_eval = [&](std::vector<std::size_t> dims,
+                                    nn::TrainConfig tc,
+                                    nn::Optimizer* opt) {
+        std::mt19937_64 rng(42);
+        nn::Mlp net(std::move(dims), nn::Init::kKaimingUniform, rng);
+        const auto t0 = std::chrono::steady_clock::now();
+        if (opt != nullptr) nn::train(net, train_x, train_y, loss, tc, *opt);
+        else nn::train(net, train_x, train_y, loss, tc);
+        const double secs = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        const double acc = avg_accuracy(net, eval);
+        return std::pair<double, double>{acc, secs};
+    };
+
+    nn::TrainConfig base;
+    base.seed = 42;
+    base.input_noise = 0.3;
+
+    // --- A1: hidden width ---------------------------------------------------
+    std::printf("A1: hidden-width sweep (paper architecture = 128-256-128)\n");
+    struct Arch {
+        const char* name;
+        std::vector<std::size_t> dims;
+    };
+    const Arch archs[] = {
+        {"32-64-32", {64, 32, 64, 32, 1}},
+        {"64-128-64", {64, 64, 128, 64, 1}},
+        {"128-256-128 (paper)", {64, 128, 256, 128, 1}},
+        {"256-512-256", {64, 256, 512, 256, 1}},
+    };
+    for (const Arch& a : archs) {
+        const auto [acc, secs] = train_and_eval(a.dims, base, nullptr);
+        std::mt19937_64 rng(1);
+        nn::Mlp probe(a.dims, nn::Init::kKaimingUniform, rng);
+        std::printf("  %-22s params=%7zu  avg acc=%5.1f%%  train=%5.1fs\n",
+                    a.name, probe.parameter_count(), acc, secs);
+    }
+
+    // --- A2: optimizer --------------------------------------------------------
+    std::printf("\nA2: optimizer (paper = AdamW)\n");
+    {
+        const auto [acc, secs] =
+            train_and_eval({64, 128, 256, 128, 1}, base, nullptr);
+        std::printf("  %-22s avg acc=%5.1f%%  train=%5.1fs\n", "AdamW", acc, secs);
+    }
+    {
+        nn::Sgd sgd({.lr = 0.05, .momentum = 0.0});
+        const auto [acc, secs] = train_and_eval({64, 128, 256, 128, 1}, base, &sgd);
+        std::printf("  %-22s avg acc=%5.1f%%  train=%5.1fs\n", "SGD", acc, secs);
+    }
+    {
+        nn::Sgd sgdm({.lr = 0.02, .momentum = 0.9});
+        const auto [acc, secs] =
+            train_and_eval({64, 128, 256, 128, 1}, base, &sgdm);
+        std::printf("  %-22s avg acc=%5.1f%%  train=%5.1fs\n", "SGD+momentum", acc,
+                    secs);
+    }
+
+    // --- A3: weight decay ------------------------------------------------------
+    std::printf("\nA3: decoupled weight decay (paper cites Loshchilov & Hutter)\n");
+    for (const double wd : {0.0, 1e-2, 1e-1}) {
+        nn::TrainConfig tc = base;
+        tc.weight_decay = wd;
+        const auto [acc, secs] = train_and_eval({64, 128, 256, 128, 1}, tc, nullptr);
+        std::printf("  wd=%-6.2g avg acc=%5.1f%%  train=%5.1fs\n", wd, acc, secs);
+    }
+
+    // --- A4: input-noise augmentation -------------------------------------------
+    std::printf("\nA4: input-noise density surrogate (our substitution knob)\n");
+    for (const double noise : {0.0, 0.1, 0.3, 0.6}) {
+        nn::TrainConfig tc = base;
+        tc.input_noise = noise;
+        const auto [acc, secs] = train_and_eval({64, 128, 256, 128, 1}, tc, nullptr);
+        std::printf("  noise=%-4.1f avg acc=%5.1f%%  train=%5.1fs\n", noise, acc,
+                    secs);
+    }
+
+    // --- A4b: kNN baseline (common in the CSI literature) -----------------------
+    std::printf("\nA4b: kNN baseline on CSI features\n");
+    for (const std::size_t k : {1u, 5u, 15u}) {
+        ml::KnnClassifier knn({.k = k, .max_reference_rows = 10'000});
+        std::vector<int> labels(rows.size());
+        for (std::size_t i = 0; i < rows.size(); ++i) labels[i] = rows[i].occupancy;
+        const auto t0 = std::chrono::steady_clock::now();
+        knn.fit(train_x, labels);
+        double acc = 0.0;
+        for (std::size_t f = 0; f < data::kNumTestFolds; ++f) {
+            // Evaluate on a stride of the fold: brute-force kNN is O(n*m).
+            std::vector<std::size_t> idx;
+            for (std::size_t i = 0; i < eval.x[f].rows(); i += 8) idx.push_back(i);
+            const nn::Matrix sub = nn::gather_rows(eval.x[f], idx);
+            const std::vector<int> pred = knn.predict(sub);
+            std::size_t hit = 0;
+            for (std::size_t i = 0; i < idx.size(); ++i)
+                hit += pred[i] == eval.y[f][idx[i]] ? 1u : 0u;
+            acc += static_cast<double>(hit) / static_cast<double>(idx.size());
+        }
+        const double secs = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        std::printf("  k=%-3zu refs=%zu  avg acc=%5.1f%%  fit+eval=%5.1fs\n",
+                    static_cast<std::size_t>(k), knn.reference_rows(),
+                    100.0 * acc / 5.0, secs);
+    }
+
+    // --- A5: sampling-rate sensitivity -------------------------------------------
+    std::printf("\nA5: sampling-rate sensitivity of the end-to-end detector\n");
+    for (const double rate : {0.1, 0.25, 0.5}) {
+        const data::Dataset d2 = core::generate_paper_dataset(rate);
+        const data::FoldSplit s2 = data::split_paper_folds(d2);
+        core::OccupancyDetector det;
+        const auto t0 = std::chrono::steady_clock::now();
+        det.fit(s2.train);
+        double acc = 0.0;
+        for (std::size_t f = 0; f < data::kNumTestFolds; ++f)
+            acc += det.evaluate_accuracy(s2.test[f]);
+        const double secs = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        std::printf("  rate=%-5.2fHz samples=%7zu  avg acc=%5.1f%%  fit+eval=%5.1fs\n",
+                    rate, d2.size(), 100.0 * acc / 5.0, secs);
+    }
+
+    return 0;
+}

@@ -1,0 +1,46 @@
+// Shared helpers for the reproduction bench binaries.
+//
+// Every bench regenerates the simulated 74.5 h collection. The sampling
+// rate defaults to 1 Hz (268k rows — same timeline as the paper's 20 Hz
+// capture at 1/20 the row count) and can be overridden with the
+// WIFISENSE_BENCH_RATE environment variable, e.g.
+//   WIFISENSE_BENCH_RATE=20 ./bench_table4   # paper-scale run
+//   WIFISENSE_BENCH_RATE=0.25 ./bench_table4 # quick smoke
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/experiments.hpp"
+#include "data/folds.hpp"
+
+namespace wifisense::bench {
+
+inline double bench_rate() {
+    if (const char* env = std::getenv("WIFISENSE_BENCH_RATE")) {
+        const double rate = std::atof(env);
+        if (rate > 0.0) return rate;
+    }
+    return 1.0;
+}
+
+inline data::Dataset generate_dataset() {
+    const double rate = bench_rate();
+    std::printf("generating simulated collection: 74.5 h @ %.2f Hz ...\n", rate);
+    const auto t0 = std::chrono::steady_clock::now();
+    data::Dataset ds = core::generate_paper_dataset(rate);
+    const auto dt = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0);
+    std::printf("  %zu samples in %.1f s\n\n", ds.size(), dt.count());
+    return ds;
+}
+
+inline void print_header(const char* what) {
+    std::printf("==============================================================\n");
+    std::printf("wifisense reproduction: %s\n", what);
+    std::printf("==============================================================\n");
+}
+
+}  // namespace wifisense::bench

@@ -1,0 +1,35 @@
+// Reproduces Table IV: occupancy detection accuracy of the three models
+// (Logistic Regression, Random Forest, MLP) on the three feature subsets
+// (CSI, Env, CSI+Env) across the five temporally disjoint test folds, plus
+// the paper's time-only baseline (89.3%).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace wifisense;
+    bench::print_header("Table IV - occupancy detection accuracy");
+
+    const data::Dataset ds = bench::generate_dataset();
+    const data::FoldSplit split = data::split_paper_folds(ds);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::Table4Result result = core::run_table4(split);
+    const auto dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0);
+
+    std::printf("%s", result.render().c_str());
+    std::printf("(training + evaluation: %.1f s)\n\n", dt.count());
+
+    std::printf(
+        "paper reference (avg over folds):\n"
+        "  Logistic Regressor: CSI 81, Env 70, C+E 82\n"
+        "  Random Forest:      CSI 97, Env 95, C+E 97\n"
+        "  MLP:                CSI 97, Env 90, C+E 91\n"
+        "  time-only baseline: 89.3%%\n"
+        "expected shape: nonlinear models exploit CSI (RF/MLP >> Logistic);\n"
+        "fold 4 (furniture moved + heating fault) is hardest for every model;\n"
+        "Env-only collapses on fold 4 and recovers on fold 5; C+E ~= CSI.\n");
+    return 0;
+}

@@ -1,0 +1,29 @@
+// Reproduces Table V: MAE/MAPE of linear (OLS) and neural-network regression
+// of temperature (T) and humidity (H) from CSI amplitudes, per test fold.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace wifisense;
+    bench::print_header("Table V - humidity/temperature regression from CSI");
+
+    const data::Dataset ds = bench::generate_dataset();
+    const data::FoldSplit split = data::split_paper_folds(ds);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::Table5Result result = core::run_table5(split);
+    const auto dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0);
+
+    std::printf("%s", result.render().c_str());
+    std::printf("(training + evaluation: %.1f s)\n\n", dt.count());
+
+    std::printf(
+        "paper reference (avg): Linear MAE 4.46/4.28, MAPE 21.08/13.32;\n"
+        "                       NN     MAE 2.39/4.62, MAPE  9.25/14.35\n"
+        "expected shape: the non-linear model recovers the environment from\n"
+        "CSI better than OLS, confirming CSI encodes T/H non-linearly.\n");
+    return 0;
+}

@@ -1,0 +1,237 @@
+#include "core/extensions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+#include "stats/rolling.hpp"
+
+namespace wifisense::core {
+
+nn::Matrix make_windowed_features(const data::DatasetView& view, std::size_t window) {
+    if (window == 0) throw std::invalid_argument("make_windowed_features: zero window");
+    const std::size_t n = view.size();
+    nn::Matrix out(n, kWindowedFeatureCount);
+
+    // One rolling accumulator per subcarrier, streamed down the view.
+    std::vector<stats::RollingWindow> rollers;
+    rollers.reserve(data::kNumSubcarriers);
+    for (std::size_t k = 0; k < data::kNumSubcarriers; ++k)
+        rollers.emplace_back(window);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const data::SampleRecord& r = view[i];
+        std::span<float> row = out.row(i);
+        for (std::size_t k = 0; k < data::kNumSubcarriers; ++k) {
+            rollers[k].push(static_cast<double>(r.csi[k]));
+            row[k] = r.csi[k];
+            row[data::kNumSubcarriers + k] = static_cast<float>(rollers[k].stddev());
+        }
+    }
+    return out;
+}
+
+MultiClassResult evaluate_multiclass(const std::vector<int>& truth,
+                                     const std::vector<int>& pred,
+                                     std::size_t n_classes) {
+    if (truth.size() != pred.size() || truth.empty())
+        throw std::invalid_argument("evaluate_multiclass: bad inputs");
+    MultiClassResult res;
+    res.n_classes = n_classes;
+    res.confusion.assign(n_classes * n_classes, 0);
+    std::uint64_t hit = 0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        const auto t = static_cast<std::size_t>(truth[i]);
+        const auto p = static_cast<std::size_t>(pred[i]);
+        if (t >= n_classes || p >= n_classes)
+            throw std::invalid_argument("evaluate_multiclass: label out of range");
+        ++res.confusion[t * n_classes + p];
+        if (t == p) ++hit;
+    }
+    res.accuracy = static_cast<double>(hit) / static_cast<double>(truth.size());
+    res.per_class_recall.resize(n_classes, 0.0);
+    for (std::size_t t = 0; t < n_classes; ++t) {
+        std::uint64_t row_total = 0;
+        for (std::size_t p = 0; p < n_classes; ++p) row_total += res.at(t, p);
+        if (row_total > 0)
+            res.per_class_recall[t] =
+                static_cast<double>(res.at(t, t)) / static_cast<double>(row_total);
+    }
+    return res;
+}
+
+std::string MultiClassResult::render(const std::vector<std::string>& class_names) const {
+    std::ostringstream os;
+    os << "accuracy " << 100.0 * accuracy << "%\n";
+    os << "confusion (rows = truth, cols = predicted):\n";
+    os << "            ";
+    for (std::size_t p = 0; p < n_classes; ++p) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%10s", class_names[p].c_str());
+        os << buf;
+    }
+    os << "\n";
+    for (std::size_t t = 0; t < n_classes; ++t) {
+        char head[16];
+        std::snprintf(head, sizeof(head), "%-12s", class_names[t].c_str());
+        os << head;
+        for (std::size_t p = 0; p < n_classes; ++p) {
+            char buf[16];
+            std::snprintf(buf, sizeof(buf), "%10llu",
+                          static_cast<unsigned long long>(at(t, p)));
+            os << buf;
+        }
+        char tail[32];
+        std::snprintf(tail, sizeof(tail), "  recall %5.1f%%\n",
+                      100.0 * per_class_recall[t]);
+        os << tail;
+    }
+    return os.str();
+}
+
+namespace {
+
+// Shared fit path for the two extension heads.
+template <class LabelFn>
+nn::TrainHistory fit_head(const ExtensionConfig& cfg, const data::DatasetView& train,
+                          std::size_t n_classes, LabelFn&& label_of,
+                          data::StandardScaler& scaler, nn::Mlp& net) {
+    if (train.empty()) throw std::invalid_argument("extension fit: empty fold");
+    if (cfg.train_stride == 0)
+        throw std::invalid_argument("extension fit: zero train stride");
+
+    const nn::Matrix full = make_windowed_features(train, cfg.window);
+    std::vector<std::size_t> keep;
+    for (std::size_t i = 0; i < full.rows(); i += cfg.train_stride) keep.push_back(i);
+
+    // Oversample minority classes (the "active" label covers only a few
+    // percent of office time): replicate rows until every class holds at
+    // least 1/(4 * n_classes) of the batch, capped at 25x replication.
+    std::vector<std::uint64_t> counts(n_classes, 0);
+    for (const std::size_t i : keep)
+        ++counts[static_cast<std::size_t>(label_of(train[i]))];
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(keep.size()) / (4 * n_classes);
+    std::vector<std::size_t> replicate(n_classes, 1);
+    for (std::size_t c = 0; c < n_classes; ++c)
+        if (counts[c] > 0 && counts[c] < target)
+            replicate[c] = std::min<std::size_t>(
+                25, static_cast<std::size_t>(target / counts[c]));
+    std::vector<std::size_t> rows;
+    rows.reserve(keep.size() * 2);
+    for (const std::size_t i : keep) {
+        const auto c = static_cast<std::size_t>(label_of(train[i]));
+        for (std::size_t r = 0; r < replicate[c]; ++r) rows.push_back(i);
+    }
+
+    const nn::Matrix raw = nn::gather_rows(full, rows);
+    const nn::Matrix x = scaler.fit_transform(raw);
+
+    std::vector<int> labels(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        labels[i] = label_of(train[rows[i]]);
+    const nn::Matrix y = nn::one_hot(labels, n_classes);
+
+    std::mt19937_64 rng(cfg.seed);
+    net = nn::Mlp({kWindowedFeatureCount, 128, 256, 128, n_classes},
+                  nn::Init::kKaimingUniform, rng);
+    const nn::SoftmaxCrossEntropyLoss loss;
+    nn::TrainConfig tc = cfg.training;
+    tc.seed = cfg.seed;
+    return nn::train(net, x, y, loss, tc);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ActivityRecognizer
+// ---------------------------------------------------------------------------
+
+ActivityRecognizer::ActivityRecognizer(ExtensionConfig cfg) : cfg_(cfg) {}
+
+const std::vector<std::string>& ActivityRecognizer::class_names() {
+    static const std::vector<std::string> names{"empty", "sedentary", "active"};
+    return names;
+}
+
+nn::TrainHistory ActivityRecognizer::fit(const data::DatasetView& train) {
+    const nn::TrainHistory h = fit_head(
+        cfg_, train, data::kNumActivityClasses,
+        [](const data::SampleRecord& r) { return static_cast<int>(r.activity); },
+        scaler_, net_);
+    fitted_ = true;
+    return h;
+}
+
+std::vector<int> ActivityRecognizer::predict(const data::DatasetView& view) {
+    if (!fitted_) throw std::logic_error("ActivityRecognizer: not fitted");
+    const nn::Matrix x = scaler_.transform(make_windowed_features(view, cfg_.window));
+    return nn::argmax_rows(nn::predict(net_, x));
+}
+
+MultiClassResult ActivityRecognizer::evaluate(const data::DatasetView& view) {
+    const std::vector<int> pred = predict(view);
+    std::vector<int> truth(view.size());
+    for (std::size_t i = 0; i < view.size(); ++i)
+        truth[i] = static_cast<int>(view[i].activity);
+    return evaluate_multiclass(truth, pred, data::kNumActivityClasses);
+}
+
+double ActivityRecognizer::occupancy_accuracy(const data::DatasetView& view) {
+    const std::vector<int> pred = predict(view);
+    std::uint64_t hit = 0;
+    for (std::size_t i = 0; i < view.size(); ++i) {
+        const int occupied_pred = pred[i] != 0 ? 1 : 0;
+        hit += occupied_pred == static_cast<int>(view[i].occupancy) ? 1u : 0u;
+    }
+    return static_cast<double>(hit) / static_cast<double>(view.size());
+}
+
+// ---------------------------------------------------------------------------
+// OccupantCounter
+// ---------------------------------------------------------------------------
+
+OccupantCounter::OccupantCounter(ExtensionConfig cfg) : cfg_(cfg) {}
+
+nn::TrainHistory OccupantCounter::fit(const data::DatasetView& train) {
+    const nn::TrainHistory h = fit_head(
+        cfg_, train, kMaxCount + 1,
+        [](const data::SampleRecord& r) {
+            return static_cast<int>(
+                std::min<std::size_t>(r.occupant_count, kMaxCount));
+        },
+        scaler_, net_);
+    fitted_ = true;
+    return h;
+}
+
+std::vector<int> OccupantCounter::predict(const data::DatasetView& view) {
+    if (!fitted_) throw std::logic_error("OccupantCounter: not fitted");
+    const nn::Matrix x = scaler_.transform(make_windowed_features(view, cfg_.window));
+    return nn::argmax_rows(nn::predict(net_, x));
+}
+
+MultiClassResult OccupantCounter::evaluate(const data::DatasetView& view) {
+    const std::vector<int> pred = predict(view);
+    std::vector<int> truth(view.size());
+    for (std::size_t i = 0; i < view.size(); ++i)
+        truth[i] = static_cast<int>(
+            std::min<std::size_t>(view[i].occupant_count, kMaxCount));
+    return evaluate_multiclass(truth, pred, kMaxCount + 1);
+}
+
+double OccupantCounter::mean_count_error(const data::DatasetView& view) {
+    const std::vector<int> pred = predict(view);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < view.size(); ++i) {
+        const int truth = static_cast<int>(
+            std::min<std::size_t>(view[i].occupant_count, kMaxCount));
+        acc += std::abs(pred[i] - truth);
+    }
+    return acc / static_cast<double>(view.size());
+}
+
+}  // namespace wifisense::core

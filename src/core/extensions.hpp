@@ -1,0 +1,114 @@
+// Extensions beyond the paper's evaluation, implementing its stated future
+// work (Section VI): "design an ML model that simultaneously performs
+// occupancy detection and activity recognition" — plus occupant counting,
+// the natural next step the paper cites from Zou et al. [12].
+//
+// Both tasks use windowed CSI features: the instantaneous amplitudes (what
+// the occupancy detector uses) concatenated with each subcarrier's standard
+// deviation over a trailing window. Temporal variance is the signature of
+// motion: a walking person sweeps multipath phases at ~lambda/step scale,
+// while a sitting person only jitters them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/scaler.hpp"
+#include "nn/mlp.hpp"
+#include "nn/trainer.hpp"
+
+namespace wifisense::core {
+
+/// Windowed feature matrix for a contiguous view: for every record, the 64
+/// current amplitudes followed by 64 per-subcarrier rolling standard
+/// deviations over the trailing `window` records (truncated at the start).
+/// Output is [n x 128].
+nn::Matrix make_windowed_features(const data::DatasetView& view, std::size_t window);
+
+inline constexpr std::size_t kWindowedFeatureCount = 2 * data::kNumSubcarriers;
+
+/// Multi-class confusion matrix utility shared by the extension tasks.
+struct MultiClassResult {
+    std::size_t n_classes = 0;
+    std::vector<std::uint64_t> confusion;  ///< row = truth, col = prediction
+    double accuracy = 0.0;
+    std::vector<double> per_class_recall;
+
+    std::uint64_t at(std::size_t truth, std::size_t pred) const {
+        return confusion[truth * n_classes + pred];
+    }
+    std::string render(const std::vector<std::string>& class_names) const;
+};
+
+MultiClassResult evaluate_multiclass(const std::vector<int>& truth,
+                                     const std::vector<int>& pred,
+                                     std::size_t n_classes);
+
+struct ExtensionConfig {
+    /// Trailing window length in records (the default spans ~10 s at 2 Hz).
+    std::size_t window = 20;
+    std::size_t train_stride = 1;  ///< applied after window features are built
+    nn::TrainConfig training = [] {
+        nn::TrainConfig t;
+        t.epochs = 15;
+        t.input_noise = 0.2;
+        return t;
+    }();
+    std::uint64_t seed = 42;
+};
+
+/// Joint occupancy + activity classifier: empty / sedentary / active.
+class ActivityRecognizer {
+public:
+    explicit ActivityRecognizer(ExtensionConfig cfg = {});
+
+    nn::TrainHistory fit(const data::DatasetView& train);
+
+    /// Per-record activity class for a contiguous view (windows never cross
+    /// the view boundary — each fold is treated as its own stream).
+    std::vector<int> predict(const data::DatasetView& view);
+
+    MultiClassResult evaluate(const data::DatasetView& view);
+
+    /// Occupancy accuracy implied by the activity head (empty vs non-empty),
+    /// demonstrating the "simultaneous" part of the future-work goal.
+    double occupancy_accuracy(const data::DatasetView& view);
+
+    bool fitted() const { return fitted_; }
+    nn::Mlp& network() { return net_; }
+    static const std::vector<std::string>& class_names();
+
+private:
+    ExtensionConfig cfg_;
+    data::StandardScaler scaler_;
+    nn::Mlp net_;
+    bool fitted_ = false;
+};
+
+/// Occupant-count estimator: classifies 0..kMaxCount+ simultaneous people.
+class OccupantCounter {
+public:
+    static constexpr std::size_t kMaxCount = 4;  ///< classes 0,1,2,3,4+
+
+    explicit OccupantCounter(ExtensionConfig cfg = {});
+
+    nn::TrainHistory fit(const data::DatasetView& train);
+    std::vector<int> predict(const data::DatasetView& view);
+    MultiClassResult evaluate(const data::DatasetView& view);
+
+    /// Mean absolute counting error (treating class 4+ as 4).
+    double mean_count_error(const data::DatasetView& view);
+
+    bool fitted() const { return fitted_; }
+
+private:
+    ExtensionConfig cfg_;
+    data::StandardScaler scaler_;
+    nn::Mlp net_;
+    bool fitted_ = false;
+};
+
+}  // namespace wifisense::core

@@ -1,0 +1,125 @@
+#include "core/occupancy_detector.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <random>
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+#include "nn/serialize.hpp"
+#include "stats/metrics.hpp"
+
+namespace wifisense::core {
+
+OccupancyDetector::OccupancyDetector(DetectorConfig cfg) : cfg_(cfg) {
+    if (cfg_.train_stride == 0)
+        throw std::invalid_argument("OccupancyDetector: zero train stride");
+}
+
+nn::TrainHistory OccupancyDetector::fit(const data::DatasetView& train) {
+    if (train.empty()) throw std::invalid_argument("OccupancyDetector::fit: empty fold");
+
+    // Stride-subsample the training fold.
+    std::vector<data::SampleRecord> rows;
+    rows.reserve(train.size() / cfg_.train_stride + 1);
+    for (std::size_t i = 0; i < train.size(); i += cfg_.train_stride)
+        rows.push_back(train[i]);
+
+    const nn::Matrix raw = data::make_features(rows, cfg_.features);
+    const nn::Matrix x = scaler_.fit_transform(raw);
+
+    nn::Matrix y(rows.size(), 1);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        y.at(i, 0) = static_cast<float>(rows[i].occupancy);
+
+    std::mt19937_64 rng(cfg_.seed);
+    net_ = nn::paper_mlp(data::feature_count(cfg_.features), rng);
+
+    const nn::BceWithLogitsLoss loss;
+    nn::TrainConfig tc = cfg_.training;
+    tc.seed = cfg_.seed;
+    const nn::TrainHistory history = nn::train(net_, x, y, loss, tc);
+    fitted_ = true;
+    return history;
+}
+
+std::vector<int> OccupancyDetector::predict(const data::DatasetView& view) {
+    if (!fitted_) throw std::logic_error("OccupancyDetector: not fitted");
+    const nn::Matrix x = scaler_.transform(view.features(cfg_.features));
+    return nn::predict_binary(net_, x);
+}
+
+double OccupancyDetector::predict_proba(const data::SampleRecord& record) {
+    if (!fitted_) throw std::logic_error("OccupancyDetector: not fitted");
+    const std::span<const data::SampleRecord> one(&record, 1);
+    const nn::Matrix x = scaler_.transform(data::make_features(one, cfg_.features));
+    const nn::Matrix logits = net_.forward(x);
+    return 1.0 / (1.0 + std::exp(-static_cast<double>(logits.at(0, 0))));
+}
+
+double OccupancyDetector::evaluate_accuracy(const data::DatasetView& view) {
+    const std::vector<int> pred = predict(view);
+    const std::vector<int> truth = view.labels();
+    return stats::accuracy(truth, pred);
+}
+
+namespace {
+
+constexpr char kMagic[4] = {'W', 'S', 'O', 'D'};
+
+template <class T>
+void write_pod(std::ostream& os, const T& v) {
+    os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+T read_pod(std::istream& is) {
+    T v{};
+    is.read(reinterpret_cast<char*>(&v), sizeof(T));
+    if (!is) throw std::runtime_error("OccupancyDetector::load: truncated file");
+    return v;
+}
+
+}  // namespace
+
+void OccupancyDetector::save(const std::string& path) const {
+    if (!fitted_) throw std::logic_error("OccupancyDetector::save: not fitted");
+    std::ofstream os(path, std::ios::binary);
+    if (!os) throw std::runtime_error("OccupancyDetector::save: cannot open " + path);
+    os.write(kMagic, sizeof(kMagic));
+    write_pod(os, static_cast<std::uint8_t>(cfg_.features));
+    write_pod(os, static_cast<std::uint64_t>(scaler_.mean().size()));
+    for (const double m : scaler_.mean()) write_pod(os, m);
+    for (const double s : scaler_.scale()) write_pod(os, s);
+    nn::save_mlp(net_, os);
+}
+
+OccupancyDetector OccupancyDetector::load(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) throw std::runtime_error("OccupancyDetector::load: cannot open " + path);
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is || std::string_view(magic, 4) != std::string_view(kMagic, 4))
+        throw std::runtime_error("OccupancyDetector::load: bad magic");
+
+    DetectorConfig cfg;
+    cfg.features = static_cast<data::FeatureSet>(read_pod<std::uint8_t>(is));
+    const auto d = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+    if (d == 0 || d > 4096)
+        throw std::runtime_error("OccupancyDetector::load: implausible feature count");
+
+    std::vector<double> means(d), scales(d);
+    for (double& m : means) m = read_pod<double>(is);
+    for (double& s : scales) s = read_pod<double>(is);
+
+    OccupancyDetector det(cfg);
+    det.scaler_.set_parameters(std::move(means), std::move(scales));
+    det.net_ = nn::load_mlp(is);
+    if (det.net_.input_size() != d)
+        throw std::runtime_error("OccupancyDetector::load: scaler/network mismatch");
+    det.fitted_ = true;
+    return det;
+}
+
+}  // namespace wifisense::core

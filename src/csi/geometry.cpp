@@ -1,0 +1,31 @@
+#include "csi/geometry.hpp"
+
+#include <algorithm>
+
+namespace wifisense::csi {
+
+double point_segment_distance(const Vec3& p, const Vec3& a, const Vec3& b) {
+    const Vec3 ab = b - a;
+    const double len2 = ab.dot(ab);
+    if (len2 == 0.0) return distance(p, a);
+    const double t = std::clamp((p - a).dot(ab) / len2, 0.0, 1.0);
+    return distance(p, a + ab * t);
+}
+
+std::array<ImageSource, 6> first_order_images(const Vec3& source,
+                                              const RoomGeometry& room,
+                                              const SurfaceReflectivity& refl) {
+    std::array<ImageSource, 6> images;
+    // x = 0 and x = lx walls.
+    images[0] = {{-source.x, source.y, source.z}, refl.walls, 0};
+    images[1] = {{2.0 * room.lx - source.x, source.y, source.z}, refl.walls, 1};
+    // y = 0 and y = ly walls.
+    images[2] = {{source.x, -source.y, source.z}, refl.walls, 2};
+    images[3] = {{source.x, 2.0 * room.ly - source.y, source.z}, refl.walls, 3};
+    // Floor and ceiling.
+    images[4] = {{source.x, source.y, -source.z}, refl.floor, 4};
+    images[5] = {{source.x, source.y, 2.0 * room.lz - source.z}, refl.ceiling, 5};
+    return images;
+}
+
+}  // namespace wifisense::csi

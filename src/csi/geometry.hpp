@@ -1,0 +1,61 @@
+// Room geometry for the multipath channel model: the paper's office is
+// 12 x 6 x 3 m with the AP and the CSI sniffer (RP1) mounted 2 m apart at
+// 1.4 m height along a wall (Section IV-A, Figure 2).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace wifisense::csi {
+
+struct Vec3 {
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+    Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+    Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+    double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+    double norm() const { return std::sqrt(dot(*this)); }
+};
+
+inline double distance(const Vec3& a, const Vec3& b) { return (a - b).norm(); }
+
+/// Shortest distance from point p to the segment [a, b].
+double point_segment_distance(const Vec3& p, const Vec3& a, const Vec3& b);
+
+/// Axis-aligned room with one corner at the origin.
+struct RoomGeometry {
+    double lx = 12.0;  ///< paper's office length (m)
+    double ly = 6.0;   ///< width (m)
+    double lz = 3.0;   ///< height (m)
+    Vec3 tx{5.0, 0.4, 1.4};  ///< access point
+    Vec3 rx{7.0, 0.4, 1.4};  ///< CSI sniffer, 2 m from the AP
+
+    bool contains(const Vec3& p) const {
+        return p.x >= 0 && p.x <= lx && p.y >= 0 && p.y <= ly && p.z >= 0 && p.z <= lz;
+    }
+};
+
+/// One first-order specular image of the transmitter.
+struct ImageSource {
+    Vec3 position;
+    double reflection_coeff = 0.0;
+    std::size_t surface = 0;  ///< 0..5: x=0, x=lx, y=0, y=ly, z=0 (floor), z=lz
+};
+
+struct SurfaceReflectivity {
+    double walls = 0.55;
+    double floor = 0.30;
+    double ceiling = 0.40;
+};
+
+/// First-order images of `source` in all six room surfaces.
+std::array<ImageSource, 6> first_order_images(const Vec3& source,
+                                              const RoomGeometry& room,
+                                              const SurfaceReflectivity& refl);
+
+}  // namespace wifisense::csi

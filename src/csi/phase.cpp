@@ -1,0 +1,70 @@
+#include "csi/phase.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace wifisense::csi {
+
+std::vector<double> raw_phase(std::span<const std::complex<double>> cfr) {
+    std::vector<double> out(cfr.size());
+    for (std::size_t k = 0; k < cfr.size(); ++k) out[k] = std::arg(cfr[k]);
+    return out;
+}
+
+std::vector<double> unwrap_phase(std::span<const double> phase) {
+    std::vector<double> out(phase.begin(), phase.end());
+    for (std::size_t k = 1; k < out.size(); ++k) {
+        double d = out[k] - out[k - 1];
+        while (d > std::numbers::pi) {
+            out[k] -= 2.0 * std::numbers::pi;
+            d = out[k] - out[k - 1];
+        }
+        while (d < -std::numbers::pi) {
+            out[k] += 2.0 * std::numbers::pi;
+            d = out[k] - out[k - 1];
+        }
+    }
+    return out;
+}
+
+std::vector<double> sanitize_phase(std::span<const double> phase) {
+    if (phase.size() < 3)
+        throw std::invalid_argument("sanitize_phase: need at least 3 subcarriers");
+    std::vector<double> un = unwrap_phase(phase);
+
+    // Least-squares line fit phi_k ~= a + b*k, closed form.
+    const auto n = static_cast<double>(un.size());
+    double sk = 0.0, sp = 0.0, skk = 0.0, skp = 0.0;
+    for (std::size_t k = 0; k < un.size(); ++k) {
+        const auto kd = static_cast<double>(k);
+        sk += kd;
+        sp += un[k];
+        skk += kd * kd;
+        skp += kd * un[k];
+    }
+    const double denom = n * skk - sk * sk;
+    const double b = denom != 0.0 ? (n * skp - sk * sp) / denom : 0.0;
+    const double a = (sp - b * sk) / n;
+    for (std::size_t k = 0; k < un.size(); ++k)
+        un[k] -= a + b * static_cast<double>(k);
+    return un;
+}
+
+PhaseImpairments::PhaseImpairments(PhaseImpairmentConfig cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed) {}
+
+std::vector<std::complex<double>> PhaseImpairments::apply(
+    std::span<const std::complex<double>> cfr) {
+    const double offset = cfg_.cfo_offset_sigma_rad * noise_(rng_);
+    const double slope = cfg_.sfo_slope_sigma_rad * noise_(rng_);
+    std::vector<std::complex<double>> out(cfr.size());
+    for (std::size_t k = 0; k < cfr.size(); ++k) {
+        const double phi = offset + slope * static_cast<double>(k) +
+                           cfg_.phase_noise_rad * noise_(rng_);
+        out[k] = cfr[k] * std::polar(1.0, phi);
+    }
+    return out;
+}
+
+}  // namespace wifisense::csi

@@ -1,0 +1,53 @@
+// CSI phase processing. The paper uses amplitude only (Section II-A), but a
+// usable CSI library must also expose phase: raw CSI phase from commodity
+// hardware is dominated by carrier-frequency offset (CFO) and sampling-time
+// offset (SFO), which add an unknown constant and an unknown linear slope
+// across subcarriers on every packet. The standard sanitization (Sen et al.,
+// "Precise indoor localization using PHY information") removes the best-fit
+// linear term, leaving the multipath-induced phase structure.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace wifisense::csi {
+
+/// Unwrap a phase sequence across subcarriers (remove 2*pi jumps).
+std::vector<double> unwrap_phase(std::span<const double> phase);
+
+/// Phase of each CFR entry, in radians, wrapped to (-pi, pi].
+std::vector<double> raw_phase(std::span<const std::complex<double>> cfr);
+
+/// Sanitize a raw per-subcarrier phase vector: unwrap, then subtract the
+/// least-squares linear fit in the subcarrier index (removes the CFO
+/// constant and the SFO slope). The result is the multipath phase residual.
+std::vector<double> sanitize_phase(std::span<const double> phase);
+
+/// Per-packet phase impairments of a commodity receiver: a random constant
+/// offset (CFO drift between packets) and a random linear slope (SFO /
+/// packet-detection jitter). Applying then sanitizing recovers the residual.
+struct PhaseImpairmentConfig {
+    double cfo_offset_sigma_rad = 1.5;   ///< per-packet constant offset
+    double sfo_slope_sigma_rad = 0.05;   ///< per-packet slope per subcarrier
+    double phase_noise_rad = 0.01;       ///< per-subcarrier jitter
+};
+
+class PhaseImpairments {
+public:
+    PhaseImpairments(PhaseImpairmentConfig cfg, std::uint64_t seed);
+
+    /// Apply per-packet CFO/SFO/noise to a clean CFR (returns a copy).
+    std::vector<std::complex<double>> apply(
+        std::span<const std::complex<double>> cfr);
+
+private:
+    PhaseImpairmentConfig cfg_;
+    std::mt19937_64 rng_;
+    std::normal_distribution<double> noise_{0.0, 1.0};
+};
+
+}  // namespace wifisense::csi

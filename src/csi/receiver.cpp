@@ -1,0 +1,48 @@
+#include "csi/receiver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wifisense::csi {
+
+Receiver::Receiver(ReceiverConfig cfg, std::uint64_t seed) : cfg_(cfg), rng_(seed) {
+    if (cfg_.noise_sigma < 0.0)
+        throw std::invalid_argument("Receiver: negative noise sigma");
+    if (cfg_.full_scale <= 0.0)
+        throw std::invalid_argument("Receiver: non-positive full scale");
+}
+
+std::vector<float> Receiver::sample_amplitudes(
+    std::span<const std::complex<double>> cfr) {
+    // Noisy raw amplitudes first: the AGC acts on what the radio receives.
+    std::vector<double> raw(cfr.size());
+    double power = 0.0;
+    for (std::size_t k = 0; k < cfr.size(); ++k) {
+        const std::complex<double> noisy =
+            cfr[k] + std::complex<double>(cfg_.noise_sigma * noise_(rng_),
+                                          cfg_.noise_sigma * noise_(rng_));
+        raw[k] = std::abs(noisy);
+        power += raw[k] * raw[k];
+    }
+    const double rms = std::sqrt(power / static_cast<double>(cfr.size()));
+
+    double agc = std::exp(cfg_.agc_jitter_sigma * noise_(rng_));
+    if (cfg_.agc_compression > 0.0 && rms > 0.0)
+        agc *= std::pow(cfg_.agc_target_rms / rms, cfg_.agc_compression);
+
+    std::vector<float> amps(cfr.size());
+    const double step =
+        cfg_.quant_levels > 0 ? cfg_.full_scale / static_cast<double>(cfg_.quant_levels)
+                              : 0.0;
+    for (std::size_t k = 0; k < cfr.size(); ++k) {
+        double amp = raw[k] * agc;
+        if (step > 0.0)
+            amp = std::min(std::round(amp / step) * step,
+                           cfg_.full_scale - step);
+        amps[k] = static_cast<float>(amp);
+    }
+    return amps;
+}
+
+}  // namespace wifisense::csi

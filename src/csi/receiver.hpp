@@ -1,0 +1,53 @@
+// Receiver-side impairments and the Nexmon-style amplitude extractor.
+//
+// A Nexmon-patched Raspberry Pi reports per-subcarrier complex CSI after the
+// radio's AGC; the paper uses only the amplitude (Section II-A). We model:
+//   - additive complex white Gaussian noise per subcarrier,
+//   - per-packet multiplicative AGC gain jitter (common across subcarriers),
+//   - fixed-point amplitude quantization.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace wifisense::csi {
+
+struct ReceiverConfig {
+    /// Std-dev of complex noise per quadrature, in absolute CFR units
+    /// (the line-of-sight amplitude at 2 m is ~5e-3, so 4e-5 is ~-42 dB).
+    double noise_sigma = 4.0e-5;
+    /// AGC power normalization: per-packet gain pulling the subcarrier RMS
+    /// toward agc_target_rms. Exponent 1 = perfect normalization (total
+    /// power carries no information, as with real Nexmon captures);
+    /// 0 disables. Partial compensation (~0.9) models the discrete gain
+    /// steps of a real front-end.
+    double agc_compression = 1.0;
+    double agc_target_rms = 4.0e-3;
+    /// Log-normal sigma of the per-packet residual gain jitter.
+    double agc_jitter_sigma = 2.0e-2;
+    /// Number of quantization steps across [0, full_scale); 0 disables.
+    std::size_t quant_levels = 4096;
+    /// Full-scale amplitude for the quantizer.
+    double full_scale = 0.02;
+};
+
+class Receiver {
+public:
+    Receiver(ReceiverConfig cfg, std::uint64_t seed);
+
+    /// One received CSI amplitude vector from a noiseless CFR.
+    std::vector<float> sample_amplitudes(std::span<const std::complex<double>> cfr);
+
+    const ReceiverConfig& config() const { return cfg_; }
+
+private:
+    ReceiverConfig cfg_;
+    std::mt19937_64 rng_;
+    std::normal_distribution<double> noise_{0.0, 1.0};
+};
+
+}  // namespace wifisense::csi

@@ -1,0 +1,97 @@
+#include "data/binary_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace wifisense::data {
+
+namespace {
+
+constexpr char kMagic[4] = {'W', 'S', 'D', 'S'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kWireSize =
+    sizeof(double) + kNumSubcarriers * sizeof(float) + 2 * sizeof(float) + 3;
+
+template <class T>
+void put(char*& p, const T& v) {
+    std::memcpy(p, &v, sizeof(T));
+    p += sizeof(T);
+}
+
+template <class T>
+void get(const char*& p, T& v) {
+    std::memcpy(&v, p, sizeof(T));
+    p += sizeof(T);
+}
+
+}  // namespace
+
+void write_binary(const DatasetView& view, std::ostream& os) {
+    os.write(kMagic, sizeof(kMagic));
+    os.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+    const std::uint64_t count = view.size();
+    os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+
+    std::vector<char> buf(kWireSize);
+    for (const SampleRecord& r : view.records()) {
+        char* p = buf.data();
+        put(p, r.timestamp);
+        for (const float a : r.csi) put(p, a);
+        put(p, r.temperature_c);
+        put(p, r.humidity_pct);
+        put(p, r.occupant_count);
+        put(p, r.occupancy);
+        put(p, r.activity);
+        os.write(buf.data(), static_cast<std::streamsize>(kWireSize));
+    }
+    if (!os) throw std::runtime_error("write_binary: stream failure");
+}
+
+void write_binary(const DatasetView& view, const std::string& path) {
+    std::ofstream os(path, std::ios::binary);
+    if (!os) throw std::runtime_error("write_binary: cannot open " + path);
+    write_binary(view, os);
+}
+
+Dataset read_binary(std::istream& is) {
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        throw std::runtime_error("read_binary: bad magic");
+    std::uint32_t version = 0;
+    is.read(reinterpret_cast<char*>(&version), sizeof(version));
+    if (!is || version != kVersion)
+        throw std::runtime_error("read_binary: unsupported version");
+    std::uint64_t count = 0;
+    is.read(reinterpret_cast<char*>(&count), sizeof(count));
+    if (!is) throw std::runtime_error("read_binary: truncated header");
+
+    std::vector<SampleRecord> records;
+    records.reserve(count);
+    std::vector<char> buf(kWireSize);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        is.read(buf.data(), static_cast<std::streamsize>(kWireSize));
+        if (!is) throw std::runtime_error("read_binary: truncated record stream");
+        const char* p = buf.data();
+        SampleRecord r;
+        get(p, r.timestamp);
+        for (float& a : r.csi) get(p, a);
+        get(p, r.temperature_c);
+        get(p, r.humidity_pct);
+        get(p, r.occupant_count);
+        get(p, r.occupancy);
+        get(p, r.activity);
+        records.push_back(r);
+    }
+    return Dataset(std::move(records));
+}
+
+Dataset read_binary(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) throw std::runtime_error("read_binary: cannot open " + path);
+    return read_binary(is);
+}
+
+}  // namespace wifisense::data

@@ -1,0 +1,103 @@
+#include "data/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace wifisense::data {
+
+namespace {
+
+std::string header_line() {
+    std::ostringstream os;
+    os << "timestamp";
+    for (std::size_t i = 0; i < kNumSubcarriers; ++i) os << ",a" << i;
+    os << ",temperature,humidity,occupant_count,occupancy,activity";
+    return os.str();
+}
+
+double parse_double(std::string_view token, std::size_t line_no) {
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size())
+        throw std::runtime_error("read_csv: bad numeric field at line " +
+                                 std::to_string(line_no));
+    return value;
+}
+
+}  // namespace
+
+void write_csv(const DatasetView& view, std::ostream& os) {
+    os << header_line() << "\n";
+    for (const SampleRecord& r : view.records()) {
+        os << r.timestamp;
+        for (const float a : r.csi) os << ',' << a;
+        os << ',' << r.temperature_c << ',' << r.humidity_pct << ','
+           << static_cast<int>(r.occupant_count) << ','
+           << static_cast<int>(r.occupancy) << ','
+           << static_cast<int>(r.activity) << "\n";
+    }
+    if (!os) throw std::runtime_error("write_csv: stream failure");
+}
+
+void write_csv(const DatasetView& view, const std::string& path) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("write_csv: cannot open " + path);
+    write_csv(view, os);
+}
+
+Dataset read_csv(std::istream& is) {
+    std::string line;
+    if (!std::getline(is, line)) throw std::runtime_error("read_csv: empty input");
+    if (line != header_line()) throw std::runtime_error("read_csv: unexpected header");
+
+    std::vector<SampleRecord> records;
+    std::size_t line_no = 1;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty()) continue;
+        SampleRecord r;
+        std::string_view rest(line);
+        std::size_t field = 0;
+        constexpr std::size_t kFields = 1 + kNumSubcarriers + 5;
+        while (!rest.empty() || field < kFields) {
+            const std::size_t comma = rest.find(',');
+            const std::string_view token =
+                comma == std::string_view::npos ? rest : rest.substr(0, comma);
+            rest = comma == std::string_view::npos ? std::string_view{}
+                                                   : rest.substr(comma + 1);
+            const double v = parse_double(token, line_no);
+            if (field == 0) r.timestamp = v;
+            else if (field <= kNumSubcarriers) r.csi[field - 1] = static_cast<float>(v);
+            else if (field == kNumSubcarriers + 1) r.temperature_c = static_cast<float>(v);
+            else if (field == kNumSubcarriers + 2) r.humidity_pct = static_cast<float>(v);
+            else if (field == kNumSubcarriers + 3)
+                r.occupant_count = static_cast<std::uint8_t>(v);
+            else if (field == kNumSubcarriers + 4)
+                r.occupancy = static_cast<std::uint8_t>(v);
+            else if (field == kNumSubcarriers + 5)
+                r.activity = static_cast<std::uint8_t>(v);
+            else
+                throw std::runtime_error("read_csv: too many fields at line " +
+                                         std::to_string(line_no));
+            ++field;
+            if (comma == std::string_view::npos) break;
+        }
+        if (field != kFields)
+            throw std::runtime_error("read_csv: wrong field count at line " +
+                                     std::to_string(line_no));
+        records.push_back(r);
+    }
+    return Dataset(std::move(records));
+}
+
+Dataset read_csv(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("read_csv: cannot open " + path);
+    return read_csv(is);
+}
+
+}  // namespace wifisense::data

@@ -1,0 +1,20 @@
+// CSV import/export of the Table I record format. The column layout is
+//   timestamp,a0,...,a63,temperature,humidity,occupant_count,occupancy
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace wifisense::data {
+
+void write_csv(const DatasetView& view, std::ostream& os);
+void write_csv(const DatasetView& view, const std::string& path);
+
+/// Parses a file produced by write_csv (header required).
+/// Throws std::runtime_error on malformed content.
+Dataset read_csv(std::istream& is);
+Dataset read_csv(const std::string& path);
+
+}  // namespace wifisense::data

@@ -1,0 +1,168 @@
+#include "data/dataset.hpp"
+
+#include <stdexcept>
+
+#include "data/simtime.hpp"
+
+namespace wifisense::data {
+
+std::size_t feature_count(FeatureSet set) {
+    switch (set) {
+        case FeatureSet::kCsi: return kNumSubcarriers;
+        case FeatureSet::kEnv: return 2;
+        case FeatureSet::kCsiEnv: return kNumSubcarriers + 2;
+        case FeatureSet::kTime: return 1;
+    }
+    throw std::invalid_argument("feature_count: unknown feature set");
+}
+
+std::string to_string(FeatureSet set) {
+    switch (set) {
+        case FeatureSet::kCsi: return "CSI";
+        case FeatureSet::kEnv: return "Env";
+        case FeatureSet::kCsiEnv: return "C+E";
+        case FeatureSet::kTime: return "Time";
+    }
+    throw std::invalid_argument("to_string: unknown feature set");
+}
+
+double OccupancyDistribution::empty_fraction() const {
+    if (total == 0) return 0.0;
+    return static_cast<double>(empty) / static_cast<double>(total);
+}
+
+double OccupancyDistribution::fraction_with(std::size_t k) const {
+    if (total == 0 || k >= by_count.size()) return 0.0;
+    return static_cast<double>(by_count[k]) / static_cast<double>(total);
+}
+
+nn::Matrix make_features(std::span<const SampleRecord> records, FeatureSet set) {
+    const std::size_t d = feature_count(set);
+    nn::Matrix m(records.size(), d);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const SampleRecord& r = records[i];
+        std::span<float> row = m.row(i);
+        switch (set) {
+            case FeatureSet::kCsi:
+                std::copy(r.csi.begin(), r.csi.end(), row.begin());
+                break;
+            case FeatureSet::kEnv:
+                row[0] = r.temperature_c;
+                row[1] = r.humidity_pct;
+                break;
+            case FeatureSet::kCsiEnv:
+                std::copy(r.csi.begin(), r.csi.end(), row.begin());
+                row[kNumSubcarriers] = r.temperature_c;
+                row[kNumSubcarriers + 1] = r.humidity_pct;
+                break;
+            case FeatureSet::kTime:
+                row[0] = static_cast<float>(seconds_of_day(r.timestamp));
+                break;
+        }
+    }
+    return m;
+}
+
+nn::Matrix DatasetView::features(FeatureSet set) const {
+    return make_features(records_, set);
+}
+
+std::vector<int> DatasetView::labels() const {
+    std::vector<int> out(records_.size());
+    for (std::size_t i = 0; i < records_.size(); ++i) out[i] = records_[i].occupancy;
+    return out;
+}
+
+nn::Matrix DatasetView::label_matrix() const {
+    nn::Matrix m(records_.size(), 1);
+    for (std::size_t i = 0; i < records_.size(); ++i)
+        m.at(i, 0) = static_cast<float>(records_[i].occupancy);
+    return m;
+}
+
+nn::Matrix DatasetView::env_targets() const {
+    nn::Matrix m(records_.size(), 2);
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        m.at(i, 0) = records_[i].temperature_c;
+        m.at(i, 1) = records_[i].humidity_pct;
+    }
+    return m;
+}
+
+std::vector<double> DatasetView::time_of_day() const {
+    std::vector<double> out(records_.size());
+    for (std::size_t i = 0; i < records_.size(); ++i)
+        out[i] = seconds_of_day(records_[i].timestamp);
+    return out;
+}
+
+std::vector<double> DatasetView::subcarrier_series(std::size_t subcarrier) const {
+    if (subcarrier >= kNumSubcarriers)
+        throw std::out_of_range("subcarrier_series: index out of range");
+    std::vector<double> out(records_.size());
+    for (std::size_t i = 0; i < records_.size(); ++i)
+        out[i] = static_cast<double>(records_[i].csi[subcarrier]);
+    return out;
+}
+
+std::vector<double> DatasetView::temperature_series() const {
+    std::vector<double> out(records_.size());
+    for (std::size_t i = 0; i < records_.size(); ++i)
+        out[i] = static_cast<double>(records_[i].temperature_c);
+    return out;
+}
+
+std::vector<double> DatasetView::humidity_series() const {
+    std::vector<double> out(records_.size());
+    for (std::size_t i = 0; i < records_.size(); ++i)
+        out[i] = static_cast<double>(records_[i].humidity_pct);
+    return out;
+}
+
+std::vector<double> DatasetView::occupancy_series() const {
+    std::vector<double> out(records_.size());
+    for (std::size_t i = 0; i < records_.size(); ++i)
+        out[i] = static_cast<double>(records_[i].occupancy);
+    return out;
+}
+
+OccupancyDistribution DatasetView::occupancy_distribution() const {
+    OccupancyDistribution dist;
+    dist.total = records_.size();
+    for (const SampleRecord& r : records_) {
+        if (r.occupancy == 0) ++dist.empty;
+        else ++dist.occupied;
+        const std::size_t k =
+            std::min<std::size_t>(r.occupant_count, dist.by_count.size() - 1);
+        ++dist.by_count[k];
+    }
+    return dist;
+}
+
+double DatasetView::start_time() const {
+    if (records_.empty()) throw std::logic_error("DatasetView: empty view");
+    return records_.front().timestamp;
+}
+
+double DatasetView::end_time() const {
+    if (records_.empty()) throw std::logic_error("DatasetView: empty view");
+    return records_.back().timestamp;
+}
+
+Dataset::Dataset(std::vector<SampleRecord> records) : records_(std::move(records)) {}
+
+DatasetView Dataset::slice(std::size_t begin, std::size_t end) const {
+    if (begin > end || end > records_.size())
+        throw std::out_of_range("Dataset::slice: bad range");
+    return DatasetView(std::span<const SampleRecord>(records_).subspan(begin, end - begin));
+}
+
+Dataset Dataset::strided_copy(std::size_t stride) const {
+    if (stride == 0) throw std::invalid_argument("strided_copy: zero stride");
+    std::vector<SampleRecord> out;
+    out.reserve(records_.size() / stride + 1);
+    for (std::size_t i = 0; i < records_.size(); i += stride) out.push_back(records_[i]);
+    return Dataset(std::move(out));
+}
+
+}  // namespace wifisense::data

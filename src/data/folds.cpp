@@ -1,0 +1,62 @@
+#include "data/folds.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wifisense::data {
+
+FoldSplit split_paper_folds(const Dataset& dataset, double train_fraction) {
+    if (train_fraction <= 0.0 || train_fraction >= 1.0)
+        throw std::invalid_argument("split_paper_folds: train_fraction in (0,1)");
+    if (dataset.size() < 10 * kNumTestFolds)
+        throw std::invalid_argument("split_paper_folds: dataset too small");
+    if (!std::is_sorted(dataset.records().begin(), dataset.records().end(),
+                        [](const SampleRecord& a, const SampleRecord& b) {
+                            return a.timestamp < b.timestamp;
+                        }))
+        throw std::invalid_argument("split_paper_folds: dataset not time-sorted");
+
+    FoldSplit split;
+    const auto train_end = static_cast<std::size_t>(
+        train_fraction * static_cast<double>(dataset.size()));
+    split.train = dataset.slice(0, train_end);
+
+    const std::size_t rest = dataset.size() - train_end;
+    const std::size_t per_fold = rest / kNumTestFolds;
+    for (std::size_t f = 0; f < kNumTestFolds; ++f) {
+        const std::size_t begin = train_end + f * per_fold;
+        const std::size_t end =
+            f + 1 == kNumTestFolds ? dataset.size() : begin + per_fold;
+        split.test[f] = dataset.slice(begin, end);
+    }
+    return split;
+}
+
+FoldSummary summarize_fold(const DatasetView& view, std::string name) {
+    if (view.empty()) throw std::invalid_argument("summarize_fold: empty fold");
+    FoldSummary s;
+    s.name = std::move(name);
+    s.start = view.start_time();
+    s.end = view.end_time();
+    s.t_min = s.t_max = static_cast<double>(view[0].temperature_c);
+    s.h_min = s.h_max = static_cast<double>(view[0].humidity_pct);
+    for (const SampleRecord& r : view.records()) {
+        if (r.occupancy == 0) ++s.empty;
+        else ++s.occupied;
+        s.t_min = std::min(s.t_min, static_cast<double>(r.temperature_c));
+        s.t_max = std::max(s.t_max, static_cast<double>(r.temperature_c));
+        s.h_min = std::min(s.h_min, static_cast<double>(r.humidity_pct));
+        s.h_max = std::max(s.h_max, static_cast<double>(r.humidity_pct));
+    }
+    return s;
+}
+
+std::vector<FoldSummary> table3_summaries(const FoldSplit& split) {
+    std::vector<FoldSummary> rows;
+    rows.push_back(summarize_fold(split.train, "0"));
+    for (std::size_t f = 0; f < kNumTestFolds; ++f)
+        rows.push_back(summarize_fold(split.test[f], std::to_string(f + 1)));
+    return rows;
+}
+
+}  // namespace wifisense::data

@@ -1,0 +1,45 @@
+// The paper's evaluation protocol (Section V-B, Table III): the first 70%
+// of the timeline is the training set; the remaining 30% is cut into five
+// equal, temporally ordered test folds. The training set never changes and
+// models are never re-trained between folds.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace wifisense::data {
+
+inline constexpr std::size_t kNumTestFolds = 5;
+
+struct FoldSplit {
+    DatasetView train;
+    std::array<DatasetView, kNumTestFolds> test;
+};
+
+/// Temporal 70/30 split with 5 equal test folds. Requires a chronologically
+/// sorted dataset of at least 10 * kNumTestFolds samples.
+FoldSplit split_paper_folds(const Dataset& dataset, double train_fraction = 0.7);
+
+/// Table III row: boundaries, class counts, and environment ranges.
+struct FoldSummary {
+    std::string name;
+    double start = 0.0;
+    double end = 0.0;
+    std::uint64_t empty = 0;
+    std::uint64_t occupied = 0;
+    double t_min = 0.0;
+    double t_max = 0.0;
+    double h_min = 0.0;
+    double h_max = 0.0;
+};
+
+FoldSummary summarize_fold(const DatasetView& view, std::string name);
+
+/// All six rows of Table III (train fold "0" plus test folds 1..5).
+std::vector<FoldSummary> table3_summaries(const FoldSplit& split);
+
+}  // namespace wifisense::data

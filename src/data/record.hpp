@@ -1,0 +1,41 @@
+// The dataset row format of Table I: timestamp, 64 CSI subcarrier
+// amplitudes, temperature, humidity, and the annotated occupancy status
+// (plus the simultaneous occupant count used for Table II).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace wifisense::data {
+
+inline constexpr std::size_t kNumSubcarriers = 64;
+
+/// Dominant activity annotation — not part of the paper's dataset, but the
+/// basis of its stated future work ("simultaneously perform occupancy
+/// detection and activity recognition"). The simulator's video-annotator
+/// surrogate labels each sample with the most dynamic activity among the
+/// people present.
+enum class ActivityLabel : std::uint8_t {
+    kEmpty = 0,      ///< nobody in the room
+    kSedentary = 1,  ///< everyone sitting/standing still
+    kActive = 2,     ///< at least one person walking
+};
+
+inline constexpr std::size_t kNumActivityClasses = 3;
+
+struct SampleRecord {
+    /// Seconds since the collection epoch (2022-01-04 00:00:00 local time).
+    double timestamp = 0.0;
+    std::array<float, kNumSubcarriers> csi{};
+    float temperature_c = 0.0f;
+    float humidity_pct = 0.0f;
+    /// Number of people in the room when the sample was taken (Table II).
+    std::uint8_t occupant_count = 0;
+    /// Binary occupancy status: 1 if occupant_count > 0.
+    std::uint8_t occupancy = 0;
+    /// Dominant-activity annotation (extension; see ActivityLabel).
+    std::uint8_t activity = 0;
+};
+
+}  // namespace wifisense::data

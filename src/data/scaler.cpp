@@ -1,0 +1,66 @@
+#include "data/scaler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wifisense::data {
+
+void StandardScaler::fit(const nn::Matrix& x) {
+    if (x.rows() < 2) throw std::invalid_argument("StandardScaler::fit: need >= 2 rows");
+    const std::size_t d = x.cols();
+    mean_.assign(d, 0.0);
+    scale_.assign(d, 1.0);
+
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const std::span<const float> row = x.row(r);
+        for (std::size_t c = 0; c < d; ++c) mean_[c] += static_cast<double>(row[c]);
+    }
+    const double inv_n = 1.0 / static_cast<double>(x.rows());
+    for (double& m : mean_) m *= inv_n;
+
+    std::vector<double> sq(d, 0.0);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const std::span<const float> row = x.row(r);
+        for (std::size_t c = 0; c < d; ++c) {
+            const double dlt = static_cast<double>(row[c]) - mean_[c];
+            sq[c] += dlt * dlt;
+        }
+    }
+    for (std::size_t c = 0; c < d; ++c) {
+        const double sd = std::sqrt(sq[c] / static_cast<double>(x.rows() - 1));
+        scale_[c] = sd > 1e-12 ? sd : 1.0;
+    }
+}
+
+nn::Matrix StandardScaler::transform(const nn::Matrix& x) const {
+    if (!fitted()) throw std::logic_error("StandardScaler: not fitted");
+    if (x.cols() != mean_.size())
+        throw std::invalid_argument("StandardScaler::transform: width mismatch");
+    nn::Matrix out(x.rows(), x.cols());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const std::span<const float> in = x.row(r);
+        std::span<float> o = out.row(r);
+        for (std::size_t c = 0; c < x.cols(); ++c)
+            o[c] = static_cast<float>((static_cast<double>(in[c]) - mean_[c]) / scale_[c]);
+    }
+    return out;
+}
+
+nn::Matrix StandardScaler::fit_transform(const nn::Matrix& x) {
+    fit(x);
+    return transform(x);
+}
+
+void StandardScaler::set_parameters(std::vector<double> means,
+                                    std::vector<double> scales) {
+    if (means.size() != scales.size() || means.empty())
+        throw std::invalid_argument("StandardScaler::set_parameters: bad sizes");
+    for (const double s : scales)
+        if (!(s > 0.0))
+            throw std::invalid_argument(
+                "StandardScaler::set_parameters: non-positive scale");
+    mean_ = std::move(means);
+    scale_ = std::move(scales);
+}
+
+}  // namespace wifisense::data

@@ -1,0 +1,34 @@
+// Per-column standardization (z-scoring). Fit on the training fold only and
+// applied unchanged to every test fold, matching the no-retraining protocol.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace wifisense::data {
+
+class StandardScaler {
+public:
+    /// Learn per-column mean and standard deviation.
+    void fit(const nn::Matrix& x);
+
+    /// (x - mean) / sd per column; sd of a constant column is treated as 1.
+    nn::Matrix transform(const nn::Matrix& x) const;
+
+    nn::Matrix fit_transform(const nn::Matrix& x);
+
+    /// Restore previously fitted parameters (deserialization path).
+    /// Scales must be strictly positive.
+    void set_parameters(std::vector<double> means, std::vector<double> scales);
+
+    bool fitted() const { return !mean_.empty(); }
+    const std::vector<double>& mean() const { return mean_; }
+    const std::vector<double>& scale() const { return scale_; }
+
+private:
+    std::vector<double> mean_;
+    std::vector<double> scale_;
+};
+
+}  // namespace wifisense::data

@@ -1,0 +1,36 @@
+#include "data/simtime.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wifisense::data {
+
+int day_index(double timestamp) {
+    return static_cast<int>(std::floor(timestamp / kSecondsPerDay));
+}
+
+double seconds_of_day(double timestamp) {
+    double s = std::fmod(timestamp, kSecondsPerDay);
+    if (s < 0.0) s += kSecondsPerDay;
+    return s;
+}
+
+double hour_of_day(double timestamp) { return seconds_of_day(timestamp) / 3600.0; }
+
+bool is_weekend(double timestamp) {
+    // Day 0 (2022-01-04) is a Tuesday => weekday index 1 (Monday = 0).
+    const int weekday = ((day_index(timestamp) % 7) + 7 + 1) % 7;
+    return weekday == 5 || weekday == 6;
+}
+
+std::string format_timestamp(double timestamp) {
+    const int day = 4 + day_index(timestamp);
+    const double sod = seconds_of_day(timestamp);
+    const int hh = static_cast<int>(sod / 3600.0);
+    const int mm = static_cast<int>((sod - hh * 3600.0) / 60.0);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%02d/01 %02d:%02d", day, hh, mm);
+    return buf;
+}
+
+}  // namespace wifisense::data

@@ -1,0 +1,34 @@
+// Simulation time helpers. Timestamps count seconds since the paper's
+// collection epoch, 2022-01-04 00:00:00 local time (a Tuesday); the
+// collection itself starts at 15:08:40 that day and spans 74.5 hours.
+#pragma once
+
+#include <string>
+
+namespace wifisense::data {
+
+/// 2022-01-04 15:08:40 as seconds past the epoch day start.
+inline constexpr double kCollectionStart = 15.0 * 3600 + 8.0 * 60 + 40.0;
+
+/// 74 h 30 min of collection (Section V-A reports "74 hours").
+inline constexpr double kCollectionDuration = 268'200.0;
+
+inline constexpr double kSecondsPerDay = 86'400.0;
+
+/// Day index since the epoch (0 = Jan 4).
+int day_index(double timestamp);
+
+/// Seconds since the containing day's midnight, in [0, 86400).
+double seconds_of_day(double timestamp);
+
+/// Hour of day as a real number in [0, 24).
+double hour_of_day(double timestamp);
+
+/// True for Saturday/Sunday (epoch day 0 is a Tuesday; the collection window
+/// is all weekdays, but the occupant model is general).
+bool is_weekend(double timestamp);
+
+/// "dd/01 HH:MM" rendering matching Table III (January 2022 only).
+std::string format_timestamp(double timestamp);
+
+}  // namespace wifisense::data

@@ -1,0 +1,257 @@
+#include "envsim/occupants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "data/simtime.hpp"
+
+namespace wifisense::envsim {
+
+namespace {
+
+double clamp_hour(double h, double lo, double hi) { return std::clamp(h, lo, hi); }
+
+}  // namespace
+
+OccupantModel::OccupantModel(OccupantConfig cfg, csi::RoomGeometry room,
+                             std::uint64_t seed)
+    : cfg_(cfg), room_(room), rng_(seed) {
+    if (cfg_.n_subjects == 0) throw std::invalid_argument("OccupantModel: no subjects");
+
+    std::normal_distribution<double> norm(0.0, 1.0);
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    std::exponential_distribution<double> exp_len(1.0 / cfg_.excursion_len_mean_h);
+
+    // Desks: evenly spread through the deep half of the room, away from the
+    // AP/RP1 keep-out strip.
+    schedule_.resize(cfg_.n_subjects);
+    subjects_.resize(cfg_.n_subjects);
+    for (std::size_t s = 0; s < cfg_.n_subjects; ++s) {
+        const double fx = (static_cast<double>(s % 3) + 0.5) / 3.0;
+        const double fy = (static_cast<double>(s / 3 % 2) + 0.5) / 2.0;
+        subjects_[s].desk = {1.0 + fx * (room_.lx - 2.0),
+                             cfg_.keepout_y + 0.6 +
+                                 fy * (room_.ly - cfg_.keepout_y - 1.2),
+                             1.1};
+        subjects_[s].position = subjects_[s].desk;
+        subjects_[s].target = subjects_[s].desk;
+    }
+
+    // Whole-team per-day schedule shifts, drawn once.
+    std::vector<double> day_offset(cfg_.n_days, 0.0);
+    for (double& off : day_offset) off = cfg_.day_jitter_h * norm(rng_);
+
+    // Draw the presence intervals for every subject and day.
+    for (std::size_t s = 0; s < cfg_.n_subjects; ++s) {
+        for (std::size_t day = 0; day < cfg_.n_days; ++day) {
+            const double day_start = static_cast<double>(day) * data::kSecondsPerDay;
+            if (data::is_weekend(day_start + 43'200.0)) continue;
+
+            const bool late = static_cast<int>(day) == cfg_.late_day;
+            // Subject 0 anchors the final day: present from arrival to after
+            // the collection ends, no lunch/excursions — keeping fold 5
+            // fully occupied as in Table III.
+            const bool anchor = late && s == 0;
+            // Heterogeneous attendance (some subjects are in most days, some
+            // rarely) keeps the simultaneous-occupancy histogram decaying
+            // like Table II instead of peaking at the team size.
+            const double subject_factor =
+                late ? 1.0 : 1.35 - 0.18 * static_cast<double>(s % 6);
+            const double p_present = std::clamp(
+                (late ? cfg_.late_day_present_prob : cfg_.present_prob) *
+                    subject_factor,
+                0.10, 0.95);
+            if (!anchor && uni(rng_) > p_present) continue;
+
+            // The late (final) day is pinned: fold 4/5 boundaries depend on it.
+            const bool early = static_cast<int>(day) == cfg_.early_day;
+            const double shift = late ? 0.0 : day_offset[day];
+            const double arrival_h = clamp_hour(
+                (late ? cfg_.late_day_arrival_mean_h : cfg_.arrival_mean_h) + shift +
+                    (late ? cfg_.late_day_arrival_sd_h : cfg_.arrival_sd_h) * norm(rng_),
+                6.5, late ? 10.5 : 11.5);
+            const double dep_mean = late    ? cfg_.late_day_departure_mean_h
+                                    : early ? cfg_.early_day_departure_mean_h
+                                            : cfg_.departure_mean_h;
+            const double dep_cap = late    ? 23.0
+                                   : early ? cfg_.early_day_departure_latest_h
+                                           : cfg_.departure_latest_h;
+            double departure_h =
+                clamp_hour(dep_mean + shift + cfg_.departure_sd_h * norm(rng_),
+                           arrival_h + 1.0, dep_cap);
+            if (anchor) departure_h = std::max(departure_h, 18.5);
+
+            // Working day as one interval, then carve out lunch + excursions.
+            std::vector<PresenceInterval> day_intervals{
+                {day_start + arrival_h * 3600.0, day_start + departure_h * 3600.0}};
+
+            const auto carve = [&](double out_start, double out_end) {
+                std::vector<PresenceInterval> next;
+                for (const PresenceInterval& iv : day_intervals) {
+                    if (out_end <= iv.enter || out_start >= iv.leave) {
+                        next.push_back(iv);
+                        continue;
+                    }
+                    if (out_start > iv.enter)
+                        next.push_back({iv.enter, std::max(iv.enter, out_start)});
+                    if (out_end < iv.leave)
+                        next.push_back({std::min(iv.leave, out_end), iv.leave});
+                }
+                day_intervals = std::move(next);
+            };
+
+            const double lunch_p =
+                anchor ? 0.0 : (late ? cfg_.late_day_lunch_prob : cfg_.lunch_prob);
+            if (uni(rng_) < lunch_p) {
+                const double ls =
+                    cfg_.lunch_start_mean_h + cfg_.lunch_start_sd_h * norm(rng_);
+                const double ll = std::max(
+                    0.2, cfg_.lunch_len_mean_h + cfg_.lunch_len_sd_h * norm(rng_));
+                carve(day_start + ls * 3600.0, day_start + (ls + ll) * 3600.0);
+            }
+
+            // Poisson excursions over the working span.
+            double cursor_h = arrival_h;
+            std::exponential_distribution<double> gap(
+                cfg_.excursion_rate_per_h * (late ? cfg_.late_day_excursion_mult : 1.0));
+            while (!anchor) {
+                cursor_h += gap(rng_);
+                if (cursor_h >= departure_h) break;
+                const double len_h = std::min(exp_len(rng_), 1.5);
+                carve(day_start + cursor_h * 3600.0,
+                      day_start + (cursor_h + len_h) * 3600.0);
+                cursor_h += len_h;
+            }
+
+            for (const PresenceInterval& iv : day_intervals)
+                if (iv.leave - iv.enter > 60.0) schedule_[s].push_back(iv);
+        }
+        std::sort(schedule_[s].begin(), schedule_[s].end(),
+                  [](const PresenceInterval& a, const PresenceInterval& b) {
+                      return a.enter < b.enter;
+                  });
+    }
+}
+
+bool OccupantModel::subject_inside(std::size_t subject, double timestamp) const {
+    for (const PresenceInterval& iv : schedule_[subject])
+        if (timestamp >= iv.enter && timestamp < iv.leave) return true;
+    return false;
+}
+
+int OccupantModel::count_inside(double timestamp) const {
+    int n = 0;
+    for (std::size_t s = 0; s < schedule_.size(); ++s)
+        if (subject_inside(s, timestamp)) ++n;
+    return n;
+}
+
+csi::Vec3 OccupantModel::random_waypoint(std::mt19937_64& rng) const {
+    std::uniform_real_distribution<double> ux(0.5, room_.lx - 0.5);
+    std::uniform_real_distribution<double> uy(cfg_.keepout_y + 0.3, room_.ly - 0.4);
+    return {ux(rng), uy(rng), 1.1};
+}
+
+void OccupantModel::enter_activity(SubjectState& s, Activity a, double now) {
+    std::exponential_distribution<double> dwell(1.0);
+    s.activity = a;
+    switch (a) {
+        case Activity::kSitting:
+            s.target = s.desk;
+            s.activity_until = now + cfg_.sit_dwell_s * dwell(rng_);
+            break;
+        case Activity::kStanding:
+            s.activity_until = now + cfg_.stand_dwell_s * dwell(rng_);
+            break;
+        case Activity::kWalking:
+            s.target = random_waypoint(rng_);
+            s.activity_until = now + cfg_.walk_dwell_s * (0.5 + dwell(rng_));
+            break;
+    }
+}
+
+void OccupantModel::step(double timestamp, double dt) {
+    now_ = timestamp;
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    std::normal_distribution<double> norm(0.0, 1.0);
+
+    for (std::size_t i = 0; i < subjects_.size(); ++i) {
+        SubjectState& s = subjects_[i];
+        const bool inside = subject_inside(i, timestamp);
+        if (!inside) {
+            s.inside = false;
+            continue;
+        }
+        if (!s.inside) {
+            // Just entered: appear near the door (x = lx end, deep wall) and
+            // walk to the desk.
+            s.inside = true;
+            s.position = {room_.lx - 0.6, room_.ly - 0.6, 1.1};
+            enter_activity(s, Activity::kWalking, timestamp);
+            s.target = s.desk;
+        }
+
+        if (timestamp >= s.activity_until) {
+            // Transition: sitting-heavy mix of office behaviour.
+            const double u = uni(rng_);
+            if (s.activity == Activity::kWalking) {
+                enter_activity(s, u < 0.8 ? Activity::kSitting : Activity::kStanding,
+                               timestamp);
+            } else {
+                enter_activity(s,
+                               u < 0.55 ? Activity::kSitting
+                               : u < 0.75 ? Activity::kStanding
+                                          : Activity::kWalking,
+                               timestamp);
+            }
+        }
+
+        switch (s.activity) {
+            case Activity::kWalking: {
+                const csi::Vec3 delta = s.target - s.position;
+                const double dist = delta.norm();
+                const double step_len = cfg_.walk_speed_mps * dt;
+                if (dist <= step_len || dist < 1e-9) {
+                    s.position = s.target;
+                    enter_activity(s, Activity::kSitting, timestamp);
+                } else {
+                    s.position = s.position + delta * (step_len / dist);
+                }
+                break;
+            }
+            case Activity::kSitting:
+            case Activity::kStanding: {
+                const double amp = cfg_.micro_motion_m *
+                                   (s.activity == Activity::kStanding ? 2.0 : 1.0);
+                s.position.x += amp * norm(rng_);
+                s.position.y += amp * norm(rng_);
+                s.position.x = std::clamp(s.position.x, 0.4, room_.lx - 0.4);
+                s.position.y =
+                    std::clamp(s.position.y, cfg_.keepout_y + 0.2, room_.ly - 0.3);
+                break;
+            }
+        }
+    }
+}
+
+bool OccupantModel::any_walking() const {
+    for (std::size_t i = 0; i < subjects_.size(); ++i) {
+        if (!subjects_[i].inside) continue;
+        if (!subject_inside(i, now_)) continue;
+        if (subjects_[i].activity == Activity::kWalking) return true;
+    }
+    return false;
+}
+
+std::vector<csi::BodyState> OccupantModel::bodies() const {
+    std::vector<csi::BodyState> out;
+    for (std::size_t i = 0; i < subjects_.size(); ++i) {
+        if (!subjects_[i].inside) continue;
+        if (!subject_inside(i, now_)) continue;
+        out.push_back(csi::BodyState{subjects_[i].position, cfg_.body_reflectivity});
+    }
+    return out;
+}
+
+}  // namespace wifisense::envsim

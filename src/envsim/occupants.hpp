@@ -1,0 +1,138 @@
+// Stochastic occupant agents: six subjects with per-day schedules (arrival,
+// departure, lunch, short excursions) and an in-room activity state machine
+// (sitting / standing / walking) that drives their positions — the
+// "unconstrained office activities" of Section IV-A.
+//
+// The schedule generator encodes the collection timeline that produces the
+// Table II / Table III shape:
+//   - weekday office hours with staggered arrivals around 08:30;
+//   - evenings and nights empty (test folds 1-3);
+//   - on the final day (index 3, Friday Jan 7) everyone arrives late
+//     (~09:25), making fold 4 start empty and then fill, and stays until
+//     after the collection ends, keeping fold 5 fully occupied.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "csi/channel.hpp"
+#include "csi/geometry.hpp"
+
+namespace wifisense::envsim {
+
+struct OccupantConfig {
+    std::size_t n_subjects = 6;
+    std::size_t n_days = 4;
+
+    double present_prob = 0.42;        ///< chance a subject comes in on a weekday
+    double arrival_mean_h = 8.6;
+    double arrival_sd_h = 0.9;
+    /// Whole-team per-day schedule shift (deadlines, meetings elsewhere):
+    /// N(0, day_jitter_h) added to every arrival/departure of that day.
+    /// Keeps the time-of-day-only classifier from memorizing the schedule
+    /// (the paper's time-only baseline reaches just 89.3%).
+    double day_jitter_h = 0.5;
+    /// The team habitually works into the evening...
+    double departure_mean_h = 19.0;
+    double departure_sd_h = 0.8;
+    double departure_latest_h = 21.3;
+    /// ...except on the day before the final day (Thursday), when everyone
+    /// leaves early — the test folds 1-3 (Thursday evening/night) must be
+    /// empty per Table III. The mismatch between the usual evening presence
+    /// and the empty Thursday evening is what caps the paper's time-only
+    /// baseline at ~89%.
+    int early_day = 2;
+    double early_day_departure_mean_h = 17.2;
+    double early_day_departure_latest_h = 18.9;
+
+    double lunch_prob = 0.8;
+    double lunch_start_mean_h = 12.5;
+    double lunch_start_sd_h = 0.35;
+    double lunch_len_mean_h = 0.75;
+    double lunch_len_sd_h = 0.2;
+
+    /// Short exits (meetings, coffee) as a Poisson process while present.
+    double excursion_rate_per_h = 0.85;
+    double excursion_len_mean_h = 0.5;
+
+    /// Final-day (Friday) overrides producing the fold 4/5 regime.
+    int late_day = 3;
+    double late_day_present_prob = 0.5;
+    double late_day_arrival_mean_h = 9.55;
+    double late_day_arrival_sd_h = 0.12;
+    double late_day_departure_mean_h = 18.4;
+    double late_day_lunch_prob = 0.35;
+    double late_day_excursion_mult = 0.4;  ///< fold 5 must stay occupied
+
+    /// Activity state machine dwell means (seconds).
+    double sit_dwell_s = 900.0;
+    double stand_dwell_s = 120.0;
+    double walk_dwell_s = 45.0;
+    double walk_speed_mps = 1.0;
+    double micro_motion_m = 0.0015;  ///< breathing/fidget amplitude while seated
+
+    /// Keep-out strip in front of the AP/RP1 wall (occupants never cross the
+    /// TX-RX line, per Section IV-A).
+    double keepout_y = 1.0;
+
+    /// Torso reflection coefficient handed to the channel model.
+    double body_reflectivity = 1.0;
+};
+
+enum class Activity : std::uint8_t { kSitting, kStanding, kWalking };
+
+/// A presence interval of one subject: [enter, leave) in absolute seconds.
+struct PresenceInterval {
+    double enter = 0.0;
+    double leave = 0.0;
+};
+
+class OccupantModel {
+public:
+    OccupantModel(OccupantConfig cfg, csi::RoomGeometry room, std::uint64_t seed);
+
+    /// Advance positions/activities to the given time. Must be called with
+    /// non-decreasing timestamps.
+    void step(double timestamp, double dt);
+
+    /// Number of subjects inside at the given time (schedule lookup only;
+    /// does not require step()).
+    int count_inside(double timestamp) const;
+
+    /// Body states of the subjects currently inside (positions valid after
+    /// step() has advanced to the queried time).
+    std::vector<csi::BodyState> bodies() const;
+
+    /// True if any subject currently inside is in the walking state (valid
+    /// after step() has advanced to the queried time).
+    bool any_walking() const;
+
+    const std::vector<std::vector<PresenceInterval>>& schedules() const {
+        return schedule_;
+    }
+
+private:
+    struct SubjectState {
+        csi::Vec3 position;
+        csi::Vec3 desk;
+        csi::Vec3 target;
+        Activity activity = Activity::kSitting;
+        double activity_until = 0.0;
+        bool inside = false;
+    };
+
+    bool subject_inside(std::size_t subject, double timestamp) const;
+    csi::Vec3 random_waypoint(std::mt19937_64& rng) const;
+    void enter_activity(SubjectState& s, Activity a, double now);
+
+    OccupantConfig cfg_;
+    csi::RoomGeometry room_;
+    std::vector<std::vector<PresenceInterval>> schedule_;  // per subject
+    std::vector<SubjectState> subjects_;
+    std::mt19937_64 rng_;
+    double now_ = 0.0;
+};
+
+}  // namespace wifisense::envsim

@@ -1,0 +1,45 @@
+#include "envsim/sensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wifisense::envsim {
+
+EnvironmentSensor::EnvironmentSensor(SensorConfig cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed) {
+    if (cfg_.time_constant_s <= 0.0)
+        throw std::invalid_argument("EnvironmentSensor: non-positive time constant");
+}
+
+void EnvironmentSensor::step(double dt, double true_temperature_c,
+                             double true_humidity_pct, bool heater_on) {
+    if (dt <= 0.0) throw std::invalid_argument("EnvironmentSensor::step: dt <= 0");
+    const double a = 1.0 - std::exp(-dt / cfg_.time_constant_s);
+
+    // Ornstein-Uhlenbeck exposure process, pulled toward 0 when the heater is
+    // off and toward a mid level while it runs.
+    const double pickup_target = heater_on ? 0.35 : 0.0;
+    const double b = 1.0 - std::exp(-dt / cfg_.pickup_tau_s);
+    pickup_ += b * (pickup_target - pickup_) +
+               0.05 * std::sqrt(b) * noise_(rng_);
+    pickup_ = std::clamp(pickup_, 0.0, 1.0);
+
+    const double sensed_t =
+        true_temperature_c + cfg_.heater_pickup_max_c * pickup_ * (heater_on ? 1.0 : 0.2);
+    temp_state_ += a * (sensed_t - temp_state_);
+    hum_state_ += a * (true_humidity_pct - hum_state_);
+}
+
+double EnvironmentSensor::read_temperature_c() {
+    const double raw = temp_state_ + cfg_.temp_noise_c * noise_(rng_);
+    return std::round(raw / cfg_.temp_quant_c) * cfg_.temp_quant_c;
+}
+
+double EnvironmentSensor::read_humidity_pct() {
+    const double raw = hum_state_ + cfg_.humidity_noise_pct * noise_(rng_);
+    const double q = std::round(raw / cfg_.humidity_quant_pct) * cfg_.humidity_quant_pct;
+    return std::clamp(q, 0.0, 100.0);
+}
+
+}  // namespace wifisense::envsim

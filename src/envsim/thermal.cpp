@@ -1,0 +1,101 @@
+#include "envsim/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "data/simtime.hpp"
+
+namespace wifisense::envsim {
+
+double saturation_vapor_density_gm3(double temperature_c) {
+    const double es = 6.112 * std::exp(17.62 * temperature_c / (243.12 + temperature_c));
+    return 216.7 * es / (temperature_c + 273.15);
+}
+
+ThermalModel::ThermalModel(ThermalConfig cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      air_(cfg.initial_air_c),
+      structure_(cfg.initial_structure_c),
+      vapor_(cfg.initial_vapor_gm3),
+      rng_(seed) {
+    if (cfg_.volume_m3 <= 0.0 || cfg_.air_capacity_j_per_k <= 0.0 ||
+        cfg_.structure_capacity_j_per_k <= 0.0)
+        throw std::invalid_argument("ThermalModel: non-positive capacity");
+}
+
+double ThermalModel::outdoor_temperature_c(double timestamp) const {
+    const double hour = data::hour_of_day(timestamp);
+    const double phase =
+        2.0 * std::numbers::pi * (hour - cfg_.outdoor_temp_peak_hour) / 24.0;
+    return cfg_.outdoor_temp_mean_c + cfg_.outdoor_temp_amplitude_c * std::cos(phase) +
+           cfg_.outdoor_temp_trend_c_per_day * timestamp / data::kSecondsPerDay;
+}
+
+double ThermalModel::active_setpoint(double timestamp) const {
+    const double hour = data::hour_of_day(timestamp);
+    const int day = data::day_index(timestamp);
+    if (data::is_weekend(timestamp)) return 0.0;
+    if (hour < cfg_.heating_on_hour || hour >= cfg_.heating_off_hour) return 0.0;
+    if (day == cfg_.fault_day) {
+        if (hour < cfg_.fault_end_hour) return 0.0;  // fault: heating dead
+        return cfg_.fault_boost_setpoint_c;          // catch-up boost
+    }
+    // Deterministic per-day thermostat fiddling (Weyl-sequence hash).
+    const double jitter =
+        cfg_.setpoint_day_jitter_c *
+        std::fmod(0.6180339887 * static_cast<double>(day + 1) * 7.0, 1.0);
+    return cfg_.setpoint_c + jitter;
+}
+
+void ThermalModel::step(double timestamp, double dt, int occupants, bool window_open,
+                        double extra_ach_per_h) {
+    if (dt <= 0.0) throw std::invalid_argument("ThermalModel::step: dt <= 0");
+
+    // Thermostat relay with hysteresis.
+    const double setpoint = active_setpoint(timestamp);
+    if (setpoint <= 0.0) {
+        heater_on_ = false;
+    } else if (heater_on_) {
+        if (air_ > setpoint + cfg_.hysteresis_c) heater_on_ = false;
+    } else {
+        if (air_ < setpoint - cfg_.hysteresis_c) heater_on_ = true;
+    }
+
+    const double t_out = outdoor_temperature_c(timestamp);
+    const double q_heater = heater_on_ ? cfg_.heater_power_w : 0.0;
+    const double q_people = cfg_.occupant_heat_w * occupants;
+
+    const double air_flux = q_heater + q_people -
+                            cfg_.air_structure_w_per_k * (air_ - structure_) -
+                            cfg_.air_outdoor_w_per_k * (air_ - t_out);
+    const double structure_flux =
+        cfg_.air_structure_w_per_k * (air_ - structure_) -
+        cfg_.structure_outdoor_w_per_k * (structure_ - t_out);
+
+    air_ += dt * air_flux / cfg_.air_capacity_j_per_k;
+    structure_ += dt * structure_flux / cfg_.structure_capacity_j_per_k;
+    // Small stochastic forcing on the air node (solar gain, drafts).
+    air_ += noise_(rng_) * 2e-4 * std::sqrt(dt);
+
+    const double ach = cfg_.base_air_changes_per_h +
+                       cfg_.occupant_air_changes_per_h * occupants +
+                       (window_open ? cfg_.window_air_changes_per_h : 0.0) +
+                       extra_ach_per_h;
+    const double lambda = ach / 3600.0;  // per second
+    const double vapor_in =
+        cfg_.occupant_vapor_g_per_h * occupants / 3600.0 / cfg_.volume_m3;
+    const double outdoor_vapor =
+        cfg_.outdoor_vapor_gm3 +
+        cfg_.outdoor_vapor_trend_per_day * timestamp / data::kSecondsPerDay;
+    vapor_ += dt * (vapor_in - lambda * (vapor_ - outdoor_vapor));
+    vapor_ = std::max(vapor_, 0.1);
+}
+
+double ThermalModel::relative_humidity_pct() const {
+    const double rh = 100.0 * vapor_ / saturation_vapor_density_gm3(air_);
+    return std::clamp(rh, 0.0, 100.0);
+}
+
+}  // namespace wifisense::envsim

@@ -1,0 +1,212 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace wifisense::ml {
+
+namespace {
+
+double gini(std::size_t pos, std::size_t total) {
+    if (total == 0) return 0.0;
+    const double p = static_cast<double>(pos) / static_cast<double>(total);
+    return 2.0 * p * (1.0 - p);
+}
+
+struct BestSplit {
+    bool found = false;
+    std::size_t feature = 0;
+    float threshold = 0.0f;
+    double gain = 0.0;
+};
+
+}  // namespace
+
+DecisionTree::DecisionTree(TreeConfig cfg) : cfg_(cfg) {
+    if (cfg_.max_depth == 0) throw std::invalid_argument("DecisionTree: max_depth 0");
+    if (cfg_.min_samples_leaf == 0)
+        throw std::invalid_argument("DecisionTree: min_samples_leaf 0");
+}
+
+void DecisionTree::fit(const nn::Matrix& x, const std::vector<int>& y,
+                       std::mt19937_64& rng) {
+    std::vector<std::size_t> all(x.rows());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    fit(x, y, all, rng);
+}
+
+void DecisionTree::fit(const nn::Matrix& x, const std::vector<int>& y,
+                       std::span<const std::size_t> indices, std::mt19937_64& rng) {
+    if (x.rows() != y.size())
+        throw std::invalid_argument("DecisionTree::fit: rows != labels");
+    if (indices.empty()) throw std::invalid_argument("DecisionTree::fit: empty index set");
+    nodes_.clear();
+    std::vector<std::size_t> idx(indices.begin(), indices.end());
+    build(x, y, idx, 0, idx.size(), 0, rng);
+}
+
+std::int32_t DecisionTree::build(const nn::Matrix& x, const std::vector<int>& y,
+                                 std::vector<std::size_t>& indices, std::size_t begin,
+                                 std::size_t end, std::size_t depth,
+                                 std::mt19937_64& rng) {
+    const std::size_t n = end - begin;
+    std::size_t pos = 0;
+    for (std::size_t i = begin; i < end; ++i) pos += y[indices[i]] != 0 ? 1u : 0u;
+
+    const auto make_leaf = [&]() {
+        Node leaf;
+        leaf.prob = static_cast<float>(static_cast<double>(pos) / static_cast<double>(n));
+        leaf.depth = static_cast<std::uint32_t>(depth);
+        leaf.samples = static_cast<std::uint32_t>(n);
+        nodes_.push_back(leaf);
+        return static_cast<std::int32_t>(nodes_.size() - 1);
+    };
+
+    const double node_impurity = gini(pos, n);
+    if (depth >= cfg_.max_depth || n < cfg_.min_samples_split || pos == 0 || pos == n ||
+        node_impurity == 0.0)
+        return make_leaf();
+
+    // Candidate feature subset.
+    const std::size_t d = x.cols();
+    std::vector<std::size_t> features(d);
+    std::iota(features.begin(), features.end(), std::size_t{0});
+    std::size_t n_candidates = d;
+    if (cfg_.max_features > 0 && cfg_.max_features < d) {
+        // Partial Fisher-Yates: the first max_features entries become the sample.
+        for (std::size_t i = 0; i < cfg_.max_features; ++i) {
+            std::uniform_int_distribution<std::size_t> pick(i, d - 1);
+            std::swap(features[i], features[pick(rng)]);
+        }
+        n_candidates = cfg_.max_features;
+    }
+
+    // Scan each candidate feature for the best threshold. Candidate cut
+    // points are the boundaries between runs of distinct sorted values —
+    // never positions inside a run, which matters for quantized features
+    // (integer %RH, 0.01 degC temperature) where most positions tie.
+    BestSplit best;
+    std::vector<std::pair<float, int>> vals;
+    std::vector<std::size_t> prefix_pos;  // positives among vals[0..i)
+    std::vector<std::size_t> cuts;        // i such that vals[i-1] < vals[i]
+    vals.reserve(n);
+    for (std::size_t f = 0; f < n_candidates; ++f) {
+        const std::size_t feat = features[f];
+        vals.clear();
+        for (std::size_t i = begin; i < end; ++i) {
+            const std::size_t row = indices[i];
+            vals.emplace_back(x.at(row, feat), y[row] != 0 ? 1 : 0);
+        }
+        std::sort(vals.begin(), vals.end());
+        if (vals.front().first == vals.back().first) continue;  // constant feature
+
+        prefix_pos.assign(n + 1, 0);
+        for (std::size_t i = 0; i < n; ++i)
+            prefix_pos[i + 1] = prefix_pos[i] + static_cast<std::size_t>(vals[i].second);
+
+        cuts.clear();
+        for (std::size_t i = 1; i < n; ++i)
+            if (vals[i - 1].first != vals[i].first) cuts.push_back(i);
+        if (cuts.empty()) continue;
+
+        // Evaluate at most max_thresholds evenly-spaced distinct boundaries.
+        const std::size_t stride =
+            cfg_.max_thresholds > 0
+                ? std::max<std::size_t>(1, cuts.size() / cfg_.max_thresholds)
+                : 1;
+
+        for (std::size_t c = 0; c < cuts.size(); c += stride) {
+            const std::size_t nl = cuts[c];
+            const std::size_t nr = n - nl;
+            if (nl < cfg_.min_samples_leaf || nr < cfg_.min_samples_leaf) continue;
+            const std::size_t left_pos = prefix_pos[nl];
+            const std::size_t right_pos = pos - left_pos;
+            const double wl = static_cast<double>(nl) / static_cast<double>(n);
+            const double wr = static_cast<double>(nr) / static_cast<double>(n);
+            const double child = wl * gini(left_pos, nl) + wr * gini(right_pos, nr);
+            const double gain = node_impurity - child;
+            if (gain > best.gain + 1e-12) {
+                best.found = true;
+                best.gain = gain;
+                best.feature = feat;
+                best.threshold =
+                    0.5f * (vals[nl - 1].first + vals[nl].first);
+            }
+        }
+    }
+
+    if (!best.found) return make_leaf();
+
+    // Partition indices[begin,end) around the chosen split.
+    const auto mid_it = std::partition(
+        indices.begin() + static_cast<std::ptrdiff_t>(begin),
+        indices.begin() + static_cast<std::ptrdiff_t>(end),
+        [&](std::size_t row) { return x.at(row, best.feature) <= best.threshold; });
+    const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+    if (mid == begin || mid == end) return make_leaf();  // degenerate partition
+
+    const auto node_id = static_cast<std::int32_t>(nodes_.size());
+    Node node;
+    node.feature = static_cast<std::uint32_t>(best.feature);
+    node.threshold = best.threshold;
+    node.prob = static_cast<float>(static_cast<double>(pos) / static_cast<double>(n));
+    node.depth = static_cast<std::uint32_t>(depth);
+    node.samples = static_cast<std::uint32_t>(n);
+    node.impurity_decrease = best.gain * static_cast<double>(n);
+    nodes_.push_back(node);
+
+    const std::int32_t left = build(x, y, indices, begin, mid, depth + 1, rng);
+    const std::int32_t right = build(x, y, indices, mid, end, depth + 1, rng);
+    nodes_[static_cast<std::size_t>(node_id)].left = left;
+    nodes_[static_cast<std::size_t>(node_id)].right = right;
+    return node_id;
+}
+
+double DecisionTree::predict_proba_row(std::span<const float> row) const {
+    if (nodes_.empty()) throw std::logic_error("DecisionTree: not fitted");
+    std::size_t id = 0;
+    while (nodes_[id].left != Node::kLeaf) {
+        const Node& nd = nodes_[id];
+        id = static_cast<std::size_t>(row[nd.feature] <= nd.threshold ? nd.left
+                                                                      : nd.right);
+    }
+    return static_cast<double>(nodes_[id].prob);
+}
+
+std::vector<double> DecisionTree::predict_proba(const nn::Matrix& x) const {
+    std::vector<double> out(x.rows());
+    for (std::size_t i = 0; i < x.rows(); ++i) out[i] = predict_proba_row(x.row(i));
+    return out;
+}
+
+std::vector<int> DecisionTree::predict(const nn::Matrix& x) const {
+    const std::vector<double> p = predict_proba(x);
+    std::vector<int> labels(p.size());
+    for (std::size_t i = 0; i < p.size(); ++i) labels[i] = p[i] > 0.5 ? 1 : 0;
+    return labels;
+}
+
+std::size_t DecisionTree::depth() const {
+    std::size_t d = 0;
+    for (const Node& n : nodes_) d = std::max<std::size_t>(d, n.depth);
+    return d;
+}
+
+std::vector<double> DecisionTree::feature_importances(std::size_t n_features) const {
+    std::vector<double> imp(n_features, 0.0);
+    double total = 0.0;
+    for (const Node& n : nodes_) {
+        if (n.left == Node::kLeaf) continue;
+        if (n.feature >= n_features)
+            throw std::invalid_argument("feature_importances: n_features too small");
+        imp[n.feature] += n.impurity_decrease;
+        total += n.impurity_decrease;
+    }
+    if (total > 0.0)
+        for (double& v : imp) v /= total;
+    return imp;
+}
+
+}  // namespace wifisense::ml

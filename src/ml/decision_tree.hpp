@@ -1,0 +1,72 @@
+// CART binary classification tree (Gini impurity, axis-aligned threshold
+// splits). Building block of the random forest baseline (Table IV).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace wifisense::ml {
+
+struct TreeConfig {
+    std::size_t max_depth = 16;
+    std::size_t min_samples_split = 2;
+    std::size_t min_samples_leaf = 1;
+    /// Number of features sampled per split; 0 means "all features".
+    std::size_t max_features = 0;
+    /// Cap on candidate thresholds per feature per node; when a node holds
+    /// more distinct values than this, thresholds are taken at quantiles.
+    std::size_t max_thresholds = 64;
+};
+
+class DecisionTree {
+public:
+    explicit DecisionTree(TreeConfig cfg = {});
+
+    /// Fit on the rows of x listed in `indices` (empty => all rows).
+    void fit(const nn::Matrix& x, const std::vector<int>& y,
+             std::span<const std::size_t> indices, std::mt19937_64& rng);
+    void fit(const nn::Matrix& x, const std::vector<int>& y, std::mt19937_64& rng);
+
+    /// P(label = 1) per row (fraction of positive training samples in the
+    /// reached leaf).
+    std::vector<double> predict_proba(const nn::Matrix& x) const;
+    std::vector<int> predict(const nn::Matrix& x) const;
+
+    double predict_proba_row(std::span<const float> row) const;
+
+    std::size_t node_count() const { return nodes_.size(); }
+    std::size_t depth() const;
+    bool fitted() const { return !nodes_.empty(); }
+
+    /// Mean-decrease-in-impurity importance per feature (normalized to sum 1).
+    std::vector<double> feature_importances(std::size_t n_features) const;
+
+private:
+    struct Node {
+        // Internal node: feature/threshold valid, left/right are child ids.
+        // Leaf: left == kLeaf; prob holds P(class 1).
+        static constexpr std::int32_t kLeaf = -1;
+        std::int32_t left = kLeaf;
+        std::int32_t right = kLeaf;
+        std::uint32_t feature = 0;
+        float threshold = 0.0f;
+        float prob = 0.0f;
+        std::uint32_t depth = 0;
+        double impurity_decrease = 0.0;  // weighted, for importances
+        std::uint32_t samples = 0;
+    };
+
+    std::int32_t build(const nn::Matrix& x, const std::vector<int>& y,
+                       std::vector<std::size_t>& indices, std::size_t begin,
+                       std::size_t end, std::size_t depth, std::mt19937_64& rng);
+
+    TreeConfig cfg_;
+    std::vector<Node> nodes_;
+};
+
+}  // namespace wifisense::ml

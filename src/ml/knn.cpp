@@ -1,0 +1,71 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wifisense::ml {
+
+KnnClassifier::KnnClassifier(KnnConfig cfg) : cfg_(cfg) {
+    if (cfg_.k == 0) throw std::invalid_argument("KnnClassifier: k must be positive");
+}
+
+void KnnClassifier::fit(const nn::Matrix& x, const std::vector<int>& y) {
+    if (x.rows() != y.size())
+        throw std::invalid_argument("KnnClassifier::fit: rows != labels");
+    if (x.rows() == 0) throw std::invalid_argument("KnnClassifier::fit: empty data");
+    for (const int label : y)
+        if (label < 0) throw std::invalid_argument("KnnClassifier::fit: negative label");
+
+    std::size_t stride = 1;
+    if (cfg_.max_reference_rows > 0 && x.rows() > cfg_.max_reference_rows)
+        stride = (x.rows() + cfg_.max_reference_rows - 1) / cfg_.max_reference_rows;
+
+    const std::size_t kept = (x.rows() + stride - 1) / stride;
+    ref_ = nn::Matrix(kept, x.cols());
+    labels_.resize(kept);
+    max_label_ = 0;
+    for (std::size_t i = 0, r = 0; i < x.rows(); i += stride, ++r) {
+        std::copy_n(x.row(i).data(), x.cols(), ref_.row(r).data());
+        labels_[r] = y[i];
+        max_label_ = std::max(max_label_, y[i]);
+    }
+}
+
+int KnnClassifier::predict_row(std::span<const float> row) const {
+    if (!fitted()) throw std::logic_error("KnnClassifier: not fitted");
+    if (row.size() != ref_.cols())
+        throw std::invalid_argument("KnnClassifier::predict_row: width mismatch");
+
+    const std::size_t k = std::min(cfg_.k, ref_.rows());
+    // Partial selection of the k smallest distances.
+    std::vector<std::pair<float, int>> dist;
+    dist.reserve(ref_.rows());
+    for (std::size_t r = 0; r < ref_.rows(); ++r) {
+        const std::span<const float> ref_row = ref_.row(r);
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            const float d = row[c] - ref_row[c];
+            acc += d * d;
+        }
+        dist.emplace_back(acc, labels_[r]);
+    }
+    std::nth_element(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     dist.end());
+
+    std::vector<int> votes(static_cast<std::size_t>(max_label_) + 1, 0);
+    for (std::size_t i = 0; i < k; ++i)
+        ++votes[static_cast<std::size_t>(dist[i].second)];
+    int best = 0;
+    for (std::size_t c = 1; c < votes.size(); ++c)
+        if (votes[c] > votes[static_cast<std::size_t>(best)])
+            best = static_cast<int>(c);
+    return best;
+}
+
+std::vector<int> KnnClassifier::predict(const nn::Matrix& x) const {
+    std::vector<int> out(x.rows());
+    for (std::size_t i = 0; i < x.rows(); ++i) out[i] = predict_row(x.row(i));
+    return out;
+}
+
+}  // namespace wifisense::ml

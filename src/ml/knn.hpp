@@ -1,0 +1,43 @@
+// k-nearest-neighbours classifier — a common baseline in the CSI sensing
+// literature the paper surveys ([11], [12] both evaluate kNN variants).
+// Brute-force Euclidean search; fit() optionally subsamples to bound query
+// cost on large training folds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace wifisense::ml {
+
+struct KnnConfig {
+    std::size_t k = 5;
+    /// Keep at most this many reference rows (stride-subsampled); 0 = all.
+    std::size_t max_reference_rows = 20'000;
+};
+
+class KnnClassifier {
+public:
+    explicit KnnClassifier(KnnConfig cfg = {});
+
+    /// Labels may be any small non-negative integers (multi-class).
+    void fit(const nn::Matrix& x, const std::vector<int>& y);
+
+    /// Majority vote among the k nearest references (ties break toward the
+    /// smaller label).
+    std::vector<int> predict(const nn::Matrix& x) const;
+    int predict_row(std::span<const float> row) const;
+
+    bool fitted() const { return ref_.rows() > 0; }
+    std::size_t reference_rows() const { return ref_.rows(); }
+
+private:
+    KnnConfig cfg_;
+    nn::Matrix ref_;
+    std::vector<int> labels_;
+    int max_label_ = 0;
+};
+
+}  // namespace wifisense::ml

@@ -1,0 +1,66 @@
+#include "ml/linear_regression.hpp"
+
+#include <stdexcept>
+
+#include "stats/ols.hpp"
+
+namespace wifisense::ml {
+
+void LinearRegression::fit(const nn::Matrix& x, const nn::Matrix& y) {
+    if (x.rows() != y.rows())
+        throw std::invalid_argument("LinearRegression::fit: row mismatch");
+    if (x.rows() <= x.cols() + 1)
+        throw std::invalid_argument("LinearRegression::fit: need n > d + 1");
+
+    const std::size_t n = x.rows();
+    const std::size_t d = x.cols();
+
+    stats::DesignMatrix design;
+    design.rows = n;
+    design.cols = d + 1;
+    design.values.resize(n * (d + 1));
+    for (std::size_t r = 0; r < n; ++r) {
+        design.at(r, 0) = 1.0;  // intercept column
+        const std::span<const float> row = x.row(r);
+        for (std::size_t c = 0; c < d; ++c)
+            design.at(r, c + 1) = static_cast<double>(row[c]);
+    }
+
+    coef_.clear();
+    intercept_.clear();
+    std::vector<double> target(n);
+    for (std::size_t j = 0; j < y.cols(); ++j) {
+        for (std::size_t r = 0; r < n; ++r) target[r] = static_cast<double>(y.at(r, j));
+        const stats::OlsFit fit = stats::ols(design, target);
+        intercept_.push_back(fit.beta[0]);
+        coef_.emplace_back(fit.beta.begin() + 1, fit.beta.end());
+    }
+}
+
+nn::Matrix LinearRegression::predict(const nn::Matrix& x) const {
+    if (!fitted()) throw std::logic_error("LinearRegression: not fitted");
+    if (x.cols() != coef_.front().size())
+        throw std::invalid_argument("LinearRegression::predict: width mismatch");
+    nn::Matrix out(x.rows(), coef_.size());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const std::span<const float> row = x.row(r);
+        for (std::size_t j = 0; j < coef_.size(); ++j) {
+            double acc = intercept_[j];
+            const std::vector<double>& w = coef_[j];
+            for (std::size_t c = 0; c < w.size(); ++c)
+                acc += w[c] * static_cast<double>(row[c]);
+            out.at(r, j) = static_cast<float>(acc);
+        }
+    }
+    return out;
+}
+
+const std::vector<double>& LinearRegression::coefficients(std::size_t target) const {
+    return coef_.at(target);
+}
+
+double LinearRegression::intercept(std::size_t target) const {
+    return intercept_.at(target);
+}
+
+}  // namespace wifisense::ml

@@ -1,0 +1,32 @@
+// Multi-output ordinary least squares with intercept — the "Linear
+// Regressor" of Table V (humidity/temperature from CSI amplitudes).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace wifisense::ml {
+
+class LinearRegression {
+public:
+    /// Fit y ~ [1, x] by OLS. x: [n x d], y: [n x m] (one column per target).
+    void fit(const nn::Matrix& x, const nn::Matrix& y);
+
+    /// Predict all targets: [n x m].
+    nn::Matrix predict(const nn::Matrix& x) const;
+
+    /// Coefficients for target j (length d), and its intercept.
+    const std::vector<double>& coefficients(std::size_t target) const;
+    double intercept(std::size_t target) const;
+
+    std::size_t n_targets() const { return coef_.size(); }
+    bool fitted() const { return !coef_.empty(); }
+
+private:
+    std::vector<std::vector<double>> coef_;  // per target, length d
+    std::vector<double> intercept_;
+};
+
+}  // namespace wifisense::ml

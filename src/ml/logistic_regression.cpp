@@ -1,0 +1,80 @@
+#include "ml/logistic_regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace wifisense::ml {
+
+LogisticRegression::LogisticRegression(LogisticConfig cfg) : cfg_(cfg) {
+    if (cfg_.learning_rate <= 0.0)
+        throw std::invalid_argument("LogisticRegression: lr must be positive");
+    if (cfg_.batch_size == 0)
+        throw std::invalid_argument("LogisticRegression: zero batch size");
+}
+
+void LogisticRegression::fit(const nn::Matrix& x, const std::vector<int>& y) {
+    if (x.rows() != y.size())
+        throw std::invalid_argument("LogisticRegression::fit: rows != labels");
+    if (x.rows() == 0) throw std::invalid_argument("LogisticRegression::fit: empty data");
+
+    const std::size_t n = x.rows();
+    const std::size_t d = x.cols();
+    w_.assign(d, 0.0);
+    b_ = 0.0;
+
+    std::mt19937_64 rng(cfg_.seed);
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+
+    for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+        std::shuffle(order.begin(), order.end(), rng);
+        for (std::size_t begin = 0; begin < n; begin += cfg_.batch_size) {
+            const std::size_t count = std::min(cfg_.batch_size, n - begin);
+            std::vector<double> gw(d, 0.0);
+            double gb = 0.0;
+            for (std::size_t k = 0; k < count; ++k) {
+                const std::size_t i = order[begin + k];
+                const std::span<const float> row = x.row(i);
+                double z = b_;
+                for (std::size_t j = 0; j < d; ++j)
+                    z += w_[j] * static_cast<double>(row[j]);
+                const double p = 1.0 / (1.0 + std::exp(-z));
+                const double err = p - static_cast<double>(y[i]);
+                for (std::size_t j = 0; j < d; ++j)
+                    gw[j] += err * static_cast<double>(row[j]);
+                gb += err;
+            }
+            const double inv = 1.0 / static_cast<double>(count);
+            for (std::size_t j = 0; j < d; ++j)
+                w_[j] -= cfg_.learning_rate * (gw[j] * inv + cfg_.l2 * w_[j]);
+            b_ -= cfg_.learning_rate * gb * inv;
+        }
+    }
+}
+
+std::vector<double> LogisticRegression::predict_proba(const nn::Matrix& x) const {
+    if (!fitted()) throw std::logic_error("LogisticRegression: not fitted");
+    if (x.cols() != w_.size())
+        throw std::invalid_argument("LogisticRegression::predict_proba: width mismatch");
+    std::vector<double> out(x.rows());
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+        const std::span<const float> row = x.row(i);
+        double z = b_;
+        for (std::size_t j = 0; j < w_.size(); ++j)
+            z += w_[j] * static_cast<double>(row[j]);
+        out[i] = 1.0 / (1.0 + std::exp(-z));
+    }
+    return out;
+}
+
+std::vector<int> LogisticRegression::predict(const nn::Matrix& x) const {
+    const std::vector<double> p = predict_proba(x);
+    std::vector<int> labels(p.size());
+    for (std::size_t i = 0; i < p.size(); ++i) labels[i] = p[i] > 0.5 ? 1 : 0;
+    return labels;
+}
+
+}  // namespace wifisense::ml

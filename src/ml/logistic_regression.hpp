@@ -1,0 +1,46 @@
+// Binary logistic regression baseline (Table IV, "Logistic Regressor").
+// Trained by mini-batch gradient descent on BCE with optional L2 penalty —
+// the linear classifier the paper uses to show that CSI/occupancy structure
+// is not linearly separable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace wifisense::ml {
+
+struct LogisticConfig {
+    std::size_t epochs = 20;
+    std::size_t batch_size = 512;
+    double learning_rate = 0.1;
+    double l2 = 1e-4;
+    std::uint64_t seed = 42;
+};
+
+class LogisticRegression {
+public:
+    explicit LogisticRegression(LogisticConfig cfg = {});
+
+    /// Fit on features [n x d] and {0,1} labels of length n.
+    void fit(const nn::Matrix& x, const std::vector<int>& y);
+
+    /// P(label = 1 | row) for each row.
+    std::vector<double> predict_proba(const nn::Matrix& x) const;
+
+    /// Hard {0,1} labels at threshold 0.5.
+    std::vector<int> predict(const nn::Matrix& x) const;
+
+    const std::vector<double>& weights() const { return w_; }
+    double intercept() const { return b_; }
+    bool fitted() const { return !w_.empty(); }
+
+private:
+    LogisticConfig cfg_;
+    std::vector<double> w_;
+    double b_ = 0.0;
+};
+
+}  // namespace wifisense::ml

@@ -1,0 +1,77 @@
+#include "ml/random_forest.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace wifisense::ml {
+
+RandomForest::RandomForest(ForestConfig cfg) : cfg_(cfg) {
+    if (cfg_.n_trees == 0) throw std::invalid_argument("RandomForest: zero trees");
+    if (cfg_.bootstrap_fraction <= 0.0 || cfg_.bootstrap_fraction > 1.0)
+        throw std::invalid_argument("RandomForest: bootstrap_fraction in (0,1]");
+}
+
+void RandomForest::fit(const nn::Matrix& x, const std::vector<int>& y) {
+    if (x.rows() != y.size())
+        throw std::invalid_argument("RandomForest::fit: rows != labels");
+    if (x.rows() == 0) throw std::invalid_argument("RandomForest::fit: empty data");
+
+    n_features_ = x.cols();
+    TreeConfig tree_cfg = cfg_.tree;
+    if (tree_cfg.max_features == 0)
+        tree_cfg.max_features = std::max<std::size_t>(
+            1, static_cast<std::size_t>(std::sqrt(static_cast<double>(n_features_))));
+
+    std::mt19937_64 rng(cfg_.seed);
+    const auto boot_n = std::max<std::size_t>(
+        1, static_cast<std::size_t>(cfg_.bootstrap_fraction *
+                                    static_cast<double>(x.rows())));
+
+    trees_.clear();
+    trees_.reserve(cfg_.n_trees);
+    std::uniform_int_distribution<std::size_t> pick(0, x.rows() - 1);
+    std::vector<std::size_t> sample(boot_n);
+    for (std::size_t t = 0; t < cfg_.n_trees; ++t) {
+        for (std::size_t i = 0; i < boot_n; ++i) sample[i] = pick(rng);
+        DecisionTree tree(tree_cfg);
+        tree.fit(x, y, sample, rng);
+        trees_.push_back(std::move(tree));
+    }
+}
+
+std::vector<double> RandomForest::predict_proba(const nn::Matrix& x) const {
+    if (!fitted()) throw std::logic_error("RandomForest: not fitted");
+    if (x.cols() != n_features_)
+        throw std::invalid_argument("RandomForest::predict_proba: width mismatch");
+    std::vector<double> out(x.rows(), 0.0);
+    for (const DecisionTree& tree : trees_)
+        for (std::size_t i = 0; i < x.rows(); ++i)
+            out[i] += tree.predict_proba_row(x.row(i));
+    const double inv = 1.0 / static_cast<double>(trees_.size());
+    for (double& v : out) v *= inv;
+    return out;
+}
+
+std::vector<int> RandomForest::predict(const nn::Matrix& x) const {
+    const std::vector<double> p = predict_proba(x);
+    std::vector<int> labels(p.size());
+    for (std::size_t i = 0; i < p.size(); ++i) labels[i] = p[i] > 0.5 ? 1 : 0;
+    return labels;
+}
+
+std::vector<double> RandomForest::feature_importances() const {
+    if (!fitted()) throw std::logic_error("RandomForest: not fitted");
+    std::vector<double> imp(n_features_, 0.0);
+    for (const DecisionTree& tree : trees_) {
+        const std::vector<double> t = tree.feature_importances(n_features_);
+        for (std::size_t i = 0; i < imp.size(); ++i) imp[i] += t[i];
+    }
+    double total = 0.0;
+    for (const double v : imp) total += v;
+    if (total > 0.0)
+        for (double& v : imp) v /= total;
+    return imp;
+}
+
+}  // namespace wifisense::ml

@@ -1,0 +1,48 @@
+// Random forest classifier (Table IV, "Random Forest"): bagged CART trees
+// with per-split feature subsampling, probability averaging across trees.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+#include "nn/tensor.hpp"
+
+namespace wifisense::ml {
+
+struct ForestConfig {
+    std::size_t n_trees = 50;
+    TreeConfig tree = {.max_depth = 16,
+                       .min_samples_split = 4,
+                       .min_samples_leaf = 2,
+                       .max_features = 0,  // 0 here => sqrt(d) chosen at fit time
+                       .max_thresholds = 32};
+    /// Bootstrap sample size as a fraction of the training set.
+    double bootstrap_fraction = 1.0;
+    std::uint64_t seed = 42;
+};
+
+class RandomForest {
+public:
+    explicit RandomForest(ForestConfig cfg = {});
+
+    void fit(const nn::Matrix& x, const std::vector<int>& y);
+
+    /// Mean of per-tree leaf probabilities.
+    std::vector<double> predict_proba(const nn::Matrix& x) const;
+    std::vector<int> predict(const nn::Matrix& x) const;
+
+    std::size_t tree_count() const { return trees_.size(); }
+    bool fitted() const { return !trees_.empty(); }
+
+    /// MDI importance averaged over trees (normalized to sum 1).
+    std::vector<double> feature_importances() const;
+
+private:
+    ForestConfig cfg_;
+    std::vector<DecisionTree> trees_;
+    std::size_t n_features_ = 0;
+};
+
+}  // namespace wifisense::ml

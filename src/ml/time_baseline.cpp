@@ -1,0 +1,59 @@
+#include "ml/time_baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wifisense::ml {
+
+TimeOfDayBaseline::TimeOfDayBaseline(std::size_t bins) {
+    if (bins == 0) throw std::invalid_argument("TimeOfDayBaseline: zero bins");
+    pos_.assign(bins, 0);
+    total_.assign(bins, 0);
+}
+
+std::size_t TimeOfDayBaseline::bin_of(double seconds_of_day) const {
+    double s = std::fmod(seconds_of_day, 86400.0);
+    if (s < 0.0) s += 86400.0;
+    const auto b = static_cast<std::size_t>(s / 86400.0 * static_cast<double>(pos_.size()));
+    return std::min(b, pos_.size() - 1);
+}
+
+void TimeOfDayBaseline::fit(const std::vector<double>& seconds_of_day,
+                            const std::vector<int>& labels) {
+    if (seconds_of_day.size() != labels.size())
+        throw std::invalid_argument("TimeOfDayBaseline::fit: length mismatch");
+    if (seconds_of_day.empty())
+        throw std::invalid_argument("TimeOfDayBaseline::fit: empty data");
+
+    std::fill(pos_.begin(), pos_.end(), 0);
+    std::fill(total_.begin(), total_.end(), 0);
+    std::uint64_t all_pos = 0;
+    for (std::size_t i = 0; i < seconds_of_day.size(); ++i) {
+        const std::size_t b = bin_of(seconds_of_day[i]);
+        ++total_[b];
+        if (labels[i] != 0) {
+            ++pos_[b];
+            ++all_pos;
+        }
+    }
+    prior_ = static_cast<double>(all_pos) / static_cast<double>(labels.size());
+    fitted_ = true;
+}
+
+double TimeOfDayBaseline::predict_proba(double seconds_of_day) const {
+    if (!fitted_) throw std::logic_error("TimeOfDayBaseline: not fitted");
+    const std::size_t b = bin_of(seconds_of_day);
+    if (total_[b] == 0) return prior_;
+    return static_cast<double>(pos_[b]) / static_cast<double>(total_[b]);
+}
+
+std::vector<int> TimeOfDayBaseline::predict(
+    const std::vector<double>& seconds_of_day) const {
+    std::vector<int> out(seconds_of_day.size());
+    for (std::size_t i = 0; i < seconds_of_day.size(); ++i)
+        out[i] = predict_proba(seconds_of_day[i]) > 0.5 ? 1 : 0;
+    return out;
+}
+
+}  // namespace wifisense::ml

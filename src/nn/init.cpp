@@ -1,0 +1,31 @@
+#include "nn/init.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wifisense::nn {
+
+void initialize(Dense& layer, Init scheme, std::mt19937_64& rng) {
+    const auto fan_in = static_cast<double>(layer.input_size());
+    const auto fan_out = static_cast<double>(layer.output_size());
+
+    double limit = 0.0;
+    switch (scheme) {
+        case Init::kKaimingUniform:
+            limit = std::sqrt(6.0 / fan_in);
+            break;
+        case Init::kXavierUniform:
+            limit = std::sqrt(6.0 / (fan_in + fan_out));
+            break;
+        case Init::kZero:
+            limit = 0.0;
+            break;
+    }
+
+    std::uniform_real_distribution<double> dist(-limit, limit);
+    for (float& w : layer.weights().data())
+        w = limit == 0.0 ? 0.0f : static_cast<float>(dist(rng));
+    std::fill(layer.bias().begin(), layer.bias().end(), 0.0f);
+}
+
+}  // namespace wifisense::nn

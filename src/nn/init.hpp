@@ -1,0 +1,19 @@
+// Weight initialization schemes.
+#pragma once
+
+#include <random>
+
+#include "nn/layer.hpp"
+
+namespace wifisense::nn {
+
+enum class Init {
+    kKaimingUniform,  ///< He et al., suited to ReLU stacks (our default)
+    kXavierUniform,   ///< Glorot & Bengio
+    kZero,            ///< degenerate; useful in tests only
+};
+
+/// Initialize a Dense layer's weights in place; bias is zeroed.
+void initialize(Dense& layer, Init scheme, std::mt19937_64& rng);
+
+}  // namespace wifisense::nn

@@ -1,0 +1,130 @@
+#include "nn/layer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wifisense::nn {
+
+void Layer::zero_grad() {
+    for (ParamView& p : parameters())
+        std::fill(p.grads.begin(), p.grads.end(), 0.0f);
+}
+
+Dense::Dense(std::size_t in, std::size_t out)
+    : in_(in), out_(out), w_(in, out), b_(out, 0.0f), gw_(in, out), gb_(out, 0.0f) {
+    if (in == 0 || out == 0) throw std::invalid_argument("Dense: zero dimension");
+}
+
+Matrix Dense::forward(const Matrix& input) {
+    if (input.cols() != in_)
+        throw std::invalid_argument("Dense::forward: input width " +
+                                    input.shape_string() + " != " + std::to_string(in_));
+    last_input_ = input;
+    Matrix out = matmul(input, w_);
+    add_row_vector_inplace(out, b_);
+    last_output_ = out;
+    return out;
+}
+
+Matrix Dense::backward(const Matrix& grad_output) {
+    if (grad_output.rows() != last_input_.rows() || grad_output.cols() != out_)
+        throw std::invalid_argument("Dense::backward: gradient shape mismatch");
+    last_output_grad_ = grad_output;
+
+    // Accumulate (not overwrite): supports gradient accumulation across
+    // micro-batches and matches optimizer semantics.
+    const Matrix gw = matmul_tn(last_input_, grad_output);
+    for (std::size_t i = 0; i < gw_.size(); ++i) gw_.data()[i] += gw.data()[i];
+    const std::vector<float> gb = column_sums(grad_output);
+    for (std::size_t i = 0; i < gb_.size(); ++i) gb_[i] += gb[i];
+
+    return matmul_nt(grad_output, w_);
+}
+
+std::vector<ParamView> Dense::parameters() {
+    return {
+        {"weight", w_.data(), gw_.data()},
+        {"bias", std::span<float>(b_), std::span<float>(gb_)},
+    };
+}
+
+Matrix ReLU::forward(const Matrix& input) {
+    if (input.cols() != width_)
+        throw std::invalid_argument("ReLU::forward: width mismatch");
+    Matrix out = input;
+    for (float& v : out.data()) v = v > 0.0f ? v : 0.0f;
+    last_output_ = out;
+    return out;
+}
+
+Matrix ReLU::backward(const Matrix& grad_output) {
+    if (grad_output.rows() != last_output_.rows() ||
+        grad_output.cols() != last_output_.cols())
+        throw std::invalid_argument("ReLU::backward: gradient shape mismatch");
+    last_output_grad_ = grad_output;
+    Matrix gin = grad_output;
+    for (std::size_t i = 0; i < gin.size(); ++i)
+        if (last_output_.data()[i] <= 0.0f) gin.data()[i] = 0.0f;
+    return gin;
+}
+
+Dropout::Dropout(std::size_t width, double p, std::uint64_t seed)
+    : width_(width), p_(p), rng_(seed) {
+    if (p_ < 0.0 || p_ >= 1.0)
+        throw std::invalid_argument("Dropout: rate must be in [0,1)");
+}
+
+Matrix Dropout::forward(const Matrix& input) {
+    if (input.cols() != width_)
+        throw std::invalid_argument("Dropout::forward: width mismatch");
+    if (!training_ || p_ == 0.0) {
+        last_output_ = input;
+        mask_ = Matrix();
+        return input;
+    }
+    std::bernoulli_distribution keep(1.0 - p_);
+    const float scale = static_cast<float>(1.0 / (1.0 - p_));
+    mask_ = Matrix(input.rows(), input.cols());
+    Matrix out = input;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const float m = keep(rng_) ? scale : 0.0f;
+        mask_.data()[i] = m;
+        out.data()[i] *= m;
+    }
+    last_output_ = out;
+    return out;
+}
+
+Matrix Dropout::backward(const Matrix& grad_output) {
+    if (grad_output.rows() != last_output_.rows() ||
+        grad_output.cols() != last_output_.cols())
+        throw std::invalid_argument("Dropout::backward: gradient shape mismatch");
+    last_output_grad_ = grad_output;
+    if (mask_.empty()) return grad_output;  // inference / p == 0
+    return hadamard(grad_output, mask_);
+}
+
+Matrix Sigmoid::forward(const Matrix& input) {
+    if (input.cols() != width_)
+        throw std::invalid_argument("Sigmoid::forward: width mismatch");
+    Matrix out = input;
+    for (float& v : out.data()) v = 1.0f / (1.0f + std::exp(-v));
+    last_output_ = out;
+    return out;
+}
+
+Matrix Sigmoid::backward(const Matrix& grad_output) {
+    if (grad_output.rows() != last_output_.rows() ||
+        grad_output.cols() != last_output_.cols())
+        throw std::invalid_argument("Sigmoid::backward: gradient shape mismatch");
+    last_output_grad_ = grad_output;
+    Matrix gin = grad_output;
+    for (std::size_t i = 0; i < gin.size(); ++i) {
+        const float y = last_output_.data()[i];
+        gin.data()[i] *= y * (1.0f - y);
+    }
+    return gin;
+}
+
+}  // namespace wifisense::nn

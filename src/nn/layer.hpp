@@ -1,0 +1,150 @@
+// Layer abstraction with explicit forward/backward passes.
+//
+// Every layer caches its most recent output and, after a backward pass, the
+// gradient of the scalar objective with respect to that output. Those two
+// caches are exactly the A^(k) and dY/dA^(k) terms of the Grad-CAM equations
+// (paper Eq. 5-6), so the XAI module can read them without re-running
+// anything.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace wifisense::nn {
+
+/// Mutable view over one parameter tensor and its gradient accumulator.
+struct ParamView {
+    std::string name;
+    std::span<float> values;
+    std::span<float> grads;
+};
+
+class Layer {
+public:
+    virtual ~Layer() = default;
+
+    /// Compute the layer output for a batch (rows = samples).
+    /// Caches input/output as required by backward() and Grad-CAM.
+    virtual Matrix forward(const Matrix& input) = 0;
+
+    /// Given dObjective/dOutput, accumulate parameter gradients and return
+    /// dObjective/dInput. Must be called after forward() on the same batch.
+    virtual Matrix backward(const Matrix& grad_output) = 0;
+
+    /// Parameter/gradient views (empty for activations).
+    virtual std::vector<ParamView> parameters() { return {}; }
+
+    virtual std::string name() const = 0;
+    virtual std::size_t input_size() const = 0;
+    virtual std::size_t output_size() const = 0;
+
+    /// Switch between training and inference behaviour (dropout etc.).
+    /// No-op for deterministic layers.
+    virtual void set_training(bool) {}
+
+    /// Activation cache A^(k) from the latest forward pass.
+    const Matrix& last_output() const { return last_output_; }
+    /// Gradient cache dY/dA^(k) from the latest backward pass.
+    const Matrix& last_output_grad() const { return last_output_grad_; }
+
+    /// Reset all parameter gradient accumulators to zero.
+    void zero_grad();
+
+protected:
+    Matrix last_output_;
+    Matrix last_output_grad_;
+};
+
+/// Fully connected layer: y = x W + b, W is [in x out].
+class Dense : public Layer {
+public:
+    Dense(std::size_t in, std::size_t out);
+
+    Matrix forward(const Matrix& input) override;
+    Matrix backward(const Matrix& grad_output) override;
+    std::vector<ParamView> parameters() override;
+    std::string name() const override { return "Dense"; }
+    std::size_t input_size() const override { return in_; }
+    std::size_t output_size() const override { return out_; }
+
+    /// Trainable parameter count: in*out + out.
+    std::size_t parameter_count() const { return in_ * out_ + out_; }
+
+    Matrix& weights() { return w_; }
+    const Matrix& weights() const { return w_; }
+    std::vector<float>& bias() { return b_; }
+    const std::vector<float>& bias() const { return b_; }
+
+private:
+    std::size_t in_;
+    std::size_t out_;
+    Matrix w_;                  // [in x out]
+    std::vector<float> b_;      // [out]
+    Matrix gw_;                 // gradient accumulator for w_
+    std::vector<float> gb_;     // gradient accumulator for b_
+    Matrix last_input_;
+};
+
+/// Rectified linear unit, elementwise max(0, x).
+class ReLU : public Layer {
+public:
+    explicit ReLU(std::size_t width) : width_(width) {}
+
+    Matrix forward(const Matrix& input) override;
+    Matrix backward(const Matrix& grad_output) override;
+    std::string name() const override { return "ReLU"; }
+    std::size_t input_size() const override { return width_; }
+    std::size_t output_size() const override { return width_; }
+
+private:
+    std::size_t width_;
+};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability p and survivors are scaled by 1/(1-p); at inference the layer
+/// is the identity. Deterministic given the constructor seed.
+class Dropout : public Layer {
+public:
+    Dropout(std::size_t width, double p, std::uint64_t seed = 42);
+
+    Matrix forward(const Matrix& input) override;
+    Matrix backward(const Matrix& grad_output) override;
+    std::string name() const override { return "Dropout"; }
+    std::size_t input_size() const override { return width_; }
+    std::size_t output_size() const override { return width_; }
+    void set_training(bool training) override { training_ = training; }
+
+    double rate() const { return p_; }
+    bool training_mode() const { return training_; }
+
+private:
+    std::size_t width_;
+    double p_;
+    bool training_ = true;
+    std::mt19937_64 rng_;
+    Matrix mask_;
+};
+
+/// Logistic sigmoid, elementwise 1/(1+exp(-x)).
+class Sigmoid : public Layer {
+public:
+    explicit Sigmoid(std::size_t width) : width_(width) {}
+
+    Matrix forward(const Matrix& input) override;
+    Matrix backward(const Matrix& grad_output) override;
+    std::string name() const override { return "Sigmoid"; }
+    std::size_t input_size() const override { return width_; }
+    std::size_t output_size() const override { return width_; }
+
+private:
+    std::size_t width_;
+};
+
+}  // namespace wifisense::nn

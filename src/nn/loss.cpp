@@ -1,0 +1,124 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wifisense::nn {
+
+namespace {
+
+void check_shapes(const Matrix& a, const Matrix& b, const char* what) {
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        throw std::invalid_argument(std::string(what) + ": shape mismatch " +
+                                    a.shape_string() + " vs " + b.shape_string());
+    if (a.empty()) throw std::invalid_argument(std::string(what) + ": empty batch");
+}
+
+}  // namespace
+
+LossResult BceWithLogitsLoss::compute(const Matrix& outputs, const Matrix& targets) const {
+    check_shapes(outputs, targets, "BceWithLogitsLoss");
+    LossResult res;
+    res.grad = Matrix(outputs.rows(), outputs.cols());
+    const double inv_n = 1.0 / static_cast<double>(outputs.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+        const double z = static_cast<double>(outputs.data()[i]);
+        const double y = static_cast<double>(targets.data()[i]);
+        acc += std::max(z, 0.0) - z * y + std::log1p(std::exp(-std::abs(z)));
+        const double p = 1.0 / (1.0 + std::exp(-z));
+        res.grad.data()[i] = static_cast<float>((p - y) * inv_n);
+    }
+    res.value = acc * inv_n;
+    return res;
+}
+
+LossResult MseLoss::compute(const Matrix& outputs, const Matrix& targets) const {
+    check_shapes(outputs, targets, "MseLoss");
+    LossResult res;
+    res.grad = Matrix(outputs.rows(), outputs.cols());
+    const double inv_n = 1.0 / static_cast<double>(outputs.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+        const double d = static_cast<double>(outputs.data()[i]) -
+                         static_cast<double>(targets.data()[i]);
+        acc += d * d;
+        res.grad.data()[i] = static_cast<float>(2.0 * d * inv_n);
+    }
+    res.value = acc * inv_n;
+    return res;
+}
+
+LossResult SoftmaxCrossEntropyLoss::compute(const Matrix& outputs,
+                                            const Matrix& targets) const {
+    check_shapes(outputs, targets, "SoftmaxCrossEntropyLoss");
+    LossResult res;
+    res.grad = Matrix(outputs.rows(), outputs.cols());
+    const double inv_n = 1.0 / static_cast<double>(outputs.rows());
+    double acc = 0.0;
+    for (std::size_t r = 0; r < outputs.rows(); ++r) {
+        const std::span<const float> z = outputs.row(r);
+        const std::span<const float> y = targets.row(r);
+        // log-sum-exp with max subtraction for stability.
+        double zmax = static_cast<double>(z[0]);
+        for (const float v : z) zmax = std::max(zmax, static_cast<double>(v));
+        double lse = 0.0;
+        for (const float v : z) lse += std::exp(static_cast<double>(v) - zmax);
+        lse = std::log(lse) + zmax;
+        for (std::size_t c = 0; c < outputs.cols(); ++c) {
+            const double p = std::exp(static_cast<double>(z[c]) - lse);
+            acc -= static_cast<double>(y[c]) * (static_cast<double>(z[c]) - lse);
+            res.grad.at(r, c) =
+                static_cast<float>((p - static_cast<double>(y[c])) * inv_n);
+        }
+    }
+    res.value = acc * inv_n;
+    return res;
+}
+
+Matrix sigmoid(const Matrix& logits) {
+    Matrix out = logits;
+    for (float& v : out.data()) v = 1.0f / (1.0f + std::exp(-v));
+    return out;
+}
+
+Matrix softmax(const Matrix& logits) {
+    Matrix out = logits;
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+        const std::span<float> row = out.row(r);
+        float zmax = row[0];
+        for (const float v : row) zmax = std::max(zmax, v);
+        float sum = 0.0f;
+        for (float& v : row) {
+            v = std::exp(v - zmax);
+            sum += v;
+        }
+        for (float& v : row) v /= sum;
+    }
+    return out;
+}
+
+std::vector<int> argmax_rows(const Matrix& scores) {
+    std::vector<int> out(scores.rows());
+    for (std::size_t r = 0; r < scores.rows(); ++r) {
+        const std::span<const float> row = scores.row(r);
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < row.size(); ++c)
+            if (row[c] > row[best]) best = c;
+        out[r] = static_cast<int>(best);
+    }
+    return out;
+}
+
+Matrix one_hot(const std::vector<int>& labels, std::size_t n_classes) {
+    Matrix out(labels.size(), n_classes, 0.0f);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        const int c = labels[i];
+        if (c < 0 || static_cast<std::size_t>(c) >= n_classes)
+            throw std::invalid_argument("one_hot: label out of range");
+        out.at(i, static_cast<std::size_t>(c)) = 1.0f;
+    }
+    return out;
+}
+
+}  // namespace wifisense::nn

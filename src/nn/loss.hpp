@@ -1,0 +1,61 @@
+// Loss functions. Both return the mean loss over the batch and fill the
+// gradient with d(meanLoss)/d(output) so Trainer can feed it straight into
+// Mlp::backward.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace wifisense::nn {
+
+struct LossResult {
+    double value = 0.0;  ///< mean loss over the batch
+    Matrix grad;         ///< d(value)/d(outputs), same shape as outputs
+};
+
+class Loss {
+public:
+    virtual ~Loss() = default;
+    /// outputs and targets must be equally shaped (targets for BCE are the
+    /// {0,1} labels broadcast into a [n x 1] matrix).
+    virtual LossResult compute(const Matrix& outputs, const Matrix& targets) const = 0;
+};
+
+/// Binary cross-entropy over logits (Eq. 4 with the sigmoid folded in).
+/// Numerically stable log-sum-exp formulation:
+///   loss = max(z,0) - z*y + log(1 + exp(-|z|)),  dloss/dz = sigmoid(z) - y.
+class BceWithLogitsLoss final : public Loss {
+public:
+    LossResult compute(const Matrix& outputs, const Matrix& targets) const override;
+};
+
+/// Mean squared error over all elements ("minimization of a squared error
+/// objective", Section V-D regression head).
+class MseLoss final : public Loss {
+public:
+    LossResult compute(const Matrix& outputs, const Matrix& targets) const override;
+};
+
+/// Multi-class cross-entropy over logits with integer class targets encoded
+/// one-hot in the target matrix. Used by the activity-recognition and
+/// occupant-counting extensions (the paper's stated future work).
+/// Numerically stable log-softmax formulation.
+class SoftmaxCrossEntropyLoss final : public Loss {
+public:
+    LossResult compute(const Matrix& outputs, const Matrix& targets) const override;
+};
+
+/// Elementwise sigmoid of a logit matrix (utility for inference paths).
+Matrix sigmoid(const Matrix& logits);
+
+/// Row-wise softmax of a logit matrix.
+Matrix softmax(const Matrix& logits);
+
+/// Row-wise argmax (predicted class per sample).
+std::vector<int> argmax_rows(const Matrix& scores);
+
+/// One-hot encode integer labels into an [n x n_classes] matrix.
+Matrix one_hot(const std::vector<int>& labels, std::size_t n_classes);
+
+}  // namespace wifisense::nn

@@ -1,0 +1,98 @@
+#include "nn/mlp.hpp"
+
+#include <stdexcept>
+
+namespace wifisense::nn {
+
+Mlp::Mlp(std::vector<std::size_t> dims, Init scheme, std::mt19937_64& rng)
+    : dims_(std::move(dims)) {
+    if (dims_.size() < 2) throw std::invalid_argument("Mlp: need at least in/out dims");
+    for (std::size_t i = 0; i + 1 < dims_.size(); ++i) {
+        auto dense = std::make_unique<Dense>(dims_[i], dims_[i + 1]);
+        initialize(*dense, scheme, rng);
+        layers_.push_back(std::move(dense));
+        const bool last = i + 2 == dims_.size();
+        if (!last) layers_.push_back(std::make_unique<ReLU>(dims_[i + 1]));
+    }
+}
+
+Matrix Mlp::forward(const Matrix& input) {
+    if (layers_.empty()) throw std::logic_error("Mlp::forward: empty network");
+    Matrix x = input;
+    for (const auto& layer : layers_) x = layer->forward(x);
+    return x;
+}
+
+Matrix Mlp::backward(const Matrix& grad_output) {
+    if (layers_.empty()) throw std::logic_error("Mlp::backward: empty network");
+    Matrix g = grad_output;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+    return g;
+}
+
+void Mlp::zero_grad() {
+    for (const auto& layer : layers_) layer->zero_grad();
+}
+
+void Mlp::set_training(bool training) {
+    for (const auto& layer : layers_) layer->set_training(training);
+}
+
+std::vector<ParamView> Mlp::parameters() {
+    std::vector<ParamView> out;
+    for (const auto& layer : layers_)
+        for (ParamView& p : layer->parameters()) out.push_back(p);
+    return out;
+}
+
+std::size_t Mlp::parameter_count() const {
+    std::size_t n = 0;
+    for (const auto& layer : layers_)
+        if (const auto* dense = dynamic_cast<const Dense*>(layer.get()))
+            n += dense->parameter_count();
+    return n;
+}
+
+std::size_t Mlp::input_size() const {
+    if (layers_.empty()) return 0;
+    return layers_.front()->input_size();
+}
+
+std::size_t Mlp::output_size() const {
+    if (layers_.empty()) return 0;
+    return layers_.back()->output_size();
+}
+
+Mlp Mlp::clone() const {
+    Mlp copy;
+    copy.dims_ = dims_;
+    for (const auto& layer : layers_) {
+        if (const auto* dense = dynamic_cast<const Dense*>(layer.get())) {
+            auto d = std::make_unique<Dense>(dense->input_size(), dense->output_size());
+            d->weights() = dense->weights();
+            d->bias() = dense->bias();
+            copy.layers_.push_back(std::move(d));
+        } else if (dynamic_cast<const ReLU*>(layer.get()) != nullptr) {
+            copy.layers_.push_back(std::make_unique<ReLU>(layer->input_size()));
+        } else if (dynamic_cast<const Sigmoid*>(layer.get()) != nullptr) {
+            copy.layers_.push_back(std::make_unique<Sigmoid>(layer->input_size()));
+        } else if (const auto* drop = dynamic_cast<const Dropout*>(layer.get())) {
+            copy.layers_.push_back(
+                std::make_unique<Dropout>(drop->input_size(), drop->rate()));
+        } else {
+            throw std::logic_error("Mlp::clone: unknown layer type");
+        }
+    }
+    return copy;
+}
+
+Mlp paper_mlp(std::size_t input_size, std::mt19937_64& rng) {
+    return Mlp({input_size, 128, 256, 128, 1}, Init::kKaimingUniform, rng);
+}
+
+Mlp paper_regression_mlp(std::size_t input_size, std::size_t outputs,
+                         std::mt19937_64& rng) {
+    return Mlp({input_size, 128, 256, 128, outputs}, Init::kKaimingUniform, rng);
+}
+
+}  // namespace wifisense::nn

@@ -1,0 +1,83 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wifisense::nn {
+
+AdamW::AdamW(AdamWConfig cfg) : cfg_(cfg) {
+    if (cfg_.lr <= 0.0) throw std::invalid_argument("AdamW: lr must be positive");
+    if (cfg_.beta1 < 0.0 || cfg_.beta1 >= 1.0 || cfg_.beta2 < 0.0 || cfg_.beta2 >= 1.0)
+        throw std::invalid_argument("AdamW: betas must be in [0,1)");
+}
+
+void AdamW::step(std::vector<ParamView>& params) {
+    if (m_.empty()) {
+        m_.resize(params.size());
+        v_.resize(params.size());
+        for (std::size_t i = 0; i < params.size(); ++i) {
+            m_[i].assign(params[i].values.size(), 0.0f);
+            v_[i].assign(params[i].values.size(), 0.0f);
+        }
+    }
+    if (m_.size() != params.size())
+        throw std::invalid_argument("AdamW::step: parameter set changed");
+
+    ++t_;
+    const double bc1 = 1.0 - std::pow(cfg_.beta1, static_cast<double>(t_));
+    const double bc2 = 1.0 - std::pow(cfg_.beta2, static_cast<double>(t_));
+
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        ParamView& p = params[i];
+        if (p.values.size() != m_[i].size())
+            throw std::invalid_argument("AdamW::step: parameter size changed");
+        const bool decay_this = cfg_.decay_bias || p.name != "bias";
+        for (std::size_t j = 0; j < p.values.size(); ++j) {
+            const double g = static_cast<double>(p.grads[j]);
+            const double m = cfg_.beta1 * static_cast<double>(m_[i][j]) +
+                             (1.0 - cfg_.beta1) * g;
+            const double v = cfg_.beta2 * static_cast<double>(v_[i][j]) +
+                             (1.0 - cfg_.beta2) * g * g;
+            m_[i][j] = static_cast<float>(m);
+            v_[i][j] = static_cast<float>(v);
+            const double mhat = m / bc1;
+            const double vhat = v / bc2;
+            double w = static_cast<double>(p.values[j]);
+            w -= cfg_.lr * mhat / (std::sqrt(vhat) + cfg_.eps);
+            if (decay_this) w -= cfg_.lr * cfg_.weight_decay * w;
+            p.values[j] = static_cast<float>(w);
+        }
+    }
+}
+
+Sgd::Sgd(SgdConfig cfg) : cfg_(cfg) {
+    if (cfg_.lr <= 0.0) throw std::invalid_argument("Sgd: lr must be positive");
+}
+
+void Sgd::step(std::vector<ParamView>& params) {
+    if (velocity_.empty()) {
+        velocity_.resize(params.size());
+        for (std::size_t i = 0; i < params.size(); ++i)
+            velocity_[i].assign(params[i].values.size(), 0.0f);
+    }
+    if (velocity_.size() != params.size())
+        throw std::invalid_argument("Sgd::step: parameter set changed");
+
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        ParamView& p = params[i];
+        for (std::size_t j = 0; j < p.values.size(); ++j) {
+            double g = static_cast<double>(p.grads[j]) +
+                       cfg_.weight_decay * static_cast<double>(p.values[j]);
+            if (cfg_.momentum != 0.0) {
+                const double vel =
+                    cfg_.momentum * static_cast<double>(velocity_[i][j]) + g;
+                velocity_[i][j] = static_cast<float>(vel);
+                g = vel;
+            }
+            p.values[j] = static_cast<float>(static_cast<double>(p.values[j]) -
+                                             cfg_.lr * g);
+        }
+    }
+}
+
+}  // namespace wifisense::nn

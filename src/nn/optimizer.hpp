@@ -1,0 +1,73 @@
+// Optimizers. The paper trains with "adaptive mini-batch gradient descent
+// with a weight decay strategy [Loshchilov & Hutter]" — i.e. AdamW with
+// decoupled weight decay, which is the default here. Plain SGD (+momentum)
+// is kept for the ablation benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace wifisense::nn {
+
+class Optimizer {
+public:
+    virtual ~Optimizer() = default;
+    /// Apply one update step to every parameter view. Gradients are read,
+    /// not cleared; call Mlp::zero_grad() before the next backward pass.
+    virtual void step(std::vector<ParamView>& params) = 0;
+    virtual void set_learning_rate(double lr) = 0;
+    virtual double learning_rate() const = 0;
+};
+
+struct AdamWConfig {
+    double lr = 5e-3;            ///< paper's learning rate
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weight_decay = 1e-2;  ///< decoupled; applied to weights only if
+                                 ///< decay_bias is false
+    bool decay_bias = false;
+};
+
+/// AdamW (Loshchilov & Hutter, ICLR 2019): Adam moments with the weight
+/// decay applied directly to the parameters, not through the gradient.
+class AdamW final : public Optimizer {
+public:
+    explicit AdamW(AdamWConfig cfg = {});
+
+    void step(std::vector<ParamView>& params) override;
+    void set_learning_rate(double lr) override { cfg_.lr = lr; }
+    double learning_rate() const override { return cfg_.lr; }
+    std::size_t step_count() const { return t_; }
+
+private:
+    AdamWConfig cfg_;
+    std::size_t t_ = 0;
+    // One moment pair per parameter view, keyed by view order (stable for a
+    // fixed network).
+    std::vector<std::vector<float>> m_;
+    std::vector<std::vector<float>> v_;
+};
+
+struct SgdConfig {
+    double lr = 1e-2;
+    double momentum = 0.0;
+    double weight_decay = 0.0;  ///< classic L2 (coupled) decay
+};
+
+class Sgd final : public Optimizer {
+public:
+    explicit Sgd(SgdConfig cfg = {});
+
+    void step(std::vector<ParamView>& params) override;
+    void set_learning_rate(double lr) override { cfg_.lr = lr; }
+    double learning_rate() const override { return cfg_.lr; }
+
+private:
+    SgdConfig cfg_;
+    std::vector<std::vector<float>> velocity_;
+};
+
+}  // namespace wifisense::nn

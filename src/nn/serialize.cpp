@@ -1,0 +1,129 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace wifisense::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'W', 'S', 'N', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+enum class LayerKind : std::uint8_t { kDense = 0, kReLU = 1, kSigmoid = 2, kDropout = 3 };
+
+template <class T>
+void write_pod(std::ostream& os, const T& value) {
+    os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <class T>
+T read_pod(std::istream& is) {
+    T value{};
+    is.read(reinterpret_cast<char*>(&value), sizeof(T));
+    if (!is) throw std::runtime_error("load_mlp: truncated stream");
+    return value;
+}
+
+}  // namespace
+
+void save_mlp(const Mlp& net, std::ostream& os) {
+    os.write(kMagic, sizeof(kMagic));
+    write_pod(os, kVersion);
+    write_pod(os, static_cast<std::uint64_t>(net.layers().size()));
+    for (const auto& layer : net.layers()) {
+        const auto in = static_cast<std::uint64_t>(layer->input_size());
+        const auto out = static_cast<std::uint64_t>(layer->output_size());
+        if (const auto* dense = dynamic_cast<const Dense*>(layer.get())) {
+            write_pod(os, static_cast<std::uint8_t>(LayerKind::kDense));
+            write_pod(os, in);
+            write_pod(os, out);
+            const auto w = dense->weights().data();
+            os.write(reinterpret_cast<const char*>(w.data()),
+                     static_cast<std::streamsize>(w.size() * sizeof(float)));
+            os.write(reinterpret_cast<const char*>(dense->bias().data()),
+                     static_cast<std::streamsize>(dense->bias().size() * sizeof(float)));
+        } else if (dynamic_cast<const ReLU*>(layer.get()) != nullptr) {
+            write_pod(os, static_cast<std::uint8_t>(LayerKind::kReLU));
+            write_pod(os, in);
+            write_pod(os, out);
+        } else if (dynamic_cast<const Sigmoid*>(layer.get()) != nullptr) {
+            write_pod(os, static_cast<std::uint8_t>(LayerKind::kSigmoid));
+            write_pod(os, in);
+            write_pod(os, out);
+        } else if (const auto* drop = dynamic_cast<const Dropout*>(layer.get())) {
+            write_pod(os, static_cast<std::uint8_t>(LayerKind::kDropout));
+            write_pod(os, in);
+            write_pod(os, out);
+            write_pod(os, drop->rate());
+        } else {
+            throw std::runtime_error("save_mlp: unknown layer type");
+        }
+    }
+    if (!os) throw std::runtime_error("save_mlp: write failure");
+}
+
+void save_mlp(const Mlp& net, const std::string& path) {
+    std::ofstream os(path, std::ios::binary);
+    if (!os) throw std::runtime_error("save_mlp: cannot open " + path);
+    save_mlp(net, os);
+}
+
+Mlp load_mlp(std::istream& is) {
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        throw std::runtime_error("load_mlp: bad magic");
+    const auto version = read_pod<std::uint32_t>(is);
+    if (version != kVersion) throw std::runtime_error("load_mlp: unsupported version");
+    const auto layer_count = read_pod<std::uint64_t>(is);
+    if (layer_count > 1024) throw std::runtime_error("load_mlp: implausible layer count");
+
+    Mlp net;
+    for (std::uint64_t i = 0; i < layer_count; ++i) {
+        const auto kind = static_cast<LayerKind>(read_pod<std::uint8_t>(is));
+        const auto in = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+        const auto out = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+        if (in == 0 || out == 0 || in > (1u << 20) || out > (1u << 20))
+            throw std::runtime_error("load_mlp: implausible layer shape");
+        switch (kind) {
+            case LayerKind::kDense: {
+                auto dense = std::make_unique<Dense>(in, out);
+                auto w = dense->weights().data();
+                is.read(reinterpret_cast<char*>(w.data()),
+                        static_cast<std::streamsize>(w.size() * sizeof(float)));
+                is.read(reinterpret_cast<char*>(dense->bias().data()),
+                        static_cast<std::streamsize>(dense->bias().size() * sizeof(float)));
+                if (!is) throw std::runtime_error("load_mlp: truncated weights");
+                net.layers().push_back(std::move(dense));
+                break;
+            }
+            case LayerKind::kReLU:
+                net.layers().push_back(std::make_unique<ReLU>(in));
+                break;
+            case LayerKind::kSigmoid:
+                net.layers().push_back(std::make_unique<Sigmoid>(in));
+                break;
+            case LayerKind::kDropout: {
+                const auto rate = read_pod<double>(is);
+                auto drop = std::make_unique<Dropout>(in, rate);
+                drop->set_training(false);  // models load in inference mode
+                net.layers().push_back(std::move(drop));
+                break;
+            }
+            default:
+                throw std::runtime_error("load_mlp: unknown layer kind");
+        }
+    }
+    return net;
+}
+
+Mlp load_mlp(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) throw std::runtime_error("load_mlp: cannot open " + path);
+    return load_mlp(is);
+}
+
+}  // namespace wifisense::nn

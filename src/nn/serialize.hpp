@@ -1,0 +1,23 @@
+// Binary model persistence (save/load of the Dense/ReLU/Sigmoid stack).
+//
+// Format (little-endian):
+//   magic "WSNN" | u32 version | u64 layer_count | per layer:
+//     u8 kind (0=Dense,1=ReLU,2=Sigmoid) | u64 in | u64 out |
+//     [Dense only] float32 weights (in*out, row-major) | float32 bias (out)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/mlp.hpp"
+
+namespace wifisense::nn {
+
+void save_mlp(const Mlp& net, std::ostream& os);
+void save_mlp(const Mlp& net, const std::string& path);
+
+/// Throws std::runtime_error on malformed input.
+Mlp load_mlp(std::istream& is);
+Mlp load_mlp(const std::string& path);
+
+}  // namespace wifisense::nn

@@ -1,0 +1,190 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace wifisense::nn {
+
+namespace {
+
+void check_same_shape(const Matrix& a, const Matrix& b, const char* what) {
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        throw std::invalid_argument(std::string(what) + ": shape mismatch " +
+                                    a.shape_string() + " vs " + b.shape_string());
+}
+
+}  // namespace
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), values_(rows * cols, fill) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<float> values)
+    : rows_(rows), cols_(cols), values_(std::move(values)) {
+    if (values_.size() != rows_ * cols_)
+        throw std::invalid_argument("Matrix: value count does not match shape");
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<float>> rows) {
+    rows_ = rows.size();
+    cols_ = rows_ ? rows.begin()->size() : 0;
+    values_.reserve(rows_ * cols_);
+    for (const auto& r : rows) {
+        if (r.size() != cols_)
+            throw std::invalid_argument("Matrix: ragged initializer");
+        values_.insert(values_.end(), r.begin(), r.end());
+    }
+}
+
+void Matrix::fill(float v) { std::fill(values_.begin(), values_.end(), v); }
+
+std::string Matrix::shape_string() const {
+    std::ostringstream os;
+    os << "[" << rows_ << " x " << cols_ << "]";
+    return os.str();
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+    if (a.cols() != b.rows())
+        throw std::invalid_argument("matmul: inner dimensions differ " +
+                                    a.shape_string() + " * " + b.shape_string());
+    Matrix c(a.rows(), b.cols(), 0.0f);
+    const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+    // i-k-j order: streams through B and C rows, good locality for row-major.
+    for (std::size_t i = 0; i < m; ++i) {
+        const std::span<const float> arow = a.row(i);
+        const std::span<float> crow = c.row(i);
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            if (av == 0.0f) continue;
+            const std::span<const float> brow = b.row(kk);
+            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+    if (a.rows() != b.rows())
+        throw std::invalid_argument("matmul_tn: row counts differ " +
+                                    a.shape_string() + "^T * " + b.shape_string());
+    Matrix c(a.cols(), b.cols(), 0.0f);
+    const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const std::span<const float> arow = a.row(kk);
+        const std::span<const float> brow = b.row(kk);
+        for (std::size_t i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f) continue;
+            float* crow = &c.at(i, 0);
+            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+    if (a.cols() != b.cols())
+        throw std::invalid_argument("matmul_nt: column counts differ " +
+                                    a.shape_string() + " * " + b.shape_string() + "^T");
+    Matrix c(a.rows(), b.rows(), 0.0f);
+    const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+    for (std::size_t i = 0; i < m; ++i) {
+        const std::span<const float> arow = a.row(i);
+        float* crow = &c.at(i, 0);
+        for (std::size_t j = 0; j < n; ++j) {
+            const std::span<const float> brow = b.row(j);
+            float acc = 0.0f;
+            for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+            crow[j] = acc;
+        }
+    }
+    return c;
+}
+
+void add_row_vector_inplace(Matrix& a, std::span<const float> v) {
+    if (v.size() != a.cols())
+        throw std::invalid_argument("add_row_vector_inplace: vector length != cols");
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        const std::span<float> row = a.row(r);
+        for (std::size_t c = 0; c < v.size(); ++c) row[c] += v[c];
+    }
+}
+
+std::vector<float> column_sums(const Matrix& a) {
+    std::vector<float> out(a.cols(), 0.0f);
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        const std::span<const float> row = a.row(r);
+        for (std::size_t c = 0; c < out.size(); ++c) out[c] += row[c];
+    }
+    return out;
+}
+
+std::vector<float> column_means(const Matrix& a) {
+    std::vector<float> out = column_sums(a);
+    if (a.rows() == 0) return out;
+    const float inv = 1.0f / static_cast<float>(a.rows());
+    for (float& v : out) v *= inv;
+    return out;
+}
+
+Matrix add(const Matrix& a, const Matrix& b) {
+    check_same_shape(a, b, "add");
+    Matrix c = a;
+    for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] += b.data()[i];
+    return c;
+}
+
+Matrix sub(const Matrix& a, const Matrix& b) {
+    check_same_shape(a, b, "sub");
+    Matrix c = a;
+    for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] -= b.data()[i];
+    return c;
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+    check_same_shape(a, b, "hadamard");
+    Matrix c = a;
+    for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] *= b.data()[i];
+    return c;
+}
+
+void scale_inplace(Matrix& a, float s) {
+    for (float& v : a.data()) v *= s;
+}
+
+Matrix transpose(const Matrix& a) {
+    Matrix t(a.cols(), a.rows());
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c) t.at(c, r) = a.at(r, c);
+    return t;
+}
+
+Matrix row_block(const Matrix& a, std::size_t begin, std::size_t count) {
+    if (begin + count > a.rows())
+        throw std::out_of_range("row_block: range exceeds matrix");
+    Matrix out(count, a.cols());
+    std::copy_n(a.data().data() + begin * a.cols(), count * a.cols(),
+                out.data().data());
+    return out;
+}
+
+Matrix gather_rows(const Matrix& a, std::span<const std::size_t> indices) {
+    Matrix out(indices.size(), a.cols());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        if (indices[i] >= a.rows()) throw std::out_of_range("gather_rows: bad index");
+        std::copy_n(a.row(indices[i]).data(), a.cols(), out.row(i).data());
+    }
+    return out;
+}
+
+float max_abs_diff(const Matrix& a, const Matrix& b) {
+    check_same_shape(a, b, "max_abs_diff");
+    float m = 0.0f;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+    return m;
+}
+
+}  // namespace wifisense::nn

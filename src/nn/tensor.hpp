@@ -1,0 +1,84 @@
+// Dense row-major float32 matrix plus the handful of BLAS-like kernels the
+// network needs. Accumulation inside reductions/GEMM uses float; the matrices
+// here are small (<= a few hundred columns) so float accumulation is safe —
+// long-series statistics live in stats/ and use double.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wifisense::nn {
+
+class Matrix {
+public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f);
+    Matrix(std::size_t rows, std::size_t cols, std::vector<float> values);
+    /// Row-major brace initialization: Matrix{{1,2},{3,4}}.
+    Matrix(std::initializer_list<std::initializer_list<float>> rows);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return values_.size(); }
+    bool empty() const { return values_.empty(); }
+
+    float& at(std::size_t r, std::size_t c) { return values_[r * cols_ + c]; }
+    float at(std::size_t r, std::size_t c) const { return values_[r * cols_ + c]; }
+
+    std::span<float> row(std::size_t r) { return {&values_[r * cols_], cols_}; }
+    std::span<const float> row(std::size_t r) const { return {&values_[r * cols_], cols_}; }
+
+    std::span<float> data() { return values_; }
+    std::span<const float> data() const { return values_; }
+
+    void fill(float v);
+    std::string shape_string() const;  ///< "[rows x cols]"
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> values_;
+};
+
+/// C = A * B. Shapes: [m x k] * [k x n] -> [m x n].
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B. Shapes: [k x m]^T * [k x n] -> [m x n].
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T. Shapes: [m x k] * [n x k]^T -> [m x n].
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+/// out[r] = a[r] + v for each row r; v.size() must equal a.cols().
+void add_row_vector_inplace(Matrix& a, std::span<const float> v);
+
+/// Column sums of a (length a.cols()).
+std::vector<float> column_sums(const Matrix& a);
+
+/// Column means of a.
+std::vector<float> column_means(const Matrix& a);
+
+/// Elementwise a + b, a - b, a * b (Hadamard). Shapes must match.
+Matrix add(const Matrix& a, const Matrix& b);
+Matrix sub(const Matrix& a, const Matrix& b);
+Matrix hadamard(const Matrix& a, const Matrix& b);
+
+/// Elementwise scale in place.
+void scale_inplace(Matrix& a, float s);
+
+/// Transposed copy.
+Matrix transpose(const Matrix& a);
+
+/// Select a contiguous block of rows [begin, begin+count).
+Matrix row_block(const Matrix& a, std::size_t begin, std::size_t count);
+
+/// Gather rows by index (out-of-range indices throw).
+Matrix gather_rows(const Matrix& a, std::span<const std::size_t> indices);
+
+/// Max absolute difference between two equally-shaped matrices.
+float max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace wifisense::nn

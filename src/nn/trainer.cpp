@@ -1,0 +1,129 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace wifisense::nn {
+
+namespace {
+
+double scheduled_lr(const TrainConfig& cfg, std::size_t epoch) {
+    switch (cfg.schedule) {
+        case LrSchedule::kConstant:
+            return cfg.learning_rate;
+        case LrSchedule::kStepDecay: {
+            const auto steps = cfg.step_every > 0 ? epoch / cfg.step_every : 0;
+            return cfg.learning_rate * std::pow(cfg.step_gamma,
+                                                static_cast<double>(steps));
+        }
+        case LrSchedule::kCosine: {
+            if (cfg.epochs <= 1) return cfg.learning_rate;
+            const double progress =
+                static_cast<double>(epoch) / static_cast<double>(cfg.epochs - 1);
+            const double floor = cfg.learning_rate * cfg.cosine_floor;
+            return floor + 0.5 * (cfg.learning_rate - floor) *
+                               (1.0 + std::cos(3.14159265358979 * progress));
+        }
+    }
+    return cfg.learning_rate;
+}
+
+void clip_gradients(std::vector<ParamView>& params, double max_norm) {
+    double sq = 0.0;
+    for (const ParamView& p : params)
+        for (const float g : p.grads) sq += static_cast<double>(g) * g;
+    const double norm = std::sqrt(sq);
+    if (norm <= max_norm || norm == 0.0) return;
+    const auto scale = static_cast<float>(max_norm / norm);
+    for (ParamView& p : params)
+        for (float& g : p.grads) g *= scale;
+}
+
+}  // namespace
+
+TrainHistory train(Mlp& net, const Matrix& inputs, const Matrix& targets,
+                   const Loss& loss, const TrainConfig& cfg) {
+    AdamW opt({.lr = cfg.learning_rate, .weight_decay = cfg.weight_decay});
+    return train(net, inputs, targets, loss, cfg, opt);
+}
+
+TrainHistory train(Mlp& net, const Matrix& inputs, const Matrix& targets,
+                   const Loss& loss, const TrainConfig& cfg, Optimizer& opt) {
+    if (inputs.rows() != targets.rows())
+        throw std::invalid_argument("train: inputs/targets row mismatch");
+    if (inputs.rows() == 0) throw std::invalid_argument("train: empty training set");
+    if (cfg.batch_size == 0) throw std::invalid_argument("train: zero batch size");
+    if (inputs.cols() != net.input_size())
+        throw std::invalid_argument("train: input width != network input size");
+    if (targets.cols() != net.output_size())
+        throw std::invalid_argument("train: target width != network output size");
+
+    std::mt19937_64 rng(cfg.seed);
+    std::vector<std::size_t> order(inputs.rows());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+
+    TrainHistory history;
+    std::vector<ParamView> params = net.parameters();
+    net.set_training(true);
+
+    for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        opt.set_learning_rate(scheduled_lr(cfg, epoch));
+        if (cfg.shuffle) std::shuffle(order.begin(), order.end(), rng);
+        double epoch_loss = 0.0;
+        std::size_t batches = 0;
+
+        for (std::size_t begin = 0; begin < order.size(); begin += cfg.batch_size) {
+            const std::size_t count = std::min(cfg.batch_size, order.size() - begin);
+            const std::span<const std::size_t> idx(&order[begin], count);
+            Matrix bx = gather_rows(inputs, idx);
+            const Matrix by = gather_rows(targets, idx);
+            if (cfg.input_noise > 0.0) {
+                std::normal_distribution<float> jitter(
+                    0.0f, static_cast<float>(cfg.input_noise));
+                for (float& v : bx.data()) v += jitter(rng);
+            }
+
+            net.zero_grad();
+            const Matrix out = net.forward(bx);
+            const LossResult lr = loss.compute(out, by);
+            net.backward(lr.grad);
+            if (cfg.grad_clip > 0.0) clip_gradients(params, cfg.grad_clip);
+            opt.step(params);
+
+            epoch_loss += lr.value;
+            ++batches;
+        }
+
+        const double mean_loss = epoch_loss / static_cast<double>(batches);
+        history.epoch_loss.push_back(mean_loss);
+        if (cfg.on_epoch) cfg.on_epoch(epoch, mean_loss);
+    }
+    net.set_training(false);
+    return history;
+}
+
+Matrix predict(Mlp& net, const Matrix& inputs, std::size_t batch_size) {
+    if (batch_size == 0) throw std::invalid_argument("predict: zero batch size");
+    Matrix out(inputs.rows(), net.output_size());
+    for (std::size_t begin = 0; begin < inputs.rows(); begin += batch_size) {
+        const std::size_t count = std::min(batch_size, inputs.rows() - begin);
+        const Matrix block = row_block(inputs, begin, count);
+        const Matrix y = net.forward(block);
+        std::copy_n(y.data().data(), y.size(), out.data().data() + begin * out.cols());
+    }
+    return out;
+}
+
+std::vector<int> predict_binary(Mlp& net, const Matrix& inputs, std::size_t batch_size) {
+    if (net.output_size() != 1)
+        throw std::invalid_argument("predict_binary: network must have one output");
+    const Matrix logits = predict(net, inputs, batch_size);
+    std::vector<int> labels(logits.rows());
+    for (std::size_t r = 0; r < logits.rows(); ++r)
+        labels[r] = logits.at(r, 0) > 0.0f ? 1 : 0;  // sigmoid(z) > .5 <=> z > 0
+    return labels;
+}
+
+}  // namespace wifisense::nn

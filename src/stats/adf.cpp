@@ -1,0 +1,95 @@
+#include "stats/adf.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/ols.hpp"
+
+namespace wifisense::stats {
+
+std::string AdfResult::to_string() const {
+    std::ostringstream os;
+    os << "ADF t=" << statistic << " (lags=" << lags << ", n=" << nobs
+       << ", crit 1%/5%/10% = " << crit_1pct << "/" << crit_5pct << "/" << crit_10pct
+       << ") => " << (stationary_5pct ? "stationary" : "non-stationary") << " @5%";
+    return os.str();
+}
+
+double mackinnon_critical_value(double level, std::size_t nobs, AdfRegression reg) {
+    // MacKinnon response-surface coefficients: c = b0 + b1/T + b2/T^2.
+    // Values from MacKinnon (2010), "Critical Values for Cointegration Tests",
+    // no-trend ("c") and trend ("ct") variants, one variable.
+    struct Surface {
+        double b0, b1, b2;
+    };
+    const auto pick = [&](Surface c, Surface t) {
+        return reg == AdfRegression::kConstant ? c : t;
+    };
+    Surface s{};
+    if (level <= 0.015) {
+        s = pick({-3.43035, -6.5393, -16.786}, {-3.95877, -9.0531, -28.428});
+    } else if (level <= 0.075) {
+        s = pick({-2.86154, -2.8903, -4.234}, {-3.41049, -4.3904, -9.036});
+    } else {
+        s = pick({-2.56677, -1.5384, -2.809}, {-3.12705, -2.5856, -3.925});
+    }
+    const double T = static_cast<double>(nobs);
+    return s.b0 + s.b1 / T + s.b2 / (T * T);
+}
+
+AdfResult adf_test(std::span<const double> xs, std::size_t lags, AdfRegression reg) {
+    const std::size_t n = xs.size();
+    if (n < lags + 12) throw std::invalid_argument("adf_test: series too short for lag order");
+
+    // Effective sample: t runs over [lags+1, n-1] in the original index,
+    // giving nobs = n - lags - 1 regression rows.
+    const std::size_t nobs = n - lags - 1;
+    const bool trend = reg == AdfRegression::kConstantAndTrend;
+    const std::size_t p = 2 + lags + (trend ? 1 : 0);  // gamma, const, lagged diffs, [trend]
+    if (nobs <= p + 2) throw std::invalid_argument("adf_test: not enough observations");
+
+    DesignMatrix X;
+    X.rows = nobs;
+    X.cols = p;
+    X.values.assign(nobs * p, 0.0);
+    std::vector<double> dy(nobs);
+
+    for (std::size_t r = 0; r < nobs; ++r) {
+        const std::size_t t = r + lags + 1;  // index into xs
+        dy[r] = xs[t] - xs[t - 1];
+        std::size_t c = 0;
+        X.at(r, c++) = xs[t - 1];  // y_{t-1}: the unit-root regressor (column 0)
+        X.at(r, c++) = 1.0;        // constant
+        for (std::size_t i = 1; i <= lags; ++i)
+            X.at(r, c++) = xs[t - i] - xs[t - i - 1];  // dy_{t-i}
+        if (trend) X.at(r, c++) = static_cast<double>(t);
+    }
+
+    const OlsFit fit = ols(X, dy);
+
+    AdfResult res;
+    res.gamma = fit.beta[0];
+    res.statistic = fit.t_stat(0);
+    res.lags = lags;
+    res.nobs = nobs;
+    res.crit_1pct = mackinnon_critical_value(0.01, nobs, reg);
+    res.crit_5pct = mackinnon_critical_value(0.05, nobs, reg);
+    res.crit_10pct = mackinnon_critical_value(0.10, nobs, reg);
+    res.stationary_5pct = res.statistic < res.crit_5pct;
+    return res;
+}
+
+AdfResult adf_test_auto(std::span<const double> xs, AdfRegression reg) {
+    const std::size_t n = xs.size();
+    if (n < 30) throw std::invalid_argument("adf_test_auto: series too short");
+    // Schwert's rule of thumb for the maximum lag order.
+    const auto schwert = static_cast<std::size_t>(
+        12.0 * std::pow(static_cast<double>(n) / 100.0, 0.25));
+    const std::size_t cap = n / 10;  // keep the regression overdetermined
+    const std::size_t lags = std::min(schwert, cap > 2 ? cap : std::size_t{2});
+    return adf_test(xs, lags, reg);
+}
+
+}  // namespace wifisense::stats

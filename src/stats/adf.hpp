@@ -1,0 +1,53 @@
+// Augmented Dickey-Fuller unit-root test, as used by the paper's data
+// profiling step (Section V-A) to establish that the CSI, humidity and
+// temperature series are stationary before correlating them.
+//
+// Model (constant, no trend — the paper's series have no deterministic
+// trend over the 74 h window):
+//
+//   dy_t = alpha + gamma * y_{t-1} + sum_{i=1..k} beta_i * dy_{t-i} + e_t
+//
+// H0: gamma = 0 (unit root / non-stationary).
+// The test statistic is the t statistic of gamma, compared against
+// MacKinnon's response-surface critical values.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace wifisense::stats {
+
+enum class AdfRegression {
+    kConstant,          ///< drift term only (paper's setting)
+    kConstantAndTrend,  ///< drift + linear time trend
+};
+
+struct AdfResult {
+    double statistic = 0.0;    ///< t statistic of gamma
+    double gamma = 0.0;        ///< estimated unit-root coefficient
+    std::size_t lags = 0;      ///< number of lagged difference terms used
+    std::size_t nobs = 0;      ///< effective observations in the regression
+    double crit_1pct = 0.0;    ///< MacKinnon critical value at 1%
+    double crit_5pct = 0.0;
+    double crit_10pct = 0.0;
+    bool stationary_5pct = false;  ///< statistic < crit_5pct => reject unit root
+
+    std::string to_string() const;
+};
+
+/// Run the ADF test with a fixed lag order.
+/// Requires xs.size() >= lags + 10 effective observations.
+AdfResult adf_test(std::span<const double> xs, std::size_t lags,
+                   AdfRegression reg = AdfRegression::kConstant);
+
+/// Run the ADF test selecting the lag order by the Schwert rule
+/// k = floor(12 * (n/100)^(1/4)) capped so the regression stays well posed.
+AdfResult adf_test_auto(std::span<const double> xs,
+                        AdfRegression reg = AdfRegression::kConstant);
+
+/// MacKinnon (1994/2010) approximate critical value for the ADF t statistic.
+/// level is one of 0.01, 0.05, 0.10.
+double mackinnon_critical_value(double level, std::size_t nobs, AdfRegression reg);
+
+}  // namespace wifisense::stats

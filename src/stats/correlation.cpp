@@ -1,0 +1,116 @@
+#include "stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+#include <stdexcept>
+
+namespace wifisense::stats {
+
+namespace {
+
+struct Moments {
+    double mean_x = 0.0, mean_y = 0.0;
+    double sxx = 0.0, syy = 0.0, sxy = 0.0;  // centered sums of squares/products
+};
+
+template <class T>
+Moments moments(std::span<const T> xs, std::span<const T> ys) {
+    if (xs.size() != ys.size())
+        throw std::invalid_argument("correlation: length mismatch");
+    if (xs.size() < 2)
+        throw std::invalid_argument("correlation: need at least 2 samples");
+    Moments m;
+    const auto n = static_cast<double>(xs.size());
+    double sx = 0.0, sy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += static_cast<double>(xs[i]);
+        sy += static_cast<double>(ys[i]);
+    }
+    m.mean_x = sx / n;
+    m.mean_y = sy / n;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = static_cast<double>(xs[i]) - m.mean_x;
+        const double dy = static_cast<double>(ys[i]) - m.mean_y;
+        m.sxx += dx * dx;
+        m.syy += dy * dy;
+        m.sxy += dx * dy;
+    }
+    return m;
+}
+
+template <class T>
+double pearson_impl(std::span<const T> xs, std::span<const T> ys) {
+    const Moments m = moments(xs, ys);
+    const double denom = std::sqrt(m.sxx) * std::sqrt(m.syy);
+    if (denom == 0.0) return 0.0;
+    return m.sxy / denom;
+}
+
+}  // namespace
+
+double covariance(std::span<const double> xs, std::span<const double> ys) {
+    const Moments m = moments(xs, ys);
+    return m.sxy / static_cast<double>(xs.size() - 1);
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+    return pearson_impl(xs, ys);
+}
+
+double pearson(std::span<const float> xs, std::span<const float> ys) {
+    return pearson_impl(xs, ys);
+}
+
+namespace {
+
+// Midranks (average rank for ties), 1-based.
+std::vector<double> midranks(std::span<const double> xs) {
+    std::vector<std::size_t> order(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+    std::vector<double> ranks(xs.size());
+    std::size_t i = 0;
+    while (i < order.size()) {
+        std::size_t j = i;
+        while (j + 1 < order.size() && xs[order[j + 1]] == xs[order[i]]) ++j;
+        const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+        for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+        i = j + 1;
+    }
+    return ranks;
+}
+
+}  // namespace
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+    const std::vector<double> rx = midranks(xs);
+    const std::vector<double> ry = midranks(ys);
+    return pearson(std::span<const double>(rx), std::span<const double>(ry));
+}
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+    if (lag == 0) return 1.0;
+    if (xs.size() <= lag + 1) throw std::invalid_argument("autocorrelation: series too short");
+    const std::span<const double> head = xs.subspan(0, xs.size() - lag);
+    const std::span<const double> tail = xs.subspan(lag);
+    return pearson(head, tail);
+}
+
+CorrelationMatrix correlation_matrix(std::span<const std::vector<double>> series) {
+    CorrelationMatrix m;
+    m.n = series.size();
+    m.rho.assign(m.n * m.n, 1.0);
+    for (std::size_t i = 0; i < m.n; ++i) {
+        for (std::size_t j = i + 1; j < m.n; ++j) {
+            const double r = pearson(std::span<const double>(series[i]),
+                                     std::span<const double>(series[j]));
+            m.rho[i * m.n + j] = r;
+            m.rho[j * m.n + i] = r;
+        }
+    }
+    return m;
+}
+
+}  // namespace wifisense::stats

@@ -1,0 +1,118 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace wifisense::stats {
+
+namespace {
+
+template <class T>
+double mean_impl(std::span<const T> xs) {
+    if (xs.empty()) return 0.0;
+    double acc = 0.0;
+    for (const T v : xs) acc += static_cast<double>(v);
+    return acc / static_cast<double>(xs.size());
+}
+
+template <class T>
+double variance_impl(std::span<const T> xs) {
+    if (xs.size() < 2) return 0.0;
+    const double mu = mean_impl(xs);
+    double acc = 0.0;
+    for (const T v : xs) {
+        const double d = static_cast<double>(v) - mu;
+        acc += d * d;
+    }
+    return acc / static_cast<double>(xs.size() - 1);
+}
+
+template <class T>
+Summary summarize_impl(std::span<const T> xs) {
+    Summary s;
+    s.count = xs.size();
+    if (xs.empty()) return s;
+
+    std::vector<double> sorted;
+    sorted.reserve(xs.size());
+    double acc = 0.0;
+    for (const T v : xs) {
+        const double d = static_cast<double>(v);
+        sorted.push_back(d);
+        acc += d;
+    }
+    std::sort(sorted.begin(), sorted.end());
+    s.mean = acc / static_cast<double>(xs.size());
+    s.min = sorted.front();
+    s.max = sorted.back();
+
+    double sq = 0.0;
+    for (const double d : sorted) {
+        const double dd = d - s.mean;
+        sq += dd * dd;
+    }
+    s.variance = xs.size() > 1 ? sq / static_cast<double>(xs.size() - 1) : 0.0;
+    s.stddev = std::sqrt(s.variance);
+
+    const auto interp = [&](double q) {
+        const double pos = q * static_cast<double>(sorted.size() - 1);
+        const auto lo = static_cast<std::size_t>(pos);
+        const auto hi = std::min(lo + 1, sorted.size() - 1);
+        const double frac = pos - static_cast<double>(lo);
+        return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+    };
+    s.q25 = interp(0.25);
+    s.median = interp(0.50);
+    s.q75 = interp(0.75);
+    return s;
+}
+
+}  // namespace
+
+double mean(std::span<const double> xs) { return mean_impl(xs); }
+double mean(std::span<const float> xs) { return mean_impl(xs); }
+
+double variance(std::span<const double> xs) { return variance_impl(xs); }
+double variance(std::span<const float> xs) { return variance_impl(xs); }
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance_impl(xs)); }
+double stddev(std::span<const float> xs) { return std::sqrt(variance_impl(xs)); }
+
+double quantile(std::span<const double> xs, double q) {
+    if (xs.empty()) throw std::invalid_argument("quantile: empty range");
+    if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> xs) { return summarize_impl(xs); }
+Summary summarize(std::span<const float> xs) { return summarize_impl(xs); }
+
+std::string to_string(const Summary& s) {
+    std::ostringstream os;
+    os << "n=" << s.count << " mean=" << s.mean << " sd=" << s.stddev
+       << " min=" << s.min << " q25=" << s.q25 << " med=" << s.median
+       << " q75=" << s.q75 << " max=" << s.max;
+    return os.str();
+}
+
+std::vector<double> diff(std::span<const double> xs) {
+    if (xs.size() < 2) return {};
+    std::vector<double> out(xs.size() - 1);
+    for (std::size_t i = 0; i + 1 < xs.size(); ++i) out[i] = xs[i + 1] - xs[i];
+    return out;
+}
+
+std::vector<double> lag(std::span<const double> xs, std::size_t k) {
+    if (xs.size() <= k) return {};
+    return {xs.begin(), xs.end() - static_cast<std::ptrdiff_t>(k)};
+}
+
+}  // namespace wifisense::stats

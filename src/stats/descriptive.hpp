@@ -1,0 +1,57 @@
+// Descriptive statistics over contiguous numeric ranges.
+//
+// All accumulations are performed in double precision regardless of the
+// element type, which matters for the multi-hundred-thousand-sample series
+// produced by the simulator (float accumulation loses ~3 significant digits
+// at that length).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wifisense::stats {
+
+/// Five-number-plus summary of a numeric sample.
+struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double variance = 0.0;  ///< unbiased (n-1) sample variance
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double median = 0.0;
+    double q25 = 0.0;
+    double q75 = 0.0;
+};
+
+/// Arithmetic mean. Returns 0 for an empty range.
+double mean(std::span<const double> xs);
+double mean(std::span<const float> xs);
+
+/// Unbiased sample variance (divides by n-1). Returns 0 for n < 2.
+double variance(std::span<const double> xs);
+double variance(std::span<const float> xs);
+
+/// Sample standard deviation.
+double stddev(std::span<const double> xs);
+double stddev(std::span<const float> xs);
+
+/// Linear-interpolated quantile, q in [0,1]. Sorts a copy of the input.
+double quantile(std::span<const double> xs, double q);
+
+/// Full summary in one pass (plus one sort for the quantiles).
+Summary summarize(std::span<const double> xs);
+Summary summarize(std::span<const float> xs);
+
+/// Human-readable one-line rendering ("n=... mean=... sd=... ...").
+std::string to_string(const Summary& s);
+
+/// First differences: d[i] = xs[i+1] - xs[i]; size is xs.size()-1.
+std::vector<double> diff(std::span<const double> xs);
+
+/// Lag the series by k: out[i] = xs[i] for i in [0, n-k).
+std::vector<double> lag(std::span<const double> xs, std::size_t k);
+
+}  // namespace wifisense::stats

@@ -1,0 +1,70 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace wifisense::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+    if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+    if (bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
+    counts_.assign(bins, 0);
+    inv_width_ = static_cast<double>(bins) / (hi - lo);
+}
+
+void Histogram::add(double value) {
+    ++total_;
+    if (value < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (value >= hi_) {
+        ++overflow_;
+        return;
+    }
+    const auto bin = static_cast<std::size_t>((value - lo_) * inv_width_);
+    ++counts_[std::min(bin, counts_.size() - 1)];
+}
+
+void Histogram::add_all(std::span<const double> values) {
+    for (const double v : values) add(v);
+}
+
+void Histogram::add_all(std::span<const float> values) {
+    for (const float v : values) add(static_cast<double>(v));
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+    if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_center");
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+double Histogram::fraction(std::size_t bin) const {
+    if (total_ == 0) return 0.0;
+    return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+std::size_t Histogram::mode_bin() const {
+    const auto it = std::max_element(counts_.begin(), counts_.end());
+    return it == counts_.end() ? 0
+                               : static_cast<std::size_t>(it - counts_.begin());
+}
+
+std::string Histogram::render(std::size_t width) const {
+    std::ostringstream os;
+    std::uint64_t peak = 0;
+    for (const auto c : counts_) peak = std::max(peak, c);
+    if (peak == 0) peak = 1;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const auto bars = static_cast<std::size_t>(
+            static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+            static_cast<double>(width));
+        os << bin_center(i) << "\t" << counts_[i] << "\t"
+           << std::string(bars, '#') << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace wifisense::stats

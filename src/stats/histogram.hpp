@@ -1,0 +1,49 @@
+// Fixed-width histogram, used by data profiling and the distribution checks
+// in the simulator test-suite.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wifisense::stats {
+
+class Histogram {
+public:
+    /// Histogram over [lo, hi) with `bins` equal-width buckets.
+    /// Values outside the range are counted in underflow/overflow.
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double value);
+    void add_all(std::span<const double> values);
+    void add_all(std::span<const float> values);
+
+    std::size_t bins() const { return counts_.size(); }
+    std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+
+    /// Center of bucket i.
+    double bin_center(std::size_t bin) const;
+    /// Fraction of all (in-range + out-of-range) samples in bucket i.
+    double fraction(std::size_t bin) const;
+    /// Mode bucket index (first of ties); 0 if empty.
+    std::size_t mode_bin() const;
+
+    /// Simple fixed-width ASCII rendering, one row per bucket.
+    std::string render(std::size_t width = 50) const;
+
+private:
+    double lo_;
+    double hi_;
+    double inv_width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+}  // namespace wifisense::stats

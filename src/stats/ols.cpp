@@ -1,0 +1,147 @@
+#include "stats/ols.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wifisense::stats {
+
+double OlsFit::t_stat(std::size_t j) const {
+    if (j >= beta.size()) throw std::out_of_range("OlsFit::t_stat: bad index");
+    if (stderr_[j] == 0.0) return 0.0;
+    return beta[j] / stderr_[j];
+}
+
+namespace {
+
+// Cholesky factorization A = L L^T in place (lower triangle).
+// Returns false if a non-positive pivot is found.
+bool cholesky(std::vector<double>& A, std::size_t n) {
+    for (std::size_t j = 0; j < n; ++j) {
+        double d = A[j * n + j];
+        for (std::size_t k = 0; k < j; ++k) d -= A[j * n + k] * A[j * n + k];
+        if (d <= 0.0) return false;
+        const double ljj = std::sqrt(d);
+        A[j * n + j] = ljj;
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double s = A[i * n + j];
+            for (std::size_t k = 0; k < j; ++k) s -= A[i * n + k] * A[j * n + k];
+            A[i * n + j] = s / ljj;
+        }
+    }
+    return true;
+}
+
+// Solve L L^T x = b given the factorization produced by cholesky().
+std::vector<double> cholesky_solve(const std::vector<double>& L, std::vector<double> b,
+                                   std::size_t n) {
+    // Forward substitution: L z = b.
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = b[i];
+        for (std::size_t k = 0; k < i; ++k) s -= L[i * n + k] * b[k];
+        b[i] = s / L[i * n + i];
+    }
+    // Back substitution: L^T x = z.
+    for (std::size_t ii = n; ii-- > 0;) {
+        double s = b[ii];
+        for (std::size_t k = ii + 1; k < n; ++k) s -= L[k * n + ii] * b[k];
+        b[ii] = s / L[ii * n + ii];
+    }
+    return b;
+}
+
+// Invert the SPD matrix whose Cholesky factor is L (needed for coefficient
+// standard errors: var(beta) = sigma^2 (X^T X)^-1).
+std::vector<double> cholesky_inverse(const std::vector<double>& L, std::size_t n) {
+    std::vector<double> inv(n * n, 0.0);
+    std::vector<double> e(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+        e.assign(n, 0.0);
+        e[j] = 1.0;
+        const std::vector<double> col = cholesky_solve(L, e, n);
+        for (std::size_t i = 0; i < n; ++i) inv[i * n + j] = col[i];
+    }
+    return inv;
+}
+
+}  // namespace
+
+std::vector<double> solve_spd(std::vector<double> A, std::vector<double> b, std::size_t n) {
+    if (A.size() != n * n || b.size() != n)
+        throw std::invalid_argument("solve_spd: shape mismatch");
+    std::vector<double> Acopy = A;
+    if (!cholesky(Acopy, n)) {
+        // Ridge fallback: add a small multiple of the mean diagonal.
+        double trace = 0.0;
+        for (std::size_t i = 0; i < n; ++i) trace += A[i * n + i];
+        const double ridge = 1e-10 * (trace / static_cast<double>(n) + 1.0);
+        Acopy = A;
+        for (std::size_t i = 0; i < n; ++i) Acopy[i * n + i] += ridge;
+        if (!cholesky(Acopy, n))
+            throw std::runtime_error("solve_spd: matrix not positive definite");
+    }
+    return cholesky_solve(Acopy, std::move(b), n);
+}
+
+OlsFit ols(const DesignMatrix& X, std::span<const double> y) {
+    const std::size_t n = X.rows;
+    const std::size_t p = X.cols;
+    if (y.size() != n) throw std::invalid_argument("ols: y length != X rows");
+    if (n <= p) throw std::invalid_argument("ols: need more rows than columns");
+    if (p == 0) throw std::invalid_argument("ols: empty design matrix");
+
+    // Gram matrix G = X^T X and moment vector v = X^T y, double accumulation.
+    std::vector<double> G(p * p, 0.0);
+    std::vector<double> v(p, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+        const double* row = &X.values[r * p];
+        for (std::size_t i = 0; i < p; ++i) {
+            const double xi = row[i];
+            v[i] += xi * y[r];
+            for (std::size_t j = i; j < p; ++j) G[i * p + j] += xi * row[j];
+        }
+    }
+    for (std::size_t i = 0; i < p; ++i)
+        for (std::size_t j = 0; j < i; ++j) G[i * p + j] = G[j * p + i];
+
+    std::vector<double> Gfac = G;
+    if (!cholesky(Gfac, p)) {
+        double trace = 0.0;
+        for (std::size_t i = 0; i < p; ++i) trace += G[i * p + i];
+        const double ridge = 1e-10 * (trace / static_cast<double>(p) + 1.0);
+        Gfac = G;
+        for (std::size_t i = 0; i < p; ++i) Gfac[i * p + i] += ridge;
+        if (!cholesky(Gfac, p)) throw std::runtime_error("ols: singular design matrix");
+    }
+
+    OlsFit fit;
+    fit.beta = cholesky_solve(Gfac, v, p);
+
+    // Residuals and dispersion.
+    fit.residuals.resize(n);
+    double ssr = 0.0;
+    double sy = 0.0;
+    for (std::size_t r = 0; r < n; ++r) sy += y[r];
+    const double ybar = sy / static_cast<double>(n);
+    double sst = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+        const double* row = &X.values[r * p];
+        double pred = 0.0;
+        for (std::size_t j = 0; j < p; ++j) pred += row[j] * fit.beta[j];
+        const double e = y[r] - pred;
+        fit.residuals[r] = e;
+        ssr += e * e;
+        const double dy = y[r] - ybar;
+        sst += dy * dy;
+    }
+    fit.sigma2 = ssr / static_cast<double>(n - p);
+    fit.r2 = sst > 0.0 ? 1.0 - ssr / sst : 0.0;
+
+    // Standard errors from sigma^2 * diag((X^T X)^-1).
+    const std::vector<double> Ginv = cholesky_inverse(Gfac, p);
+    fit.stderr_.resize(p);
+    for (std::size_t j = 0; j < p; ++j)
+        fit.stderr_[j] = std::sqrt(std::max(0.0, fit.sigma2 * Ginv[j * p + j]));
+    return fit;
+}
+
+}  // namespace wifisense::stats

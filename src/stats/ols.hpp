@@ -1,0 +1,47 @@
+// Ordinary least squares on dense design matrices, solved via the normal
+// equations with a Cholesky factorization (plus a tiny ridge fallback when
+// the Gram matrix is numerically singular).
+//
+// This is the computational core of both the ADF unit-root test
+// (stats/adf.hpp) and the linear-regression baseline of Table V
+// (ml/linear_regression.hpp).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wifisense::stats {
+
+/// Result of an OLS fit y ~ X * beta.
+struct OlsFit {
+    std::vector<double> beta;        ///< coefficient estimates, one per column of X
+    std::vector<double> stderr_;     ///< standard error of each coefficient
+    std::vector<double> residuals;   ///< y - X*beta
+    double sigma2 = 0.0;             ///< residual variance, SSR / (n - p)
+    double r2 = 0.0;                 ///< coefficient of determination
+
+    /// t statistic of coefficient j (beta[j] / stderr_[j]).
+    double t_stat(std::size_t j) const;
+};
+
+/// Dense row-major design matrix: n rows (observations) x p columns.
+struct DesignMatrix {
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::vector<double> values;  ///< row-major, size rows*cols
+
+    double& at(std::size_t r, std::size_t c) { return values[r * cols + c]; }
+    double at(std::size_t r, std::size_t c) const { return values[r * cols + c]; }
+};
+
+/// Fit y ~ X. Requires X.rows == y.size() and X.rows > X.cols.
+/// Throws std::invalid_argument on shape errors.
+OlsFit ols(const DesignMatrix& X, std::span<const double> y);
+
+/// Solve the symmetric positive-definite system A x = b in place via
+/// Cholesky; A is row-major n*n. Throws std::runtime_error when A is not
+/// positive definite (after a small diagonal ridge retry).
+std::vector<double> solve_spd(std::vector<double> A, std::vector<double> b, std::size_t n);
+
+}  // namespace wifisense::stats

@@ -1,0 +1,118 @@
+#include "stats/rolling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+namespace wifisense::stats {
+
+namespace {
+
+void check_window(std::size_t window) {
+    if (window == 0) throw std::invalid_argument("rolling: zero window");
+}
+
+}  // namespace
+
+std::vector<double> rolling_mean(std::span<const double> xs, std::size_t window) {
+    check_window(window);
+    std::vector<double> out(xs.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sum += xs[i];
+        if (i >= window) sum -= xs[i - window];
+        const std::size_t n = std::min(i + 1, window);
+        out[i] = sum / static_cast<double>(n);
+    }
+    return out;
+}
+
+std::vector<double> rolling_std(std::span<const double> xs, std::size_t window) {
+    check_window(window);
+    std::vector<double> out(xs.size());
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sum += xs[i];
+        sum_sq += xs[i] * xs[i];
+        if (i >= window) {
+            sum -= xs[i - window];
+            sum_sq -= xs[i - window] * xs[i - window];
+        }
+        const auto n = static_cast<double>(std::min(i + 1, window));
+        const double mean = sum / n;
+        const double var = std::max(0.0, sum_sq / n - mean * mean);
+        out[i] = std::sqrt(var);
+    }
+    return out;
+}
+
+namespace {
+
+template <class Compare>
+std::vector<double> rolling_extreme(std::span<const double> xs, std::size_t window,
+                                    Compare better) {
+    check_window(window);
+    std::vector<double> out(xs.size());
+    std::deque<std::size_t> dq;  // indices, best at front
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        while (!dq.empty() && !better(xs[dq.back()], xs[i])) dq.pop_back();
+        dq.push_back(i);
+        if (dq.front() + window <= i) dq.pop_front();
+        out[i] = xs[dq.front()];
+    }
+    return out;
+}
+
+}  // namespace
+
+std::vector<double> rolling_min(std::span<const double> xs, std::size_t window) {
+    return rolling_extreme(xs, window, [](double a, double b) { return a < b; });
+}
+
+std::vector<double> rolling_max(std::span<const double> xs, std::size_t window) {
+    return rolling_extreme(xs, window, [](double a, double b) { return a > b; });
+}
+
+RollingWindow::RollingWindow(std::size_t window) : window_(window) {
+    check_window(window);
+    buffer_.reserve(window);
+}
+
+void RollingWindow::push(double value) {
+    if (buffer_.size() < window_) {
+        buffer_.push_back(value);
+        sum_ += value;
+        sum_sq_ += value * value;
+        return;
+    }
+    const double old = buffer_[head_];
+    sum_ += value - old;
+    sum_sq_ += value * value - old * old;
+    buffer_[head_] = value;
+    head_ = (head_ + 1) % window_;
+}
+
+double RollingWindow::mean() const {
+    if (buffer_.empty()) return 0.0;
+    return sum_ / static_cast<double>(buffer_.size());
+}
+
+double RollingWindow::stddev() const {
+    if (buffer_.empty()) return 0.0;
+    const double n = static_cast<double>(buffer_.size());
+    const double m = sum_ / n;
+    return std::sqrt(std::max(0.0, sum_sq_ / n - m * m));
+}
+
+double RollingWindow::min() const {
+    if (buffer_.empty()) return 0.0;
+    return *std::min_element(buffer_.begin(), buffer_.end());
+}
+
+double RollingWindow::max() const {
+    if (buffer_.empty()) return 0.0;
+    return *std::max_element(buffer_.begin(), buffer_.end());
+}
+
+}  // namespace wifisense::stats

@@ -1,0 +1,74 @@
+#include "xai/gradcam.hpp"
+
+#include <random>
+#include <stdexcept>
+
+#include "nn/init.hpp"
+#include "stats/correlation.hpp"
+
+namespace wifisense::xai {
+
+GradCamResult GradCam::explain(const nn::Matrix& inputs, GradCamConfig cfg) const {
+    if (net_->output_size() != 1)
+        throw std::invalid_argument("GradCam: expected a single-logit network");
+    if (inputs.rows() == 0) throw std::invalid_argument("GradCam: empty batch");
+
+    const double sign = cfg.target_class == 0 ? -1.0 : 1.0;
+
+    net_->zero_grad();
+    (void)net_->forward(inputs);
+    // d(y^c)/d(logit) = sign for every sample.
+    nn::Matrix seed_grad(inputs.rows(), 1, static_cast<float>(sign));
+    const nn::Matrix input_grad = net_->backward(seed_grad);
+    net_->zero_grad();
+
+    GradCamResult res;
+
+    const auto weighted_map = [&](const nn::Matrix& activations,
+                                  const nn::Matrix& grads) {
+        // Eq. 5: alpha_j = batch mean of dy/dA_j; Eq. 6 (per feature):
+        // L_j = alpha_j * batch mean of A_j, ReLU optional.
+        const std::size_t d = activations.cols();
+        std::vector<double> alpha(d, 0.0), abar(d, 0.0);
+        for (std::size_t r = 0; r < activations.rows(); ++r) {
+            for (std::size_t c = 0; c < d; ++c) {
+                alpha[c] += static_cast<double>(grads.at(r, c));
+                abar[c] += static_cast<double>(activations.at(r, c));
+            }
+        }
+        const double inv_n = 1.0 / static_cast<double>(activations.rows());
+        std::vector<double> map(d);
+        for (std::size_t c = 0; c < d; ++c) {
+            double v = (alpha[c] * inv_n) * (abar[c] * inv_n);
+            if (cfg.apply_relu && v < 0.0) v = 0.0;
+            map[c] = v;
+        }
+        return map;
+    };
+
+    res.input_importance = weighted_map(inputs, input_grad);
+
+    for (const auto& layer : net_->layers()) {
+        const nn::Matrix& act = layer->last_output();
+        const nn::Matrix& grad = layer->last_output_grad();
+        res.layer_importance.push_back(weighted_map(act, grad));
+        double alpha = 0.0;
+        for (const float g : grad.data()) alpha += static_cast<double>(g);
+        res.layer_alpha.push_back(alpha / static_cast<double>(grad.size()));
+    }
+    return res;
+}
+
+void randomize_weights(nn::Mlp& net, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    for (const auto& layer : net.layers())
+        if (auto* dense = dynamic_cast<nn::Dense*>(layer.get()))
+            nn::initialize(*dense, nn::Init::kKaimingUniform, rng);
+}
+
+double importance_correlation(const std::vector<double>& a,
+                              const std::vector<double>& b) {
+    return stats::pearson(std::span<const double>(a), std::span<const double>(b));
+}
+
+}  // namespace wifisense::xai

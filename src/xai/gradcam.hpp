@@ -1,0 +1,63 @@
+// Grad-CAM for the MLP (paper Section IV-B, Eq. 5-6; results in Figure 3).
+//
+// For a batch of inputs and a target class c, the importance weight of a
+// feature map A^(k) is the batch-average of dy^c/dA^(k) (Eq. 5); the class
+// activation is the weighted activation alpha * A (Eq. 6), optionally passed
+// through ReLU. Applied at the input layer (A^(0) = the features), this
+// yields one importance score per input feature — exactly the Figure 3 bar
+// plot over the 64 subcarriers plus humidity and temperature. The figure
+// shows signed values ("close to 0, if not negative"), so the default here
+// is the signed map with the ReLU available as an option.
+//
+// For a single-logit binary network, y^occupied = z and y^empty = -z.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "nn/tensor.hpp"
+
+namespace wifisense::xai {
+
+struct GradCamConfig {
+    /// Target class: 1 = occupied (positive logit), 0 = empty.
+    int target_class = 1;
+    /// Apply the Eq. (6) ReLU to the final maps.
+    bool apply_relu = false;
+};
+
+struct GradCamResult {
+    /// Importance per input feature: alpha_i * mean activation (Figure 3).
+    std::vector<double> input_importance;
+    /// Eq. (5) alpha and Eq. (6) map for every hidden/internal layer output,
+    /// in layer order (one entry per layer of the network).
+    std::vector<std::vector<double>> layer_importance;
+    /// The scalar per-layer alpha of Eq. (5) (gradient averaged over both
+    /// batch and neurons).
+    std::vector<double> layer_alpha;
+};
+
+class GradCam {
+public:
+    explicit GradCam(nn::Mlp& net) : net_(&net) {}
+
+    /// Run forward+backward on the batch and compute importance maps.
+    /// Parameter gradients in the network are zeroed afterwards.
+    GradCamResult explain(const nn::Matrix& inputs, GradCamConfig cfg = {}) const;
+
+private:
+    nn::Mlp* net_;
+};
+
+/// Sanity-check utility (Adebayo et al., "Sanity Checks for Saliency Maps"):
+/// re-randomize all weights of a network in place. A faithful attribution
+/// method must produce different maps afterwards.
+void randomize_weights(nn::Mlp& net, std::uint64_t seed);
+
+/// Pearson correlation between two importance maps (convenience for the
+/// sanity-check test).
+double importance_correlation(const std::vector<double>& a,
+                              const std::vector<double>& b);
+
+}  // namespace wifisense::xai

@@ -1,0 +1,270 @@
+// End-to-end tests over the simulated collection. The simulator runs at a
+// reduced rate (0.1-0.25 Hz) so the whole suite stays fast; every
+// distributional property of the full-rate dataset (fold boundaries, class
+// balance, env regimes) is rate-invariant by construction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiments.hpp"
+#include "core/occupancy_detector.hpp"
+#include "data/folds.hpp"
+#include "data/simtime.hpp"
+#include "envsim/simulation.hpp"
+
+namespace core = wifisense::core;
+namespace data = wifisense::data;
+namespace envsim = wifisense::envsim;
+
+namespace {
+
+// One shared dataset for the whole suite (generation is deterministic).
+const data::Dataset& shared_dataset() {
+    static const data::Dataset ds = core::generate_paper_dataset(0.25);
+    return ds;
+}
+
+}  // namespace
+
+TEST(Simulation, SampleCountMatchesRateAndDuration) {
+    const data::Dataset& ds = shared_dataset();
+    EXPECT_EQ(ds.size(),
+              static_cast<std::size_t>(data::kCollectionDuration * 0.25));
+    EXPECT_NEAR(ds[0].timestamp, data::kCollectionStart, 1e-9);
+    EXPECT_NEAR(ds[ds.size() - 1].timestamp,
+                data::kCollectionStart + data::kCollectionDuration - 4.0, 1e-6);
+}
+
+TEST(Simulation, TimestampsStrictlyIncreasing) {
+    const data::Dataset& ds = shared_dataset();
+    for (std::size_t i = 1; i < ds.size(); i += 97)
+        ASSERT_GT(ds[i].timestamp, ds[i - 1].timestamp);
+}
+
+TEST(Simulation, Table2ClassBalanceBand) {
+    // Paper: 63.2% empty; 1..4 simultaneous occupants at 18.4/10.6/6.2/1.6%.
+    const data::OccupancyDistribution dist =
+        shared_dataset().view().occupancy_distribution();
+    EXPECT_GT(dist.empty_fraction(), 0.52);
+    EXPECT_LT(dist.empty_fraction(), 0.75);
+    // Occupied mass decays with simultaneous count (loose band).
+    EXPECT_GT(dist.fraction_with(1) + dist.fraction_with(2),
+              dist.fraction_with(4) + dist.fraction_with(5));
+    EXPECT_EQ(dist.empty + dist.occupied, dist.total);
+}
+
+TEST(Simulation, Table3FoldRegimes) {
+    const data::FoldSplit split = data::split_paper_folds(shared_dataset());
+    const auto rows = data::table3_summaries(split);
+    ASSERT_EQ(rows.size(), 6u);
+
+    // Folds 1-3 (indices 1..3) are pure empty nights.
+    for (int f = 1; f <= 3; ++f) {
+        EXPECT_EQ(rows[f].occupied, 0u) << "fold " << f;
+        EXPECT_GT(rows[f].empty, 0u);
+    }
+    // Fold 4 is mixed, mostly occupied.
+    EXPECT_GT(rows[4].occupied, rows[4].empty);
+    EXPECT_GT(rows[4].empty, 0u);
+    // Fold 5 is fully occupied.
+    EXPECT_EQ(rows[5].empty, 0u);
+
+    // Fold 4 is the cold-occupied regime; fold 5 the warmest fold.
+    EXPECT_LT(rows[4].t_min, 19.5);
+    for (int f = 1; f <= 4; ++f) EXPECT_GT(rows[5].t_max, rows[f].t_max - 0.5);
+
+    // Sensor sanity: temperatures/humidity in plausible office ranges.
+    for (const auto& row : rows) {
+        EXPECT_GT(row.t_min, 10.0);
+        EXPECT_LT(row.t_max, 45.0);
+        EXPECT_GE(row.h_min, 5.0);
+        EXPECT_LE(row.h_max, 80.0);
+    }
+}
+
+TEST(Simulation, CsiAmplitudesPlausible) {
+    const data::Dataset& ds = shared_dataset();
+    double peak = 0.0;
+    for (std::size_t i = 0; i < ds.size(); i += 131) {
+        for (const float a : ds[i].csi) {
+            ASSERT_GE(a, 0.0f);
+            peak = std::max(peak, static_cast<double>(a));
+        }
+    }
+    EXPECT_GT(peak, 1e-4);
+    EXPECT_LT(peak, 0.05);
+}
+
+TEST(Simulation, DeterministicForSameSeedDifferentForOthers) {
+    envsim::SimulationConfig cfg = envsim::paper_config(0.25);
+    cfg.duration_s = 3'600.0;  // 1 h is enough
+    const data::Dataset a = envsim::OfficeSimulator(cfg).run();
+    const data::Dataset b = envsim::OfficeSimulator(cfg).run();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i += 17)
+        ASSERT_EQ(a[i].csi[5], b[i].csi[5]);
+
+    cfg.seed = 999;
+    const data::Dataset c = envsim::OfficeSimulator(cfg).run();
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size() && !differs; ++i)
+        differs = a[i].csi[5] != c[i].csi[5];
+    EXPECT_TRUE(differs);
+}
+
+TEST(Simulation, StreamingSinkSeesSameRecords) {
+    envsim::SimulationConfig cfg = envsim::paper_config(0.25);
+    cfg.duration_s = 1'800.0;
+    std::size_t count = 0;
+    double last = -1.0;
+    envsim::OfficeSimulator(cfg).run([&](const data::SampleRecord& r) {
+        ++count;
+        EXPECT_GT(r.timestamp, last);
+        last = r.timestamp;
+    });
+    EXPECT_EQ(count, static_cast<std::size_t>(1'800.0 * 0.25));
+}
+
+// ---------------------------------------------------------------------------
+// Profiling (Section V-A)
+// ---------------------------------------------------------------------------
+
+TEST(Profiling, CorrelationSignsMatchPaper) {
+    const data::FoldSplit split = data::split_paper_folds(shared_dataset());
+    const core::ProfilingResult prof = core::run_profiling(split.train);
+    // Both env-occupancy couplings positive as in the paper (0.44 / 0.35).
+    EXPECT_GT(prof.rho_temp_occupancy, 0.2);
+    EXPECT_GT(prof.rho_hum_occupancy, 0.1);
+    // CSI carries env information but is not a thermometer.
+    EXPECT_GT(prof.rho_subcarrier_env_max, 0.05);
+    EXPECT_LT(prof.rho_subcarrier_env_max, 0.7);
+}
+
+TEST(Profiling, CsiSeriesIsStationary) {
+    const data::FoldSplit split = data::split_paper_folds(shared_dataset());
+    const core::ProfilingResult prof = core::run_profiling(split.train);
+    EXPECT_LT(prof.adf_subcarrier0, prof.adf_crit_5pct);
+}
+
+TEST(Profiling, RenderMentionsPaperValues) {
+    const data::FoldSplit split = data::split_paper_folds(shared_dataset());
+    const std::string out = core::run_profiling(split.train).render();
+    EXPECT_NE(out.find("0.45"), std::string::npos);
+    EXPECT_NE(out.find("ADF"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// OccupancyDetector (public API)
+// ---------------------------------------------------------------------------
+
+TEST(Detector, TrainsAndDetectsOnUnseenFolds) {
+    const data::FoldSplit split = data::split_paper_folds(shared_dataset());
+    core::DetectorConfig cfg;
+    cfg.train_stride = 2;
+    core::OccupancyDetector det(cfg);
+    const auto history = det.fit(split.train);
+    EXPECT_FALSE(history.epoch_loss.empty());
+    EXPECT_LT(history.final_loss(), history.epoch_loss.front());
+
+    // Empty night folds must be recognized nearly perfectly.
+    EXPECT_GT(det.evaluate_accuracy(split.test[1]), 0.9);
+    EXPECT_GT(det.evaluate_accuracy(split.test[2]), 0.9);
+    // Fully-occupied afternoon.
+    EXPECT_GT(det.evaluate_accuracy(split.test[4]), 0.9);
+}
+
+TEST(Detector, PredictSingleRecordProbability) {
+    const data::FoldSplit split = data::split_paper_folds(shared_dataset());
+    core::DetectorConfig cfg;
+    cfg.train_stride = 4;
+    core::OccupancyDetector det(cfg);
+    det.fit(split.train);
+    const double p_empty = det.predict_proba(split.test[1][10]);   // night
+    const double p_occ = det.predict_proba(split.test[4][1000]);  // afternoon
+    EXPECT_GE(p_empty, 0.0);
+    EXPECT_LE(p_empty, 1.0);
+    EXPECT_LT(p_empty, p_occ);
+}
+
+TEST(Detector, SaveLoadRoundTripPreservesPredictions) {
+    const data::FoldSplit split = data::split_paper_folds(shared_dataset());
+    core::DetectorConfig cfg;
+    cfg.train_stride = 8;
+    core::OccupancyDetector det(cfg);
+    det.fit(split.train);
+
+    const std::string path = ::testing::TempDir() + "/detector.bin";
+    det.save(path);
+    core::OccupancyDetector loaded = core::OccupancyDetector::load(path);
+
+    EXPECT_EQ(loaded.config().features, cfg.features);
+    const std::vector<int> a = det.predict(split.test[0]);
+    const std::vector<int> b = loaded.predict(split.test[0]);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(Detector, Validation) {
+    core::OccupancyDetector det;
+    EXPECT_THROW(det.predict(shared_dataset().view()), std::logic_error);
+    EXPECT_THROW(det.save("/tmp/x.bin"), std::logic_error);
+    core::DetectorConfig bad;
+    bad.train_stride = 0;
+    EXPECT_THROW(core::OccupancyDetector{bad}, std::invalid_argument);
+    EXPECT_THROW(core::OccupancyDetector::load("/no/such/file"), std::runtime_error);
+}
+
+TEST(Detector, EnvOnlyDetectorFailsOnFold4) {
+    // The headline Table IV phenomenon: environmental features mislead on the
+    // cold-but-occupied fold 4 while CSI stays reliable.
+    const data::FoldSplit split = data::split_paper_folds(shared_dataset());
+
+    core::DetectorConfig env_cfg;
+    env_cfg.features = data::FeatureSet::kEnv;
+    env_cfg.train_stride = 2;
+    core::OccupancyDetector env_det(env_cfg);
+    env_det.fit(split.train);
+
+    core::DetectorConfig csi_cfg;
+    csi_cfg.train_stride = 2;
+    core::OccupancyDetector csi_det(csi_cfg);
+    csi_det.fit(split.train);
+
+    const double env_fold4 = env_det.evaluate_accuracy(split.test[3]);
+    const double csi_fold4 = csi_det.evaluate_accuracy(split.test[3]);
+    // Fold 4 dents the Env-only detector (paper MLP/Env: 54%; our MLP leans
+    // on the humidity cue and loses less, see EXPERIMENTS.md) while the
+    // CSI detector stays near-perfect.
+    EXPECT_LT(env_fold4, 0.95);
+    EXPECT_GT(csi_fold4, 0.9);
+    EXPECT_GT(csi_fold4, env_fold4 + 0.04);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3 pipeline
+// ---------------------------------------------------------------------------
+
+TEST(Figure3, GradCamMassConcentratesOnCsi) {
+    const data::FoldSplit split = data::split_paper_folds(shared_dataset());
+    core::Figure3Config cfg;
+    cfg.train_stride = 2;
+    cfg.max_eval_samples = 4'000;
+    const core::Figure3Result res = core::run_figure3(split, cfg);
+    ASSERT_EQ(res.importance.size(), 66u);
+    // The paper reports near-zero env importance; in our world the simulated
+    // T/H are more strongly coupled to occupancy than the real sensor feed
+    // was, so the network retains attention on them (documented deviation,
+    // EXPERIMENTS.md). What must hold: the CSI block carries substantial
+    // aggregate importance and the attribution is non-degenerate.
+    EXPECT_GT(res.csi_mass(), 0.15 * res.env_mass());
+    EXPECT_GT(res.csi_mass(), 0.0);
+
+    const std::vector<double> norm = res.normalized();
+    double peak = 0.0;
+    for (const double v : norm) peak = std::max(peak, std::abs(v));
+    EXPECT_NEAR(peak, 1.0, 1e-9);
+
+    const std::string render = res.render();
+    EXPECT_NE(render.find("a0"), std::string::npos);
+    EXPECT_NE(render.find("h (hum)"), std::string::npos);
+}

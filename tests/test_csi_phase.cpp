@@ -1,0 +1,110 @@
+#include "csi/phase.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "csi/channel.hpp"
+
+namespace csi = wifisense::csi;
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+std::vector<std::complex<double>> clean_cfr(std::uint64_t seed = 1) {
+    const csi::ChannelModel ch(csi::RoomGeometry{}, csi::ChannelConfig{}, seed);
+    return ch.frequency_response(csi::EnvironmentState{}, {});
+}
+
+}  // namespace
+
+TEST(Phase, RawPhaseInRange) {
+    const auto h = clean_cfr();
+    for (const double p : csi::raw_phase(h)) {
+        EXPECT_GT(p, -kPi - 1e-12);
+        EXPECT_LE(p, kPi + 1e-12);
+    }
+}
+
+TEST(Phase, UnwrapRemovesJumps) {
+    // A steep linear phase wraps repeatedly; unwrapping must restore it.
+    std::vector<double> wrapped(64);
+    for (std::size_t k = 0; k < 64; ++k) {
+        const double true_phase = 0.5 * static_cast<double>(k);
+        wrapped[k] = std::remainder(true_phase, 2.0 * kPi);
+    }
+    const std::vector<double> un = csi::unwrap_phase(wrapped);
+    for (std::size_t k = 1; k < 64; ++k)
+        EXPECT_NEAR(un[k] - un[k - 1], 0.5, 1e-9);
+}
+
+TEST(Phase, SanitizeRemovesConstantAndSlope) {
+    // Pure linear phase must sanitize to ~zero.
+    std::vector<double> phase(64);
+    for (std::size_t k = 0; k < 64; ++k)
+        phase[k] = std::remainder(1.3 + 0.21 * static_cast<double>(k), 2.0 * kPi);
+    for (const double r : csi::sanitize_phase(phase)) EXPECT_NEAR(r, 0.0, 1e-9);
+}
+
+TEST(Phase, SanitizePreservesMultipathCurvature) {
+    // Multipath CFR phase is not linear in k; the sanitized residual must
+    // retain structure (non-zero) while being slope/offset free.
+    const auto h = clean_cfr(3);
+    const std::vector<double> res = csi::sanitize_phase(csi::raw_phase(h));
+    double peak = 0.0, sum = 0.0, slope_proxy = 0.0;
+    for (std::size_t k = 0; k < res.size(); ++k) {
+        peak = std::max(peak, std::abs(res[k]));
+        sum += res[k];
+        slope_proxy += (static_cast<double>(k) - 31.5) * res[k];
+    }
+    EXPECT_GT(peak, 1e-4);            // structure survives
+    EXPECT_NEAR(sum, 0.0, 1e-6);      // offset removed
+    EXPECT_NEAR(slope_proxy, 0.0, 1e-6);  // slope removed
+}
+
+TEST(Phase, SanitizeRejectsTinyInputs) {
+    const std::vector<double> two{0.1, 0.2};
+    EXPECT_THROW(csi::sanitize_phase(two), std::invalid_argument);
+}
+
+TEST(Phase, ImpairmentsScramblePhaseButNotAmplitude) {
+    const auto h = clean_cfr(5);
+    csi::PhaseImpairments imp(csi::PhaseImpairmentConfig{}, 7);
+    const auto dirty = imp.apply(h);
+    ASSERT_EQ(dirty.size(), h.size());
+    double phase_delta = 0.0;
+    for (std::size_t k = 0; k < h.size(); ++k) {
+        EXPECT_NEAR(std::abs(dirty[k]), std::abs(h[k]), 1e-12);
+        phase_delta = std::max(
+            phase_delta, std::abs(std::arg(dirty[k] * std::conj(h[k]))));
+    }
+    EXPECT_GT(phase_delta, 0.1);
+}
+
+TEST(Phase, SanitizationRecoversResidualThroughImpairments) {
+    // The whole point of sanitization: the multipath residual survives the
+    // per-packet CFO/SFO scrambling (up to the small phase noise).
+    const auto h = clean_cfr(9);
+    csi::PhaseImpairmentConfig cfg;
+    cfg.phase_noise_rad = 0.0;  // isolate the CFO/SFO terms
+    csi::PhaseImpairments imp(cfg, 11);
+
+    const std::vector<double> clean_res = csi::sanitize_phase(csi::raw_phase(h));
+    const std::vector<double> dirty_res =
+        csi::sanitize_phase(csi::raw_phase(imp.apply(h)));
+    for (std::size_t k = 0; k < clean_res.size(); ++k)
+        EXPECT_NEAR(dirty_res[k], clean_res[k], 1e-6) << "subcarrier " << k;
+}
+
+TEST(Phase, ImpairmentsDifferPerPacket) {
+    const auto h = clean_cfr(13);
+    csi::PhaseImpairments imp(csi::PhaseImpairmentConfig{}, 17);
+    const auto p1 = imp.apply(h);
+    const auto p2 = imp.apply(h);
+    double delta = 0.0;
+    for (std::size_t k = 0; k < h.size(); ++k)
+        delta = std::max(delta, std::abs(std::arg(p1[k] * std::conj(p2[k]))));
+    EXPECT_GT(delta, 0.05);
+}

@@ -1,0 +1,100 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "nn/loss.hpp"
+#include "nn/trainer.hpp"
+
+namespace nn = wifisense::nn;
+
+namespace {
+
+nn::Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<float> u(-1.0f, 1.0f);
+    nn::Matrix m(r, c);
+    for (float& v : m.data()) v = u(rng);
+    return m;
+}
+
+}  // namespace
+
+TEST(Serialize, RoundTripPreservesOutputs) {
+    std::mt19937_64 rng(1);
+    nn::Mlp net({6, 12, 4, 1}, nn::Init::kKaimingUniform, rng);
+
+    std::stringstream buf;
+    nn::save_mlp(net, buf);
+    nn::Mlp loaded = nn::load_mlp(buf);
+
+    EXPECT_EQ(loaded.input_size(), net.input_size());
+    EXPECT_EQ(loaded.output_size(), net.output_size());
+    EXPECT_EQ(loaded.parameter_count(), net.parameter_count());
+
+    const nn::Matrix x = random_matrix(7, 6, 2);
+    EXPECT_LT(nn::max_abs_diff(net.forward(x), loaded.forward(x)), 1e-7f);
+}
+
+TEST(Serialize, RoundTripWithSigmoidLayer) {
+    nn::Mlp net;
+    net.layers().push_back(std::make_unique<nn::Dense>(3, 2));
+    net.layers().push_back(std::make_unique<nn::Sigmoid>(2));
+    std::stringstream buf;
+    nn::save_mlp(net, buf);
+    nn::Mlp loaded = nn::load_mlp(buf);
+    const nn::Matrix x = random_matrix(2, 3, 3);
+    EXPECT_LT(nn::max_abs_diff(net.forward(x), loaded.forward(x)), 1e-7f);
+}
+
+TEST(Serialize, BadMagicThrows) {
+    std::stringstream buf("not a model file at all");
+    EXPECT_THROW(nn::load_mlp(buf), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedStreamThrows) {
+    std::mt19937_64 rng(4);
+    nn::Mlp net({4, 8, 1}, nn::Init::kKaimingUniform, rng);
+    std::stringstream buf;
+    nn::save_mlp(net, buf);
+    const std::string full = buf.str();
+    std::stringstream cut(full.substr(0, full.size() / 2));
+    EXPECT_THROW(nn::load_mlp(cut), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+    std::mt19937_64 rng(5);
+    nn::Mlp net({5, 10, 1}, nn::Init::kKaimingUniform, rng);
+    const std::string path = ::testing::TempDir() + "/wifisense_model.bin";
+    nn::save_mlp(net, path);
+    nn::Mlp loaded = nn::load_mlp(path);
+    const nn::Matrix x = random_matrix(3, 5, 6);
+    EXPECT_LT(nn::max_abs_diff(net.forward(x), loaded.forward(x)), 1e-7f);
+}
+
+TEST(Serialize, MissingFileThrows) {
+    EXPECT_THROW(nn::load_mlp(std::string("/nonexistent/path/model.bin")),
+                 std::runtime_error);
+}
+
+TEST(Serialize, LoadedModelIsTrainable) {
+    std::mt19937_64 rng(7);
+    nn::Mlp net({2, 6, 1}, nn::Init::kKaimingUniform, rng);
+    std::stringstream buf;
+    nn::save_mlp(net, buf);
+    nn::Mlp loaded = nn::load_mlp(buf);
+
+    // One training step must not throw and must change outputs.
+    const nn::Matrix x = random_matrix(8, 2, 8);
+    nn::Matrix y(8, 1);
+    for (std::size_t i = 0; i < 8; ++i) y.at(i, 0) = static_cast<float>(i % 2);
+    const nn::Matrix before = loaded.forward(x);
+    const nn::BceWithLogitsLoss loss;
+    nn::TrainConfig cfg;
+    cfg.epochs = 3;
+    cfg.learning_rate = 0.05;
+    nn::train(loaded, x, y, loss, cfg);
+    EXPECT_GT(nn::max_abs_diff(before, loaded.forward(x)), 1e-6f);
+}

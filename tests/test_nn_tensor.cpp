@@ -1,0 +1,129 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace nn = wifisense::nn;
+
+TEST(Tensor, BraceInitAndAccess) {
+    const nn::Matrix m{{1.0f, 2.0f}, {3.0f, 4.0f}};
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_FLOAT_EQ(m.at(0, 1), 2.0f);
+    EXPECT_FLOAT_EQ(m.at(1, 0), 3.0f);
+}
+
+TEST(Tensor, RaggedInitializerThrows) {
+    EXPECT_THROW((nn::Matrix{{1.0f, 2.0f}, {3.0f}}), std::invalid_argument);
+}
+
+TEST(Tensor, VectorConstructorValidatesSize) {
+    EXPECT_THROW(nn::Matrix(2, 2, std::vector<float>{1.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, MatmulKnownProduct) {
+    const nn::Matrix a{{1.0f, 2.0f}, {3.0f, 4.0f}};
+    const nn::Matrix b{{5.0f, 6.0f}, {7.0f, 8.0f}};
+    const nn::Matrix c = nn::matmul(a, b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(Tensor, MatmulShapeMismatchThrows) {
+    const nn::Matrix a(2, 3);
+    const nn::Matrix b(2, 3);
+    EXPECT_THROW(nn::matmul(a, b), std::invalid_argument);
+}
+
+TEST(Tensor, TransposedVariantsAgreeWithExplicitTranspose) {
+    std::mt19937_64 rng(3);
+    std::uniform_real_distribution<float> u(-1.0f, 1.0f);
+    nn::Matrix a(5, 7), b(5, 4), c(6, 7);
+    for (float& v : a.data()) v = u(rng);
+    for (float& v : b.data()) v = u(rng);
+    for (float& v : c.data()) v = u(rng);
+
+    // A^T * B == transpose(A) * B.
+    EXPECT_LT(nn::max_abs_diff(nn::matmul_tn(a, b), nn::matmul(nn::transpose(a), b)),
+              1e-5f);
+    // A * C^T == A * transpose(C).
+    EXPECT_LT(nn::max_abs_diff(nn::matmul_nt(a, c), nn::matmul(a, nn::transpose(c))),
+              1e-5f);
+}
+
+TEST(Tensor, AddRowVector) {
+    nn::Matrix a{{1.0f, 2.0f}, {3.0f, 4.0f}};
+    const std::vector<float> v{10.0f, 20.0f};
+    nn::add_row_vector_inplace(a, v);
+    EXPECT_FLOAT_EQ(a.at(0, 0), 11.0f);
+    EXPECT_FLOAT_EQ(a.at(1, 1), 24.0f);
+}
+
+TEST(Tensor, ColumnSumsAndMeans) {
+    const nn::Matrix a{{1.0f, 2.0f}, {3.0f, 4.0f}};
+    const std::vector<float> sums = nn::column_sums(a);
+    EXPECT_FLOAT_EQ(sums[0], 4.0f);
+    EXPECT_FLOAT_EQ(sums[1], 6.0f);
+    const std::vector<float> means = nn::column_means(a);
+    EXPECT_FLOAT_EQ(means[0], 2.0f);
+    EXPECT_FLOAT_EQ(means[1], 3.0f);
+}
+
+TEST(Tensor, ElementwiseOps) {
+    const nn::Matrix a{{1.0f, 2.0f}};
+    const nn::Matrix b{{3.0f, 5.0f}};
+    EXPECT_FLOAT_EQ(nn::add(a, b).at(0, 1), 7.0f);
+    EXPECT_FLOAT_EQ(nn::sub(b, a).at(0, 0), 2.0f);
+    EXPECT_FLOAT_EQ(nn::hadamard(a, b).at(0, 1), 10.0f);
+}
+
+TEST(Tensor, ScaleInPlace) {
+    nn::Matrix a{{2.0f, -4.0f}};
+    nn::scale_inplace(a, 0.5f);
+    EXPECT_FLOAT_EQ(a.at(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(a.at(0, 1), -2.0f);
+}
+
+TEST(Tensor, RowBlockAndGather) {
+    const nn::Matrix a{{1.0f}, {2.0f}, {3.0f}, {4.0f}};
+    const nn::Matrix block = nn::row_block(a, 1, 2);
+    EXPECT_EQ(block.rows(), 2u);
+    EXPECT_FLOAT_EQ(block.at(0, 0), 2.0f);
+    EXPECT_FLOAT_EQ(block.at(1, 0), 3.0f);
+
+    const std::vector<std::size_t> idx{3, 0};
+    const nn::Matrix g = nn::gather_rows(a, idx);
+    EXPECT_FLOAT_EQ(g.at(0, 0), 4.0f);
+    EXPECT_FLOAT_EQ(g.at(1, 0), 1.0f);
+}
+
+TEST(Tensor, GatherOutOfRangeThrows) {
+    const nn::Matrix a(2, 1);
+    const std::vector<std::size_t> idx{5};
+    EXPECT_THROW(nn::gather_rows(a, idx), std::out_of_range);
+}
+
+TEST(Tensor, RowBlockOutOfRangeThrows) {
+    const nn::Matrix a(2, 1);
+    EXPECT_THROW(nn::row_block(a, 1, 2), std::out_of_range);
+}
+
+// Property: (A*B)*C == A*(B*C) within float tolerance.
+class MatmulAssoc : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MatmulAssoc, Associativity) {
+    std::mt19937_64 rng(GetParam());
+    std::uniform_real_distribution<float> u(-1.0f, 1.0f);
+    nn::Matrix a(4, 6), b(6, 3), c(3, 5);
+    for (float& v : a.data()) v = u(rng);
+    for (float& v : b.data()) v = u(rng);
+    for (float& v : c.data()) v = u(rng);
+    EXPECT_LT(nn::max_abs_diff(nn::matmul(nn::matmul(a, b), c),
+                               nn::matmul(a, nn::matmul(b, c))),
+              1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatmulAssoc, ::testing::Range(1u, 8u));

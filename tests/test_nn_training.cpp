@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+
+namespace nn = wifisense::nn;
+
+namespace {
+
+// XOR-like dataset: not linearly separable, the canonical MLP sanity check.
+void make_xor(nn::Matrix& x, nn::Matrix& y, std::size_t n, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<float> u(-1.0f, 1.0f);
+    x = nn::Matrix(n, 2);
+    y = nn::Matrix(n, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float a = u(rng), b = u(rng);
+        x.at(i, 0) = a;
+        x.at(i, 1) = b;
+        y.at(i, 0) = (a * b > 0.0f) ? 1.0f : 0.0f;
+    }
+}
+
+}  // namespace
+
+TEST(Training, MlpLearnsXor) {
+    nn::Matrix x, y;
+    make_xor(x, y, 2'000, 77);
+    std::mt19937_64 rng(1);
+    nn::Mlp net({2, 16, 16, 1}, nn::Init::kKaimingUniform, rng);
+    const nn::BceWithLogitsLoss loss;
+
+    nn::TrainConfig cfg;
+    cfg.epochs = 40;
+    cfg.batch_size = 64;
+    cfg.learning_rate = 5e-3;
+    const nn::TrainHistory h = nn::train(net, x, y, loss, cfg);
+
+    EXPECT_LT(h.final_loss(), 0.15);
+    EXPECT_LT(h.final_loss(), h.epoch_loss.front());
+
+    // Evaluate on fresh data.
+    nn::Matrix xt, yt;
+    make_xor(xt, yt, 1'000, 78);
+    const std::vector<int> pred = nn::predict_binary(net, xt);
+    std::size_t hit = 0;
+    for (std::size_t i = 0; i < pred.size(); ++i)
+        hit += (pred[i] == static_cast<int>(yt.at(i, 0))) ? 1u : 0u;
+    EXPECT_GT(static_cast<double>(hit) / 1'000.0, 0.95);
+}
+
+TEST(Training, LossDecreasesMonotonicallyEnough) {
+    nn::Matrix x, y;
+    make_xor(x, y, 1'000, 5);
+    std::mt19937_64 rng(2);
+    nn::Mlp net({2, 8, 1}, nn::Init::kKaimingUniform, rng);
+    const nn::BceWithLogitsLoss loss;
+    nn::TrainConfig cfg;
+    cfg.epochs = 20;
+    const nn::TrainHistory h = nn::train(net, x, y, loss, cfg);
+    // Allow local bumps but require a clear overall downward trend.
+    EXPECT_LT(h.epoch_loss.back(), 0.7 * h.epoch_loss.front());
+}
+
+TEST(Training, DeterministicGivenSeed) {
+    nn::Matrix x, y;
+    make_xor(x, y, 500, 6);
+    const nn::BceWithLogitsLoss loss;
+    nn::TrainConfig cfg;
+    cfg.epochs = 3;
+    cfg.seed = 99;
+
+    std::mt19937_64 rng1(3), rng2(3);
+    nn::Mlp a({2, 8, 1}, nn::Init::kKaimingUniform, rng1);
+    nn::Mlp b({2, 8, 1}, nn::Init::kKaimingUniform, rng2);
+    const nn::TrainHistory ha = nn::train(a, x, y, loss, cfg);
+    const nn::TrainHistory hb = nn::train(b, x, y, loss, cfg);
+    ASSERT_EQ(ha.epoch_loss.size(), hb.epoch_loss.size());
+    for (std::size_t i = 0; i < ha.epoch_loss.size(); ++i)
+        EXPECT_DOUBLE_EQ(ha.epoch_loss[i], hb.epoch_loss[i]);
+}
+
+TEST(Training, EpochCallbackFires) {
+    nn::Matrix x, y;
+    make_xor(x, y, 200, 7);
+    std::mt19937_64 rng(4);
+    nn::Mlp net({2, 4, 1}, nn::Init::kKaimingUniform, rng);
+    const nn::BceWithLogitsLoss loss;
+    nn::TrainConfig cfg;
+    cfg.epochs = 5;
+    std::size_t calls = 0;
+    cfg.on_epoch = [&](std::size_t epoch, double l) {
+        EXPECT_EQ(epoch, calls);
+        EXPECT_TRUE(std::isfinite(l));
+        ++calls;
+    };
+    nn::train(net, x, y, loss, cfg);
+    EXPECT_EQ(calls, 5u);
+}
+
+TEST(Training, ShapeValidation) {
+    std::mt19937_64 rng(5);
+    nn::Mlp net({2, 4, 1}, nn::Init::kKaimingUniform, rng);
+    const nn::BceWithLogitsLoss loss;
+    nn::TrainConfig cfg;
+    EXPECT_THROW(nn::train(net, nn::Matrix(4, 3), nn::Matrix(4, 1), loss, cfg),
+                 std::invalid_argument);
+    EXPECT_THROW(nn::train(net, nn::Matrix(4, 2), nn::Matrix(3, 1), loss, cfg),
+                 std::invalid_argument);
+    EXPECT_THROW(nn::train(net, nn::Matrix(4, 2), nn::Matrix(4, 2), loss, cfg),
+                 std::invalid_argument);
+}
+
+TEST(Training, GradClipKeepsTrainingStableAtHugeLr) {
+    nn::Matrix x, y;
+    make_xor(x, y, 500, 8);
+    std::mt19937_64 rng(6);
+    nn::Mlp net({2, 8, 1}, nn::Init::kKaimingUniform, rng);
+    const nn::BceWithLogitsLoss loss;
+    nn::TrainConfig cfg;
+    cfg.epochs = 5;
+    cfg.learning_rate = 0.5;
+    cfg.grad_clip = 1.0;
+    const nn::TrainHistory h = nn::train(net, x, y, loss, cfg);
+    for (const double l : h.epoch_loss) EXPECT_TRUE(std::isfinite(l));
+}
+
+TEST(Training, PredictBatchingMatchesSingleShot) {
+    nn::Matrix x, y;
+    make_xor(x, y, 300, 9);
+    std::mt19937_64 rng(7);
+    nn::Mlp net({2, 8, 1}, nn::Init::kKaimingUniform, rng);
+    const nn::Matrix whole = nn::predict(net, x, 1'000'000);
+    const nn::Matrix batched = nn::predict(net, x, 32);
+    EXPECT_LT(nn::max_abs_diff(whole, batched), 1e-6f);
+}
+
+TEST(Training, RegressionHeadLearnsQuadratic) {
+    std::mt19937_64 rng(10);
+    std::uniform_real_distribution<float> u(-1.0f, 1.0f);
+    nn::Matrix x(3'000, 1), y(3'000, 1);
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+        x.at(i, 0) = u(rng);
+        y.at(i, 0) = x.at(i, 0) * x.at(i, 0);
+    }
+    nn::Mlp net({1, 32, 32, 1}, nn::Init::kKaimingUniform, rng);
+    const nn::MseLoss loss;
+    nn::TrainConfig cfg;
+    cfg.epochs = 40;
+    const nn::TrainHistory h = nn::train(net, x, y, loss, cfg);
+    EXPECT_LT(h.final_loss(), 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// Optimizers
+// ---------------------------------------------------------------------------
+
+TEST(Optimizers, AdamWMinimizesQuadratic) {
+    // Minimize f(w) = (w - 3)^2 via explicit gradient steps.
+    std::vector<float> w{0.0f};
+    std::vector<float> g{0.0f};
+    std::vector<nn::ParamView> params{{"w", w, g}};
+    nn::AdamW opt({.lr = 0.1, .weight_decay = 0.0});
+    for (int i = 0; i < 300; ++i) {
+        g[0] = 2.0f * (w[0] - 3.0f);
+        opt.step(params);
+    }
+    EXPECT_NEAR(w[0], 3.0f, 0.05f);
+}
+
+TEST(Optimizers, AdamWWeightDecayShrinksUnusedWeights) {
+    std::vector<float> w{1.0f};
+    std::vector<float> g{0.0f};  // zero gradient: only decay acts
+    std::vector<nn::ParamView> params{{"weight", w, g}};
+    nn::AdamW opt({.lr = 0.01, .weight_decay = 0.1});
+    for (int i = 0; i < 100; ++i) opt.step(params);
+    EXPECT_LT(w[0], 0.95f);
+    EXPECT_GT(w[0], 0.0f);
+}
+
+TEST(Optimizers, AdamWSkipsBiasDecayByDefault) {
+    std::vector<float> b{1.0f};
+    std::vector<float> g{0.0f};
+    std::vector<nn::ParamView> params{{"bias", b, g}};
+    nn::AdamW opt({.lr = 0.01, .weight_decay = 0.1});
+    for (int i = 0; i < 100; ++i) opt.step(params);
+    EXPECT_FLOAT_EQ(b[0], 1.0f);
+}
+
+TEST(Optimizers, SgdMomentumConvergesOnQuadratic) {
+    std::vector<float> w{0.0f};
+    std::vector<float> g{0.0f};
+    std::vector<nn::ParamView> params{{"w", w, g}};
+    nn::Sgd opt({.lr = 0.05, .momentum = 0.9});
+    for (int i = 0; i < 200; ++i) {
+        g[0] = 2.0f * (w[0] - 3.0f);
+        opt.step(params);
+    }
+    EXPECT_NEAR(w[0], 3.0f, 0.05f);
+}
+
+TEST(Optimizers, InvalidConfigThrows) {
+    EXPECT_THROW(nn::AdamW({.lr = 0.0}), std::invalid_argument);
+    EXPECT_THROW(nn::AdamW({.lr = 0.1, .beta1 = 1.0}), std::invalid_argument);
+    EXPECT_THROW(nn::Sgd({.lr = -1.0}), std::invalid_argument);
+}
+
+TEST(Optimizers, AdamWDetectsParameterSetChange) {
+    std::vector<float> w{0.0f}, g{0.0f};
+    std::vector<nn::ParamView> params{{"w", w, g}};
+    nn::AdamW opt;
+    opt.step(params);
+    std::vector<float> w2{0.0f, 1.0f}, g2{0.0f, 0.0f};
+    std::vector<nn::ParamView> params2{{"w", w2, g2}};
+    EXPECT_THROW(opt.step(params2), std::invalid_argument);
+}

@@ -1,0 +1,231 @@
+// Parameterized property sweeps: invariants that must hold across seeds,
+// shapes, scales, and configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <random>
+
+#include "csi/channel.hpp"
+#include "csi/receiver.hpp"
+#include "data/scaler.hpp"
+#include "ml/random_forest.hpp"
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+#include "stats/adf.hpp"
+#include "stats/metrics.hpp"
+
+namespace {
+using namespace wifisense;
+
+nn::Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<float> u(-2.0f, 2.0f);
+    nn::Matrix m(r, c);
+    for (float& v : m.data()) v = u(rng);
+    return m;
+}
+
+}  // namespace
+
+// --- serialization round-trip across architectures ----------------------------
+
+class SerializeArchSweep
+    : public ::testing::TestWithParam<std::vector<std::size_t>> {};
+
+TEST_P(SerializeArchSweep, RoundTripExactForAnyArchitecture) {
+    std::mt19937_64 rng(11);
+    nn::Mlp net(GetParam(), nn::Init::kKaimingUniform, rng);
+    std::stringstream buf;
+    nn::save_mlp(net, buf);
+    nn::Mlp loaded = nn::load_mlp(buf);
+    const nn::Matrix x = random_matrix(5, GetParam().front(), 12);
+    EXPECT_LT(nn::max_abs_diff(net.forward(x), loaded.forward(x)), 1e-7f);
+    EXPECT_EQ(loaded.parameter_count(), net.parameter_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, SerializeArchSweep,
+    ::testing::Values(std::vector<std::size_t>{1, 1},
+                      std::vector<std::size_t>{3, 7, 2},
+                      std::vector<std::size_t>{64, 128, 256, 128, 1},
+                      std::vector<std::size_t>{10, 5, 5, 5, 3}));
+
+// --- BCE loss bounds across logit scales ---------------------------------------
+
+class BceScaleSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(BceScaleSweep, LossAndGradAlwaysFiniteAndBounded) {
+    const nn::BceWithLogitsLoss loss;
+    nn::Matrix out = random_matrix(16, 1, 13);
+    nn::scale_inplace(out, GetParam());
+    nn::Matrix tgt(16, 1);
+    for (std::size_t i = 0; i < 16; ++i) tgt.at(i, 0) = static_cast<float>(i % 2);
+    const nn::LossResult r = loss.compute(out, tgt);
+    EXPECT_TRUE(std::isfinite(r.value));
+    EXPECT_GE(r.value, 0.0);
+    for (const float g : r.grad.data()) {
+        EXPECT_TRUE(std::isfinite(g));
+        EXPECT_LE(std::abs(g), 1.0f / 16.0f + 1e-6f);  // |sigmoid - y| <= 1 / N
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, BceScaleSweep,
+                         ::testing::Values(0.01f, 1.0f, 30.0f, 1000.0f));
+
+// --- scaler: transform is exact inverse of the statistics ----------------------
+
+class ScalerSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ScalerSweep, ZScoresHaveUnitSampleVariance) {
+    const nn::Matrix x = random_matrix(400, 5, GetParam());
+    data::StandardScaler scaler;
+    const nn::Matrix z = scaler.fit_transform(x);
+    for (std::size_t c = 0; c < 5; ++c) {
+        double mean = 0.0;
+        for (std::size_t r = 0; r < z.rows(); ++r) mean += z.at(r, c);
+        mean /= static_cast<double>(z.rows());
+        double var = 0.0;
+        for (std::size_t r = 0; r < z.rows(); ++r) {
+            const double d = z.at(r, c) - mean;
+            var += d * d;
+        }
+        var /= static_cast<double>(z.rows() - 1);
+        EXPECT_NEAR(mean, 0.0, 1e-4);
+        EXPECT_NEAR(var, 1.0, 1e-3);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScalerSweep, ::testing::Range(21u, 27u));
+
+// --- channel physics: amplitude scaling laws ------------------------------------
+
+class ChannelDistanceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChannelDistanceSweep, LosAmplitudeFollowsInverseDistance) {
+    csi::ChannelConfig cfg;
+    cfg.surfaces = {0.0, 0.0, 0.0};
+    cfg.n_furniture = 0;
+    csi::RoomGeometry room;
+    room.rx.x = room.tx.x + GetParam();
+    const csi::ChannelModel ch(room, cfg, 5);
+    // Vapor density 0 disables the humidity attenuation term.
+    const auto h = ch.frequency_response({21.0, 0.0}, {});
+    const double lambda = 299792458.0 / cfg.center_freq_hz;
+    EXPECT_NEAR(std::abs(h[0]), lambda / (4.0 * 3.14159265358979 * GetParam()),
+                1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, ChannelDistanceSweep,
+                         ::testing::Values(1.0, 2.0, 4.0, 6.0));
+
+// --- channel: humidity attenuation is monotone ---------------------------------
+
+class HumiditySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HumiditySweep, MeanAmplitudeDecreasesWithVapor) {
+    const csi::ChannelModel ch(csi::RoomGeometry{}, csi::ChannelConfig{}, 6);
+    const auto mean_amp = [&](double vapor) {
+        const auto h = ch.frequency_response({21.0, vapor}, {});
+        double acc = 0.0;
+        for (const auto& v : h) acc += std::abs(v);
+        return acc / static_cast<double>(h.size());
+    };
+    EXPECT_GT(mean_amp(GetParam()), mean_amp(GetParam() + 3.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(VaporLevels, HumiditySweep,
+                         ::testing::Values(2.0, 5.0, 8.0, 11.0));
+
+// --- receiver determinism across seeds ------------------------------------------
+
+class ReceiverSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReceiverSeedSweep, SameSeedSameSamples) {
+    const csi::ChannelModel ch(csi::RoomGeometry{}, csi::ChannelConfig{}, 7);
+    const auto h = ch.frequency_response(csi::EnvironmentState{}, {});
+    csi::Receiver a(csi::ReceiverConfig{}, GetParam());
+    csi::Receiver b(csi::ReceiverConfig{}, GetParam());
+    const auto sa = a.sample_amplitudes(h);
+    const auto sb = b.sample_amplitudes(h);
+    for (std::size_t k = 0; k < sa.size(); ++k) ASSERT_EQ(sa[k], sb[k]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReceiverSeedSweep,
+                         ::testing::Values(1u, 42u, 31337u));
+
+// --- random forest: accuracy is stable across seeds ------------------------------
+
+class ForestSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ForestSeedSweep, XorAccuracyStableAcrossSeeds) {
+    std::mt19937_64 data_rng(99);
+    std::uniform_real_distribution<float> u(-1.0f, 1.0f);
+    nn::Matrix x(2'000, 2);
+    std::vector<int> y(2'000);
+    for (std::size_t i = 0; i < 2'000; ++i) {
+        x.at(i, 0) = u(data_rng);
+        x.at(i, 1) = u(data_rng);
+        y[i] = x.at(i, 0) * x.at(i, 1) > 0.0f ? 1 : 0;
+    }
+    ml::RandomForest forest({.n_trees = 15, .seed = GetParam()});
+    forest.fit(x, y);
+    const std::vector<int> pred = forest.predict(x);
+    std::size_t hit = 0;
+    for (std::size_t i = 0; i < pred.size(); ++i) hit += pred[i] == y[i] ? 1u : 0u;
+    EXPECT_GT(static_cast<double>(hit) / 2'000.0, 0.92);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForestSeedSweep, ::testing::Values(1u, 7u, 42u, 99u));
+
+// --- ADF size/power across AR coefficients ---------------------------------------
+
+class AdfPhiSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AdfPhiSweep, VerdictMatchesProcessClass) {
+    std::mt19937_64 rng(55);
+    std::normal_distribution<double> step(0.0, 1.0);
+    std::vector<double> xs(6'000);
+    xs[0] = 0.0;
+    const double phi = GetParam();
+    for (std::size_t i = 1; i < xs.size(); ++i) xs[i] = phi * xs[i - 1] + step(rng);
+    const stats::AdfResult r = stats::adf_test(std::span<const double>(xs), 4);
+    if (phi <= 0.9) EXPECT_TRUE(r.stationary_5pct) << "phi=" << phi;
+    if (phi >= 1.0) EXPECT_FALSE(r.stationary_5pct) << "phi=" << phi;
+}
+
+INSTANTIATE_TEST_SUITE_P(Phi, AdfPhiSweep,
+                         ::testing::Values(0.0, 0.5, 0.8, 0.9, 1.0));
+
+// --- training convergence across learning rates ----------------------------------
+
+class LrSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LrSweep, BlobsSeparableAtAnyReasonableLr) {
+    std::mt19937_64 data_rng(66);
+    std::normal_distribution<float> noise(0.0f, 0.5f);
+    nn::Matrix x(1'000, 2), y(1'000, 1);
+    for (std::size_t i = 0; i < 1'000; ++i) {
+        const int label = static_cast<int>(i % 2);
+        x.at(i, 0) = noise(data_rng) + (label != 0 ? 1.5f : -1.5f);
+        x.at(i, 1) = noise(data_rng);
+        y.at(i, 0) = static_cast<float>(label);
+    }
+    std::mt19937_64 rng(3);
+    nn::Mlp net({2, 8, 1}, nn::Init::kKaimingUniform, rng);
+    const nn::BceWithLogitsLoss loss;
+    nn::TrainConfig cfg;
+    cfg.epochs = 40;
+    cfg.learning_rate = GetParam();
+    nn::train(net, x, y, loss, cfg);
+    const std::vector<int> pred = nn::predict_binary(net, x);
+    std::size_t hit = 0;
+    for (std::size_t i = 0; i < pred.size(); ++i)
+        hit += pred[i] == static_cast<int>(y.at(i, 0)) ? 1u : 0u;
+    EXPECT_GT(static_cast<double>(hit) / 1'000.0, 0.97) << "lr=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(LearningRates, LrSweep,
+                         ::testing::Values(2e-3, 5e-3, 1e-2, 2e-2));

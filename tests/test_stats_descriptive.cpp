@@ -1,0 +1,132 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace ws = wifisense::stats;
+
+TEST(Descriptive, MeanOfKnownValues) {
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(ws::mean(std::span<const double>(xs)), 2.5);
+}
+
+TEST(Descriptive, MeanOfEmptyRangeIsZero) {
+    const std::vector<double> xs;
+    EXPECT_DOUBLE_EQ(ws::mean(std::span<const double>(xs)), 0.0);
+}
+
+TEST(Descriptive, MeanFloatOverloadMatchesDouble) {
+    const std::vector<float> xf{1.5f, 2.5f, 3.5f};
+    EXPECT_NEAR(ws::mean(std::span<const float>(xf)), 2.5, 1e-12);
+}
+
+TEST(Descriptive, VarianceUsesUnbiasedNormalization) {
+    const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    // Known: population variance 4, sample variance 4 * 8/7.
+    EXPECT_NEAR(ws::variance(std::span<const double>(xs)), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Descriptive, VarianceOfSingleElementIsZero) {
+    const std::vector<double> xs{42.0};
+    EXPECT_DOUBLE_EQ(ws::variance(std::span<const double>(xs)), 0.0);
+}
+
+TEST(Descriptive, StddevIsSqrtOfVariance) {
+    const std::vector<double> xs{1.0, 3.0, 5.0};
+    EXPECT_NEAR(ws::stddev(std::span<const double>(xs)),
+                std::sqrt(ws::variance(std::span<const double>(xs))), 1e-15);
+}
+
+TEST(Descriptive, QuantileEndpointsAreMinMax) {
+    const std::vector<double> xs{7.0, 1.0, 5.0, 3.0};
+    EXPECT_DOUBLE_EQ(ws::quantile(std::span<const double>(xs), 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(ws::quantile(std::span<const double>(xs), 1.0), 7.0);
+}
+
+TEST(Descriptive, QuantileInterpolatesLinearly) {
+    const std::vector<double> xs{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(ws::quantile(std::span<const double>(xs), 0.25), 2.5);
+}
+
+TEST(Descriptive, QuantileRejectsBadInputs) {
+    const std::vector<double> empty;
+    EXPECT_THROW(ws::quantile(std::span<const double>(empty), 0.5),
+                 std::invalid_argument);
+    const std::vector<double> xs{1.0};
+    EXPECT_THROW(ws::quantile(std::span<const double>(xs), 1.5), std::invalid_argument);
+}
+
+TEST(Descriptive, SummaryAgreesWithDirectComputation) {
+    std::mt19937_64 rng(7);
+    std::normal_distribution<double> dist(5.0, 2.0);
+    std::vector<double> xs(10'000);
+    for (double& v : xs) v = dist(rng);
+
+    const ws::Summary s = ws::summarize(std::span<const double>(xs));
+    EXPECT_EQ(s.count, xs.size());
+    EXPECT_NEAR(s.mean, ws::mean(std::span<const double>(xs)), 1e-12);
+    EXPECT_NEAR(s.variance, ws::variance(std::span<const double>(xs)), 1e-9);
+    EXPECT_NEAR(s.mean, 5.0, 0.1);
+    EXPECT_NEAR(s.stddev, 2.0, 0.1);
+    EXPECT_NEAR(s.median, 5.0, 0.1);
+    EXPECT_LT(s.q25, s.median);
+    EXPECT_LT(s.median, s.q75);
+    EXPECT_LE(s.min, s.q25);
+    EXPECT_GE(s.max, s.q75);
+}
+
+TEST(Descriptive, SummaryToStringMentionsEveryField) {
+    const std::vector<double> xs{1.0, 2.0, 3.0};
+    const std::string s = ws::to_string(ws::summarize(std::span<const double>(xs)));
+    EXPECT_NE(s.find("n=3"), std::string::npos);
+    EXPECT_NE(s.find("mean="), std::string::npos);
+    EXPECT_NE(s.find("med="), std::string::npos);
+}
+
+TEST(Descriptive, DiffProducesFirstDifferences) {
+    const std::vector<double> xs{1.0, 4.0, 9.0, 16.0};
+    const std::vector<double> d = ws::diff(std::span<const double>(xs));
+    ASSERT_EQ(d.size(), 3u);
+    EXPECT_DOUBLE_EQ(d[0], 3.0);
+    EXPECT_DOUBLE_EQ(d[1], 5.0);
+    EXPECT_DOUBLE_EQ(d[2], 7.0);
+}
+
+TEST(Descriptive, DiffOfShortSeriesIsEmpty) {
+    const std::vector<double> xs{1.0};
+    EXPECT_TRUE(ws::diff(std::span<const double>(xs)).empty());
+}
+
+TEST(Descriptive, LagDropsTailElements) {
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> l = ws::lag(std::span<const double>(xs), 2);
+    ASSERT_EQ(l.size(), 2u);
+    EXPECT_DOUBLE_EQ(l[0], 1.0);
+    EXPECT_DOUBLE_EQ(l[1], 2.0);
+}
+
+// Property: for any affine transform y = a*x + b, mean and sd transform
+// accordingly.
+class DescriptiveAffine : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(DescriptiveAffine, MeanAndSdTransformCorrectly) {
+    const auto [a, b] = GetParam();
+    std::mt19937_64 rng(11);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::vector<double> xs(2'000), ys(2'000);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        xs[i] = dist(rng);
+        ys[i] = a * xs[i] + b;
+    }
+    EXPECT_NEAR(ws::mean(std::span<const double>(ys)),
+                a * ws::mean(std::span<const double>(xs)) + b, 1e-9);
+    EXPECT_NEAR(ws::stddev(std::span<const double>(ys)),
+                std::abs(a) * ws::stddev(std::span<const double>(xs)), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AffineSweep, DescriptiveAffine,
+                         ::testing::Values(std::pair{2.0, 0.0}, std::pair{-3.0, 1.0},
+                                           std::pair{0.5, -10.0}, std::pair{1.0, 100.0}));

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "stats/adf.hpp"
+#include "stats/ols.hpp"
+
+namespace ws = wifisense::stats;
+
+namespace {
+std::span<const double> sp(const std::vector<double>& v) { return v; }
+}  // namespace
+
+TEST(Ols, RecoversExactLinearRelation) {
+    // y = 3 + 2*x, noiseless.
+    ws::DesignMatrix X;
+    X.rows = 10;
+    X.cols = 2;
+    X.values.resize(20);
+    std::vector<double> y(10);
+    for (std::size_t i = 0; i < 10; ++i) {
+        X.at(i, 0) = 1.0;
+        X.at(i, 1) = static_cast<double>(i);
+        y[i] = 3.0 + 2.0 * static_cast<double>(i);
+    }
+    const ws::OlsFit fit = ws::ols(X, y);
+    EXPECT_NEAR(fit.beta[0], 3.0, 1e-9);
+    EXPECT_NEAR(fit.beta[1], 2.0, 1e-9);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+    EXPECT_NEAR(fit.sigma2, 0.0, 1e-12);
+}
+
+TEST(Ols, RecoversCoefficientsUnderNoise) {
+    std::mt19937_64 rng(9);
+    std::normal_distribution<double> noise(0.0, 0.5);
+    std::uniform_real_distribution<double> ux(-5.0, 5.0);
+    const std::size_t n = 20'000;
+    ws::DesignMatrix X;
+    X.rows = n;
+    X.cols = 3;
+    X.values.resize(n * 3);
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x1 = ux(rng), x2 = ux(rng);
+        X.at(i, 0) = 1.0;
+        X.at(i, 1) = x1;
+        X.at(i, 2) = x2;
+        y[i] = 1.5 - 0.7 * x1 + 0.2 * x2 + noise(rng);
+    }
+    const ws::OlsFit fit = ws::ols(X, y);
+    EXPECT_NEAR(fit.beta[0], 1.5, 0.02);
+    EXPECT_NEAR(fit.beta[1], -0.7, 0.01);
+    EXPECT_NEAR(fit.beta[2], 0.2, 0.01);
+    EXPECT_NEAR(std::sqrt(fit.sigma2), 0.5, 0.02);
+    // t statistics of real effects should be enormous at n = 20k.
+    EXPECT_GT(std::abs(fit.t_stat(1)), 50.0);
+}
+
+TEST(Ols, ResidualsSumToZeroWithIntercept) {
+    std::mt19937_64 rng(4);
+    std::normal_distribution<double> noise(0.0, 1.0);
+    ws::DesignMatrix X;
+    X.rows = 500;
+    X.cols = 2;
+    X.values.resize(1000);
+    std::vector<double> y(500);
+    for (std::size_t i = 0; i < 500; ++i) {
+        X.at(i, 0) = 1.0;
+        X.at(i, 1) = noise(rng);
+        y[i] = 2.0 * X.at(i, 1) + noise(rng);
+    }
+    const ws::OlsFit fit = ws::ols(X, y);
+    double sum = 0.0;
+    for (const double r : fit.residuals) sum += r;
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+}
+
+TEST(Ols, ShapeErrorsThrow) {
+    ws::DesignMatrix X;
+    X.rows = 3;
+    X.cols = 3;
+    X.values.assign(9, 1.0);
+    std::vector<double> y(3, 0.0);
+    EXPECT_THROW(ws::ols(X, y), std::invalid_argument);  // n <= p
+    X.rows = 4;
+    EXPECT_THROW(ws::ols(X, y), std::invalid_argument);  // y length mismatch
+}
+
+TEST(SolveSpd, SolvesKnownSystem) {
+    // A = [[4,1],[1,3]], b = [1,2] => x = [1/11, 7/11].
+    const std::vector<double> A{4.0, 1.0, 1.0, 3.0};
+    const std::vector<double> b{1.0, 2.0};
+    const std::vector<double> x = ws::solve_spd(A, b, 2);
+    EXPECT_NEAR(x[0], 1.0 / 11.0, 1e-12);
+    EXPECT_NEAR(x[1], 7.0 / 11.0, 1e-12);
+}
+
+TEST(SolveSpd, RejectsIndefiniteMatrix) {
+    const std::vector<double> A{1.0, 0.0, 0.0, -1.0};
+    const std::vector<double> b{1.0, 1.0};
+    EXPECT_THROW(ws::solve_spd(A, b, 2), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// ADF
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<double> random_walk(std::size_t n, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<double> step(0.0, 1.0);
+    std::vector<double> xs(n);
+    xs[0] = 0.0;
+    for (std::size_t i = 1; i < n; ++i) xs[i] = xs[i - 1] + step(rng);
+    return xs;
+}
+
+std::vector<double> ar1(std::size_t n, double phi, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<double> step(0.0, 1.0);
+    std::vector<double> xs(n);
+    xs[0] = 0.0;
+    for (std::size_t i = 1; i < n; ++i) xs[i] = phi * xs[i - 1] + step(rng);
+    return xs;
+}
+
+}  // namespace
+
+TEST(Adf, StationaryAr1Rejected) {
+    const std::vector<double> xs = ar1(5'000, 0.5, 21);
+    const ws::AdfResult r = ws::adf_test(sp(xs), 4);
+    EXPECT_LT(r.statistic, r.crit_1pct);
+    EXPECT_TRUE(r.stationary_5pct);
+}
+
+TEST(Adf, WhiteNoiseStronglyRejected) {
+    const std::vector<double> xs = ar1(2'000, 0.0, 22);
+    const ws::AdfResult r = ws::adf_test(sp(xs), 2);
+    EXPECT_TRUE(r.stationary_5pct);
+    EXPECT_LT(r.statistic, -20.0);
+}
+
+TEST(Adf, RandomWalkNotRejected) {
+    const std::vector<double> xs = random_walk(5'000, 23);
+    const ws::AdfResult r = ws::adf_test(sp(xs), 4);
+    EXPECT_FALSE(r.stationary_5pct);
+    EXPECT_GT(r.statistic, r.crit_1pct);
+}
+
+TEST(Adf, NearUnitRootHarderThanFarFromUnitRoot) {
+    const ws::AdfResult near = ws::adf_test(sp(ar1(4'000, 0.995, 31)), 4);
+    const ws::AdfResult far = ws::adf_test(sp(ar1(4'000, 0.5, 31)), 4);
+    EXPECT_LT(far.statistic, near.statistic);
+}
+
+TEST(Adf, AutoLagSelectionRuns) {
+    const std::vector<double> xs = ar1(3'000, 0.6, 37);
+    const ws::AdfResult r = ws::adf_test_auto(sp(xs));
+    EXPECT_GT(r.lags, 0u);
+    EXPECT_TRUE(r.stationary_5pct);
+}
+
+TEST(Adf, TooShortSeriesThrows) {
+    const std::vector<double> xs(10, 1.0);
+    EXPECT_THROW(ws::adf_test(sp(xs), 4), std::invalid_argument);
+}
+
+TEST(Adf, ToStringMentionsVerdict) {
+    const std::vector<double> xs = ar1(1'000, 0.3, 41);
+    const ws::AdfResult r = ws::adf_test(sp(xs), 2);
+    EXPECT_NE(r.to_string().find("stationary"), std::string::npos);
+}
+
+TEST(Adf, MacKinnonValuesMatchPublishedAsymptotics) {
+    // Asymptotic critical values for the constant-only case: -3.43 / -2.86 / -2.57.
+    EXPECT_NEAR(ws::mackinnon_critical_value(0.01, 100'000, ws::AdfRegression::kConstant),
+                -3.4304, 0.01);
+    EXPECT_NEAR(ws::mackinnon_critical_value(0.05, 100'000, ws::AdfRegression::kConstant),
+                -2.8615, 0.01);
+    EXPECT_NEAR(ws::mackinnon_critical_value(0.10, 100'000, ws::AdfRegression::kConstant),
+                -2.5668, 0.01);
+    // Small samples get more negative critical values.
+    EXPECT_LT(ws::mackinnon_critical_value(0.05, 50, ws::AdfRegression::kConstant),
+              ws::mackinnon_critical_value(0.05, 5'000, ws::AdfRegression::kConstant));
+}
+
+TEST(Adf, TrendVariantHasMoreNegativeCriticalValues) {
+    EXPECT_LT(
+        ws::mackinnon_critical_value(0.05, 1'000, ws::AdfRegression::kConstantAndTrend),
+        ws::mackinnon_critical_value(0.05, 1'000, ws::AdfRegression::kConstant));
+}
+
+// Property sweep: the test keeps its size (rejects stationary AR(1)) across
+// lag orders.
+class AdfLagSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AdfLagSweep, StationarySeriesRejectedAtAnyReasonableLag) {
+    const std::vector<double> xs = ar1(6'000, 0.7, 55);
+    const ws::AdfResult r = ws::adf_test(sp(xs), GetParam());
+    EXPECT_TRUE(r.stationary_5pct) << "lags=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Lags, AdfLagSweep, ::testing::Values(1, 2, 4, 8, 16, 32));

@@ -1,0 +1,135 @@
+#include "xai/gradcam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "nn/loss.hpp"
+#include "nn/trainer.hpp"
+
+namespace nn = wifisense::nn;
+namespace xai = wifisense::xai;
+
+namespace {
+
+// Dataset where only feature 0 carries the label; features 1..d-1 are noise.
+void make_single_feature_data(nn::Matrix& x, nn::Matrix& y, std::size_t n,
+                              std::size_t d, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<float> noise(0.0f, 1.0f);
+    x = nn::Matrix(n, d);
+    y = nn::Matrix(n, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t c = 0; c < d; ++c) x.at(i, c) = noise(rng);
+        y.at(i, 0) = x.at(i, 0) > 0.0f ? 1.0f : 0.0f;
+    }
+}
+
+nn::Mlp trained_single_feature_net(const nn::Matrix& x, const nn::Matrix& y,
+                                   std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    nn::Mlp net({x.cols(), 16, 8, 1}, nn::Init::kKaimingUniform, rng);
+    const nn::BceWithLogitsLoss loss;
+    nn::TrainConfig cfg;
+    cfg.epochs = 20;
+    nn::train(net, x, y, loss, cfg);
+    return net;
+}
+
+}  // namespace
+
+TEST(GradCam, AttributesToTheInformativeFeature) {
+    nn::Matrix x, y;
+    make_single_feature_data(x, y, 3'000, 6, 11);
+    nn::Mlp net = trained_single_feature_net(x, y, 1);
+
+    const xai::GradCam cam(net);
+    // Evaluate on the positive-class samples so activation * gradient has a
+    // consistent sign on the informative feature.
+    std::vector<std::size_t> pos;
+    for (std::size_t i = 0; i < x.rows(); ++i)
+        if (y.at(i, 0) > 0.5f) pos.push_back(i);
+    const nn::Matrix xp = nn::gather_rows(x, pos);
+    const xai::GradCamResult res = cam.explain(xp, {.target_class = 1});
+
+    ASSERT_EQ(res.input_importance.size(), 6u);
+    double best = std::abs(res.input_importance[0]);
+    for (std::size_t c = 1; c < 6; ++c)
+        EXPECT_GT(best, 3.0 * std::abs(res.input_importance[c]))
+            << "noise feature " << c << " outweighs the signal";
+}
+
+TEST(GradCam, OppositeClassFlipsSign) {
+    nn::Matrix x, y;
+    make_single_feature_data(x, y, 2'000, 4, 12);
+    nn::Mlp net = trained_single_feature_net(x, y, 2);
+    const xai::GradCam cam(net);
+    const xai::GradCamResult for1 = cam.explain(x, {.target_class = 1});
+    const xai::GradCamResult for0 = cam.explain(x, {.target_class = 0});
+    for (std::size_t c = 0; c < 4; ++c)
+        EXPECT_NEAR(for1.input_importance[c], -for0.input_importance[c], 1e-9);
+}
+
+TEST(GradCam, ReluOptionClampsNegatives) {
+    nn::Matrix x, y;
+    make_single_feature_data(x, y, 1'000, 4, 13);
+    nn::Mlp net = trained_single_feature_net(x, y, 3);
+    const xai::GradCam cam(net);
+    const xai::GradCamResult res = cam.explain(x, {.target_class = 1, .apply_relu = true});
+    for (const double v : res.input_importance) EXPECT_GE(v, 0.0);
+}
+
+TEST(GradCam, LayerMapsCoverEveryLayer) {
+    nn::Matrix x, y;
+    make_single_feature_data(x, y, 500, 4, 14);
+    nn::Mlp net = trained_single_feature_net(x, y, 4);
+    const xai::GradCam cam(net);
+    const xai::GradCamResult res = cam.explain(x);
+    EXPECT_EQ(res.layer_importance.size(), net.layers().size());
+    EXPECT_EQ(res.layer_alpha.size(), net.layers().size());
+    for (std::size_t l = 0; l < net.layers().size(); ++l)
+        EXPECT_EQ(res.layer_importance[l].size(), net.layers()[l]->output_size());
+}
+
+TEST(GradCam, SanityCheckRandomizationDecorrelatesMaps) {
+    // Adebayo et al.: a faithful saliency method must change when the model
+    // weights are randomized.
+    nn::Matrix x, y;
+    make_single_feature_data(x, y, 3'000, 8, 15);
+    nn::Mlp net = trained_single_feature_net(x, y, 5);
+    const xai::GradCam cam(net);
+    const std::vector<double> trained = cam.explain(x).input_importance;
+
+    xai::randomize_weights(net, 777);
+    const std::vector<double> randomized = cam.explain(x).input_importance;
+
+    const double rho = xai::importance_correlation(trained, randomized);
+    EXPECT_LT(std::abs(rho), 0.9);
+
+    double changed = 0.0;
+    for (std::size_t c = 0; c < trained.size(); ++c)
+        changed += std::abs(trained[c] - randomized[c]);
+    EXPECT_GT(changed, 1e-6);
+}
+
+TEST(GradCam, GradientsAreZeroedAfterExplain) {
+    nn::Matrix x, y;
+    make_single_feature_data(x, y, 200, 4, 16);
+    nn::Mlp net = trained_single_feature_net(x, y, 6);
+    const xai::GradCam cam(net);
+    (void)cam.explain(x);
+    for (nn::ParamView& p : net.parameters())
+        for (const float g : p.grads) EXPECT_FLOAT_EQ(g, 0.0f);
+}
+
+TEST(GradCam, RejectsBadInputs) {
+    std::mt19937_64 rng(7);
+    nn::Mlp multi({4, 8, 2}, nn::Init::kKaimingUniform, rng);
+    const xai::GradCam cam_multi(multi);
+    EXPECT_THROW(cam_multi.explain(nn::Matrix(2, 4)), std::invalid_argument);
+
+    nn::Mlp single({4, 8, 1}, nn::Init::kKaimingUniform, rng);
+    const xai::GradCam cam(single);
+    EXPECT_THROW(cam.explain(nn::Matrix(0, 4)), std::invalid_argument);
+}
