@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/environment_sensing.cpp" "examples/CMakeFiles/environment_sensing.dir/environment_sensing.cpp.o" "gcc" "examples/CMakeFiles/environment_sensing.dir/environment_sensing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wifisense_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/envsim/CMakeFiles/wifisense_envsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/csi/CMakeFiles/wifisense_csi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/wifisense_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xai/CMakeFiles/wifisense_xai.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wifisense_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/wifisense_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wifisense_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/environment_sensing.dir/environment_sensing.cpp.o"
+  "CMakeFiles/environment_sensing.dir/environment_sensing.cpp.o.d"
+  "environment_sensing"
+  "environment_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/environment_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for environment_sensing.
+# This may be replaced when dependencies are built.

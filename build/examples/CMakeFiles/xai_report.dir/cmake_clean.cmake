@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xai_report.dir/xai_report.cpp.o"
+  "CMakeFiles/xai_report.dir/xai_report.cpp.o.d"
+  "xai_report"
+  "xai_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xai_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifisense_core.dir/experiments.cpp.o"
+  "CMakeFiles/wifisense_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/wifisense_core.dir/extensions.cpp.o"
+  "CMakeFiles/wifisense_core.dir/extensions.cpp.o.d"
+  "CMakeFiles/wifisense_core.dir/occupancy_detector.cpp.o"
+  "CMakeFiles/wifisense_core.dir/occupancy_detector.cpp.o.d"
+  "CMakeFiles/wifisense_core.dir/postprocess.cpp.o"
+  "CMakeFiles/wifisense_core.dir/postprocess.cpp.o.d"
+  "libwifisense_core.a"
+  "libwifisense_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifisense_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

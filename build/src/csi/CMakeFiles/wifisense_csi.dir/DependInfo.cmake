@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/csi/channel.cpp" "src/csi/CMakeFiles/wifisense_csi.dir/channel.cpp.o" "gcc" "src/csi/CMakeFiles/wifisense_csi.dir/channel.cpp.o.d"
+  "/root/repo/src/csi/geometry.cpp" "src/csi/CMakeFiles/wifisense_csi.dir/geometry.cpp.o" "gcc" "src/csi/CMakeFiles/wifisense_csi.dir/geometry.cpp.o.d"
+  "/root/repo/src/csi/phase.cpp" "src/csi/CMakeFiles/wifisense_csi.dir/phase.cpp.o" "gcc" "src/csi/CMakeFiles/wifisense_csi.dir/phase.cpp.o.d"
+  "/root/repo/src/csi/receiver.cpp" "src/csi/CMakeFiles/wifisense_csi.dir/receiver.cpp.o" "gcc" "src/csi/CMakeFiles/wifisense_csi.dir/receiver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

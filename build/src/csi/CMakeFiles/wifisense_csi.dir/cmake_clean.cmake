@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifisense_csi.dir/channel.cpp.o"
+  "CMakeFiles/wifisense_csi.dir/channel.cpp.o.d"
+  "CMakeFiles/wifisense_csi.dir/geometry.cpp.o"
+  "CMakeFiles/wifisense_csi.dir/geometry.cpp.o.d"
+  "CMakeFiles/wifisense_csi.dir/phase.cpp.o"
+  "CMakeFiles/wifisense_csi.dir/phase.cpp.o.d"
+  "CMakeFiles/wifisense_csi.dir/receiver.cpp.o"
+  "CMakeFiles/wifisense_csi.dir/receiver.cpp.o.d"
+  "libwifisense_csi.a"
+  "libwifisense_csi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifisense_csi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifisense_data.dir/binary_io.cpp.o"
+  "CMakeFiles/wifisense_data.dir/binary_io.cpp.o.d"
+  "CMakeFiles/wifisense_data.dir/csv.cpp.o"
+  "CMakeFiles/wifisense_data.dir/csv.cpp.o.d"
+  "CMakeFiles/wifisense_data.dir/dataset.cpp.o"
+  "CMakeFiles/wifisense_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/wifisense_data.dir/folds.cpp.o"
+  "CMakeFiles/wifisense_data.dir/folds.cpp.o.d"
+  "CMakeFiles/wifisense_data.dir/scaler.cpp.o"
+  "CMakeFiles/wifisense_data.dir/scaler.cpp.o.d"
+  "CMakeFiles/wifisense_data.dir/simtime.cpp.o"
+  "CMakeFiles/wifisense_data.dir/simtime.cpp.o.d"
+  "libwifisense_data.a"
+  "libwifisense_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifisense_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwifisense_data.a"
+)

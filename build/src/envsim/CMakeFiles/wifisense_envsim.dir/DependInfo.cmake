@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/envsim/occupants.cpp" "src/envsim/CMakeFiles/wifisense_envsim.dir/occupants.cpp.o" "gcc" "src/envsim/CMakeFiles/wifisense_envsim.dir/occupants.cpp.o.d"
+  "/root/repo/src/envsim/sensor.cpp" "src/envsim/CMakeFiles/wifisense_envsim.dir/sensor.cpp.o" "gcc" "src/envsim/CMakeFiles/wifisense_envsim.dir/sensor.cpp.o.d"
+  "/root/repo/src/envsim/simulation.cpp" "src/envsim/CMakeFiles/wifisense_envsim.dir/simulation.cpp.o" "gcc" "src/envsim/CMakeFiles/wifisense_envsim.dir/simulation.cpp.o.d"
+  "/root/repo/src/envsim/thermal.cpp" "src/envsim/CMakeFiles/wifisense_envsim.dir/thermal.cpp.o" "gcc" "src/envsim/CMakeFiles/wifisense_envsim.dir/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/csi/CMakeFiles/wifisense_csi.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wifisense_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/wifisense_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

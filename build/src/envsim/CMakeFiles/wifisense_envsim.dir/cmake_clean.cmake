@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifisense_envsim.dir/occupants.cpp.o"
+  "CMakeFiles/wifisense_envsim.dir/occupants.cpp.o.d"
+  "CMakeFiles/wifisense_envsim.dir/sensor.cpp.o"
+  "CMakeFiles/wifisense_envsim.dir/sensor.cpp.o.d"
+  "CMakeFiles/wifisense_envsim.dir/simulation.cpp.o"
+  "CMakeFiles/wifisense_envsim.dir/simulation.cpp.o.d"
+  "CMakeFiles/wifisense_envsim.dir/thermal.cpp.o"
+  "CMakeFiles/wifisense_envsim.dir/thermal.cpp.o.d"
+  "libwifisense_envsim.a"
+  "libwifisense_envsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifisense_envsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wifisense_envsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/wifisense_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/wifisense_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/wifisense_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/wifisense_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/linear_regression.cpp" "src/ml/CMakeFiles/wifisense_ml.dir/linear_regression.cpp.o" "gcc" "src/ml/CMakeFiles/wifisense_ml.dir/linear_regression.cpp.o.d"
+  "/root/repo/src/ml/logistic_regression.cpp" "src/ml/CMakeFiles/wifisense_ml.dir/logistic_regression.cpp.o" "gcc" "src/ml/CMakeFiles/wifisense_ml.dir/logistic_regression.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/wifisense_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/wifisense_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/time_baseline.cpp" "src/ml/CMakeFiles/wifisense_ml.dir/time_baseline.cpp.o" "gcc" "src/ml/CMakeFiles/wifisense_ml.dir/time_baseline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/wifisense_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wifisense_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

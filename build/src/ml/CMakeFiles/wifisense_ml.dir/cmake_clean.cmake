@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifisense_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/wifisense_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/wifisense_ml.dir/knn.cpp.o"
+  "CMakeFiles/wifisense_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/wifisense_ml.dir/linear_regression.cpp.o"
+  "CMakeFiles/wifisense_ml.dir/linear_regression.cpp.o.d"
+  "CMakeFiles/wifisense_ml.dir/logistic_regression.cpp.o"
+  "CMakeFiles/wifisense_ml.dir/logistic_regression.cpp.o.d"
+  "CMakeFiles/wifisense_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/wifisense_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/wifisense_ml.dir/time_baseline.cpp.o"
+  "CMakeFiles/wifisense_ml.dir/time_baseline.cpp.o.d"
+  "libwifisense_ml.a"
+  "libwifisense_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifisense_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

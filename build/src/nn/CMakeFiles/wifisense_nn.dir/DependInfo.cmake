@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/wifisense_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/wifisense_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/wifisense_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/wifisense_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/wifisense_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/wifisense_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/wifisense_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/wifisense_nn.dir/mlp.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/wifisense_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/wifisense_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/wifisense_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/wifisense_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/wifisense_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/wifisense_nn.dir/tensor.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/wifisense_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/wifisense_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

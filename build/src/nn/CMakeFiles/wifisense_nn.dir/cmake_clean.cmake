@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifisense_nn.dir/init.cpp.o"
+  "CMakeFiles/wifisense_nn.dir/init.cpp.o.d"
+  "CMakeFiles/wifisense_nn.dir/layer.cpp.o"
+  "CMakeFiles/wifisense_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/wifisense_nn.dir/loss.cpp.o"
+  "CMakeFiles/wifisense_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/wifisense_nn.dir/mlp.cpp.o"
+  "CMakeFiles/wifisense_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/wifisense_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/wifisense_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/wifisense_nn.dir/serialize.cpp.o"
+  "CMakeFiles/wifisense_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/wifisense_nn.dir/tensor.cpp.o"
+  "CMakeFiles/wifisense_nn.dir/tensor.cpp.o.d"
+  "CMakeFiles/wifisense_nn.dir/trainer.cpp.o"
+  "CMakeFiles/wifisense_nn.dir/trainer.cpp.o.d"
+  "libwifisense_nn.a"
+  "libwifisense_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifisense_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

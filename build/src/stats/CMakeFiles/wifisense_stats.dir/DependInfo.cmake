@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/adf.cpp" "src/stats/CMakeFiles/wifisense_stats.dir/adf.cpp.o" "gcc" "src/stats/CMakeFiles/wifisense_stats.dir/adf.cpp.o.d"
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/wifisense_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/wifisense_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/wifisense_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/wifisense_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/wifisense_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/wifisense_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/metrics.cpp" "src/stats/CMakeFiles/wifisense_stats.dir/metrics.cpp.o" "gcc" "src/stats/CMakeFiles/wifisense_stats.dir/metrics.cpp.o.d"
+  "/root/repo/src/stats/ols.cpp" "src/stats/CMakeFiles/wifisense_stats.dir/ols.cpp.o" "gcc" "src/stats/CMakeFiles/wifisense_stats.dir/ols.cpp.o.d"
+  "/root/repo/src/stats/rolling.cpp" "src/stats/CMakeFiles/wifisense_stats.dir/rolling.cpp.o" "gcc" "src/stats/CMakeFiles/wifisense_stats.dir/rolling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

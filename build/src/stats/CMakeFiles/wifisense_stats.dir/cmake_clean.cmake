@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifisense_stats.dir/adf.cpp.o"
+  "CMakeFiles/wifisense_stats.dir/adf.cpp.o.d"
+  "CMakeFiles/wifisense_stats.dir/correlation.cpp.o"
+  "CMakeFiles/wifisense_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/wifisense_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/wifisense_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/wifisense_stats.dir/histogram.cpp.o"
+  "CMakeFiles/wifisense_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/wifisense_stats.dir/metrics.cpp.o"
+  "CMakeFiles/wifisense_stats.dir/metrics.cpp.o.d"
+  "CMakeFiles/wifisense_stats.dir/ols.cpp.o"
+  "CMakeFiles/wifisense_stats.dir/ols.cpp.o.d"
+  "CMakeFiles/wifisense_stats.dir/rolling.cpp.o"
+  "CMakeFiles/wifisense_stats.dir/rolling.cpp.o.d"
+  "libwifisense_stats.a"
+  "libwifisense_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifisense_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifisense_xai.dir/gradcam.cpp.o"
+  "CMakeFiles/wifisense_xai.dir/gradcam.cpp.o.d"
+  "libwifisense_xai.a"
+  "libwifisense_xai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifisense_xai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

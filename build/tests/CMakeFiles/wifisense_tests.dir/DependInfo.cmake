@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core_integration.cpp" "tests/CMakeFiles/wifisense_tests.dir/test_core_integration.cpp.o" "gcc" "tests/CMakeFiles/wifisense_tests.dir/test_core_integration.cpp.o.d"
+  "/root/repo/tests/test_csi_channel.cpp" "tests/CMakeFiles/wifisense_tests.dir/test_csi_channel.cpp.o" "gcc" "tests/CMakeFiles/wifisense_tests.dir/test_csi_channel.cpp.o.d"
+  "/root/repo/tests/test_csi_phase.cpp" "tests/CMakeFiles/wifisense_tests.dir/test_csi_phase.cpp.o" "gcc" "tests/CMakeFiles/wifisense_tests.dir/test_csi_phase.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/wifisense_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/wifisense_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/wifisense_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/wifisense_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_envsim.cpp" "tests/CMakeFiles/wifisense_tests.dir/test_envsim.cpp.o" "gcc" "tests/CMakeFiles/wifisense_tests.dir/test_envsim.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/wifisense_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/wifisense_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_io_postprocess.cpp" "tests/CMakeFiles/wifisense_tests.dir/test_io_postprocess.cpp.o" "gcc" "tests/CMakeFiles/wifisense_tests.dir/test_io_postprocess.cpp.o.d"
+  "/root/repo/tests/test_ml_models.cpp" "tests/CMakeFiles/wifisense_tests.dir/test_ml_models.cpp.o" "gcc" "tests/CMakeFiles/wifisense_tests.dir/test_ml_models.cpp.o.d"
+  "/root/repo/tests/test_nn_layers.cpp" "tests/CMakeFiles/wifisense_tests.dir/test_nn_layers.cpp.o" "gcc" "tests/CMakeFiles/wifisense_tests.dir/test_nn_layers.cpp.o.d"
+  "/root/repo/tests/test_nn_serialize.cpp" "tests/CMakeFiles/wifisense_tests.dir/test_nn_serialize.cpp.o" "gcc" "tests/CMakeFiles/wifisense_tests.dir/test_nn_serialize.cpp.o.d"
+  "/root/repo/tests/test_nn_tensor.cpp" "tests/CMakeFiles/wifisense_tests.dir/test_nn_tensor.cpp.o" "gcc" "tests/CMakeFiles/wifisense_tests.dir/test_nn_tensor.cpp.o.d"
+  "/root/repo/tests/test_nn_training.cpp" "tests/CMakeFiles/wifisense_tests.dir/test_nn_training.cpp.o" "gcc" "tests/CMakeFiles/wifisense_tests.dir/test_nn_training.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/wifisense_tests.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/wifisense_tests.dir/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/test_stats_correlation.cpp" "tests/CMakeFiles/wifisense_tests.dir/test_stats_correlation.cpp.o" "gcc" "tests/CMakeFiles/wifisense_tests.dir/test_stats_correlation.cpp.o.d"
+  "/root/repo/tests/test_stats_descriptive.cpp" "tests/CMakeFiles/wifisense_tests.dir/test_stats_descriptive.cpp.o" "gcc" "tests/CMakeFiles/wifisense_tests.dir/test_stats_descriptive.cpp.o.d"
+  "/root/repo/tests/test_stats_metrics.cpp" "tests/CMakeFiles/wifisense_tests.dir/test_stats_metrics.cpp.o" "gcc" "tests/CMakeFiles/wifisense_tests.dir/test_stats_metrics.cpp.o.d"
+  "/root/repo/tests/test_stats_ols_adf.cpp" "tests/CMakeFiles/wifisense_tests.dir/test_stats_ols_adf.cpp.o" "gcc" "tests/CMakeFiles/wifisense_tests.dir/test_stats_ols_adf.cpp.o.d"
+  "/root/repo/tests/test_xai_gradcam.cpp" "tests/CMakeFiles/wifisense_tests.dir/test_xai_gradcam.cpp.o" "gcc" "tests/CMakeFiles/wifisense_tests.dir/test_xai_gradcam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wifisense_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/envsim/CMakeFiles/wifisense_envsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/csi/CMakeFiles/wifisense_csi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/wifisense_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xai/CMakeFiles/wifisense_xai.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wifisense_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/wifisense_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wifisense_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wifisense_tests.
+# This may be replaced when dependencies are built.
