@@ -44,11 +44,13 @@ double avg_accuracy(nn::Mlp& net, const Fold5Eval& eval) {
 int main() {
     using namespace wifisense;
     bench::print_header("Ablations - architecture / optimizer / augmentation");
+    bench::BenchReport report("ablation");
 
     // Fixed reduced-rate dataset for A1-A4.
     envsim::SimulationConfig sim_cfg = envsim::paper_config(0.5);
     const data::Dataset ds = envsim::OfficeSimulator(sim_cfg).run();
     std::printf("dataset: %zu samples @ 0.5 Hz\n\n", ds.size());
+    report.set_rows(ds.size());
     const data::FoldSplit split = data::split_paper_folds(ds);
 
     // Preprocess once (CSI features).
@@ -115,6 +117,8 @@ int main() {
         const auto [acc, secs] =
             train_and_eval({64, 128, 256, 128, 1}, base, nullptr);
         std::printf("  %-22s avg acc=%5.1f%%  train=%5.1fs\n", "AdamW", acc, secs);
+        report.metric("paper_arch_adamw_avg_acc_pct", acc);
+        report.metric("paper_arch_adamw_train_s", secs);
     }
     {
         nn::Sgd sgd({.lr = 0.05, .momentum = 0.0});
@@ -192,7 +196,11 @@ int main() {
                                 .count();
         std::printf("  rate=%-5.2fHz samples=%7zu  avg acc=%5.1f%%  fit+eval=%5.1fs\n",
                     rate, d2.size(), 100.0 * acc / 5.0, secs);
+        char key[48];
+        std::snprintf(key, sizeof key, "detector_avg_acc_pct_rate_%.2fhz", rate);
+        report.metric(key, 100.0 * acc / 5.0);
     }
 
+    report.write();
     return 0;
 }

@@ -6,13 +6,27 @@
 // WIFISENSE_BENCH_RATE environment variable, e.g.
 //   WIFISENSE_BENCH_RATE=20 ./bench_table4   # paper-scale run
 //   WIFISENSE_BENCH_RATE=0.25 ./bench_table4 # quick smoke
+//
+// Thread count comes from WIFISENSE_THREADS (default: all hardware threads):
+//   WIFISENSE_THREADS=1 ./bench_table4       # serial reference run
+// Results are thread-count invariant by the determinism contract; only the
+// wall clock changes.
+//
+// Besides its stdout tables, every bench records machine-readable results in
+// BENCH_<name>.json (wall clock, thread count, rows, key metrics) via
+// BenchReport — the input of the repo's performance trajectory.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/parallel.hpp"
 #include "core/experiments.hpp"
 #include "data/folds.hpp"
 
@@ -28,7 +42,8 @@ inline double bench_rate() {
 
 inline data::Dataset generate_dataset() {
     const double rate = bench_rate();
-    std::printf("generating simulated collection: 74.5 h @ %.2f Hz ...\n", rate);
+    std::printf("generating simulated collection: 74.5 h @ %.2f Hz (%zu threads) ...\n",
+                rate, common::thread_count());
     const auto t0 = std::chrono::steady_clock::now();
     data::Dataset ds = core::generate_paper_dataset(rate);
     const auto dt = std::chrono::duration<double>(
@@ -42,5 +57,64 @@ inline void print_header(const char* what) {
     std::printf("wifisense reproduction: %s\n", what);
     std::printf("==============================================================\n");
 }
+
+/// Machine-readable bench record. Construct at bench start (starts the wall
+/// clock and applies WIFISENSE_THREADS), add key metrics as they are
+/// computed, and call write() last — it emits BENCH_<name>.json in the
+/// working directory.
+class BenchReport {
+public:
+    explicit BenchReport(std::string name)
+        : name_(std::move(name)),
+          threads_(common::configure_threads_from_env()),
+          start_(std::chrono::steady_clock::now()) {}
+
+    void set_rows(std::uint64_t rows) { rows_ = rows; }
+
+    /// Insertion-ordered; re-setting a key overwrites its value in place.
+    void metric(const std::string& key, double value) {
+        for (auto& kv : metrics_)
+            if (kv.first == key) {
+                kv.second = value;
+                return;
+            }
+        metrics_.emplace_back(key, value);
+    }
+
+    double elapsed_s() const {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start_)
+            .count();
+    }
+
+    /// Write BENCH_<name>.json; returns the path written.
+    std::string write() const {
+        const std::string path = "BENCH_" + name_ + ".json";
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (!f) throw std::runtime_error("BenchReport: cannot write " + path);
+        std::fprintf(f, "{\n");
+        std::fprintf(f, "  \"name\": \"%s\",\n", name_.c_str());
+        std::fprintf(f, "  \"threads\": %zu,\n", threads_);
+        std::fprintf(f, "  \"sample_rate_hz\": %.17g,\n", bench_rate());
+        std::fprintf(f, "  \"rows\": %llu,\n",
+                     static_cast<unsigned long long>(rows_));
+        std::fprintf(f, "  \"wall_clock_s\": %.6f,\n", elapsed_s());
+        std::fprintf(f, "  \"metrics\": {");
+        for (std::size_t i = 0; i < metrics_.size(); ++i)
+            std::fprintf(f, "%s\n    \"%s\": %.17g", i ? "," : "",
+                         metrics_[i].first.c_str(), metrics_[i].second);
+        std::fprintf(f, "%s}\n}\n", metrics_.empty() ? "" : "\n  ");
+        std::fclose(f);
+        std::printf("wrote %s\n", path.c_str());
+        return path;
+    }
+
+private:
+    std::string name_;
+    std::size_t threads_;
+    std::chrono::steady_clock::time_point start_;
+    std::uint64_t rows_ = 0;
+    std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace wifisense::bench

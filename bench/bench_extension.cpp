@@ -12,8 +12,10 @@
 int main() {
     using namespace wifisense;
     bench::print_header("Extension - activity recognition & occupant counting");
+    bench::BenchReport report("extension");
 
     const data::Dataset ds = bench::generate_dataset();
+    report.set_rows(ds.size());
     const data::FoldSplit split = data::split_paper_folds(ds);
 
     core::ExtensionConfig cfg;
@@ -39,6 +41,8 @@ int main() {
             occ += o;
         }
         std::printf("avg    %13.1f%% %21.1f%%\n", 100.0 * act / 5.0, 100.0 * occ / 5.0);
+        report.metric("activity_avg_acc_pct", 100.0 * act / 5.0);
+        report.metric("implied_occupancy_avg_acc_pct", 100.0 * occ / 5.0);
 
         // Aggregate confusion over all folds.
         std::vector<int> truth, pred;
@@ -72,6 +76,8 @@ int main() {
             err += e;
         }
         std::printf("avg    %11.1f%% %18.2f\n", 100.0 * acc / 5.0, err / 5.0);
+        report.metric("counting_avg_acc_pct", 100.0 * acc / 5.0);
+        report.metric("counting_mean_abs_err", err / 5.0);
         const double secs = std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() - t0)
                                 .count();
@@ -83,5 +89,6 @@ int main() {
         "detector's accuracy (the \"simultaneous\" goal of Section VI). The\n"
         "rare 'active' class (walking bursts) remains hard at amplitude-only\n"
         "sampling below a few Hz - the open part of the paper's future work.\n");
+    report.write();
     return 0;
 }

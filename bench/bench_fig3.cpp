@@ -8,8 +8,10 @@
 int main() {
     using namespace wifisense;
     bench::print_header("Figure 3 - Grad-CAM feature importance");
+    bench::BenchReport report("fig3");
 
     const data::Dataset ds = bench::generate_dataset();
+    report.set_rows(ds.size());
     const data::FoldSplit split = data::split_paper_folds(ds);
 
     const auto t0 = std::chrono::steady_clock::now();
@@ -19,6 +21,10 @@ int main() {
 
     std::printf("%s", result.render().c_str());
     std::printf("(training + attribution: %.1f s)\n\n", dt.count());
+    report.metric("train_attr_s", dt.count());
+    report.metric("csi_mass", result.csi_mass());
+    report.metric("env_mass", result.env_mass());
+    report.write();
     std::printf(
         "paper reference: highest importance on subcarriers a9-a17 and\n"
         "a57-a60; temperature/humidity importance close to 0 (or negative).\n"

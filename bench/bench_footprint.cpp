@@ -4,8 +4,10 @@
 // step throughput.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <random>
 
+#include "bench_common.hpp"
 #include "core/occupancy_detector.hpp"
 #include "data/dataset.hpp"
 #include "nn/loss.hpp"
@@ -86,6 +88,7 @@ BENCHMARK(BM_GatherBatch)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+    wifisense::bench::BenchReport report("footprint");
     {
         nn::Mlp net = make_net(64);
         std::printf(
@@ -96,8 +99,24 @@ int main(int argc, char** argv) {
             "stated inference 10.781 ms/sample.\n\n",
             net.parameter_count(),
             static_cast<double>(net.weight_bytes()) / 1024.0);
+        report.metric("params", static_cast<double>(net.parameter_count()));
+        report.metric("weight_kib",
+                      static_cast<double>(net.weight_bytes()) / 1024.0);
+
+        // Single-sample latency recorded alongside the google-benchmark runs
+        // so the JSON is self-contained.
+        const nn::Matrix x = random_batch(1, net.input_size());
+        constexpr int kReps = 2000;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < kReps; ++i) benchmark::DoNotOptimize(net.forward(x));
+        const double secs = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        report.metric("inference_us_per_sample", 1e6 * secs / kReps);
+        report.set_rows(kReps);
     }
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    report.write();
     return 0;
 }

@@ -8,8 +8,10 @@
 int main() {
     using namespace wifisense;
     bench::print_header("Section V-A - data profiling");
+    bench::BenchReport report("profiling");
 
     const data::Dataset ds = bench::generate_dataset();
+    report.set_rows(ds.size());
 
     // Table I: format of the collected data (first rows).
     std::printf("Table I sample (first 4 records):\n");
@@ -30,6 +32,16 @@ int main() {
     const data::FoldSplit split = data::split_paper_folds(ds);
     const core::ProfilingResult prof = core::run_profiling(split.train);
     std::printf("%s\n", prof.render().c_str());
+    report.metric("rho_temp_humidity", prof.rho_temp_humidity);
+    report.metric("rho_temp_occupancy", prof.rho_temp_occupancy);
+    report.metric("rho_hum_occupancy", prof.rho_hum_occupancy);
+    report.metric("rho_time_env", prof.rho_time_env);
+    report.metric("rho_subcarrier_env_max", prof.rho_subcarrier_env_max);
+    report.metric("adf_temperature", prof.adf_temperature);
+    report.metric("adf_humidity", prof.adf_humidity);
+    report.metric("adf_subcarrier0", prof.adf_subcarrier0);
+    report.metric("all_stationary", prof.all_stationary ? 1.0 : 0.0);
+    report.write();
 
     std::printf(
         "notes: the ADF screen at ~4 s sampling strongly rejects the unit\n"

@@ -9,8 +9,10 @@
 int main() {
     using namespace wifisense;
     bench::print_header("Table II - simultaneous subjects' presence distribution");
+    bench::BenchReport report("table2");
 
     const data::Dataset ds = bench::generate_dataset();
+    report.set_rows(ds.size());
     const data::OccupancyDistribution dist = ds.view().occupancy_distribution();
 
     std::printf("%-10s %12s %8s %10s\n", "Occupants", "# Samples", "(%)",
@@ -26,5 +28,10 @@ int main() {
                 static_cast<unsigned long long>(dist.total),
                 100.0 * dist.empty_fraction(),
                 100.0 * (1.0 - dist.empty_fraction()));
+    report.metric("empty_pct", 100.0 * dist.empty_fraction());
+    for (int k = 1; k <= 4; ++k)
+        report.metric("occupants_" + std::to_string(k) + "_pct",
+                      100.0 * dist.fraction_with(k));
+    report.write();
     return 0;
 }

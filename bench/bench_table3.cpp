@@ -8,13 +8,19 @@
 int main() {
     using namespace wifisense;
     bench::print_header("Table III - train/test fold boundaries and env ranges");
+    bench::BenchReport report("table3");
 
     const data::Dataset ds = bench::generate_dataset();
+    report.set_rows(ds.size());
     const data::FoldSplit split = data::split_paper_folds(ds);
 
     std::printf("%-5s %-12s %-12s %10s %10s %13s %8s\n", "Fold", "Start", "End",
                 "Empty", "Occupied", "T (min/max)", "H");
     for (const data::FoldSummary& row : data::table3_summaries(split)) {
+        report.metric("fold" + row.name + "_empty",
+                      static_cast<double>(row.empty));
+        report.metric("fold" + row.name + "_occupied",
+                      static_cast<double>(row.occupied));
         std::printf("%-5s %-12s %-12s %10llu %10llu %6.2f/%-6.2f %3.0f/%-3.0f\n",
                     row.name.c_str(), data::format_timestamp(row.start).c_str(),
                     data::format_timestamp(row.end).c_str(),
@@ -30,5 +36,6 @@ int main() {
         "3     07/01 04:12  07/01 08:41     321742          0  18.68/20.80  25/43\n"
         "4     07/01 08:41  07/01 13:09      56223     265519  18.38/22.10  22/43\n"
         "5     07/01 13:09  07/01 19:16          0     321741  20.19/31.60  20/38\n");
+    report.write();
     return 0;
 }

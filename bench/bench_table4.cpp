@@ -10,8 +10,11 @@
 int main() {
     using namespace wifisense;
     bench::print_header("Table IV - occupancy detection accuracy");
+    bench::BenchReport report("table4");
 
     const data::Dataset ds = bench::generate_dataset();
+    report.set_rows(ds.size());
+    report.metric("generate_s", report.elapsed_s());
     const data::FoldSplit split = data::split_paper_folds(ds);
 
     const auto t0 = std::chrono::steady_clock::now();
@@ -21,6 +24,17 @@ int main() {
 
     std::printf("%s", result.render().c_str());
     std::printf("(training + evaluation: %.1f s)\n\n", dt.count());
+
+    report.metric("train_eval_s", dt.count());
+    report.metric("time_baseline_pct", result.time_baseline_pct);
+    static const char* kModelKeys[3] = {"logistic", "forest", "mlp"};
+    static const char* kFeatureKeys[3] = {"csi", "env", "csi_env"};
+    for (std::size_t m = 0; m < 3; ++m)
+        for (std::size_t f = 0; f < 3; ++f)
+            report.metric(std::string("avg_acc_pct_") + kModelKeys[m] + "_" +
+                              kFeatureKeys[f],
+                          result.average[m][f]);
+    report.write();
 
     std::printf(
         "paper reference (avg over folds):\n"

@@ -8,8 +8,10 @@
 int main() {
     using namespace wifisense;
     bench::print_header("Table V - humidity/temperature regression from CSI");
+    bench::BenchReport report("table5");
 
     const data::Dataset ds = bench::generate_dataset();
+    report.set_rows(ds.size());
     const data::FoldSplit split = data::split_paper_folds(ds);
 
     const auto t0 = std::chrono::steady_clock::now();
@@ -19,6 +21,16 @@ int main() {
 
     std::printf("%s", result.render().c_str());
     std::printf("(training + evaluation: %.1f s)\n\n", dt.count());
+
+    report.metric("train_eval_s", dt.count());
+    static const char* kModelKeys[2] = {"linear", "nn"};
+    for (std::size_t m = 0; m < 2; ++m) {
+        report.metric(std::string("avg_mae_t_") + kModelKeys[m], result.avg_mae_t[m]);
+        report.metric(std::string("avg_mae_h_") + kModelKeys[m], result.avg_mae_h[m]);
+        report.metric(std::string("avg_mape_t_") + kModelKeys[m], result.avg_mape_t[m]);
+        report.metric(std::string("avg_mape_h_") + kModelKeys[m], result.avg_mape_h[m]);
+    }
+    report.write();
 
     std::printf(
         "paper reference (avg): Linear MAE 4.46/4.28, MAPE 21.08/13.32;\n"

@@ -1,0 +1,235 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wifisense::common {
+
+namespace {
+
+/// >0 while the current thread is executing tasks of a parallel region.
+thread_local int tl_region_depth = 0;
+
+/// One parallel region: a batch of `n` tasks drained via an atomic cursor.
+struct Job {
+    const std::function<void(std::size_t)>* task = nullptr;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};
+    std::size_t done = 0;    // completed tasks; guarded by the pool mutex
+    std::size_t active = 0;  // workers inside drain(); guarded by the pool mutex
+    std::exception_ptr error;
+    std::mutex error_mu;
+};
+
+class ThreadPool {
+public:
+    static ThreadPool& instance() {
+        static ThreadPool pool;
+        return pool;
+    }
+
+    ~ThreadPool() { stop_workers(); }
+
+    void configure(ExecutionConfig cfg) {
+        std::lock_guard region(region_mu_);
+        cfg_ = cfg;
+        const std::size_t want = resolve_threads(cfg_) - 1;
+        if (want != workers_.size()) {
+            stop_workers();
+            spawn_workers(want);
+        }
+    }
+
+    ExecutionConfig config() {
+        std::lock_guard region(region_mu_);
+        return cfg_;
+    }
+
+    std::size_t threads() {
+        std::lock_guard region(region_mu_);
+        return workers_.size() + 1;
+    }
+
+    /// Run task(0..n-1) to completion, caller participating.
+    void run(std::size_t n, const std::function<void(std::size_t)>& task) {
+        if (n == 0) return;
+        if (tl_region_depth > 0) {  // nested region: inline, no fan-out
+            run_inline(n, task);
+            return;
+        }
+        std::lock_guard region(region_mu_);
+        if (workers_.empty() || n == 1) {
+            run_inline(n, task);
+            return;
+        }
+        Job job;
+        job.task = &task;
+        job.n = n;
+        {
+            std::lock_guard lk(mu_);
+            job_ = &job;
+        }
+        cv_work_.notify_all();
+        const std::size_t mine = drain(job);
+        {
+            std::unique_lock lk(mu_);
+            job.done += mine;
+            // Wait for all tasks AND for every registered worker to leave
+            // drain() — a worker may still hold a pointer to `job` even after
+            // the last task completed.
+            cv_done_.wait(lk, [&] { return job.done == job.n && job.active == 0; });
+            job_ = nullptr;
+        }
+        if (job.error) std::rethrow_exception(job.error);
+    }
+
+private:
+    ThreadPool() {
+        std::size_t threads = resolve_threads({});
+        if (const char* env = std::getenv("WIFISENSE_THREADS")) {
+            const long v = std::atol(env);
+            if (v > 0) threads = static_cast<std::size_t>(v);
+        }
+        cfg_.threads = threads;
+        spawn_workers(threads - 1);
+    }
+
+    static void run_inline(std::size_t n, const std::function<void(std::size_t)>& task) {
+        ++tl_region_depth;
+        try {
+            for (std::size_t i = 0; i < n; ++i) task(i);
+        } catch (...) {
+            --tl_region_depth;
+            throw;
+        }
+        --tl_region_depth;
+    }
+
+    /// Pull tasks until the cursor runs out; returns how many this thread ran.
+    static std::size_t drain(Job& job) {
+        ++tl_region_depth;
+        std::size_t mine = 0;
+        for (;;) {
+            const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= job.n) break;
+            try {
+                (*job.task)(i);
+            } catch (...) {
+                std::lock_guard lk(job.error_mu);
+                if (!job.error) job.error = std::current_exception();
+            }
+            ++mine;
+        }
+        --tl_region_depth;
+        return mine;
+    }
+
+    void worker_loop() {
+        for (;;) {
+            Job* job = nullptr;
+            {
+                std::unique_lock lk(mu_);
+                cv_work_.wait(lk, [&] {
+                    return stop_ ||
+                           (job_ != nullptr &&
+                            job_->next.load(std::memory_order_relaxed) < job_->n);
+                });
+                if (stop_) return;
+                job = job_;
+                ++job->active;
+            }
+            const std::size_t mine = drain(*job);
+            {
+                std::lock_guard lk(mu_);
+                job->done += mine;
+                --job->active;
+                if (job->done == job->n && job->active == 0) cv_done_.notify_all();
+            }
+        }
+    }
+
+    void spawn_workers(std::size_t count) {
+        stop_ = false;
+        workers_.reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            workers_.emplace_back([this] { worker_loop(); });
+    }
+
+    void stop_workers() {
+        {
+            std::lock_guard lk(mu_);
+            stop_ = true;
+        }
+        cv_work_.notify_all();
+        for (std::thread& t : workers_)
+            if (t.joinable()) t.join();
+        workers_.clear();
+    }
+
+    std::mutex region_mu_;  ///< serializes top-level regions and reconfiguration
+    std::mutex mu_;
+    std::condition_variable cv_work_;
+    std::condition_variable cv_done_;
+    Job* job_ = nullptr;  // guarded by mu_
+    bool stop_ = false;   // guarded by mu_
+    std::vector<std::thread> workers_;
+    ExecutionConfig cfg_;  // guarded by region_mu_
+};
+
+}  // namespace
+
+std::size_t resolve_threads(const ExecutionConfig& cfg) {
+    if (cfg.threads > 0) return cfg.threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+void set_execution_config(const ExecutionConfig& cfg) {
+    ThreadPool::instance().configure(cfg);
+}
+
+ExecutionConfig execution_config() { return ThreadPool::instance().config(); }
+
+std::size_t thread_count() { return ThreadPool::instance().threads(); }
+
+std::size_t configure_threads_from_env() {
+    if (const char* env = std::getenv("WIFISENSE_THREADS")) {
+        const long v = std::atol(env);
+        if (v > 0) set_execution_config({.threads = static_cast<std::size_t>(v)});
+    }
+    return thread_count();
+}
+
+bool in_parallel_region() { return tl_region_depth > 0; }
+
+void parallel_for_chunks(std::size_t n, std::size_t chunk_size,
+                         const std::function<void(std::size_t, std::size_t)>& body) {
+    if (n == 0) return;
+    if (chunk_size == 0) chunk_size = 1;
+    const std::size_t chunks = (n + chunk_size - 1) / chunk_size;
+    const std::function<void(std::size_t)> task = [&](std::size_t c) {
+        const std::size_t begin = c * chunk_size;
+        body(begin, std::min(n, begin + chunk_size));
+    };
+    ThreadPool::instance().run(chunks, task);
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+    parallel_for_chunks(n, grain, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+    });
+}
+
+void parallel_invoke(std::span<const std::function<void()>> tasks) {
+    const std::function<void(std::size_t)> task = [&](std::size_t i) { tasks[i](); };
+    ThreadPool::instance().run(tasks.size(), task);
+}
+
+}  // namespace wifisense::common

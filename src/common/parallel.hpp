@@ -1,0 +1,67 @@
+// First-party concurrency substrate: a fixed-size thread pool plus
+// deterministic parallel-for / parallel-invoke primitives used by the tensor
+// kernels, the random forest, the experiment harness, and the simulator.
+//
+// Determinism contract (see DESIGN.md, "Concurrency model"):
+//   - Work is partitioned into *static* chunks whose boundaries depend only
+//     on the problem size and the chunk size — never on the thread count or
+//     on runtime timing. Each output element is owned by exactly one chunk,
+//     so results are bitwise identical at 1, 2, or N threads.
+//   - Randomized parallel stages draw per-chunk seeds up front (common/rng.hpp)
+//     instead of sharing a stream, so the draw sequence seen by chunk i is a
+//     pure function of (seed, i).
+//   - Nested parallel calls from inside a pool task run inline on the calling
+//     worker; only the outermost region fans out. This keeps cell-level
+//     parallelism (experiments) composable with kernel-level parallelism
+//     (matmul) without oversubscription or deadlock.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+namespace wifisense::common {
+
+/// Process-wide execution configuration. `threads == 0` resolves to
+/// std::thread::hardware_concurrency() (min 1).
+struct ExecutionConfig {
+    std::size_t threads = 0;
+};
+
+/// Resolve `cfg.threads` to a concrete positive thread count.
+std::size_t resolve_threads(const ExecutionConfig& cfg);
+
+/// Install a new configuration (resizes the shared pool; joins old workers).
+/// Safe to call between parallel regions; must not be called from inside one.
+void set_execution_config(const ExecutionConfig& cfg);
+
+/// The currently installed configuration (as set, unresolved).
+ExecutionConfig execution_config();
+
+/// Resolved thread count the pool is currently sized for.
+std::size_t thread_count();
+
+/// Apply the WIFISENSE_THREADS environment variable if present and positive.
+/// Returns the resolved thread count in effect afterwards.
+std::size_t configure_threads_from_env();
+
+/// True while executing inside a pool task (nested regions run inline).
+bool in_parallel_region();
+
+/// Run body(begin, end) over [0, n) split into static chunks of
+/// `chunk_size` indices (the last chunk is ragged). Chunk k always covers
+/// [k*chunk_size, min(n, (k+1)*chunk_size)) regardless of thread count.
+/// Blocks until every chunk completed; rethrows the first task exception.
+void parallel_for_chunks(std::size_t n, std::size_t chunk_size,
+                         const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Run body(i) for every i in [0, n), grouped into chunks of `grain`
+/// consecutive indices per task.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+/// Run a set of independent tasks, one pool slot each. Task index order is
+/// stable; tasks must write to disjoint state.
+void parallel_invoke(std::span<const std::function<void()>> tasks);
+
+}  // namespace wifisense::common

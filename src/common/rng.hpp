@@ -1,0 +1,42 @@
+// Deterministic RNG sub-streams for parallel stages.
+//
+// A parallel stage that needs randomness must not share one engine across
+// chunks (the draw interleaving would depend on scheduling). Instead the
+// stage derives one seed per chunk/item up front via splitmix64 — the draw
+// sequence inside chunk i is then a pure function of (seed, i), independent
+// of thread count and execution order.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace wifisense::common {
+
+/// splitmix64 finalizer (Steele et al.): bijective 64-bit mix with good
+/// avalanche, the standard way to expand one seed into many.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/// Seed of sub-stream `stream` of a root `seed`.
+constexpr std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t stream) {
+    return splitmix64(seed ^ splitmix64(stream));
+}
+
+/// Engine seeded for sub-stream `stream` of `seed`.
+inline std::mt19937_64 substream(std::uint64_t seed, std::uint64_t stream) {
+    return std::mt19937_64(substream_seed(seed, stream));
+}
+
+/// The first `n` sub-stream seeds of `seed`, e.g. one per forest tree.
+inline std::vector<std::uint64_t> substream_seeds(std::uint64_t seed, std::size_t n) {
+    std::vector<std::uint64_t> out(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = substream_seed(seed, i);
+    return out;
+}
+
+}  // namespace wifisense::common

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <random>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "core/occupancy_detector.hpp"
 #include "data/scaler.hpp"
 #include "data/simtime.hpp"
@@ -60,6 +62,22 @@ std::size_t resolve_stride(std::size_t configured, std::size_t n,
     return std::max<std::size_t>(1, n / target);
 }
 
+/// Preprocessed data for one Table IV feature view, shared read-only by the
+/// three model cells of that view.
+struct FeatureBundle {
+    std::vector<data::SampleRecord> train_rows;
+    std::vector<int> train_y;
+    data::StandardScaler scaler;
+    nn::Matrix train_x;
+    std::array<nn::Matrix, data::kNumTestFolds> test_x;
+    std::array<std::vector<int>, data::kNumTestFolds> test_y;
+    // Extra-strided view for the random forest (CART cost grows
+    // superlinearly in rows); it keeps its own scaler.
+    std::vector<int> rf_y;
+    data::StandardScaler rf_scaler;
+    nn::Matrix rf_x;
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -70,75 +88,76 @@ Table4Result run_table4(const data::FoldSplit& split, const Table4Config& cfg) {
     Table4Result res;
     const std::size_t stride = resolve_stride(cfg.train_stride, split.train.size());
 
+    // Phase 1: per-feature-view preprocessing, one independent task each.
+    std::array<FeatureBundle, kTable4Features.size()> bundles;
+    common::parallel_for(kTable4Features.size(), [&](std::size_t fi) {
+        const data::FeatureSet features = kTable4Features[fi];
+        FeatureBundle& b = bundles[fi];
+        b.train_rows = strided_records(split.train, stride);
+        b.train_y = labels_of(b.train_rows);
+        b.train_x = b.scaler.fit_transform(data::make_features(b.train_rows, features));
+        for (std::size_t f = 0; f < data::kNumTestFolds; ++f) {
+            b.test_x[f] = b.scaler.transform(split.test[f].features(features));
+            b.test_y[f] = split.test[f].labels();
+        }
+        const std::vector<data::SampleRecord> rf_rows =
+            strided_records(split.train, stride * cfg.forest_extra_stride);
+        b.rf_y = labels_of(rf_rows);
+        b.rf_x = b.rf_scaler.fit_transform(data::make_features(rf_rows, features));
+    });
+
+    // Phase 2: every (model x feature-view) cell is an independent task that
+    // trains from its own seed and writes a disjoint slice of `res`, so the
+    // table is bitwise identical at any thread count. Nested parallelism
+    // (matmul row blocks, forest trees) runs inline on the cell's worker.
+    std::vector<std::function<void()>> cells;
     for (std::size_t fi = 0; fi < kTable4Features.size(); ++fi) {
         const data::FeatureSet features = kTable4Features[fi];
 
-        // Shared preprocessed training data.
-        const std::vector<data::SampleRecord> train_rows =
-            strided_records(split.train, stride);
-        const std::vector<int> train_y = labels_of(train_rows);
-        data::StandardScaler scaler;
-        const nn::Matrix train_x =
-            scaler.fit_transform(data::make_features(train_rows, features));
-
-        // Preprocessed test folds (full resolution).
-        std::array<nn::Matrix, data::kNumTestFolds> test_x;
-        std::array<std::vector<int>, data::kNumTestFolds> test_y;
-        for (std::size_t f = 0; f < data::kNumTestFolds; ++f) {
-            test_x[f] = scaler.transform(split.test[f].features(features));
-            test_y[f] = split.test[f].labels();
-        }
-
-        // --- Logistic regression ---
-        {
+        cells.push_back([&, fi] {  // --- Logistic regression ---
+            const FeatureBundle& b = bundles[fi];
             ml::LogisticRegression lr({.epochs = 12,
                                        .batch_size = 512,
                                        .learning_rate = 0.1,
                                        .l2 = 1e-4,
                                        .seed = cfg.seed});
-            lr.fit(train_x, train_y);
+            lr.fit(b.train_x, b.train_y);
             for (std::size_t f = 0; f < data::kNumTestFolds; ++f)
                 res.accuracy[static_cast<std::size_t>(Model::kLogistic)][fi][f] =
-                    100.0 * stats::accuracy(test_y[f], lr.predict(test_x[f]));
-        }
+                    100.0 * stats::accuracy(b.test_y[f], lr.predict(b.test_x[f]));
+        });
 
-        // --- Random forest (extra subsampling for CART cost) ---
-        {
-            const std::vector<data::SampleRecord> rf_rows = strided_records(
-                split.train, stride * cfg.forest_extra_stride);
-            const std::vector<int> rf_y = labels_of(rf_rows);
-            data::StandardScaler rf_scaler;
-            const nn::Matrix rf_x =
-                rf_scaler.fit_transform(data::make_features(rf_rows, features));
-
+        cells.push_back([&, fi, features] {  // --- Random forest ---
+            const FeatureBundle& b = bundles[fi];
             ml::RandomForest forest({.n_trees = 40, .seed = cfg.seed});
-            forest.fit(rf_x, rf_y);
+            forest.fit(b.rf_x, b.rf_y);
             for (std::size_t f = 0; f < data::kNumTestFolds; ++f) {
                 const nn::Matrix tx =
-                    rf_scaler.transform(split.test[f].features(features));
+                    b.rf_scaler.transform(split.test[f].features(features));
                 res.accuracy[static_cast<std::size_t>(Model::kRandomForest)][fi][f] =
-                    100.0 * stats::accuracy(test_y[f], forest.predict(tx));
+                    100.0 * stats::accuracy(b.test_y[f], forest.predict(tx));
             }
-        }
+        });
 
-        // --- MLP ---
-        {
-            nn::Matrix train_labels(train_rows.size(), 1);
-            for (std::size_t i = 0; i < train_rows.size(); ++i)
-                train_labels.at(i, 0) = static_cast<float>(train_rows[i].occupancy);
+        cells.push_back([&, fi, features] {  // --- MLP ---
+            const FeatureBundle& b = bundles[fi];
+            nn::Matrix train_labels(b.train_rows.size(), 1);
+            for (std::size_t i = 0; i < b.train_rows.size(); ++i)
+                train_labels.at(i, 0) = static_cast<float>(b.train_rows[i].occupancy);
             std::mt19937_64 rng(cfg.seed);
             nn::Mlp net = nn::paper_mlp(data::feature_count(features), rng);
             const nn::BceWithLogitsLoss loss;
             nn::TrainConfig tc;
             tc.seed = cfg.seed;
             tc.input_noise = 0.3;  // density surrogate, see TrainConfig docs
-            nn::train(net, train_x, train_labels, loss, tc);
+            nn::train(net, b.train_x, train_labels, loss, tc);
             for (std::size_t f = 0; f < data::kNumTestFolds; ++f)
                 res.accuracy[static_cast<std::size_t>(Model::kMlp)][fi][f] =
-                    100.0 * stats::accuracy(test_y[f],
-                                            nn::predict_binary(net, test_x[f]));
-        }
+                    100.0 * stats::accuracy(b.test_y[f],
+                                            nn::predict_binary(net, b.test_x[f]));
+        });
     }
+    common::parallel_invoke(cells);
 
     for (std::size_t m = 0; m < 3; ++m)
         for (std::size_t fi = 0; fi < 3; ++fi) {
@@ -254,40 +273,49 @@ Table5Result run_table5(const data::FoldSplit& split, const Table5Config& cfg) {
         nn::train(net, train_x, train_env_std, loss, tc);
     }
 
+    // Independent fold cells: each fold evaluates both models against its own
+    // slice of `res`. The network is cloned per fold because forward() caches
+    // activations on the instance.
+    std::vector<std::function<void()>> fold_cells;
     for (std::size_t f = 0; f < data::kNumTestFolds; ++f) {
-        const data::DatasetView& fold = split.test[f];
-        const nn::Matrix tx =
-            scaler.transform(fold.features(data::FeatureSet::kCsi));
+        fold_cells.push_back([&, f] {
+            const data::DatasetView& fold = split.test[f];
+            const nn::Matrix tx =
+                scaler.transform(fold.features(data::FeatureSet::kCsi));
 
-        std::vector<double> truth_t(fold.size()), truth_h(fold.size());
-        for (std::size_t i = 0; i < fold.size(); ++i) {
-            truth_t[i] = static_cast<double>(fold[i].temperature_c);
-            truth_h[i] = static_cast<double>(fold[i].humidity_pct);
-        }
-
-        const auto eval = [&](const nn::Matrix& pred, std::size_t model) {
-            std::vector<double> pt(fold.size()), ph(fold.size());
+            std::vector<double> truth_t(fold.size()), truth_h(fold.size());
             for (std::size_t i = 0; i < fold.size(); ++i) {
-                pt[i] = static_cast<double>(pred.at(i, 0));
-                ph[i] = static_cast<double>(pred.at(i, 1));
+                truth_t[i] = static_cast<double>(fold[i].temperature_c);
+                truth_h[i] = static_cast<double>(fold[i].humidity_pct);
             }
-            res.mae_t[model][f] = stats::mae(std::span<const double>(truth_t), pt);
-            res.mae_h[model][f] = stats::mae(std::span<const double>(truth_h), ph);
-            res.mape_t[model][f] = stats::mape(std::span<const double>(truth_t), pt);
-            res.mape_h[model][f] = stats::mape(std::span<const double>(truth_h), ph);
-        };
 
-        eval(linear.predict(tx), 0);
+            const auto eval = [&](const nn::Matrix& pred, std::size_t model) {
+                std::vector<double> pt(fold.size()), ph(fold.size());
+                for (std::size_t i = 0; i < fold.size(); ++i) {
+                    pt[i] = static_cast<double>(pred.at(i, 0));
+                    ph[i] = static_cast<double>(pred.at(i, 1));
+                }
+                res.mae_t[model][f] = stats::mae(std::span<const double>(truth_t), pt);
+                res.mae_h[model][f] = stats::mae(std::span<const double>(truth_h), ph);
+                res.mape_t[model][f] = stats::mape(std::span<const double>(truth_t), pt);
+                res.mape_h[model][f] = stats::mape(std::span<const double>(truth_h), ph);
+            };
 
-        nn::Matrix nn_pred = nn::predict(net, tx);
-        // Undo target standardization.
-        for (std::size_t i = 0; i < nn_pred.rows(); ++i)
-            for (std::size_t c = 0; c < 2; ++c)
-                nn_pred.at(i, c) = static_cast<float>(
-                    static_cast<double>(nn_pred.at(i, c)) * target_scaler.scale()[c] +
-                    target_scaler.mean()[c]);
-        eval(nn_pred, 1);
+            eval(linear.predict(tx), 0);
+
+            nn::Mlp fold_net = net.clone();
+            nn::Matrix nn_pred = nn::predict(fold_net, tx);
+            // Undo target standardization.
+            for (std::size_t i = 0; i < nn_pred.rows(); ++i)
+                for (std::size_t c = 0; c < 2; ++c)
+                    nn_pred.at(i, c) = static_cast<float>(
+                        static_cast<double>(nn_pred.at(i, c)) *
+                            target_scaler.scale()[c] +
+                        target_scaler.mean()[c]);
+            eval(nn_pred, 1);
+        });
     }
+    common::parallel_invoke(fold_cells);
 
     for (std::size_t m = 0; m < 2; ++m) {
         for (std::size_t f = 0; f < data::kNumTestFolds; ++f) {

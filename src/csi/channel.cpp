@@ -96,8 +96,21 @@ void ChannelModel::advance_drift(double dt, std::mt19937_64& rng) {
     }
 }
 
+std::vector<Vec3> ChannelModel::scatterer_positions() const {
+    std::vector<Vec3> out(furniture_.size());
+    for (std::size_t i = 0; i < furniture_.size(); ++i)
+        out[i] = furniture_[i] + drift_[i];
+    return out;
+}
+
 std::vector<std::complex<double>> ChannelModel::frequency_response(
     const EnvironmentState& env, std::span<const BodyState> bodies) const {
+    return frequency_response(env, bodies, scatterer_positions());
+}
+
+std::vector<std::complex<double>> ChannelModel::frequency_response(
+    const EnvironmentState& env, std::span<const BodyState> bodies,
+    std::span<const Vec3> scatterers) const {
     const std::size_t n = cfg_.n_subcarriers;
     std::vector<std::complex<double>> h(n, {0.0, 0.0});
 
@@ -152,8 +165,8 @@ std::vector<std::complex<double>> ChannelModel::frequency_response(
     }
 
     // Furniture bistatic scattering (base position + slow drift).
-    for (std::size_t i = 0; i < furniture_.size(); ++i) {
-        const Vec3 f = furniture_[i] + drift_[i];
+    for (std::size_t i = 0; i < scatterers.size(); ++i) {
+        const Vec3& f = scatterers[i];
         const double d = distance(room_.tx, f) + distance(f, room_.rx);
         const double block =
             obstruction(room_.tx, f) * obstruction(f, room_.rx);

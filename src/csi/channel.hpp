@@ -88,6 +88,18 @@ public:
     std::vector<std::complex<double>> frequency_response(
         const EnvironmentState& env, std::span<const BodyState> bodies) const;
 
+    /// Pure variant over an explicit scatterer snapshot (base + drift
+    /// positions, see scatterer_positions()). Reads only immutable channel
+    /// state, so it is safe to call concurrently while the snapshot's owner
+    /// keeps mutating the live layout — the simulator's parallel measurement
+    /// phase relies on this.
+    std::vector<std::complex<double>> frequency_response(
+        const EnvironmentState& env, std::span<const BodyState> bodies,
+        std::span<const Vec3> scatterers) const;
+
+    /// Effective scatterer positions right now: furniture + OU drift.
+    std::vector<Vec3> scatterer_positions() const;
+
     /// Displace furniture scatterers by up to `magnitude` metres (uniform
     /// per-axis), clamped into the room. Each scatterer is moved with
     /// probability `fraction` (cleaners move chairs, not desks). Models

@@ -13,21 +13,38 @@ Receiver::Receiver(ReceiverConfig cfg, std::uint64_t seed) : cfg_(cfg), rng_(see
         throw std::invalid_argument("Receiver: non-positive full scale");
 }
 
-std::vector<float> Receiver::sample_amplitudes(
-    std::span<const std::complex<double>> cfr) {
+PacketNoise Receiver::draw_packet_noise(std::size_t n_subcarriers) {
+    PacketNoise noise;
+    noise.iq.resize(2 * n_subcarriers);
+    // Q before I: the historical inline path passed two noise_(rng_) calls as
+    // std::complex constructor arguments, which GCC evaluates right-to-left.
+    // Matching that order keeps seed-7 datasets identical across the
+    // refactor.
+    for (std::size_t k = 0; k < n_subcarriers; ++k) {
+        noise.iq[2 * k + 1] = noise_(rng_);
+        noise.iq[2 * k] = noise_(rng_);
+    }
+    noise.agc_jitter = noise_(rng_);
+    return noise;
+}
+
+std::vector<float> Receiver::apply_noise(std::span<const std::complex<double>> cfr,
+                                         const PacketNoise& noise) const {
+    if (noise.iq.size() != 2 * cfr.size())
+        throw std::invalid_argument("apply_noise: noise/CFR size mismatch");
     // Noisy raw amplitudes first: the AGC acts on what the radio receives.
     std::vector<double> raw(cfr.size());
     double power = 0.0;
     for (std::size_t k = 0; k < cfr.size(); ++k) {
         const std::complex<double> noisy =
-            cfr[k] + std::complex<double>(cfg_.noise_sigma * noise_(rng_),
-                                          cfg_.noise_sigma * noise_(rng_));
+            cfr[k] + std::complex<double>(cfg_.noise_sigma * noise.iq[2 * k],
+                                          cfg_.noise_sigma * noise.iq[2 * k + 1]);
         raw[k] = std::abs(noisy);
         power += raw[k] * raw[k];
     }
     const double rms = std::sqrt(power / static_cast<double>(cfr.size()));
 
-    double agc = std::exp(cfg_.agc_jitter_sigma * noise_(rng_));
+    double agc = std::exp(cfg_.agc_jitter_sigma * noise.agc_jitter);
     if (cfg_.agc_compression > 0.0 && rms > 0.0)
         agc *= std::pow(cfg_.agc_target_rms / rms, cfg_.agc_compression);
 
@@ -43,6 +60,11 @@ std::vector<float> Receiver::sample_amplitudes(
         amps[k] = static_cast<float>(amp);
     }
     return amps;
+}
+
+std::vector<float> Receiver::sample_amplitudes(
+    std::span<const std::complex<double>> cfr) {
+    return apply_noise(cfr, draw_packet_noise(cfr.size()));
 }
 
 }  // namespace wifisense::csi

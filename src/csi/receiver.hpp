@@ -35,12 +35,30 @@ struct ReceiverConfig {
     double full_scale = 0.02;
 };
 
+/// The receiver randomness of one packet, pre-drawn so the (expensive, pure)
+/// amplitude synthesis can run on another thread while the RNG stream itself
+/// stays strictly sequential. Draw order matches sample_amplitudes exactly:
+/// per subcarrier I then Q, then the AGC jitter variate.
+struct PacketNoise {
+    std::vector<double> iq;  ///< 2 * n_subcarriers standard-normal draws
+    double agc_jitter = 0.0; ///< standard-normal draw for the AGC log-gain
+};
+
 class Receiver {
 public:
     Receiver(ReceiverConfig cfg, std::uint64_t seed);
 
-    /// One received CSI amplitude vector from a noiseless CFR.
+    /// One received CSI amplitude vector from a noiseless CFR. Equivalent to
+    /// apply_noise(cfr, draw_packet_noise(cfr.size())).
     std::vector<float> sample_amplitudes(std::span<const std::complex<double>> cfr);
+
+    /// Advance the receiver stream by one packet's worth of draws.
+    PacketNoise draw_packet_noise(std::size_t n_subcarriers);
+
+    /// Pure: impairments applied to a CFR with pre-drawn randomness. Safe to
+    /// call concurrently; bitwise identical to the historical inline path.
+    std::vector<float> apply_noise(std::span<const std::complex<double>> cfr,
+                                   const PacketNoise& noise) const;
 
     const ReceiverConfig& config() const { return cfg_; }
 

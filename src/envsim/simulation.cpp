@@ -1,9 +1,90 @@
 #include "envsim/simulation.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <complex>
 #include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hpp"
 
 namespace wifisense::envsim {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Two-phase measurement pipeline.
+//
+// Phase 1 (serial): the world-tick loop in run() advances every stochastic
+// component and consumes ALL randomness in the historical order; for each
+// emitting tick it captures a TickJob — the pure inputs of the measurement:
+// environment, bodies, the scatterer snapshot, the sensor/label fields, and
+// the pre-drawn receiver noise of each packet.
+//
+// Phase 2 (parallel): flush_window() synthesizes the records — one CFR per
+// tick, one impairment pass per packet — from those snapshots. Each tick job
+// writes to its own pre-computed slot range, and the records are handed to
+// the sink in timestamp order afterwards. No RNG is touched here, so the
+// emitted stream is bitwise identical to the historical single-pass loop at
+// every thread count (threads=1 included).
+// ---------------------------------------------------------------------------
+
+struct PacketJob {
+    double timestamp = 0.0;
+    csi::PacketNoise noise;
+};
+
+struct TickJob {
+    csi::EnvironmentState env;
+    std::vector<csi::BodyState> bodies;
+    std::vector<csi::Vec3> scatterers;
+    float temperature_c = 0.0f;
+    float humidity_pct = 0.0f;
+    std::uint8_t occupant_count = 0;
+    int occupancy = 0;
+    std::uint8_t activity = 0;
+    std::vector<PacketJob> packets;
+};
+
+/// Packets buffered before a flush; bounds memory to a few MB while keeping
+/// every flush wide enough to occupy the pool.
+constexpr std::size_t kFlushPackets = 4096;
+
+void flush_window(std::vector<TickJob>& window, const csi::ChannelModel& channel,
+                  const csi::Receiver& receiver,
+                  const std::function<void(const data::SampleRecord&)>& sink) {
+    if (window.empty()) return;
+    std::vector<std::size_t> offset(window.size() + 1, 0);
+    for (std::size_t i = 0; i < window.size(); ++i)
+        offset[i + 1] = offset[i] + window[i].packets.size();
+
+    std::vector<data::SampleRecord> records(offset.back());
+    common::parallel_for(
+        window.size(),
+        [&](std::size_t ti) {
+            const TickJob& job = window[ti];
+            const std::vector<std::complex<double>> cfr =
+                channel.frequency_response(job.env, job.bodies, job.scatterers);
+            for (std::size_t p = 0; p < job.packets.size(); ++p) {
+                const std::vector<float> amps =
+                    receiver.apply_noise(cfr, job.packets[p].noise);
+                data::SampleRecord& rec = records[offset[ti] + p];
+                rec.timestamp = job.packets[p].timestamp;
+                std::copy(amps.begin(), amps.end(), rec.csi.begin());
+                rec.temperature_c = job.temperature_c;
+                rec.humidity_pct = job.humidity_pct;
+                rec.occupant_count = job.occupant_count;
+                rec.occupancy = job.occupancy;
+                rec.activity = job.activity;
+            }
+        },
+        /*grain=*/4);
+
+    for (const data::SampleRecord& rec : records) sink(rec);
+    window.clear();
+}
+
+}  // namespace
 
 OfficeSimulator::OfficeSimulator(SimulationConfig cfg) : cfg_(cfg) {
     if (cfg_.sample_rate_hz <= 0.0)
@@ -55,6 +136,9 @@ void OfficeSimulator::run(const std::function<void(const data::SampleRecord&)>& 
     const auto n_ticks =
         static_cast<std::size_t>(std::llround(cfg_.duration_s / dt));
     std::size_t next_sample = 0;
+
+    std::vector<TickJob> window;
+    std::size_t window_packets = 0;
 
     for (std::size_t tick = 0; tick < n_ticks && next_sample < n_samples; ++tick) {
         const double t = cfg_.start_timestamp + dt * static_cast<double>(tick);
@@ -125,40 +209,47 @@ void OfficeSimulator::run(const std::function<void(const data::SampleRecord&)>& 
         if (inside > 0 && occupants.any_walking())
             active_until = t + cfg_.activity_hold_s;
 
-        // --- measurement: emit every sample instant that falls inside this
-        // tick (rates above the tick rate reuse the tick's channel state but
-        // draw fresh receiver noise per packet) -------------------------------
+        // --- measurement: capture every sample instant that falls inside
+        // this tick (rates above the tick rate reuse the tick's channel state
+        // but draw fresh receiver noise per packet). The expensive synthesis
+        // itself is deferred to the parallel flush -----------------------------
         double sample_time =
             cfg_.start_timestamp + sample_period * static_cast<double>(next_sample);
         if (sample_time >= t + dt) continue;
 
-        const csi::EnvironmentState env{
+        TickJob job;
+        job.env = csi::EnvironmentState{
             thermal.indoor_temperature_c(),
             csi::vapor_density_gm3(thermal.indoor_temperature_c(),
                                    thermal.relative_humidity_pct())};
-        const std::vector<csi::BodyState> bodies = occupants.bodies();
-        const std::vector<std::complex<double>> cfr =
-            channel.frequency_response(env, bodies);
+        job.bodies = occupants.bodies();
+        job.scatterers = channel.scatterer_positions();
+        job.temperature_c = static_cast<float>(sensor.read_temperature_c());
+        job.humidity_pct = static_cast<float>(sensor.read_humidity_pct());
+        job.occupant_count = static_cast<std::uint8_t>(inside);
+        job.occupancy = inside > 0 ? 1 : 0;
+        job.activity = static_cast<std::uint8_t>(
+            inside == 0          ? data::ActivityLabel::kEmpty
+            : t <= active_until  ? data::ActivityLabel::kActive
+                                 : data::ActivityLabel::kSedentary);
 
         while (sample_time < t + dt && next_sample < n_samples) {
-            const std::vector<float> amps = receiver.sample_amplitudes(cfr);
-            data::SampleRecord rec;
-            rec.timestamp = sample_time;
-            std::copy(amps.begin(), amps.end(), rec.csi.begin());
-            rec.temperature_c = static_cast<float>(sensor.read_temperature_c());
-            rec.humidity_pct = static_cast<float>(sensor.read_humidity_pct());
-            rec.occupant_count = static_cast<std::uint8_t>(inside);
-            rec.occupancy = inside > 0 ? 1 : 0;
-            rec.activity = static_cast<std::uint8_t>(
-                inside == 0          ? data::ActivityLabel::kEmpty
-                : t <= active_until  ? data::ActivityLabel::kActive
-                                     : data::ActivityLabel::kSedentary);
-            sink(rec);
+            PacketJob packet;
+            packet.timestamp = sample_time;
+            packet.noise = receiver.draw_packet_noise(cfg_.channel.n_subcarriers);
+            job.packets.push_back(std::move(packet));
             ++next_sample;
             sample_time =
                 cfg_.start_timestamp + sample_period * static_cast<double>(next_sample);
         }
+        window_packets += job.packets.size();
+        window.push_back(std::move(job));
+        if (window_packets >= kFlushPackets) {
+            flush_window(window, channel, receiver, sink);
+            window_packets = 0;
+        }
     }
+    flush_window(window, channel, receiver, sink);
 }
 
 data::Dataset OfficeSimulator::run() {

@@ -6,6 +6,13 @@
 // The paper samples CSI at 20 Hz (5.36 M rows); the rate here is
 // configurable — the default 2 Hz keeps the full timeline (so every
 // distributional property of Tables II/III holds) at 1/10 the row count.
+//
+// Execution model: the world advances serially on the fixed 0.5 s tick
+// (every RNG stream is consumed in historical order), while the expensive
+// measurement synthesis — CFR evaluation and receiver impairments — runs in
+// parallel over windowed tick shards with pre-drawn receiver noise, stitched
+// back in timestamp order. A seed therefore defines one dataset bitwise,
+// independent of the thread count (see DESIGN.md, "Concurrency model").
 #pragma once
 
 #include <cstdint>

@@ -4,6 +4,9 @@
 #include <random>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+
 namespace wifisense::ml {
 
 RandomForest::RandomForest(ForestConfig cfg) : cfg_(cfg) {
@@ -23,21 +26,23 @@ void RandomForest::fit(const nn::Matrix& x, const std::vector<int>& y) {
         tree_cfg.max_features = std::max<std::size_t>(
             1, static_cast<std::size_t>(std::sqrt(static_cast<double>(n_features_))));
 
-    std::mt19937_64 rng(cfg_.seed);
     const auto boot_n = std::max<std::size_t>(
         1, static_cast<std::size_t>(cfg_.bootstrap_fraction *
                                     static_cast<double>(x.rows())));
 
-    trees_.clear();
-    trees_.reserve(cfg_.n_trees);
-    std::uniform_int_distribution<std::size_t> pick(0, x.rows() - 1);
-    std::vector<std::size_t> sample(boot_n);
-    for (std::size_t t = 0; t < cfg_.n_trees; ++t) {
+    // Each tree owns a pre-drawn seed (sub-stream of cfg_.seed) instead of
+    // sharing one engine, so tree t sees the same draw sequence — and builds
+    // the same tree — whether the loop below runs on 1 thread or 16.
+    const std::vector<std::uint64_t> seeds =
+        common::substream_seeds(cfg_.seed, cfg_.n_trees);
+    trees_.assign(cfg_.n_trees, DecisionTree(tree_cfg));
+    common::parallel_for(cfg_.n_trees, [&](std::size_t t) {
+        std::mt19937_64 rng = common::substream(seeds[t], 0);
+        std::uniform_int_distribution<std::size_t> pick(0, x.rows() - 1);
+        std::vector<std::size_t> sample(boot_n);
         for (std::size_t i = 0; i < boot_n; ++i) sample[i] = pick(rng);
-        DecisionTree tree(tree_cfg);
-        tree.fit(x, y, sample, rng);
-        trees_.push_back(std::move(tree));
-    }
+        trees_[t].fit(x, y, sample, rng);
+    });
 }
 
 std::vector<double> RandomForest::predict_proba(const nn::Matrix& x) const {
@@ -45,9 +50,17 @@ std::vector<double> RandomForest::predict_proba(const nn::Matrix& x) const {
     if (x.cols() != n_features_)
         throw std::invalid_argument("RandomForest::predict_proba: width mismatch");
     std::vector<double> out(x.rows(), 0.0);
-    for (const DecisionTree& tree : trees_)
-        for (std::size_t i = 0; i < x.rows(); ++i)
-            out[i] += tree.predict_proba_row(x.row(i));
+    // Row-partitioned: each row's sum runs over trees in ascending order, so
+    // the accumulation order per element matches a serial run exactly.
+    common::parallel_for_chunks(
+        x.rows(), 256, [&](std::size_t r0, std::size_t r1) {
+            for (std::size_t i = r0; i < r1; ++i) {
+                double acc = 0.0;
+                for (const DecisionTree& tree : trees_)
+                    acc += tree.predict_proba_row(x.row(i));
+                out[i] = acc;
+            }
+        });
     const double inv = 1.0 / static_cast<double>(trees_.size());
     for (double& v : out) v *= inv;
     return out;

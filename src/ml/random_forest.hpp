@@ -1,5 +1,10 @@
 // Random forest classifier (Table IV, "Random Forest"): bagged CART trees
 // with per-split feature subsampling, probability averaging across trees.
+//
+// Training is parallel over trees: each tree draws its bootstrap sample and
+// split randomness from a pre-derived sub-stream of `seed` (common/rng.hpp),
+// so a fitted forest is a pure function of (data, config) at any thread
+// count — there is no shared RNG whose interleaving could differ.
 #pragma once
 
 #include <cstddef>

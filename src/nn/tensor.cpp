@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
+
 namespace wifisense::nn {
 
 namespace {
@@ -13,6 +15,74 @@ void check_same_shape(const Matrix& a, const Matrix& b, const char* what) {
     if (a.rows() != b.rows() || a.cols() != b.cols())
         throw std::invalid_argument(std::string(what) + ": shape mismatch " +
                                     a.shape_string() + " vs " + b.shape_string());
+}
+
+// ---------------------------------------------------------------------------
+// GEMM: serial row-range kernels + a row-block-parallel dispatcher.
+//
+// Each kernel computes output rows [r0, r1) of C and touches nothing else, so
+// the dispatcher can hand disjoint row blocks to different threads and the
+// result is bitwise identical to a serial run: every output element is
+// produced by exactly one thread, with the same accumulation order (ascending
+// k) at any thread count. Do NOT introduce shared accumulators here.
+// ---------------------------------------------------------------------------
+
+/// C[r0:r1) += A * B, i-k-j order (streams B and C rows, row-major friendly).
+void matmul_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
+                 std::size_t r1) {
+    const std::size_t k = a.cols(), n = b.cols();
+    for (std::size_t i = r0; i < r1; ++i) {
+        const std::span<const float> arow = a.row(i);
+        const std::span<float> crow = c.row(i);
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            if (av == 0.0f) continue;
+            const std::span<const float> brow = b.row(kk);
+            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+    }
+}
+
+/// C[i0:i1) of C = A^T * B. Row i of C accumulates a(kk, i) * b(kk, :) over
+/// ascending kk — the same per-element order as the historical k-outer loop,
+/// so the refactor preserves results bit-for-bit.
+void matmul_tn_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t i0,
+                    std::size_t i1) {
+    const std::size_t k = a.rows(), n = b.cols();
+    for (std::size_t i = i0; i < i1; ++i) {
+        float* crow = &c.at(i, 0);
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float av = a.at(kk, i);
+            if (av == 0.0f) continue;
+            const std::span<const float> brow = b.row(kk);
+            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+    }
+}
+
+/// C[r0:r1) of C = A * B^T: independent dot products per output element.
+void matmul_nt_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
+                    std::size_t r1) {
+    const std::size_t k = a.cols(), n = b.rows();
+    for (std::size_t i = r0; i < r1; ++i) {
+        const std::span<const float> arow = a.row(i);
+        float* crow = &c.at(i, 0);
+        for (std::size_t j = 0; j < n; ++j) {
+            const std::span<const float> brow = b.row(j);
+            float acc = 0.0f;
+            for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+            crow[j] = acc;
+        }
+    }
+}
+
+/// Row-block size targeting ~64k mul-adds per task. Depends only on the
+/// problem shape (never on the thread count), so the chunk decomposition —
+/// and with it any per-chunk behavior — is invariant across configurations.
+std::size_t gemm_row_grain(std::size_t flops_per_row) {
+    constexpr std::size_t kTargetFlopsPerTask = 64 * 1024;
+    if (flops_per_row == 0) return 1;
+    return std::max<std::size_t>(1, kTargetFlopsPerTask / flops_per_row);
 }
 
 }  // namespace
@@ -51,17 +121,10 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
                                     a.shape_string() + " * " + b.shape_string());
     Matrix c(a.rows(), b.cols(), 0.0f);
     const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-    // i-k-j order: streams through B and C rows, good locality for row-major.
-    for (std::size_t i = 0; i < m; ++i) {
-        const std::span<const float> arow = a.row(i);
-        const std::span<float> crow = c.row(i);
-        for (std::size_t kk = 0; kk < k; ++kk) {
-            const float av = arow[kk];
-            if (av == 0.0f) continue;
-            const std::span<const float> brow = b.row(kk);
-            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-    }
+    common::parallel_for_chunks(m, gemm_row_grain(k * n),
+                                [&](std::size_t r0, std::size_t r1) {
+                                    matmul_rows(a, b, c, r0, r1);
+                                });
     return c;
 }
 
@@ -71,16 +134,10 @@ Matrix matmul_tn(const Matrix& a, const Matrix& b) {
                                     a.shape_string() + "^T * " + b.shape_string());
     Matrix c(a.cols(), b.cols(), 0.0f);
     const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-    for (std::size_t kk = 0; kk < k; ++kk) {
-        const std::span<const float> arow = a.row(kk);
-        const std::span<const float> brow = b.row(kk);
-        for (std::size_t i = 0; i < m; ++i) {
-            const float av = arow[i];
-            if (av == 0.0f) continue;
-            float* crow = &c.at(i, 0);
-            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-    }
+    common::parallel_for_chunks(m, gemm_row_grain(k * n),
+                                [&](std::size_t i0, std::size_t i1) {
+                                    matmul_tn_rows(a, b, c, i0, i1);
+                                });
     return c;
 }
 
@@ -90,16 +147,10 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b) {
                                     a.shape_string() + " * " + b.shape_string() + "^T");
     Matrix c(a.rows(), b.rows(), 0.0f);
     const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-    for (std::size_t i = 0; i < m; ++i) {
-        const std::span<const float> arow = a.row(i);
-        float* crow = &c.at(i, 0);
-        for (std::size_t j = 0; j < n; ++j) {
-            const std::span<const float> brow = b.row(j);
-            float acc = 0.0f;
-            for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-            crow[j] = acc;
-        }
-    }
+    common::parallel_for_chunks(m, gemm_row_grain(k * n),
+                                [&](std::size_t r0, std::size_t r1) {
+                                    matmul_nt_rows(a, b, c, r0, r1);
+                                });
     return c;
 }
 

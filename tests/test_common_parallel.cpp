@@ -1,0 +1,267 @@
+// Tests for the concurrency substrate (common/parallel.hpp) and its
+// determinism contract: static chunking covers every index exactly once,
+// and every parallel consumer (matmul kernels, forest training, simulator,
+// Table IV harness) is bitwise identical at 1, 2, and 8 threads.
+//
+// These are also the tests the CI ThreadSanitizer job runs (filter
+// "Parallel*:Matmul*:ThreadInvariance*").
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "core/experiments.hpp"
+#include "data/folds.hpp"
+#include "envsim/simulation.hpp"
+#include "ml/random_forest.hpp"
+#include "nn/tensor.hpp"
+
+namespace common = wifisense::common;
+namespace core = wifisense::core;
+namespace data = wifisense::data;
+namespace envsim = wifisense::envsim;
+namespace ml = wifisense::ml;
+namespace nn = wifisense::nn;
+
+namespace {
+
+/// Scoped thread-count override; restores the previous config on exit so
+/// test order never leaks a setting.
+class ThreadGuard {
+public:
+    explicit ThreadGuard(std::size_t threads) : prev_(common::execution_config()) {
+        common::set_execution_config({.threads = threads});
+    }
+    ~ThreadGuard() { common::set_execution_config(prev_); }
+
+private:
+    common::ExecutionConfig prev_;
+};
+
+nn::Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<float> u(-2.0f, 2.0f);
+    nn::Matrix m(rows, cols);
+    for (float& v : m.data()) v = u(rng);
+    return m;
+}
+
+bool bitwise_equal(const nn::Matrix& a, const nn::Matrix& b) {
+    return a.rows() == b.rows() && a.cols() == b.cols() &&
+           std::memcmp(a.data().data(), b.data().data(),
+                       a.data().size() * sizeof(float)) == 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// parallel_for_chunks / parallel_for
+// ---------------------------------------------------------------------------
+
+TEST(ParallelFor, ChunksCoverEveryIndexExactlyOnceUnderRaggedSplits) {
+    ThreadGuard guard(4);
+    // (n, chunk) pairs chosen so the last chunk is ragged, chunk == n,
+    // chunk > n, and chunk == 1 all occur.
+    const std::pair<std::size_t, std::size_t> cases[] = {
+        {0, 4},  {1, 4},   {7, 3},    {8, 8},    {9, 8},
+        {64, 16}, {100, 7}, {1000, 97}, {5, 1000}, {33, 1}};
+    for (const auto& [n, chunk] : cases) {
+        std::vector<std::atomic<int>> hits(n);
+        common::parallel_for_chunks(n, chunk,
+                                    [&](std::size_t begin, std::size_t end) {
+                                        ASSERT_EQ(begin % chunk, 0u);
+                                        ASSERT_LE(end - begin, chunk);
+                                        ASSERT_LE(end, n);
+                                        for (std::size_t i = begin; i < end; ++i)
+                                            hits[i].fetch_add(1);
+                                    });
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " chunk=" << chunk
+                                         << " index " << i;
+    }
+}
+
+TEST(ParallelFor, PerIndexVariantCoversEveryIndexOnce) {
+    ThreadGuard guard(8);
+    for (const std::size_t grain : {1u, 3u, 64u}) {
+        constexpr std::size_t n = 777;
+        std::vector<std::atomic<int>> hits(n);
+        common::parallel_for(
+            n, [&](std::size_t i) { hits[i].fetch_add(1); }, grain);
+        for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+    }
+}
+
+TEST(ParallelFor, NestedRegionsRunInline) {
+    ThreadGuard guard(4);
+    EXPECT_FALSE(common::in_parallel_region());
+    std::atomic<int> inner_total{0};
+    common::parallel_for(8, [&](std::size_t) {
+        EXPECT_TRUE(common::in_parallel_region());
+        // A nested region must complete inline without deadlocking.
+        common::parallel_for(16, [&](std::size_t) { inner_total.fetch_add(1); });
+    });
+    EXPECT_FALSE(common::in_parallel_region());
+    EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ParallelFor, FirstTaskExceptionIsRethrown) {
+    ThreadGuard guard(4);
+    EXPECT_THROW(common::parallel_for(64,
+                                      [](std::size_t i) {
+                                          if (i == 13)
+                                              throw std::runtime_error("boom");
+                                      }),
+                 std::runtime_error);
+    // Pool must still be usable afterwards.
+    std::atomic<int> count{0};
+    common::parallel_for(32, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ParallelFor, ParallelInvokeRunsEveryTask) {
+    ThreadGuard guard(4);
+    std::vector<int> done(5, 0);
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t i = 0; i < done.size(); ++i)
+        tasks.push_back([&done, i] { done[i] = static_cast<int>(i) + 1; });
+    common::parallel_invoke(tasks);
+    for (std::size_t i = 0; i < done.size(); ++i)
+        EXPECT_EQ(done[i], static_cast<int>(i) + 1);
+}
+
+TEST(ParallelConfig, SubstreamSeedsAreStablePureFunctions) {
+    const auto a = common::substream_seeds(42, 8);
+    const auto b = common::substream_seeds(42, 8);
+    EXPECT_EQ(a, b);
+    // Distinct streams and distinct seeds diverge.
+    EXPECT_NE(a[0], a[1]);
+    EXPECT_NE(common::substream_seed(42, 0), common::substream_seed(43, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Matmul kernels: bitwise thread invariance
+// ---------------------------------------------------------------------------
+
+TEST(MatmulThreadInvariance, AllThreeVariantsBitwiseEqualAt1_2_8Threads) {
+    // Odd shapes so row blocks are ragged; big enough to span several chunks.
+    const nn::Matrix a = random_matrix(67, 129, 1);    // m x k
+    const nn::Matrix b = random_matrix(129, 43, 2);    // k x n
+    const nn::Matrix at = random_matrix(129, 67, 3);   // k x m (for tn)
+    const nn::Matrix bt = random_matrix(43, 129, 4);   // n x k (for nt)
+
+    nn::Matrix serial_nn(0, 0), serial_tn(0, 0), serial_nt(0, 0);
+    {
+        ThreadGuard guard(1);
+        serial_nn = nn::matmul(a, b);
+        serial_tn = nn::matmul_tn(at, b);
+        serial_nt = nn::matmul_nt(a, bt);
+    }
+    for (const std::size_t threads : {2u, 8u}) {
+        ThreadGuard guard(threads);
+        EXPECT_TRUE(bitwise_equal(nn::matmul(a, b), serial_nn))
+            << "matmul @ " << threads << " threads";
+        EXPECT_TRUE(bitwise_equal(nn::matmul_tn(at, b), serial_tn))
+            << "matmul_tn @ " << threads << " threads";
+        EXPECT_TRUE(bitwise_equal(nn::matmul_nt(a, bt), serial_nt))
+            << "matmul_nt @ " << threads << " threads";
+    }
+}
+
+TEST(MatmulThreadInvariance, LargeSingleRowAndColumnShapes) {
+    // Degenerate shapes exercise the grain heuristic's edges.
+    const nn::Matrix row = random_matrix(1, 300, 5);
+    const nn::Matrix mat = random_matrix(300, 7, 6);
+    nn::Matrix serial(0, 0);
+    {
+        ThreadGuard guard(1);
+        serial = nn::matmul(row, mat);
+    }
+    ThreadGuard guard(8);
+    EXPECT_TRUE(bitwise_equal(nn::matmul(row, mat), serial));
+}
+
+// ---------------------------------------------------------------------------
+// Downstream consumers: forest, simulator, Table IV harness
+// ---------------------------------------------------------------------------
+
+TEST(ThreadInvariance, RandomForestFitAndPredictProba) {
+    const nn::Matrix x = random_matrix(400, 12, 11);
+    std::vector<int> y(x.rows());
+    for (std::size_t i = 0; i < y.size(); ++i)
+        y[i] = x.at(i, 0) + x.at(i, 3) > 0.0f ? 1 : 0;
+
+    ml::ForestConfig cfg;
+    cfg.n_trees = 16;
+    std::vector<double> serial_proba;
+    {
+        ThreadGuard guard(1);
+        ml::RandomForest forest(cfg);
+        forest.fit(x, y);
+        serial_proba = forest.predict_proba(x);
+    }
+    for (const std::size_t threads : {2u, 8u}) {
+        ThreadGuard guard(threads);
+        ml::RandomForest forest(cfg);
+        forest.fit(x, y);
+        EXPECT_EQ(forest.predict_proba(x), serial_proba)
+            << "forest @ " << threads << " threads";
+    }
+}
+
+TEST(ThreadInvariance, SimulatorDatasetBitwiseIdentical) {
+    envsim::SimulationConfig cfg = envsim::paper_config(0.25);
+    cfg.duration_s = 3'600.0;  // 1 h spans several flush windows' worth of ticks
+
+    data::Dataset serial;
+    {
+        ThreadGuard guard(1);
+        serial = envsim::OfficeSimulator(cfg).run();
+    }
+    ThreadGuard guard(4);
+    const data::Dataset parallel = envsim::OfficeSimulator(cfg).run();
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(std::memcmp(parallel[i].csi.data(), serial[i].csi.data(),
+                              sizeof serial[i].csi),
+                  0)
+            << "record " << i;
+        ASSERT_EQ(parallel[i].temperature_c, serial[i].temperature_c);
+        ASSERT_EQ(parallel[i].humidity_pct, serial[i].humidity_pct);
+        ASSERT_EQ(parallel[i].occupancy, serial[i].occupancy);
+    }
+}
+
+TEST(ThreadInvariance, Table4MetricsExactAcrossThreadCounts) {
+    // Reduced rate + heavy stride keep both runs in CPU seconds; the cell
+    // decomposition and every kernel underneath are still exercised.
+    const data::Dataset ds = core::generate_paper_dataset(0.05);
+    const data::FoldSplit split = data::split_paper_folds(ds);
+    core::Table4Config cfg;
+    cfg.train_stride = 4;
+    cfg.forest_extra_stride = 2;
+
+    core::Table4Result serial;
+    {
+        ThreadGuard guard(1);
+        serial = core::run_table4(split, cfg);
+    }
+    ThreadGuard guard(4);
+    const core::Table4Result parallel = core::run_table4(split, cfg);
+
+    EXPECT_EQ(parallel.time_baseline_pct, serial.time_baseline_pct);
+    for (std::size_t m = 0; m < 3; ++m)
+        for (std::size_t f = 0; f < 3; ++f) {
+            EXPECT_EQ(parallel.average[m][f], serial.average[m][f])
+                << "model " << m << " feature " << f;
+            for (std::size_t k = 0; k < data::kNumTestFolds; ++k)
+                EXPECT_EQ(parallel.accuracy[m][f][k], serial.accuracy[m][f][k])
+                    << "model " << m << " feature " << f << " fold " << k;
+        }
+}

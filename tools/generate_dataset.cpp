@@ -2,20 +2,48 @@
 // for users who want to drive the dataset from Python/pandas or archive a
 // fixed realization.
 //
-//   generate_dataset out.csv [rate_hz=1.0] [seed=7] [hours=74.5]
+//   generate_dataset [--threads N] out.csv [rate_hz=1.0] [seed=7] [hours=74.5]
+//
+// The output is bitwise identical for any thread count (see DESIGN.md,
+// "Concurrency model"); --threads only changes the wall clock.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include "common/parallel.hpp"
 #include "data/csv.hpp"
 #include "envsim/simulation.hpp"
+
+namespace {
+
+// Consume a leading "--threads N" (default: WIFISENSE_THREADS, else all
+// hardware threads; 0 = auto) and shift the positional arguments down.
+void apply_threads_flag(int& argc, char** argv) {
+    wifisense::common::configure_threads_from_env();
+    if (argc < 2 || std::strcmp(argv[1], "--threads") != 0) return;
+    char* end = nullptr;
+    const auto n = argc > 2 ? std::strtoull(argv[2], &end, 10) : 0ull;
+    if (argc <= 2 || end == argv[2] || *end != '\0') {
+        std::fprintf(stderr, "error: --threads requires a numeric value\n");
+        std::exit(2);
+    }
+    wifisense::common::set_execution_config(
+        {.threads = static_cast<std::size_t>(n)});
+    for (int i = 3; i < argc; ++i) argv[i - 2] = argv[i];
+    argc -= 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     using namespace wifisense;
 
+    apply_threads_flag(argc, argv);
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: %s out.csv [rate_hz=1.0] [seed=7] [hours=74.5]\n",
+                     "usage: %s [--threads N] out.csv [rate_hz=1.0] [seed=7] "
+                     "[hours=74.5]\n",
                      argv[0]);
         return 2;
     }
@@ -31,8 +59,9 @@ int main(int argc, char** argv) {
     envsim::SimulationConfig cfg = envsim::paper_config(rate, seed);
     cfg.duration_s = hours * 3600.0;
 
-    std::printf("simulating %.1f h @ %.2f Hz (seed %llu)...\n", hours, rate,
-                static_cast<unsigned long long>(seed));
+    std::printf("simulating %.1f h @ %.2f Hz (seed %llu, %zu threads)...\n",
+                hours, rate, static_cast<unsigned long long>(seed),
+                common::thread_count());
     const data::Dataset ds = envsim::OfficeSimulator(cfg).run();
     std::printf("writing %zu records to %s ...\n", ds.size(), path.c_str());
     try {

@@ -2,20 +2,49 @@
 // generate_dataset or converted from a real Nexmon capture) and save the
 // model; optionally evaluate on the paper's 5-fold protocol first.
 //
-//   train_detector data.csv model.bin [features=csi|env|both]
+//   train_detector [--threads N] data.csv model.bin [features=csi|env|both]
+//
+// Training is deterministic for a given seed at any thread count; --threads
+// only changes the wall clock.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "common/parallel.hpp"
 #include "core/occupancy_detector.hpp"
 #include "data/csv.hpp"
 #include "data/folds.hpp"
 
+namespace {
+
+// Consume a leading "--threads N" (default: WIFISENSE_THREADS, else all
+// hardware threads; 0 = auto) and shift the positional arguments down.
+void apply_threads_flag(int& argc, char** argv) {
+    wifisense::common::configure_threads_from_env();
+    if (argc < 2 || std::strcmp(argv[1], "--threads") != 0) return;
+    char* end = nullptr;
+    const auto n = argc > 2 ? std::strtoull(argv[2], &end, 10) : 0ull;
+    if (argc <= 2 || end == argv[2] || *end != '\0') {
+        std::fprintf(stderr, "error: --threads requires a numeric value\n");
+        std::exit(2);
+    }
+    wifisense::common::set_execution_config(
+        {.threads = static_cast<std::size_t>(n)});
+    for (int i = 3; i < argc; ++i) argv[i - 2] = argv[i];
+    argc -= 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
     using namespace wifisense;
 
+    apply_threads_flag(argc, argv);
     if (argc < 3) {
-        std::fprintf(stderr, "usage: %s data.csv model.bin [features=csi|env|both]\n",
+        std::fprintf(stderr,
+                     "usage: %s [--threads N] data.csv model.bin "
+                     "[features=csi|env|both]\n",
                      argv[0]);
         return 2;
     }
