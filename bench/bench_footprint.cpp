@@ -2,12 +2,21 @@
 // google-benchmark: parameter count, serialized size, single-sample
 // inference latency (paper: 10.781 ms/sample on their setup), and training
 // step throughput.
+//
+// Also records the memory behaviour of the hot path (BENCH_footprint.json):
+// heap allocation counts for a warm training epoch / steady training step /
+// warm predict pass (the workspace refactor pins the steady-state counts at
+// zero) and the process peak RSS. Allocation counts come from the
+// wifisense_alloc_counter operator-new replacement linked into this binary.
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
 #include <chrono>
+#include <cmath>
 #include <random>
 
 #include "bench_common.hpp"
+#include "common/alloc_counter.hpp"
 #include "core/occupancy_detector.hpp"
 #include "data/dataset.hpp"
 #include "nn/loss.hpp"
@@ -31,11 +40,24 @@ nn::Matrix random_batch(std::size_t rows, std::size_t cols) {
     return m;
 }
 
+nn::Matrix random_labels(std::size_t rows) {
+    nn::Matrix y(rows, 1);
+    for (std::size_t i = 0; i < rows; ++i) y.at(i, 0) = static_cast<float>(i % 2);
+    return y;
+}
+
+double peak_rss_mib() {
+    struct rusage ru {};
+    if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+    return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB -> MiB
+}
+
 void BM_SingleSampleInference(benchmark::State& state) {
     nn::Mlp net = make_net(static_cast<std::size_t>(state.range(0)));
+    net.set_training(false);
     const nn::Matrix x = random_batch(1, net.input_size());
     for (auto _ : state) {
-        benchmark::DoNotOptimize(net.forward(x));
+        benchmark::DoNotOptimize(net.forward_ws(x, /*cache=*/false));
     }
     state.counters["params"] = static_cast<double>(net.parameter_count());
     state.counters["weight_KiB"] =
@@ -45,10 +67,11 @@ BENCHMARK(BM_SingleSampleInference)->Arg(64)->Arg(66)->Unit(benchmark::kMicrosec
 
 void BM_BatchInference(benchmark::State& state) {
     nn::Mlp net = make_net(64);
+    net.set_training(false);
     const auto batch = static_cast<std::size_t>(state.range(0));
     const nn::Matrix x = random_batch(batch, 64);
     for (auto _ : state) {
-        benchmark::DoNotOptimize(net.forward(x));
+        benchmark::DoNotOptimize(net.forward_ws(x, /*cache=*/false));
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                             static_cast<std::int64_t>(batch));
@@ -59,15 +82,16 @@ void BM_TrainingStep(benchmark::State& state) {
     nn::Mlp net = make_net(64);
     const auto batch = static_cast<std::size_t>(state.range(0));
     const nn::Matrix x = random_batch(batch, 64);
-    nn::Matrix y(batch, 1);
-    for (std::size_t i = 0; i < batch; ++i) y.at(i, 0) = static_cast<float>(i % 2);
+    const nn::Matrix y = random_labels(batch);
     const nn::BceWithLogitsLoss loss;
     nn::AdamW opt;
     std::vector<nn::ParamView> params = net.parameters();
+    net.reserve_workspace(batch);
     for (auto _ : state) {
         net.zero_grad();
-        const nn::LossResult r = loss.compute(net.forward(x), y);
-        benchmark::DoNotOptimize(net.backward(r.grad));
+        const nn::Matrix& out = net.forward_ws(x, /*cache=*/true);
+        loss.compute_into(out, y, net.output_grad_buffer());
+        benchmark::DoNotOptimize(net.backward_ws());
         opt.step(params);
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -81,9 +105,84 @@ void BM_GatherBatch(benchmark::State& state) {
     std::mt19937_64 rng(3);
     std::uniform_int_distribution<std::size_t> pick(0, x.rows() - 1);
     for (auto& i : idx) i = pick(rng);
-    for (auto _ : state) benchmark::DoNotOptimize(nn::gather_rows(x, idx));
+    nn::Matrix out;
+    out.reserve(idx.size(), x.cols());
+    for (auto _ : state) {
+        nn::gather_rows_into(x, idx, out);
+        benchmark::DoNotOptimize(out);
+    }
 }
 BENCHMARK(BM_GatherBatch)->Unit(benchmark::kMicrosecond);
+
+/// Allocation + wall-clock profile of nn::train on a synthetic problem:
+/// one warm-up epoch (workspace + optimizer-state growth), then a measured
+/// epoch whose per-step loop should not touch the heap at all.
+void record_training_profile(wifisense::bench::BenchReport& report) {
+    constexpr std::size_t kRows = 10'000, kBatch = 256;
+    nn::Mlp net = make_net(64);
+    const nn::Matrix x = random_batch(kRows, 64);
+    const nn::Matrix y = random_labels(kRows);
+    const nn::BceWithLogitsLoss loss;
+
+    nn::TrainConfig cfg;
+    cfg.epochs = 1;
+    cfg.batch_size = kBatch;
+    cfg.seed = 5;
+    nn::train(net, x, y, loss, cfg);  // warm-up epoch
+
+    alloc::AllocationProbe epoch_probe;
+    const auto t0 = std::chrono::steady_clock::now();
+    nn::train(net, x, y, loss, cfg);
+    const double epoch_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    // Per-call scaffolding (shuffle order, parameter views, history) is the
+    // only remaining heap traffic; the per-step loop contributes zero.
+    const double epoch_allocs = static_cast<double>(epoch_probe.delta());
+    report.metric("train_epoch_wall_s", epoch_s);
+    report.metric("train_epoch_allocs", epoch_allocs);
+    report.metric("train_epoch_steps",
+                  std::ceil(static_cast<double>(kRows) / kBatch));
+
+    // Steady-state step: trainer-equivalent loop bracketed by the probe.
+    nn::AdamW opt;
+    std::vector<nn::ParamView> params = net.parameters();
+    net.set_training(true);
+    net.reserve_workspace(kBatch);
+    std::vector<std::size_t> idx(kBatch);
+    nn::Matrix by;
+    by.reserve(kBatch, 1);
+    const auto step = [&](std::size_t s) {
+        for (std::size_t i = 0; i < kBatch; ++i) idx[i] = (s * kBatch + i) % kRows;
+        nn::Matrix& bx = net.input_buffer();
+        nn::gather_rows_into(x, idx, bx);
+        nn::gather_rows_into(y, idx, by);
+        net.zero_grad();
+        const nn::Matrix& out = net.forward_ws(bx, /*cache=*/true);
+        loss.compute_into(out, by, net.output_grad_buffer());
+        net.backward_ws();
+        opt.step(params);
+    };
+    step(0);
+    step(1);
+    alloc::AllocationProbe step_probe;
+    step(2);
+    const double step_allocs = static_cast<double>(step_probe.delta());
+    report.metric("steady_step_allocs", step_allocs);
+
+    // Warm predict pass: the output matrix is the only expected allocation.
+    (void)nn::predict(net, x, 4096);
+    alloc::AllocationProbe predict_probe;
+    (void)nn::predict(net, x, 4096);
+    const double predict_allocs = static_cast<double>(predict_probe.delta());
+    report.metric("warm_predict_allocs", predict_allocs);
+
+    std::printf(
+        "heap profile: warm training epoch %g allocs over %zu steps "
+        "(%.3f s), steady step %g allocs, warm predict pass %g allocs\n\n",
+        epoch_allocs, (kRows + kBatch - 1) / kBatch, epoch_s, step_allocs,
+        predict_allocs);
+}
 
 }  // namespace
 
@@ -105,18 +204,23 @@ int main(int argc, char** argv) {
 
         // Single-sample latency recorded alongside the google-benchmark runs
         // so the JSON is self-contained.
+        net.set_training(false);
         const nn::Matrix x = random_batch(1, net.input_size());
         constexpr int kReps = 2000;
         const auto t0 = std::chrono::steady_clock::now();
-        for (int i = 0; i < kReps; ++i) benchmark::DoNotOptimize(net.forward(x));
+        for (int i = 0; i < kReps; ++i)
+            benchmark::DoNotOptimize(net.forward_ws(x, /*cache=*/false));
         const double secs = std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() - t0)
                                 .count();
         report.metric("inference_us_per_sample", 1e6 * secs / kReps);
         report.set_rows(kReps);
     }
+    record_training_profile(report);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    report.metric("peak_rss_mib", peak_rss_mib());
+    std::printf("peak RSS: %.1f MiB\n", peak_rss_mib());
     report.write();
     return 0;
 }

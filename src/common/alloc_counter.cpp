@@ -1,0 +1,127 @@
+// Counting replacements for the global allocation functions. The counters
+// and the operators live in one translation unit so that referencing
+// allocation_count() links the operators in too (static-library semantics:
+// unreferenced object files are dropped).
+#include "common/alloc_counter.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace wifisense::alloc {
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_deallocs{0};
+
+void* counted_alloc(std::size_t size) noexcept {
+    void* p = std::malloc(size ? size : 1);
+    if (p != nullptr) g_allocs.fetch_add(1, std::memory_order_relaxed);
+    return p;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) noexcept {
+    // aligned_alloc requires size to be a multiple of the alignment.
+    const std::size_t padded = (size + align - 1) / align * align;
+    void* p = std::aligned_alloc(align, padded ? padded : align);
+    if (p != nullptr) g_allocs.fetch_add(1, std::memory_order_relaxed);
+    return p;
+}
+
+void counted_free(void* p) noexcept {
+    if (p == nullptr) return;
+    g_deallocs.fetch_add(1, std::memory_order_relaxed);
+    std::free(p);
+}
+}  // namespace
+
+std::uint64_t allocation_count() {
+    return g_allocs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t deallocation_count() {
+    return g_deallocs.load(std::memory_order_relaxed);
+}
+
+}  // namespace wifisense::alloc
+
+// --- global operator new/delete replacements -------------------------------
+
+void* operator new(std::size_t size) {
+    void* p = wifisense::alloc::counted_alloc(size);
+    if (p == nullptr) throw std::bad_alloc();
+    return p;
+}
+
+void* operator new[](std::size_t size) {
+    void* p = wifisense::alloc::counted_alloc(size);
+    if (p == nullptr) throw std::bad_alloc();
+    return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    return wifisense::alloc::counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+    return wifisense::alloc::counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+    void* p = wifisense::alloc::counted_aligned_alloc(
+        size, static_cast<std::size_t>(align));
+    if (p == nullptr) throw std::bad_alloc();
+    return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+    void* p = wifisense::alloc::counted_aligned_alloc(
+        size, static_cast<std::size_t>(align));
+    if (p == nullptr) throw std::bad_alloc();
+    return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+    return wifisense::alloc::counted_aligned_alloc(
+        size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+    return wifisense::alloc::counted_aligned_alloc(
+        size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { wifisense::alloc::counted_free(p); }
+void operator delete[](void* p) noexcept { wifisense::alloc::counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept {
+    wifisense::alloc::counted_free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+    wifisense::alloc::counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+    wifisense::alloc::counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+    wifisense::alloc::counted_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+    wifisense::alloc::counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+    wifisense::alloc::counted_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+    wifisense::alloc::counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+    wifisense::alloc::counted_free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+    wifisense::alloc::counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+    wifisense::alloc::counted_free(p);
+}

@@ -1,0 +1,37 @@
+// Process-wide heap allocation counter for tests and benchmarks.
+//
+// Linking the `wifisense_alloc_counter` library replaces the global
+// operator new/delete family with counting versions (malloc-backed, same
+// semantics). Referencing allocation_count() from a translation unit pulls
+// the replacement operators in with it, so any target that calls it gets
+// counted allocations for the whole process.
+//
+// Only tests and bench_footprint link this library — production binaries use
+// the default allocator untouched.
+#pragma once
+
+#include <cstdint>
+
+namespace wifisense::alloc {
+
+/// Number of successful global operator new calls since process start
+/// (all variants: array, nothrow, aligned). Monotonic; never reset.
+std::uint64_t allocation_count();
+
+/// Number of global operator delete calls on non-null pointers.
+std::uint64_t deallocation_count();
+
+/// Allocations performed while an AllocationProbe window was open minus
+/// the probe's own bookkeeping — see AllocationProbe.
+class AllocationProbe {
+public:
+    AllocationProbe() : start_(allocation_count()) {}
+    /// Allocations since construction (or the last reset()).
+    std::uint64_t delta() const { return allocation_count() - start_; }
+    void reset() { start_ = allocation_count(); }
+
+private:
+    std::uint64_t start_;
+};
+
+}  // namespace wifisense::alloc

@@ -208,10 +208,17 @@ std::size_t configure_threads_from_env() {
 
 bool in_parallel_region() { return tl_region_depth > 0; }
 
-void parallel_for_chunks(std::size_t n, std::size_t chunk_size,
-                         const std::function<void(std::size_t, std::size_t)>& body) {
-    if (n == 0) return;
-    if (chunk_size == 0) chunk_size = 1;
+namespace detail {
+
+bool region_runs_inline(std::size_t tasks) {
+    return tasks <= 1 || tl_region_depth > 0 || ThreadPool::instance().threads() == 1;
+}
+
+InlineRegion::InlineRegion() { ++tl_region_depth; }
+InlineRegion::~InlineRegion() { --tl_region_depth; }
+
+void run_chunks_erased(std::size_t n, std::size_t chunk_size,
+                       const std::function<void(std::size_t, std::size_t)>& body) {
     const std::size_t chunks = (n + chunk_size - 1) / chunk_size;
     const std::function<void(std::size_t)> task = [&](std::size_t c) {
         const std::size_t begin = c * chunk_size;
@@ -220,12 +227,7 @@ void parallel_for_chunks(std::size_t n, std::size_t chunk_size,
     ThreadPool::instance().run(chunks, task);
 }
 
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
-                  std::size_t grain) {
-    parallel_for_chunks(n, grain, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) body(i);
-    });
-}
+}  // namespace detail
 
 void parallel_invoke(std::span<const std::function<void()>> tasks) {
     const std::function<void(std::size_t)> task = [&](std::size_t i) { tasks[i](); };

@@ -48,17 +48,64 @@ std::size_t configure_threads_from_env();
 /// True while executing inside a pool task (nested regions run inline).
 bool in_parallel_region();
 
+namespace detail {
+
+/// True when a region of `tasks` tasks would execute on the calling thread
+/// without fanning out: nested region, single task, or a one-thread pool.
+bool region_runs_inline(std::size_t tasks);
+
+/// RAII marker for inline regions executed by the header fast path below, so
+/// nested parallel calls still see "inside a region" and keep the
+/// only-the-outermost-region-fans-out rule.
+class InlineRegion {
+public:
+    InlineRegion();
+    ~InlineRegion();
+    InlineRegion(const InlineRegion&) = delete;
+    InlineRegion& operator=(const InlineRegion&) = delete;
+};
+
+/// Type-erased fan-out path (the pre-template parallel_for_chunks body).
+void run_chunks_erased(std::size_t n, std::size_t chunk_size,
+                       const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace detail
+
 /// Run body(begin, end) over [0, n) split into static chunks of
 /// `chunk_size` indices (the last chunk is ragged). Chunk k always covers
 /// [k*chunk_size, min(n, (k+1)*chunk_size)) regardless of thread count.
 /// Blocks until every chunk completed; rethrows the first task exception.
-void parallel_for_chunks(std::size_t n, std::size_t chunk_size,
-                         const std::function<void(std::size_t, std::size_t)>& body);
+///
+/// Templated so the hot single-thread / single-chunk / nested paths run the
+/// callable directly: no std::function type erasure, hence zero heap
+/// allocations (the training and inference loops rely on this — see
+/// DESIGN.md, "Memory model"). The chunk decomposition and per-chunk
+/// execution order are identical on both paths, so results stay bitwise
+/// independent of which path runs.
+template <class Body>
+void parallel_for_chunks(std::size_t n, std::size_t chunk_size, const Body& body) {
+    if (n == 0) return;
+    if (chunk_size == 0) chunk_size = 1;
+    const std::size_t chunks = (n + chunk_size - 1) / chunk_size;
+    if (detail::region_runs_inline(chunks)) {
+        detail::InlineRegion region;
+        for (std::size_t c = 0; c < chunks; ++c) {
+            const std::size_t begin = c * chunk_size;
+            body(begin, begin + chunk_size < n ? begin + chunk_size : n);
+        }
+        return;
+    }
+    detail::run_chunks_erased(n, chunk_size, body);
+}
 
 /// Run body(i) for every i in [0, n), grouped into chunks of `grain`
 /// consecutive indices per task.
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
-                  std::size_t grain = 1);
+template <class Body>
+void parallel_for(std::size_t n, const Body& body, std::size_t grain = 1) {
+    parallel_for_chunks(n, grain, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+    });
+}
 
 /// Run a set of independent tasks, one pool slot each. Task index order is
 /// stable; tasks must write to disjoint state.

@@ -274,8 +274,9 @@ Table5Result run_table5(const data::FoldSplit& split, const Table5Config& cfg) {
     }
 
     // Independent fold cells: each fold evaluates both models against its own
-    // slice of `res`. The network is cloned per fold because forward() caches
-    // activations on the instance.
+    // slice of `res`. The network is cloned per fold because the workspace
+    // (batch staging and activation buffers) is per-instance and cannot be
+    // shared across concurrent forwards.
     std::vector<std::function<void()>> fold_cells;
     for (std::size_t f = 0; f < data::kNumTestFolds; ++f) {
         fold_cells.push_back([&, f] {

@@ -54,7 +54,9 @@ double OccupancyDetector::predict_proba(const data::SampleRecord& record) {
     if (!fitted_) throw std::logic_error("OccupancyDetector: not fitted");
     const std::span<const data::SampleRecord> one(&record, 1);
     const nn::Matrix x = scaler_.transform(data::make_features(one, cfg_.features));
-    const nn::Matrix logits = net_.forward(x);
+    // Inference-mode workspace forward: no activation caching, no per-call
+    // allocations once the single-row workspace is warm.
+    const nn::Matrix& logits = net_.forward_ws(x, /*cache=*/false);
     return 1.0 / (1.0 + std::exp(-static_cast<double>(logits.at(0, 0))));
 }
 

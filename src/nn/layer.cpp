@@ -6,6 +6,46 @@
 
 namespace wifisense::nn {
 
+namespace {
+const Matrix& empty_matrix() {
+    static const Matrix kEmpty;
+    return kEmpty;
+}
+}  // namespace
+
+const Matrix& Layer::last_output() const {
+    return out_view_ ? *out_view_ : empty_matrix();
+}
+
+const Matrix& Layer::last_output_grad() const {
+    return out_grad_view_ ? *out_grad_view_ : empty_matrix();
+}
+
+void Layer::cache_forward(const Matrix& input, const Matrix& output, bool cache) {
+    in_view_ = cache ? &input : nullptr;
+    out_view_ = cache ? &output : nullptr;
+    out_grad_view_ = nullptr;
+}
+
+void Layer::require_cached_forward(const char* who) const {
+    if (in_view_ == nullptr || out_view_ == nullptr)
+        throw std::logic_error(std::string(who) +
+                               ": no cached forward pass (was the last forward "
+                               "run in inference mode?)");
+}
+
+Matrix Layer::forward(const Matrix& input) {
+    shim_in_.copy_from(input);
+    forward_into(shim_in_, shim_out_, /*cache=*/true);
+    return shim_out_;
+}
+
+Matrix Layer::backward(const Matrix& grad_output) {
+    shim_grad_out_.copy_from(grad_output);
+    backward_into(shim_grad_out_, shim_grad_in_);
+    return shim_grad_in_;
+}
+
 void Layer::zero_grad() {
     for (ParamView& p : parameters())
         std::fill(p.grads.begin(), p.grads.end(), 0.0f);
@@ -16,30 +56,29 @@ Dense::Dense(std::size_t in, std::size_t out)
     if (in == 0 || out == 0) throw std::invalid_argument("Dense: zero dimension");
 }
 
-Matrix Dense::forward(const Matrix& input) {
+void Dense::forward_into(const Matrix& input, Matrix& output, bool cache) {
     if (input.cols() != in_)
         throw std::invalid_argument("Dense::forward: input width " +
                                     input.shape_string() + " != " + std::to_string(in_));
-    last_input_ = input;
-    Matrix out = matmul(input, w_);
-    add_row_vector_inplace(out, b_);
-    last_output_ = out;
-    return out;
+    matmul_into(input, w_, output);
+    add_row_vector_inplace(output, b_);
+    cache_forward(input, output, cache);
 }
 
-Matrix Dense::backward(const Matrix& grad_output) {
-    if (grad_output.rows() != last_input_.rows() || grad_output.cols() != out_)
+void Dense::backward_into(const Matrix& grad_output, Matrix& grad_input) {
+    require_cached_forward("Dense::backward");
+    if (grad_output.rows() != in_view_->rows() || grad_output.cols() != out_)
         throw std::invalid_argument("Dense::backward: gradient shape mismatch");
-    last_output_grad_ = grad_output;
+    out_grad_view_ = &grad_output;
 
     // Accumulate (not overwrite): supports gradient accumulation across
-    // micro-batches and matches optimizer semantics.
-    const Matrix gw = matmul_tn(last_input_, grad_output);
-    for (std::size_t i = 0; i < gw_.size(); ++i) gw_.data()[i] += gw.data()[i];
-    const std::vector<float> gb = column_sums(grad_output);
-    for (std::size_t i = 0; i < gb_.size(); ++i) gb_[i] += gb[i];
+    // micro-batches and matches optimizer semantics. With zeroed accumulators
+    // (zero_grad before every step, as the trainer does) the direct
+    // accumulation is bitwise identical to compute-then-add.
+    matmul_tn_into(*in_view_, grad_output, gw_, /*accumulate=*/true);
+    column_sums_into(grad_output, gb_, /*accumulate=*/true);
 
-    return matmul_nt(grad_output, w_);
+    matmul_nt_into(grad_output, w_, grad_input);
 }
 
 std::vector<ParamView> Dense::parameters() {
@@ -49,24 +88,28 @@ std::vector<ParamView> Dense::parameters() {
     };
 }
 
-Matrix ReLU::forward(const Matrix& input) {
-    if (input.cols() != width_)
-        throw std::invalid_argument("ReLU::forward: width mismatch");
-    Matrix out = input;
-    for (float& v : out.data()) v = v > 0.0f ? v : 0.0f;
-    last_output_ = out;
-    return out;
+void Dense::zero_grad() {
+    gw_.fill(0.0f);
+    std::fill(gb_.begin(), gb_.end(), 0.0f);
 }
 
-Matrix ReLU::backward(const Matrix& grad_output) {
-    if (grad_output.rows() != last_output_.rows() ||
-        grad_output.cols() != last_output_.cols())
+void ReLU::forward_into(const Matrix& input, Matrix& output, bool cache) {
+    if (input.cols() != width_)
+        throw std::invalid_argument("ReLU::forward: width mismatch");
+    output.copy_from(input);
+    for (float& v : output.data()) v = v > 0.0f ? v : 0.0f;
+    cache_forward(input, output, cache);
+}
+
+void ReLU::backward_into(const Matrix& grad_output, Matrix& grad_input) {
+    require_cached_forward("ReLU::backward");
+    if (grad_output.rows() != out_view_->rows() ||
+        grad_output.cols() != out_view_->cols())
         throw std::invalid_argument("ReLU::backward: gradient shape mismatch");
-    last_output_grad_ = grad_output;
-    Matrix gin = grad_output;
-    for (std::size_t i = 0; i < gin.size(); ++i)
-        if (last_output_.data()[i] <= 0.0f) gin.data()[i] = 0.0f;
-    return gin;
+    out_grad_view_ = &grad_output;
+    grad_input.copy_from(grad_output);
+    for (std::size_t i = 0; i < grad_input.size(); ++i)
+        if (out_view_->data()[i] <= 0.0f) grad_input.data()[i] = 0.0f;
 }
 
 Dropout::Dropout(std::size_t width, double p, std::uint64_t seed)
@@ -75,56 +118,59 @@ Dropout::Dropout(std::size_t width, double p, std::uint64_t seed)
         throw std::invalid_argument("Dropout: rate must be in [0,1)");
 }
 
-Matrix Dropout::forward(const Matrix& input) {
+void Dropout::reserve_batch(std::size_t max_rows) {
+    mask_.reserve(max_rows, width_);
+}
+
+void Dropout::forward_into(const Matrix& input, Matrix& output, bool cache) {
     if (input.cols() != width_)
         throw std::invalid_argument("Dropout::forward: width mismatch");
+    output.copy_from(input);
     if (!training_ || p_ == 0.0) {
-        last_output_ = input;
-        mask_ = Matrix();
-        return input;
+        mask_active_ = false;
+    } else {
+        std::bernoulli_distribution keep(1.0 - p_);
+        const float scale = static_cast<float>(1.0 / (1.0 - p_));
+        mask_.resize(input.rows(), input.cols());
+        for (std::size_t i = 0; i < output.size(); ++i) {
+            const float m = keep(rng_) ? scale : 0.0f;
+            mask_.data()[i] = m;
+            output.data()[i] *= m;
+        }
+        mask_active_ = true;
     }
-    std::bernoulli_distribution keep(1.0 - p_);
-    const float scale = static_cast<float>(1.0 / (1.0 - p_));
-    mask_ = Matrix(input.rows(), input.cols());
-    Matrix out = input;
-    for (std::size_t i = 0; i < out.size(); ++i) {
-        const float m = keep(rng_) ? scale : 0.0f;
-        mask_.data()[i] = m;
-        out.data()[i] *= m;
-    }
-    last_output_ = out;
-    return out;
+    cache_forward(input, output, cache);
 }
 
-Matrix Dropout::backward(const Matrix& grad_output) {
-    if (grad_output.rows() != last_output_.rows() ||
-        grad_output.cols() != last_output_.cols())
+void Dropout::backward_into(const Matrix& grad_output, Matrix& grad_input) {
+    require_cached_forward("Dropout::backward");
+    if (grad_output.rows() != out_view_->rows() ||
+        grad_output.cols() != out_view_->cols())
         throw std::invalid_argument("Dropout::backward: gradient shape mismatch");
-    last_output_grad_ = grad_output;
-    if (mask_.empty()) return grad_output;  // inference / p == 0
-    return hadamard(grad_output, mask_);
+    out_grad_view_ = &grad_output;
+    grad_input.copy_from(grad_output);
+    if (mask_active_) hadamard_inplace(grad_input, mask_);
 }
 
-Matrix Sigmoid::forward(const Matrix& input) {
+void Sigmoid::forward_into(const Matrix& input, Matrix& output, bool cache) {
     if (input.cols() != width_)
         throw std::invalid_argument("Sigmoid::forward: width mismatch");
-    Matrix out = input;
-    for (float& v : out.data()) v = 1.0f / (1.0f + std::exp(-v));
-    last_output_ = out;
-    return out;
+    output.copy_from(input);
+    for (float& v : output.data()) v = 1.0f / (1.0f + std::exp(-v));
+    cache_forward(input, output, cache);
 }
 
-Matrix Sigmoid::backward(const Matrix& grad_output) {
-    if (grad_output.rows() != last_output_.rows() ||
-        grad_output.cols() != last_output_.cols())
+void Sigmoid::backward_into(const Matrix& grad_output, Matrix& grad_input) {
+    require_cached_forward("Sigmoid::backward");
+    if (grad_output.rows() != out_view_->rows() ||
+        grad_output.cols() != out_view_->cols())
         throw std::invalid_argument("Sigmoid::backward: gradient shape mismatch");
-    last_output_grad_ = grad_output;
-    Matrix gin = grad_output;
-    for (std::size_t i = 0; i < gin.size(); ++i) {
-        const float y = last_output_.data()[i];
-        gin.data()[i] *= y * (1.0f - y);
+    out_grad_view_ = &grad_output;
+    grad_input.copy_from(grad_output);
+    for (std::size_t i = 0; i < grad_input.size(); ++i) {
+        const float y = out_view_->data()[i];
+        grad_input.data()[i] *= y * (1.0f - y);
     }
-    return gin;
 }
 
 }  // namespace wifisense::nn

@@ -16,10 +16,16 @@ void check_shapes(const Matrix& a, const Matrix& b, const char* what) {
 
 }  // namespace
 
-LossResult BceWithLogitsLoss::compute(const Matrix& outputs, const Matrix& targets) const {
-    check_shapes(outputs, targets, "BceWithLogitsLoss");
+LossResult Loss::compute(const Matrix& outputs, const Matrix& targets) const {
     LossResult res;
-    res.grad = Matrix(outputs.rows(), outputs.cols());
+    res.value = compute_into(outputs, targets, res.grad);
+    return res;
+}
+
+double BceWithLogitsLoss::compute_into(const Matrix& outputs,
+                                       const Matrix& targets, Matrix& grad) const {
+    check_shapes(outputs, targets, "BceWithLogitsLoss");
+    grad.resize(outputs.rows(), outputs.cols());
     const double inv_n = 1.0 / static_cast<double>(outputs.size());
     double acc = 0.0;
     for (std::size_t i = 0; i < outputs.size(); ++i) {
@@ -27,33 +33,31 @@ LossResult BceWithLogitsLoss::compute(const Matrix& outputs, const Matrix& targe
         const double y = static_cast<double>(targets.data()[i]);
         acc += std::max(z, 0.0) - z * y + std::log1p(std::exp(-std::abs(z)));
         const double p = 1.0 / (1.0 + std::exp(-z));
-        res.grad.data()[i] = static_cast<float>((p - y) * inv_n);
+        grad.data()[i] = static_cast<float>((p - y) * inv_n);
     }
-    res.value = acc * inv_n;
-    return res;
+    return acc * inv_n;
 }
 
-LossResult MseLoss::compute(const Matrix& outputs, const Matrix& targets) const {
+double MseLoss::compute_into(const Matrix& outputs, const Matrix& targets,
+                             Matrix& grad) const {
     check_shapes(outputs, targets, "MseLoss");
-    LossResult res;
-    res.grad = Matrix(outputs.rows(), outputs.cols());
+    grad.resize(outputs.rows(), outputs.cols());
     const double inv_n = 1.0 / static_cast<double>(outputs.size());
     double acc = 0.0;
     for (std::size_t i = 0; i < outputs.size(); ++i) {
         const double d = static_cast<double>(outputs.data()[i]) -
                          static_cast<double>(targets.data()[i]);
         acc += d * d;
-        res.grad.data()[i] = static_cast<float>(2.0 * d * inv_n);
+        grad.data()[i] = static_cast<float>(2.0 * d * inv_n);
     }
-    res.value = acc * inv_n;
-    return res;
+    return acc * inv_n;
 }
 
-LossResult SoftmaxCrossEntropyLoss::compute(const Matrix& outputs,
-                                            const Matrix& targets) const {
+double SoftmaxCrossEntropyLoss::compute_into(const Matrix& outputs,
+                                             const Matrix& targets,
+                                             Matrix& grad) const {
     check_shapes(outputs, targets, "SoftmaxCrossEntropyLoss");
-    LossResult res;
-    res.grad = Matrix(outputs.rows(), outputs.cols());
+    grad.resize(outputs.rows(), outputs.cols());
     const double inv_n = 1.0 / static_cast<double>(outputs.rows());
     double acc = 0.0;
     for (std::size_t r = 0; r < outputs.rows(); ++r) {
@@ -68,12 +72,11 @@ LossResult SoftmaxCrossEntropyLoss::compute(const Matrix& outputs,
         for (std::size_t c = 0; c < outputs.cols(); ++c) {
             const double p = std::exp(static_cast<double>(z[c]) - lse);
             acc -= static_cast<double>(y[c]) * (static_cast<double>(z[c]) - lse);
-            res.grad.at(r, c) =
+            grad.at(r, c) =
                 static_cast<float>((p - static_cast<double>(y[c])) * inv_n);
         }
     }
-    res.value = acc * inv_n;
-    return res;
+    return acc * inv_n;
 }
 
 Matrix sigmoid(const Matrix& logits) {

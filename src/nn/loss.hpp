@@ -1,6 +1,11 @@
-// Loss functions. Both return the mean loss over the batch and fill the
+// Loss functions. Each returns the mean loss over the batch and fills the
 // gradient with d(meanLoss)/d(output) so Trainer can feed it straight into
 // Mlp::backward.
+//
+// The core API is destination-passing (compute_into): the gradient is written
+// into a caller-owned matrix — the trainer passes Mlp::output_grad_buffer(),
+// so a steady-state training step allocates nothing here. The value-returning
+// compute() remains as a convenience shim.
 #pragma once
 
 #include <vector>
@@ -17,9 +22,16 @@ struct LossResult {
 class Loss {
 public:
     virtual ~Loss() = default;
+
+    /// Mean batch loss; writes d(meanLoss)/d(outputs) into `grad` (resized to
+    /// the outputs' shape; allocation-free within reserved capacity).
     /// outputs and targets must be equally shaped (targets for BCE are the
     /// {0,1} labels broadcast into a [n x 1] matrix).
-    virtual LossResult compute(const Matrix& outputs, const Matrix& targets) const = 0;
+    virtual double compute_into(const Matrix& outputs, const Matrix& targets,
+                                Matrix& grad) const = 0;
+
+    /// Value-returning convenience shim over compute_into().
+    LossResult compute(const Matrix& outputs, const Matrix& targets) const;
 };
 
 /// Binary cross-entropy over logits (Eq. 4 with the sigmoid folded in).
@@ -27,14 +39,16 @@ public:
 ///   loss = max(z,0) - z*y + log(1 + exp(-|z|)),  dloss/dz = sigmoid(z) - y.
 class BceWithLogitsLoss final : public Loss {
 public:
-    LossResult compute(const Matrix& outputs, const Matrix& targets) const override;
+    double compute_into(const Matrix& outputs, const Matrix& targets,
+                        Matrix& grad) const override;
 };
 
 /// Mean squared error over all elements ("minimization of a squared error
 /// objective", Section V-D regression head).
 class MseLoss final : public Loss {
 public:
-    LossResult compute(const Matrix& outputs, const Matrix& targets) const override;
+    double compute_into(const Matrix& outputs, const Matrix& targets,
+                        Matrix& grad) const override;
 };
 
 /// Multi-class cross-entropy over logits with integer class targets encoded
@@ -43,7 +57,8 @@ public:
 /// Numerically stable log-softmax formulation.
 class SoftmaxCrossEntropyLoss final : public Loss {
 public:
-    LossResult compute(const Matrix& outputs, const Matrix& targets) const override;
+    double compute_into(const Matrix& outputs, const Matrix& targets,
+                        Matrix& grad) const override;
 };
 
 /// Elementwise sigmoid of a logit matrix (utility for inference paths).

@@ -1,5 +1,6 @@
 #include "nn/mlp.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace wifisense::nn {
@@ -16,18 +17,88 @@ Mlp::Mlp(std::vector<std::size_t> dims, Init scheme, std::mt19937_64& rng)
     }
 }
 
+void Mlp::reserve_workspace(std::size_t max_rows) {
+    if (layers_.empty())
+        throw std::logic_error("Mlp::reserve_workspace: empty network");
+    if (ws_act_.size() != layers_.size()) ws_act_.resize(layers_.size());
+    if (max_rows <= ws_rows_) return;
+    ws_rows_ = max_rows;
+    ws_input_.reserve(max_rows, input_size());
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        ws_act_[i].reserve(max_rows, layers_[i]->output_size());
+        layers_[i]->reserve_batch(max_rows);
+    }
+    if (ws_grad_rows_ > 0) {
+        ws_grad_rows_ = 0;  // force re-reserve at the new row capacity
+        reserve_grad_buffers();
+    }
+}
+
+void Mlp::reserve_grad_buffers() {
+    if (ws_grad_.size() != layers_.size()) ws_grad_.resize(layers_.size());
+    if (ws_grad_rows_ >= ws_rows_) return;
+    ws_grad_rows_ = ws_rows_;
+    for (std::size_t i = 0; i < layers_.size(); ++i)
+        ws_grad_[i].reserve(ws_grad_rows_, layers_[i]->output_size());
+    ws_input_grad_.reserve(ws_grad_rows_, input_size());
+}
+
+const Matrix& Mlp::forward_ws(const Matrix& input, bool cache) {
+    if (layers_.empty()) throw std::logic_error("Mlp::forward: empty network");
+    if (input.rows() > ws_rows_ || ws_act_.size() != layers_.size())
+        reserve_workspace(std::max(input.rows(), ws_rows_));
+    const Matrix* cur = &input;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        layers_[i]->forward_into(*cur, ws_act_[i], cache);
+        cur = &ws_act_[i];
+    }
+    fwd_input_ = cache ? &input : nullptr;
+    return *cur;
+}
+
+Matrix& Mlp::output_grad_buffer() {
+    if (layers_.empty())
+        throw std::logic_error("Mlp::output_grad_buffer: empty network");
+    if (ws_act_.size() != layers_.size())
+        throw std::logic_error("Mlp::output_grad_buffer: no forward pass yet");
+    reserve_grad_buffers();
+    const Matrix& out = ws_act_.back();
+    ws_grad_.back().resize(out.rows(), out.cols());
+    return ws_grad_.back();
+}
+
+const Matrix& Mlp::backward_ws() {
+    if (layers_.empty()) throw std::logic_error("Mlp::backward: empty network");
+    if (fwd_input_ == nullptr)
+        throw std::logic_error(
+            "Mlp::backward: no cached forward pass (the last forward ran in "
+            "inference mode)");
+    if (ws_grad_.size() != layers_.size())
+        throw std::logic_error("Mlp::backward: output_grad_buffer() never filled");
+    const Matrix& out = ws_act_.back();
+    if (ws_grad_.back().rows() != out.rows() || ws_grad_.back().cols() != out.cols())
+        throw std::invalid_argument("Mlp::backward: gradient shape mismatch");
+    for (std::size_t i = layers_.size(); i-- > 0;) {
+        Matrix& grad_in = i > 0 ? ws_grad_[i - 1] : ws_input_grad_;
+        layers_[i]->backward_into(ws_grad_[i], grad_in);
+    }
+    return ws_input_grad_;
+}
+
 Matrix Mlp::forward(const Matrix& input) {
     if (layers_.empty()) throw std::logic_error("Mlp::forward: empty network");
-    Matrix x = input;
-    for (const auto& layer : layers_) x = layer->forward(x);
-    return x;
+    // Stage through the workspace slot so the cached views outlive the
+    // caller's matrix (Grad-CAM and backward() read them after we return).
+    ws_input_.copy_from(input);
+    return forward_ws(ws_input_, /*cache=*/training_);
 }
 
 Matrix Mlp::backward(const Matrix& grad_output) {
     if (layers_.empty()) throw std::logic_error("Mlp::backward: empty network");
-    Matrix g = grad_output;
-    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
-    return g;
+    if (ws_act_.size() != layers_.size())
+        throw std::logic_error("Mlp::backward: no forward pass yet");
+    output_grad_buffer().copy_from(grad_output);
+    return backward_ws();
 }
 
 void Mlp::zero_grad() {
@@ -35,6 +106,7 @@ void Mlp::zero_grad() {
 }
 
 void Mlp::set_training(bool training) {
+    training_ = training;
     for (const auto& layer : layers_) layer->set_training(training);
 }
 

@@ -109,48 +109,76 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<float>> rows) {
 
 void Matrix::fill(float v) { std::fill(values_.begin(), values_.end(), v); }
 
+void Matrix::copy_from(const Matrix& src) {
+    resize(src.rows(), src.cols());
+    std::copy_n(src.data().data(), src.size(), values_.data());
+}
+
 std::string Matrix::shape_string() const {
     std::ostringstream os;
     os << "[" << rows_ << " x " << cols_ << "]";
     return os.str();
 }
 
-Matrix matmul(const Matrix& a, const Matrix& b) {
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& out) {
     if (a.cols() != b.rows())
         throw std::invalid_argument("matmul: inner dimensions differ " +
                                     a.shape_string() + " * " + b.shape_string());
-    Matrix c(a.rows(), b.cols(), 0.0f);
+    out.resize(a.rows(), b.cols());
+    out.fill(0.0f);  // the row kernels accumulate, exactly like the wrapper
     const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
     common::parallel_for_chunks(m, gemm_row_grain(k * n),
                                 [&](std::size_t r0, std::size_t r1) {
-                                    matmul_rows(a, b, c, r0, r1);
+                                    matmul_rows(a, b, out, r0, r1);
                                 });
+}
+
+void matmul_tn_into(const Matrix& a, const Matrix& b, Matrix& out,
+                    bool accumulate) {
+    if (a.rows() != b.rows())
+        throw std::invalid_argument("matmul_tn: row counts differ " +
+                                    a.shape_string() + "^T * " + b.shape_string());
+    if (accumulate) {
+        if (out.rows() != a.cols() || out.cols() != b.cols())
+            throw std::invalid_argument("matmul_tn_into: accumulate shape mismatch");
+    } else {
+        out.resize(a.cols(), b.cols());
+        out.fill(0.0f);
+    }
+    const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+    common::parallel_for_chunks(m, gemm_row_grain(k * n),
+                                [&](std::size_t i0, std::size_t i1) {
+                                    matmul_tn_rows(a, b, out, i0, i1);
+                                });
+}
+
+void matmul_nt_into(const Matrix& a, const Matrix& b, Matrix& out) {
+    if (a.cols() != b.cols())
+        throw std::invalid_argument("matmul_nt: column counts differ " +
+                                    a.shape_string() + " * " + b.shape_string() + "^T");
+    out.resize(a.rows(), b.rows());
+    const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+    common::parallel_for_chunks(m, gemm_row_grain(k * n),
+                                [&](std::size_t r0, std::size_t r1) {
+                                    matmul_nt_rows(a, b, out, r0, r1);
+                                });
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+    Matrix c;
+    matmul_into(a, b, c);
     return c;
 }
 
 Matrix matmul_tn(const Matrix& a, const Matrix& b) {
-    if (a.rows() != b.rows())
-        throw std::invalid_argument("matmul_tn: row counts differ " +
-                                    a.shape_string() + "^T * " + b.shape_string());
-    Matrix c(a.cols(), b.cols(), 0.0f);
-    const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-    common::parallel_for_chunks(m, gemm_row_grain(k * n),
-                                [&](std::size_t i0, std::size_t i1) {
-                                    matmul_tn_rows(a, b, c, i0, i1);
-                                });
+    Matrix c;
+    matmul_tn_into(a, b, c);
     return c;
 }
 
 Matrix matmul_nt(const Matrix& a, const Matrix& b) {
-    if (a.cols() != b.cols())
-        throw std::invalid_argument("matmul_nt: column counts differ " +
-                                    a.shape_string() + " * " + b.shape_string() + "^T");
-    Matrix c(a.rows(), b.rows(), 0.0f);
-    const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-    common::parallel_for_chunks(m, gemm_row_grain(k * n),
-                                [&](std::size_t r0, std::size_t r1) {
-                                    matmul_nt_rows(a, b, c, r0, r1);
-                                });
+    Matrix c;
+    matmul_nt_into(a, b, c);
     return c;
 }
 
@@ -165,11 +193,18 @@ void add_row_vector_inplace(Matrix& a, std::span<const float> v) {
 
 std::vector<float> column_sums(const Matrix& a) {
     std::vector<float> out(a.cols(), 0.0f);
+    column_sums_into(a, out, /*accumulate=*/true);
+    return out;
+}
+
+void column_sums_into(const Matrix& a, std::span<float> out, bool accumulate) {
+    if (out.size() != a.cols())
+        throw std::invalid_argument("column_sums_into: output length != cols");
+    if (!accumulate) std::fill(out.begin(), out.end(), 0.0f);
     for (std::size_t r = 0; r < a.rows(); ++r) {
         const std::span<const float> row = a.row(r);
         for (std::size_t c = 0; c < out.size(); ++c) out[c] += row[c];
     }
-    return out;
 }
 
 std::vector<float> column_means(const Matrix& a) {
@@ -181,24 +216,36 @@ std::vector<float> column_means(const Matrix& a) {
 }
 
 Matrix add(const Matrix& a, const Matrix& b) {
-    check_same_shape(a, b, "add");
     Matrix c = a;
-    for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] += b.data()[i];
+    add_inplace(c, b);
     return c;
 }
 
 Matrix sub(const Matrix& a, const Matrix& b) {
-    check_same_shape(a, b, "sub");
     Matrix c = a;
-    for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] -= b.data()[i];
+    sub_inplace(c, b);
     return c;
 }
 
 Matrix hadamard(const Matrix& a, const Matrix& b) {
-    check_same_shape(a, b, "hadamard");
     Matrix c = a;
-    for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] *= b.data()[i];
+    hadamard_inplace(c, b);
     return c;
+}
+
+void add_inplace(Matrix& a, const Matrix& b) {
+    check_same_shape(a, b, "add");
+    for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] += b.data()[i];
+}
+
+void sub_inplace(Matrix& a, const Matrix& b) {
+    check_same_shape(a, b, "sub");
+    for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] -= b.data()[i];
+}
+
+void hadamard_inplace(Matrix& a, const Matrix& b) {
+    check_same_shape(a, b, "hadamard");
+    for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] *= b.data()[i];
 }
 
 void scale_inplace(Matrix& a, float s) {
@@ -213,21 +260,33 @@ Matrix transpose(const Matrix& a) {
 }
 
 Matrix row_block(const Matrix& a, std::size_t begin, std::size_t count) {
-    if (begin + count > a.rows())
-        throw std::out_of_range("row_block: range exceeds matrix");
-    Matrix out(count, a.cols());
-    std::copy_n(a.data().data() + begin * a.cols(), count * a.cols(),
-                out.data().data());
+    Matrix out;
+    row_block_into(a, begin, count, out);
     return out;
 }
 
+void row_block_into(const Matrix& a, std::size_t begin, std::size_t count,
+                    Matrix& out) {
+    if (begin + count > a.rows())
+        throw std::out_of_range("row_block: range exceeds matrix");
+    out.resize(count, a.cols());
+    std::copy_n(a.data().data() + begin * a.cols(), count * a.cols(),
+                out.data().data());
+}
+
 Matrix gather_rows(const Matrix& a, std::span<const std::size_t> indices) {
-    Matrix out(indices.size(), a.cols());
+    Matrix out;
+    gather_rows_into(a, indices, out);
+    return out;
+}
+
+void gather_rows_into(const Matrix& a, std::span<const std::size_t> indices,
+                      Matrix& out) {
+    out.resize(indices.size(), a.cols());
     for (std::size_t i = 0; i < indices.size(); ++i) {
         if (indices[i] >= a.rows()) throw std::out_of_range("gather_rows: bad index");
         std::copy_n(a.row(indices[i]).data(), a.cols(), out.row(i).data());
     }
-    return out;
 }
 
 float max_abs_diff(const Matrix& a, const Matrix& b) {

@@ -37,11 +37,56 @@ public:
     void fill(float v);
     std::string shape_string() const;  ///< "[rows x cols]"
 
+    /// Pre-allocate backing storage for up to rows*cols elements without
+    /// changing the shape. A later resize() within this capacity is
+    /// allocation-free — the basis of the steady-state zero-allocation
+    /// contract (DESIGN.md, "Memory model").
+    void reserve(std::size_t rows, std::size_t cols) { values_.reserve(rows * cols); }
+
+    /// Reshape in place. Existing elements are kept up to the new size (new
+    /// elements, if any, are zero). Never shrinks capacity; never allocates
+    /// when rows*cols fits the reserved capacity.
+    void resize(std::size_t rows, std::size_t cols) {
+        values_.resize(rows * cols);
+        rows_ = rows;
+        cols_ = cols;
+    }
+
+    std::size_t capacity() const { return values_.capacity(); }
+
+    /// Become an elementwise copy of `src` (resizes; allocation-free when
+    /// src.size() fits the reserved capacity).
+    void copy_from(const Matrix& src);
+
 private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
     std::vector<float> values_;
 };
+
+// ---------------------------------------------------------------------------
+// Destination-passing kernels. Each *_into overload resizes `out` (a reserve()
+// within capacity makes that allocation-free) and produces every output
+// element with the same per-element accumulation order as the allocating
+// wrapper below it, so the two spellings are bitwise interchangeable. `out`
+// must not alias any input.
+// ---------------------------------------------------------------------------
+
+/// out = A * B. Shapes: [m x k] * [k x n] -> [m x n].
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out (+)= A^T * B. Shapes: [k x m]^T * [k x n] -> [m x n]. With
+/// `accumulate` the product is added onto the existing contents (out must
+/// already be [m x n]) — used for gradient accumulation without a scratch
+/// matrix. Note the accumulate path folds the running total into the
+/// ascending-k sum, which is bitwise identical to sum-then-add exactly when
+/// the destination starts at zero (it does: the training loop zero_grads
+/// before every backward pass).
+void matmul_tn_into(const Matrix& a, const Matrix& b, Matrix& out,
+                    bool accumulate = false);
+
+/// out = A * B^T. Shapes: [m x k] * [n x k]^T -> [m x n].
+void matmul_nt_into(const Matrix& a, const Matrix& b, Matrix& out);
 
 /// C = A * B. Shapes: [m x k] * [k x n] -> [m x n].
 Matrix matmul(const Matrix& a, const Matrix& b);
@@ -58,6 +103,12 @@ void add_row_vector_inplace(Matrix& a, std::span<const float> v);
 /// Column sums of a (length a.cols()).
 std::vector<float> column_sums(const Matrix& a);
 
+/// out (+)= column sums of a; out.size() must equal a.cols(). With
+/// `accumulate` the row contributions fold onto the existing contents (same
+/// zero-start bitwise caveat as matmul_tn_into).
+void column_sums_into(const Matrix& a, std::span<float> out,
+                      bool accumulate = false);
+
 /// Column means of a.
 std::vector<float> column_means(const Matrix& a);
 
@@ -65,6 +116,11 @@ std::vector<float> column_means(const Matrix& a);
 Matrix add(const Matrix& a, const Matrix& b);
 Matrix sub(const Matrix& a, const Matrix& b);
 Matrix hadamard(const Matrix& a, const Matrix& b);
+
+/// Elementwise in-place variants: a op= b. Shapes must match.
+void add_inplace(Matrix& a, const Matrix& b);
+void sub_inplace(Matrix& a, const Matrix& b);
+void hadamard_inplace(Matrix& a, const Matrix& b);
 
 /// Elementwise scale in place.
 void scale_inplace(Matrix& a, float s);
@@ -75,8 +131,16 @@ Matrix transpose(const Matrix& a);
 /// Select a contiguous block of rows [begin, begin+count).
 Matrix row_block(const Matrix& a, std::size_t begin, std::size_t count);
 
+/// out = rows [begin, begin+count) of a (resizes out; see *_into contract).
+void row_block_into(const Matrix& a, std::size_t begin, std::size_t count,
+                    Matrix& out);
+
 /// Gather rows by index (out-of-range indices throw).
 Matrix gather_rows(const Matrix& a, std::span<const std::size_t> indices);
+
+/// out = a[indices] (resizes out; out-of-range indices throw).
+void gather_rows_into(const Matrix& a, std::span<const std::size_t> indices,
+                      Matrix& out);
 
 /// Max absolute difference between two equally-shaped matrices.
 float max_abs_diff(const Matrix& a, const Matrix& b);

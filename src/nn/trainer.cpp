@@ -68,6 +68,14 @@ TrainHistory train(Mlp& net, const Matrix& inputs, const Matrix& targets,
     std::vector<ParamView> params = net.parameters();
     net.set_training(true);
 
+    // Size the workspace and the target-batch scratch once: after the first
+    // batch warms the optimizer state, every remaining step is allocation-free
+    // (see tests/test_nn_workspace.cpp).
+    const std::size_t max_batch = std::min(cfg.batch_size, inputs.rows());
+    net.reserve_workspace(max_batch);
+    Matrix by;
+    by.reserve(max_batch, targets.cols());
+
     for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
         opt.set_learning_rate(scheduled_lr(cfg, epoch));
         if (cfg.shuffle) std::shuffle(order.begin(), order.end(), rng);
@@ -77,8 +85,9 @@ TrainHistory train(Mlp& net, const Matrix& inputs, const Matrix& targets,
         for (std::size_t begin = 0; begin < order.size(); begin += cfg.batch_size) {
             const std::size_t count = std::min(cfg.batch_size, order.size() - begin);
             const std::span<const std::size_t> idx(&order[begin], count);
-            Matrix bx = gather_rows(inputs, idx);
-            const Matrix by = gather_rows(targets, idx);
+            Matrix& bx = net.input_buffer();
+            gather_rows_into(inputs, idx, bx);
+            gather_rows_into(targets, idx, by);
             if (cfg.input_noise > 0.0) {
                 std::normal_distribution<float> jitter(
                     0.0f, static_cast<float>(cfg.input_noise));
@@ -86,13 +95,14 @@ TrainHistory train(Mlp& net, const Matrix& inputs, const Matrix& targets,
             }
 
             net.zero_grad();
-            const Matrix out = net.forward(bx);
-            const LossResult lr = loss.compute(out, by);
-            net.backward(lr.grad);
+            const Matrix& out = net.forward_ws(bx, /*cache=*/true);
+            const double batch_loss =
+                loss.compute_into(out, by, net.output_grad_buffer());
+            net.backward_ws();
             if (cfg.grad_clip > 0.0) clip_gradients(params, cfg.grad_clip);
             opt.step(params);
 
-            epoch_loss += lr.value;
+            epoch_loss += batch_loss;
             ++batches;
         }
 
@@ -106,13 +116,22 @@ TrainHistory train(Mlp& net, const Matrix& inputs, const Matrix& targets,
 
 Matrix predict(Mlp& net, const Matrix& inputs, std::size_t batch_size) {
     if (batch_size == 0) throw std::invalid_argument("predict: zero batch size");
+    // Force inference mode for the duration: dropout becomes the identity and
+    // layers skip activation caching entirely (no stale Grad-CAM views, no
+    // gradient-buffer reservations). Restore the caller's mode on exit.
+    const bool was_training = net.training_mode();
+    net.set_training(false);
+    if (inputs.rows() > 0)
+        net.reserve_workspace(std::min(batch_size, inputs.rows()));
     Matrix out(inputs.rows(), net.output_size());
     for (std::size_t begin = 0; begin < inputs.rows(); begin += batch_size) {
         const std::size_t count = std::min(batch_size, inputs.rows() - begin);
-        const Matrix block = row_block(inputs, begin, count);
-        const Matrix y = net.forward(block);
+        Matrix& block = net.input_buffer();
+        row_block_into(inputs, begin, count, block);
+        const Matrix& y = net.forward_ws(block, /*cache=*/false);
         std::copy_n(y.data().data(), y.size(), out.data().data() + begin * out.cols());
     }
+    net.set_training(was_training);
     return out;
 }
 

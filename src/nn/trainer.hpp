@@ -58,7 +58,10 @@ TrainHistory train(Mlp& net, const Matrix& inputs, const Matrix& targets,
                    const Loss& loss, const TrainConfig& cfg, Optimizer& opt);
 
 /// Forward the whole input in evaluation batches (keeps the activation
-/// footprint bounded for large test folds).
+/// footprint bounded for large test folds). Runs in inference mode — dropout
+/// is the identity and activation caches are not populated — restoring the
+/// network's previous training/inference mode before returning. Warm batches
+/// reuse the network workspace and allocate nothing.
 Matrix predict(Mlp& net, const Matrix& inputs, std::size_t batch_size = 4096);
 
 /// Binary prediction convenience: sigmoid(logit) > 0.5 per row.

@@ -16,10 +16,12 @@ GradCamResult GradCam::explain(const nn::Matrix& inputs, GradCamConfig cfg) cons
     const double sign = cfg.target_class == 0 ? -1.0 : 1.0;
 
     net_->zero_grad();
-    (void)net_->forward(inputs);
+    // Explicitly cached forward: Grad-CAM needs the activation views even on
+    // a network left in inference mode after training.
+    (void)net_->forward_ws(inputs, /*cache=*/true);
     // d(y^c)/d(logit) = sign for every sample.
-    nn::Matrix seed_grad(inputs.rows(), 1, static_cast<float>(sign));
-    const nn::Matrix input_grad = net_->backward(seed_grad);
+    net_->output_grad_buffer().fill(static_cast<float>(sign));
+    const nn::Matrix& input_grad = net_->backward_ws();
     net_->zero_grad();
 
     GradCamResult res;
