@@ -1,0 +1,244 @@
+#include "common/fault.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <sstream>
+
+namespace wifisense::common {
+
+namespace {
+
+// Salts separating the independent fault decision streams of one seed.
+constexpr std::uint64_t kSaltPacket = 0x70616b74;    // "pakt"
+constexpr std::uint64_t kSaltCorrupt = 0x636f7272;   // "corr"
+constexpr std::uint64_t kSaltDropout = 0x64726f70;   // "drop"
+constexpr std::uint64_t kSaltBurst = 0x62757273;     // "burs"
+constexpr std::uint64_t kSaltEnvStall = 0x7374616c;  // "stal"
+
+/// Fixed window for the time-windowed fault processes. At most one event
+/// starts per window, so rates up to 6/h stay faithful; durations are
+/// clamped to the window so a lookback of one window suffices.
+constexpr double kFaultWindowS = 600.0;
+
+/// Uniform double in [0, 1) from a mixed 64-bit value.
+double uniform01(std::uint64_t h) {
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Advance a splitmix64 decision chain: returns the next mixed value.
+std::uint64_t next(std::uint64_t& h) {
+    h = splitmix64(h);
+    return h;
+}
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+bool FaultConfig::any_active() const {
+    return frame_drop_rate > 0.0 || nan_rate > 0.0 || inf_rate > 0.0 ||
+           saturate_rate > 0.0 || subcarrier_dropout_rate > 0.0 ||
+           (burst_rate_per_h > 0.0 && burst_len_s > 0.0) ||
+           (env_stall_rate_per_h > 0.0 && env_stall_len_s > 0.0) ||
+           env_clock_skew_s > 0.0;
+}
+
+FaultConfig FaultConfig::scaled(double factor) const {
+    FaultConfig out = *this;
+    out.frame_drop_rate = clamp01(frame_drop_rate * factor);
+    out.nan_rate = clamp01(nan_rate * factor);
+    out.inf_rate = clamp01(inf_rate * factor);
+    out.saturate_rate = clamp01(saturate_rate * factor);
+    out.subcarrier_dropout_rate = clamp01(subcarrier_dropout_rate * factor);
+    out.burst_rate_per_h = std::max(0.0, burst_rate_per_h * factor);
+    out.env_stall_rate_per_h = std::max(0.0, env_stall_rate_per_h * factor);
+    out.env_clock_skew_s = factor > 0.0 ? env_clock_skew_s : 0.0;
+    return out;
+}
+
+FaultPlan::FaultPlan(FaultConfig cfg) : cfg_(cfg), active_(cfg.any_active()) {
+    const auto check01 = [](double v) { return v >= 0.0 && v <= 1.0; };
+    if (!check01(cfg_.frame_drop_rate) || !check01(cfg_.nan_rate) ||
+        !check01(cfg_.inf_rate) || !check01(cfg_.saturate_rate) ||
+        !check01(cfg_.subcarrier_dropout_rate) ||
+        !check01(cfg_.subcarrier_dropout_fraction))
+        throw std::invalid_argument("FaultPlan: probability outside [0, 1]");
+    if (cfg_.nan_rate + cfg_.inf_rate + cfg_.saturate_rate > 1.0)
+        throw std::invalid_argument("FaultPlan: corruption rates sum above 1");
+    if (cfg_.burst_rate_per_h < 0.0 || cfg_.burst_len_s < 0.0 ||
+        cfg_.env_stall_rate_per_h < 0.0 || cfg_.env_stall_len_s < 0.0 ||
+        cfg_.env_clock_skew_s < 0.0)
+        throw std::invalid_argument("FaultPlan: negative rate/duration");
+}
+
+PacketFault FaultPlan::packet_fault(std::uint64_t packet_index) const {
+    PacketFault fault;
+    if (!active_) return fault;
+
+    // One decision chain per packet, rooted at (seed, packet_index): the
+    // same packet always sees the same faults, and packets are independent.
+    std::uint64_t h = substream_seed(cfg_.seed ^ kSaltPacket, packet_index);
+
+    if (uniform01(next(h)) < cfg_.frame_drop_rate) {
+        fault.dropped = true;
+        return fault;  // a dropped frame has no payload to corrupt
+    }
+
+    const double u = uniform01(next(h));
+    if (u < cfg_.nan_rate)
+        fault.corrupt = CorruptKind::kNaN;
+    else if (u < cfg_.nan_rate + cfg_.inf_rate)
+        fault.corrupt = CorruptKind::kInf;
+    else if (u < cfg_.nan_rate + cfg_.inf_rate + cfg_.saturate_rate)
+        fault.corrupt = CorruptKind::kSaturate;
+    if (fault.corrupt == CorruptKind::kNaN || fault.corrupt == CorruptKind::kInf)
+        fault.corrupt_mask_seed =
+            substream_seed(cfg_.seed ^ kSaltCorrupt, packet_index) | 1u;
+
+    if (uniform01(next(h)) < cfg_.subcarrier_dropout_rate)
+        fault.dropout_mask_seed =
+            substream_seed(cfg_.seed ^ kSaltDropout, packet_index) | 1u;
+    return fault;
+}
+
+bool FaultPlan::window_fault_active(double t, std::uint64_t salt,
+                                    double rate_per_h, double len_s) const {
+    if (rate_per_h <= 0.0 || len_s <= 0.0) return false;
+    const double len = std::min(len_s, kFaultWindowS);
+    const double p_window = std::min(1.0, rate_per_h * kFaultWindowS / 3600.0);
+    const auto window = static_cast<std::int64_t>(std::floor(t / kFaultWindowS));
+    // An event starting late in window w-1 can still cover t.
+    for (std::int64_t w = window - 1; w <= window; ++w) {
+        if (w < 0) continue;
+        std::uint64_t h =
+            substream_seed(cfg_.seed ^ salt, static_cast<std::uint64_t>(w));
+        if (uniform01(next(h)) >= p_window) continue;
+        const double start = static_cast<double>(w) * kFaultWindowS +
+                             uniform01(next(h)) * kFaultWindowS;
+        if (t >= start && t < start + len) return true;
+    }
+    return false;
+}
+
+bool FaultPlan::csi_offline(double t) const {
+    return active_ &&
+           window_fault_active(t, kSaltBurst, cfg_.burst_rate_per_h,
+                               cfg_.burst_len_s);
+}
+
+bool FaultPlan::env_stalled(double t) const {
+    return active_ &&
+           window_fault_active(t, kSaltEnvStall, cfg_.env_stall_rate_per_h,
+                               cfg_.env_stall_len_s);
+}
+
+void apply_packet_fault(std::span<float> amps, const PacketFault& fault,
+                        double full_scale, double dropout_fraction) {
+    if (amps.empty()) return;
+    switch (fault.corrupt) {
+        case CorruptKind::kNone:
+            break;
+        case CorruptKind::kSaturate:
+            // AGC saturation pins the whole frame at full scale.
+            for (float& a : amps) a = static_cast<float>(full_scale);
+            break;
+        case CorruptKind::kNaN:
+        case CorruptKind::kInf: {
+            // Partial corruption: a deterministic ~25% subset of subcarriers
+            // (at least one) reads non-finite, like a torn DMA transfer.
+            const float bad = fault.corrupt == CorruptKind::kNaN
+                                  ? std::numeric_limits<float>::quiet_NaN()
+                                  : std::numeric_limits<float>::infinity();
+            std::uint64_t h = fault.corrupt_mask_seed;
+            bool any = false;
+            for (std::size_t k = 0; k < amps.size(); ++k) {
+                if (next(h) % 4 == 0) {
+                    amps[k] = bad;
+                    any = true;
+                }
+            }
+            if (!any) amps[0] = bad;
+            break;
+        }
+    }
+    if (fault.dropout_mask_seed != 0) {
+        // Lost subcarriers report NaN (no measurement), never zeros: zeros
+        // are a valid amplitude and would silently skew training.
+        std::uint64_t h = fault.dropout_mask_seed;
+        const std::size_t n = amps.size();
+        auto lost = static_cast<std::size_t>(
+            std::ceil(std::clamp(dropout_fraction, 0.0, 1.0) *
+                      static_cast<double>(n)));
+        lost = std::max<std::size_t>(1, std::min(lost, n));
+        for (std::size_t i = 0; i < lost; ++i)
+            amps[next(h) % n] = std::numeric_limits<float>::quiet_NaN();
+    }
+}
+
+Result<FaultConfig> parse_fault_spec(std::string_view spec) {
+    FaultConfig cfg;
+    std::string_view rest = spec;
+    while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        std::string_view item =
+            comma == std::string_view::npos ? rest : rest.substr(0, comma);
+        rest = comma == std::string_view::npos ? std::string_view{}
+                                               : rest.substr(comma + 1);
+        if (item.empty()) continue;
+        const std::size_t eq = item.find('=');
+        if (eq == std::string_view::npos)
+            return Status(StatusCode::kInvalidArgument,
+                          "parse_fault_spec: expected key=value, got '" +
+                              std::string(item) + "'");
+        const std::string_view key = item.substr(0, eq);
+        const std::string_view val = item.substr(eq + 1);
+        double v = 0.0;
+        const auto [p, ec] = std::from_chars(val.data(), val.data() + val.size(), v);
+        if (ec != std::errc{} || p != val.data() + val.size() || !std::isfinite(v))
+            return Status(StatusCode::kInvalidArgument,
+                          "parse_fault_spec: bad value for '" + std::string(key) +
+                              "': '" + std::string(val) + "'");
+        if (key == "drop") cfg.frame_drop_rate = v;
+        else if (key == "nan") cfg.nan_rate = v;
+        else if (key == "inf") cfg.inf_rate = v;
+        else if (key == "saturate") cfg.saturate_rate = v;
+        else if (key == "dropout") cfg.subcarrier_dropout_rate = v;
+        else if (key == "dropout_fraction") cfg.subcarrier_dropout_fraction = v;
+        else if (key == "burst_rate") cfg.burst_rate_per_h = v;
+        else if (key == "burst_len") cfg.burst_len_s = v;
+        else if (key == "env_stall_rate") cfg.env_stall_rate_per_h = v;
+        else if (key == "env_stall_len") cfg.env_stall_len_s = v;
+        else if (key == "skew") cfg.env_clock_skew_s = v;
+        else if (key == "seed") cfg.seed = static_cast<std::uint64_t>(v);
+        else
+            return Status(StatusCode::kInvalidArgument,
+                          "parse_fault_spec: unknown key '" + std::string(key) +
+                              "'");
+    }
+    try {
+        FaultPlan validate{cfg};
+        (void)validate;
+    } catch (const std::invalid_argument& e) {
+        return Status(StatusCode::kInvalidArgument,
+                      std::string("parse_fault_spec: ") + e.what());
+    }
+    return cfg;
+}
+
+std::string to_spec(const FaultConfig& cfg) {
+    std::ostringstream os;
+    os << "drop=" << cfg.frame_drop_rate << ",nan=" << cfg.nan_rate
+       << ",inf=" << cfg.inf_rate << ",saturate=" << cfg.saturate_rate
+       << ",dropout=" << cfg.subcarrier_dropout_rate
+       << ",burst_rate=" << cfg.burst_rate_per_h
+       << ",burst_len=" << cfg.burst_len_s
+       << ",env_stall_rate=" << cfg.env_stall_rate_per_h
+       << ",env_stall_len=" << cfg.env_stall_len_s
+       << ",skew=" << cfg.env_clock_skew_s << ",seed=" << cfg.seed;
+    return os.str();
+}
+
+}  // namespace wifisense::common

@@ -1,0 +1,131 @@
+// Deterministic fault model for the sensing -> inference pipeline.
+//
+// The paper's deployment (Nexmon-patched Raspberry Pi receivers in an
+// unconstrained office) suffers dropped frames, burst losses while a
+// receiver reconnects, saturated/NaN amplitudes, per-subcarrier dropout,
+// stalled environmental sensors, and clock skew between the CSI and the
+// T/H streams. This header makes those faults first-class, reproducible
+// inputs instead of exceptions:
+//
+//   - every per-packet decision is a pure function of (seed, packet_index)
+//     via the splitmix64 substream machinery of common/rng.hpp, so a fault
+//     plan is bitwise reproducible at any thread count and never perturbs
+//     the world RNG streams it is injected next to;
+//   - time-windowed faults (receiver outage bursts, env-sensor stalls) are
+//     pure functions of (seed, window_index), queryable statelessly at any
+//     timestamp in any order;
+//   - an all-zero FaultConfig is inert by construction: the injection hooks
+//     in csi::Receiver / envsim::OfficeSimulator compare against the
+//     default PacketFault and touch nothing, keeping the zero-fault path
+//     bitwise identical to the seed outputs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace wifisense::common {
+
+struct FaultConfig {
+    // -- per-packet iid faults (probabilities in [0, 1]) --------------------
+    double frame_drop_rate = 0.0;  ///< packet never reaches the host
+    double nan_rate = 0.0;         ///< a subset of amplitudes reads NaN
+    double inf_rate = 0.0;         ///< a subset of amplitudes reads +Inf
+    double saturate_rate = 0.0;    ///< AGC saturation: frame pinned at full scale
+    /// Chance a packet loses a random subset of subcarriers (reported NaN).
+    double subcarrier_dropout_rate = 0.0;
+    /// Fraction of subcarriers lost by such a packet (at least one).
+    double subcarrier_dropout_fraction = 0.15;
+
+    // -- receiver outage bursts (disconnect/reconnect windows) --------------
+    double burst_rate_per_h = 0.0;  ///< expected outages per hour
+    double burst_len_s = 30.0;      ///< outage duration (clamped to the window)
+
+    // -- environmental-sensor stream faults ---------------------------------
+    double env_stall_rate_per_h = 0.0;  ///< expected stalls per hour
+    double env_stall_len_s = 120.0;     ///< stall duration (sensor repeats itself)
+    /// CSI<->env clock skew: env readings lag the CSI timeline by this much.
+    double env_clock_skew_s = 0.0;
+
+    std::uint64_t seed = 0x5eed;
+
+    /// True if any fault channel can fire.
+    bool any_active() const;
+
+    /// Copy with every stochastic rate multiplied by `factor` (clamped to
+    /// [0,1] for probabilities). Durations and skew are kept; factor 0 is
+    /// the inert plan. Bench sweeps use this to trace accuracy vs fault rate.
+    FaultConfig scaled(double factor) const;
+};
+
+enum class CorruptKind : std::uint8_t { kNone = 0, kNaN, kInf, kSaturate };
+
+/// The fault decision for one packet. Default-constructed == no fault.
+struct PacketFault {
+    bool dropped = false;
+    CorruptKind corrupt = CorruptKind::kNone;
+    /// Seeds the per-subcarrier mask of a kNaN/kInf corruption (nonzero iff
+    /// corrupt is one of those kinds).
+    std::uint64_t corrupt_mask_seed = 0;
+    /// Nonzero => this packet loses subcarriers; the value seeds the mask.
+    std::uint64_t dropout_mask_seed = 0;
+
+    bool any() const {
+        return dropped || corrupt != CorruptKind::kNone || dropout_mask_seed != 0;
+    }
+};
+
+/// Stateless, seeded description of every fault the pipeline will see.
+/// All queries are pure and safe to call concurrently.
+class FaultPlan {
+public:
+    /// Inactive plan (every query reports "no fault").
+    FaultPlan() = default;
+    explicit FaultPlan(FaultConfig cfg);
+
+    bool active() const { return active_; }
+    const FaultConfig& config() const { return cfg_; }
+
+    /// Fault decision for the packet_index-th CSI packet of the stream.
+    PacketFault packet_fault(std::uint64_t packet_index) const;
+
+    /// True while a receiver outage burst covers timestamp `t`.
+    bool csi_offline(double t) const;
+
+    /// True while the environmental sensor is stalled at timestamp `t`.
+    bool env_stalled(double t) const;
+
+    /// Constant env-behind-CSI clock skew in seconds (>= 0).
+    double env_skew_s() const { return active_ ? cfg_.env_clock_skew_s : 0.0; }
+
+private:
+    bool window_fault_active(double t, std::uint64_t salt, double rate_per_h,
+                             double len_s) const;
+
+    FaultConfig cfg_;
+    bool active_ = false;
+};
+
+/// Apply a packet fault to an amplitude vector in place (pure; `full_scale`
+/// is the receiver's saturation amplitude, `dropout_fraction` the share of
+/// subcarriers a dropout fault loses). Dropped-out / NaN / Inf subcarriers
+/// overwrite their slots; downstream ingest must validate.
+void apply_packet_fault(std::span<float> amps, const PacketFault& fault,
+                        double full_scale, double dropout_fraction = 0.15);
+
+/// Parse a "key=value,key=value" fault-plan spec, e.g.
+///   "drop=0.05,nan=0.01,dropout=0.02,burst_rate=0.5,burst_len=45,
+///    env_stall_rate=0.3,env_stall_len=120,skew=1.5,seed=99"
+/// Keys: drop, nan, inf, saturate, dropout, dropout_fraction, burst_rate,
+/// burst_len, env_stall_rate, env_stall_len, skew, seed. Unknown keys and
+/// out-of-range values produce kInvalidArgument.
+Result<FaultConfig> parse_fault_spec(std::string_view spec);
+
+/// Render a config back to the spec format (diagnostics, bench metadata).
+std::string to_spec(const FaultConfig& cfg);
+
+}  // namespace wifisense::common

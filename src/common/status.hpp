@@ -1,0 +1,110 @@
+// Lightweight Status / Result<T> error taxonomy for the load/ingest paths.
+//
+// The dataset and checkpoint readers historically threw std::runtime_error
+// for every failure mode, which makes "file is truncated" indistinguishable
+// from "wrong format version" without string matching. The typed core lives
+// here (common is the dependency root, so data/, nn/ and core/ can all share
+// one taxonomy); the historical throwing entry points remain as thin
+// wrappers over the Result-returning ones.
+//
+// Header-only on purpose: Status is used by leaf libraries that do not link
+// wifisense_common's compiled objects.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace wifisense::common {
+
+enum class StatusCode {
+    kOk = 0,
+    kInvalidArgument,  ///< caller error: bad parameter / spec
+    kNotFound,         ///< file or resource missing / unopenable
+    kFormatMismatch,   ///< wrong magic, header, or unsupported version
+    kCorruptData,      ///< payload fails validation (NaN rows, bad checksum)
+    kTruncated,        ///< stream ended before the declared payload
+    kIoError,          ///< read/write failure on an open stream
+};
+
+inline const char* to_string(StatusCode code) {
+    switch (code) {
+        case StatusCode::kOk: return "ok";
+        case StatusCode::kInvalidArgument: return "invalid argument";
+        case StatusCode::kNotFound: return "not found";
+        case StatusCode::kFormatMismatch: return "format mismatch";
+        case StatusCode::kCorruptData: return "corrupt data";
+        case StatusCode::kTruncated: return "truncated";
+        case StatusCode::kIoError: return "i/o error";
+    }
+    return "unknown";
+}
+
+class [[nodiscard]] Status {
+public:
+    Status() = default;  // ok
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message)) {}
+
+    static Status ok() { return Status(); }
+
+    bool is_ok() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string& message() const { return message_; }
+
+    /// "corrupt data: read_csv: foo.csv:17: ..." rendering.
+    std::string to_string() const {
+        if (is_ok()) return "ok";
+        return std::string(common::to_string(code_)) + ": " + message_;
+    }
+
+    /// Bridge to the historical throwing APIs.
+    void throw_if_error() const {
+        if (!is_ok()) throw std::runtime_error(message_);
+    }
+
+private:
+    StatusCode code_ = StatusCode::kOk;
+    std::string message_;
+};
+
+/// Either a value or an error Status. Minimal expected<T, Status>: the load
+/// paths need exactly "did it parse, and if not, why" — nothing more.
+template <class T>
+class [[nodiscard]] Result {
+public:
+    Result(T value) : value_(std::move(value)) {}                 // NOLINT
+    Result(Status status) : status_(std::move(status)) {          // NOLINT
+        if (status_.is_ok())
+            status_ = Status(StatusCode::kIoError,
+                             "Result: constructed from an ok Status");
+    }
+    Result(StatusCode code, std::string message)
+        : status_(code, std::move(message)) {}
+
+    bool is_ok() const { return value_.has_value(); }
+    explicit operator bool() const { return is_ok(); }
+
+    const Status& status() const { return status_; }
+
+    /// Throws std::runtime_error(status().message()) on error.
+    T& value() & {
+        status_.throw_if_error();
+        return *value_;
+    }
+    const T& value() const& {
+        status_.throw_if_error();
+        return *value_;
+    }
+    T&& value() && {
+        status_.throw_if_error();
+        return std::move(*value_);
+    }
+
+private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+}  // namespace wifisense::common

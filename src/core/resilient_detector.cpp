@@ -1,0 +1,235 @@
+#include "core/resilient_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wifisense::core {
+
+namespace {
+
+double clamp01(double v) {
+    if (!(v > 0.0)) return 0.0;  // also maps NaN to 0
+    return v < 1.0 ? v : 1.0;
+}
+
+bool env_finite(float t_c, float h_pct) {
+    return std::isfinite(t_c) && std::isfinite(h_pct);
+}
+
+}  // namespace
+
+Observation Observation::from_record(const data::SampleRecord& r) {
+    Observation o;
+    o.timestamp = r.timestamp;
+    o.has_csi = true;
+    o.csi = r.csi;
+    o.has_env = true;
+    o.temperature_c = r.temperature_c;
+    o.humidity_pct = r.humidity_pct;
+    return o;
+}
+
+std::string to_string(DetectorMode mode) {
+    switch (mode) {
+        case DetectorMode::kFull: return "full";
+        case DetectorMode::kEnvOnly: return "env_only";
+        case DetectorMode::kStaleHold: return "stale_hold";
+    }
+    return "unknown";
+}
+
+ResilientDetector::ResilientDetector(ResilientConfig cfg)
+    : cfg_(cfg),
+      full_([&] {
+          DetectorConfig c = cfg.full;
+          c.features = data::FeatureSet::kCsiEnv;
+          return c;
+      }()),
+      fallback_([&] {
+          DetectorConfig c = cfg.fallback;
+          c.features = data::FeatureSet::kEnv;
+          return c;
+      }()),
+      csi_health_(cfg.csi_health),
+      env_health_(cfg.env_health) {
+    if (cfg_.csi_health_floor < 0.0 || cfg_.csi_health_floor > 1.0)
+        throw std::invalid_argument("ResilientDetector: health floor outside [0,1]");
+    if (cfg_.retry_backoff_initial_s <= 0.0 || cfg_.retry_backoff_mult < 1.0 ||
+        cfg_.retry_backoff_max_s < cfg_.retry_backoff_initial_s)
+        throw std::invalid_argument("ResilientDetector: bad backoff parameters");
+    if (cfg_.stale_confidence_tau_s <= 0.0)
+        throw std::invalid_argument("ResilientDetector: non-positive stale tau");
+    current_backoff_s_ = cfg_.retry_backoff_initial_s;
+}
+
+void ResilientDetector::reset_stream() {
+    csi_health_.reset();
+    env_health_.reset();
+    stats_ = ResilienceStats{};
+    has_last_csi_ = false;
+    has_last_env_ = false;
+    has_last_decision_ = false;
+    last_decision_p_ = 0.5;
+    csi_down_ = false;
+    next_retry_t_ = 0.0;
+    current_backoff_s_ = cfg_.retry_backoff_initial_s;
+}
+
+nn::TrainHistory ResilientDetector::fit(const data::DatasetView& train) {
+    const nn::TrainHistory history = full_.fit(train);
+    fallback_.fit(train);
+    fitted_ = true;
+    return history;
+}
+
+void ResilientDetector::update_reconnect(double t, bool csi_usable) {
+    if (csi_usable) {
+        if (csi_down_) ++stats_.reconnects;
+        csi_down_ = false;
+        current_backoff_s_ = cfg_.retry_backoff_initial_s;
+        return;
+    }
+    if (!csi_down_) {
+        // Stream just went down: schedule the first retry.
+        csi_down_ = true;
+        current_backoff_s_ = cfg_.retry_backoff_initial_s;
+        next_retry_t_ = t + current_backoff_s_;
+        return;
+    }
+    if (t >= next_retry_t_) {
+        ++stats_.reconnect_attempts;
+        const bool back = reconnect_hook_ && reconnect_hook_();
+        if (back) {
+            // The link answered; the next usable frame resets the state.
+            current_backoff_s_ = cfg_.retry_backoff_initial_s;
+            next_retry_t_ = t + current_backoff_s_;
+        } else {
+            current_backoff_s_ = std::min(current_backoff_s_ * cfg_.retry_backoff_mult,
+                                          cfg_.retry_backoff_max_s);
+            next_retry_t_ = t + current_backoff_s_;
+        }
+    }
+}
+
+DetectorDecision ResilientDetector::process(const Observation& obs) {
+    if (!fitted_)
+        throw std::logic_error("ResilientDetector::process: not fitted");
+    ++stats_.observations;
+    const double t = obs.timestamp;
+
+    // ---- CSI triage: raw -> (maybe) repaired -> usable frame. --------------
+    std::array<float, data::kNumSubcarriers> frame{};
+    bool csi_usable = false;
+    bool csi_repaired = false;
+    if (obs.has_csi) {
+        std::size_t bad = 0;
+        for (const float a : obs.csi)
+            if (!std::isfinite(a)) ++bad;
+        if (bad == 0) {
+            frame = obs.csi;
+            csi_usable = true;
+        } else {
+            const bool donor_fresh =
+                has_last_csi_ && t - last_csi_t_ <= cfg_.csi_staleness_budget_s;
+            const bool repairable =
+                (double)bad <= cfg_.max_bad_subcarrier_fraction *
+                                   (double)data::kNumSubcarriers;
+            if (donor_fresh && repairable) {
+                frame = obs.csi;
+                for (std::size_t i = 0; i < frame.size(); ++i) {
+                    if (!std::isfinite(frame[i])) {
+                        frame[i] = last_csi_[i];
+                        ++stats_.csi_values_imputed;
+                    }
+                }
+                csi_usable = true;
+                csi_repaired = true;
+                ++stats_.csi_frames_repaired;
+            }
+        }
+    }
+    csi_health_.observe(t, csi_usable);
+    if (csi_usable) {
+        last_csi_ = frame;
+        last_csi_t_ = t;
+        has_last_csi_ = true;
+    }
+
+    // ---- Env triage: fresh reading, else forward-hold within budget. -------
+    bool env_fresh = obs.has_env && env_finite(obs.temperature_c, obs.humidity_pct);
+    env_health_.observe(t, env_fresh);
+    float temp = obs.temperature_c;
+    float hum = obs.humidity_pct;
+    bool env_held = false;
+    bool env_usable = env_fresh;
+    if (env_fresh) {
+        last_temp_ = temp;
+        last_hum_ = hum;
+        last_env_t_ = t;
+        has_last_env_ = true;
+    } else if (has_last_env_ && t - last_env_t_ <= cfg_.env_staleness_budget_s) {
+        temp = last_temp_;
+        hum = last_hum_;
+        env_held = true;
+        env_usable = true;
+        ++stats_.env_ticks_held;
+    }
+
+    update_reconnect(t, csi_usable);
+
+    // ---- Mode policy. ------------------------------------------------------
+    DetectorDecision d;
+    d.csi_health = csi_health_.health();
+    d.env_health = env_health_.health();
+    d.csi_repaired = csi_repaired;
+    d.env_held = env_held;
+
+    const bool full_ok =
+        csi_usable && env_usable && d.csi_health >= cfg_.csi_health_floor;
+    if (full_ok) {
+        d.mode = DetectorMode::kFull;
+        ++stats_.full_mode;
+        data::SampleRecord r;
+        r.timestamp = t;
+        r.csi = frame;
+        r.temperature_c = temp;
+        r.humidity_pct = hum;
+        d.probability = clamp01(full_.predict_proba(r));
+        d.confidence = clamp01(2.0 * std::abs(d.probability - 0.5) * d.csi_health);
+    } else if (env_usable) {
+        d.mode = DetectorMode::kEnvOnly;
+        ++stats_.env_only_mode;
+        data::SampleRecord r;
+        r.timestamp = t;
+        r.temperature_c = temp;
+        r.humidity_pct = hum;
+        d.probability = clamp01(fallback_.predict_proba(r));
+        d.confidence = clamp01(2.0 * std::abs(d.probability - 0.5) * d.env_health);
+    } else {
+        // Both streams dark: hold the last model-backed estimate, shrinking
+        // it toward the 0.5 prior so a long outage converges to "don't know"
+        // instead of confidently repeating stale state.
+        d.mode = DetectorMode::kStaleHold;
+        ++stats_.stale_hold_mode;
+        if (has_last_decision_) {
+            const double age = std::max(0.0, t - last_decision_t_);
+            const double decay = std::exp(-age / cfg_.stale_confidence_tau_s);
+            d.probability = clamp01(0.5 + (last_decision_p_ - 0.5) * decay);
+            d.confidence = clamp01(2.0 * std::abs(d.probability - 0.5));
+        } else {
+            d.probability = 0.5;
+            d.confidence = 0.0;
+        }
+    }
+
+    if (d.mode != DetectorMode::kStaleHold) {
+        has_last_decision_ = true;
+        last_decision_t_ = t;
+        last_decision_p_ = d.probability;
+    }
+    d.prediction = d.probability > 0.5 ? 1 : 0;
+    return d;
+}
+
+}  // namespace wifisense::core

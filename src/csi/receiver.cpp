@@ -25,6 +25,12 @@ PacketNoise Receiver::draw_packet_noise(std::size_t n_subcarriers) {
         noise.iq[2 * k] = noise_(rng_);
     }
     noise.agc_jitter = noise_(rng_);
+    // Fault decisions ride along with the draw but come from the plan's own
+    // substreams, keyed on the packet index — the noise RNG above is never
+    // touched, so a fault plan cannot perturb the fault-free world.
+    if (fault_plan_ != nullptr && fault_plan_->active())
+        noise.fault = fault_plan_->packet_fault(packets_drawn_);
+    ++packets_drawn_;
     return noise;
 }
 
@@ -58,6 +64,13 @@ std::vector<float> Receiver::apply_noise(std::span<const std::complex<double>> c
             amp = std::min(std::round(amp / step) * step,
                            cfg_.full_scale - step);
         amps[k] = static_cast<float>(amp);
+    }
+    if (noise.fault.any()) {
+        const double fraction =
+            fault_plan_ != nullptr
+                ? fault_plan_->config().subcarrier_dropout_fraction
+                : 0.15;
+        common::apply_packet_fault(amps, noise.fault, cfg_.full_scale, fraction);
     }
     return amps;
 }

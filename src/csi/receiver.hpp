@@ -14,6 +14,8 @@
 #include <span>
 #include <vector>
 
+#include "common/fault.hpp"
+
 namespace wifisense::csi {
 
 struct ReceiverConfig {
@@ -42,6 +44,10 @@ struct ReceiverConfig {
 struct PacketNoise {
     std::vector<double> iq;  ///< 2 * n_subcarriers standard-normal draws
     double agc_jitter = 0.0; ///< standard-normal draw for the AGC log-gain
+    /// Fault decision attached at draw time when a FaultPlan is injected
+    /// (default: no fault). Keyed on the packet's position in the stream, so
+    /// it never consumes from — or perturbs — the receiver's noise RNG.
+    common::PacketFault fault;
 };
 
 class Receiver {
@@ -62,10 +68,22 @@ public:
 
     const ReceiverConfig& config() const { return cfg_; }
 
+    /// Inject a deterministic fault plan (non-owning; may be null to clear).
+    /// Subsequent packets carry the plan's per-packet fault decisions, and
+    /// apply_noise() realizes them (dropped packets are the caller's
+    /// responsibility — the receiver only marks them). A null or inactive
+    /// plan leaves every output bit identical to the fault-free receiver.
+    void set_fault_plan(const common::FaultPlan* plan) { fault_plan_ = plan; }
+
+    /// Packets drawn so far (the stream index the fault plan is keyed on).
+    std::uint64_t packets_drawn() const { return packets_drawn_; }
+
 private:
     ReceiverConfig cfg_;
     std::mt19937_64 rng_;
     std::normal_distribution<double> noise_{0.0, 1.0};
+    const common::FaultPlan* fault_plan_ = nullptr;
+    std::uint64_t packets_drawn_ = 0;
 };
 
 }  // namespace wifisense::csi

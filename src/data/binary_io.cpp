@@ -1,5 +1,6 @@
 #include "data/binary_io.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -55,25 +56,65 @@ void write_binary(const DatasetView& view, const std::string& path) {
     write_binary(view, os);
 }
 
-Dataset read_binary(std::istream& is) {
+common::Result<Dataset> try_read_binary(std::istream& is) {
+    using common::Status;
+    using common::StatusCode;
+
     char magic[4];
     is.read(magic, sizeof(magic));
-    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        throw std::runtime_error("read_binary: bad magic");
+    if (!is)
+        return Status(StatusCode::kTruncated, "read_binary: truncated header");
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return Status(StatusCode::kFormatMismatch, "read_binary: bad magic");
     std::uint32_t version = 0;
     is.read(reinterpret_cast<char*>(&version), sizeof(version));
-    if (!is || version != kVersion)
-        throw std::runtime_error("read_binary: unsupported version");
+    if (!is)
+        return Status(StatusCode::kTruncated, "read_binary: truncated header");
+    if (version != kVersion)
+        return Status(StatusCode::kFormatMismatch,
+                      "read_binary: unsupported version " +
+                          std::to_string(version) + " (expected " +
+                          std::to_string(kVersion) + ")");
     std::uint64_t count = 0;
     is.read(reinterpret_cast<char*>(&count), sizeof(count));
-    if (!is) throw std::runtime_error("read_binary: truncated header");
+    if (!is)
+        return Status(StatusCode::kTruncated, "read_binary: truncated header");
+
+    // Up-front truncation check for seekable streams: the declared record
+    // count must fit in the remaining bytes. Catches a chopped file before
+    // any allocation instead of after reading half of it.
+    const std::istream::pos_type body = is.tellg();
+    if (body != std::istream::pos_type(-1)) {
+        is.seekg(0, std::ios::end);
+        const std::istream::pos_type end = is.tellg();
+        is.seekg(body);
+        if (end != std::istream::pos_type(-1)) {
+            const std::uint64_t remaining =
+                static_cast<std::uint64_t>(end - body);
+            // Compare in record units: `count * kWireSize` could wrap for a
+            // garbage header claiming ~2^56 records.
+            if (count > remaining / kWireSize)
+                return Status(
+                    StatusCode::kTruncated,
+                    "read_binary: truncated: header declares " +
+                        std::to_string(count) + " records, only " +
+                        std::to_string(remaining) + " bytes remain");
+        }
+    }
 
     std::vector<SampleRecord> records;
-    records.reserve(count);
+    // Cap the up-front reservation: on a pipe (no size check above) a garbage
+    // count must not translate into a huge allocation before the first read
+    // fails.
+    records.reserve(std::min<std::uint64_t>(count, 1u << 20));
     std::vector<char> buf(kWireSize);
     for (std::uint64_t i = 0; i < count; ++i) {
         is.read(buf.data(), static_cast<std::streamsize>(kWireSize));
-        if (!is) throw std::runtime_error("read_binary: truncated record stream");
+        if (!is)
+            return Status(StatusCode::kTruncated,
+                          "read_binary: truncated record stream at record " +
+                              std::to_string(i) + " of " +
+                              std::to_string(count));
         const char* p = buf.data();
         SampleRecord r;
         get(p, r.timestamp);
@@ -88,10 +129,20 @@ Dataset read_binary(std::istream& is) {
     return Dataset(std::move(records));
 }
 
-Dataset read_binary(const std::string& path) {
+common::Result<Dataset> try_read_binary(const std::string& path) {
     std::ifstream is(path, std::ios::binary);
-    if (!is) throw std::runtime_error("read_binary: cannot open " + path);
-    return read_binary(is);
+    if (!is)
+        return common::Status(common::StatusCode::kNotFound,
+                              "read_binary: cannot open " + path);
+    return try_read_binary(is);
+}
+
+Dataset read_binary(std::istream& is) {
+    return try_read_binary(is).value();
+}
+
+Dataset read_binary(const std::string& path) {
+    return try_read_binary(path).value();
 }
 
 }  // namespace wifisense::data

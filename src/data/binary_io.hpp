@@ -11,6 +11,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/status.hpp"
 #include "data/dataset.hpp"
 
 namespace wifisense::data {
@@ -18,7 +19,16 @@ namespace wifisense::data {
 void write_binary(const DatasetView& view, std::ostream& os);
 void write_binary(const DatasetView& view, const std::string& path);
 
-/// Throws std::runtime_error on malformed input.
+/// Typed-error variant. Distinguishes:
+///   kFormatMismatch  wrong magic or unsupported version
+///   kTruncated       declared record count exceeds the bytes actually
+///                    present (detected up front for seekable streams, and
+///                    again during the read for pipes)
+///   kNotFound        unopenable path
+common::Result<Dataset> try_read_binary(std::istream& is);
+common::Result<Dataset> try_read_binary(const std::string& path);
+
+/// Throwing wrappers (std::runtime_error with the same diagnostic).
 Dataset read_binary(std::istream& is);
 Dataset read_binary(const std::string& path);
 

@@ -1,12 +1,17 @@
 #include "data/csv.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
 
 namespace wifisense::data {
+
+using common::Result;
+using common::Status;
+using common::StatusCode;
 
 namespace {
 
@@ -18,14 +23,29 @@ std::string header_line() {
     return os.str();
 }
 
-double parse_double(std::string_view token, std::size_t line_no) {
-    double value = 0.0;
+std::string diag(const std::string& source, std::size_t line_no,
+                 const std::string& what) {
+    return "read_csv: " + source + ":" + std::to_string(line_no) + ": " + what;
+}
+
+/// Parses one numeric token. NaN/Inf are rejected here: from_chars accepts
+/// "nan"/"inf" spellings, and a single such value would silently poison the
+/// scaler statistics and every downstream gradient.
+Status parse_finite(std::string_view token, std::size_t field,
+                    const std::string& source, std::size_t line_no,
+                    double& out) {
     const auto [ptr, ec] =
-        std::from_chars(token.data(), token.data() + token.size(), value);
+        std::from_chars(token.data(), token.data() + token.size(), out);
     if (ec != std::errc{} || ptr != token.data() + token.size())
-        throw std::runtime_error("read_csv: bad numeric field at line " +
-                                 std::to_string(line_no));
-    return value;
+        return Status(StatusCode::kCorruptData,
+                      diag(source, line_no,
+                           "bad numeric field " + std::to_string(field) +
+                               " ('" + std::string(token) + "')"));
+    if (!std::isfinite(out))
+        return Status(StatusCode::kCorruptData,
+                      diag(source, line_no,
+                           "non-finite value in field " + std::to_string(field)));
+    return Status();
 }
 
 }  // namespace
@@ -49,27 +69,39 @@ void write_csv(const DatasetView& view, const std::string& path) {
     write_csv(view, os);
 }
 
-Dataset read_csv(std::istream& is) {
+Result<Dataset> try_read_csv(std::istream& is, const std::string& source_name) {
     std::string line;
-    if (!std::getline(is, line)) throw std::runtime_error("read_csv: empty input");
-    if (line != header_line()) throw std::runtime_error("read_csv: unexpected header");
+    if (!std::getline(is, line))
+        return Status(StatusCode::kCorruptData,
+                      "read_csv: " + source_name + ": empty input");
+    if (line != header_line())
+        return Status(StatusCode::kFormatMismatch,
+                      "read_csv: " + source_name + ": unexpected header");
 
     std::vector<SampleRecord> records;
     std::size_t line_no = 1;
+    constexpr std::size_t kFields = 1 + kNumSubcarriers + 5;
     while (std::getline(is, line)) {
         ++line_no;
         if (line.empty()) continue;
         SampleRecord r;
         std::string_view rest(line);
         std::size_t field = 0;
-        constexpr std::size_t kFields = 1 + kNumSubcarriers + 5;
         while (!rest.empty() || field < kFields) {
             const std::size_t comma = rest.find(',');
             const std::string_view token =
                 comma == std::string_view::npos ? rest : rest.substr(0, comma);
             rest = comma == std::string_view::npos ? std::string_view{}
                                                    : rest.substr(comma + 1);
-            const double v = parse_double(token, line_no);
+            if (field >= kFields)
+                return Status(StatusCode::kCorruptData,
+                              diag(source_name, line_no,
+                                   "too many fields (expected " +
+                                       std::to_string(kFields) + ")"));
+            double v = 0.0;
+            if (Status s = parse_finite(token, field, source_name, line_no, v);
+                !s.is_ok())
+                return s;
             if (field == 0) r.timestamp = v;
             else if (field <= kNumSubcarriers) r.csi[field - 1] = static_cast<float>(v);
             else if (field == kNumSubcarriers + 1) r.temperature_c = static_cast<float>(v);
@@ -78,26 +110,34 @@ Dataset read_csv(std::istream& is) {
                 r.occupant_count = static_cast<std::uint8_t>(v);
             else if (field == kNumSubcarriers + 4)
                 r.occupancy = static_cast<std::uint8_t>(v);
-            else if (field == kNumSubcarriers + 5)
-                r.activity = static_cast<std::uint8_t>(v);
             else
-                throw std::runtime_error("read_csv: too many fields at line " +
-                                         std::to_string(line_no));
+                r.activity = static_cast<std::uint8_t>(v);
             ++field;
             if (comma == std::string_view::npos) break;
         }
         if (field != kFields)
-            throw std::runtime_error("read_csv: wrong field count at line " +
-                                     std::to_string(line_no));
+            return Status(StatusCode::kCorruptData,
+                          diag(source_name, line_no,
+                               "wrong field count (got " + std::to_string(field) +
+                                   ", expected " + std::to_string(kFields) + ")"));
         records.push_back(r);
     }
     return Dataset(std::move(records));
 }
 
-Dataset read_csv(const std::string& path) {
+Result<Dataset> try_read_csv(const std::string& path) {
     std::ifstream is(path);
-    if (!is) throw std::runtime_error("read_csv: cannot open " + path);
-    return read_csv(is);
+    if (!is)
+        return Status(StatusCode::kNotFound, "read_csv: cannot open " + path);
+    return try_read_csv(is, path);
+}
+
+Dataset read_csv(std::istream& is) {
+    return try_read_csv(is).value();
+}
+
+Dataset read_csv(const std::string& path) {
+    return try_read_csv(path).value();
 }
 
 }  // namespace wifisense::data

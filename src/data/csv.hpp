@@ -5,6 +5,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/status.hpp"
 #include "data/dataset.hpp"
 
 namespace wifisense::data {
@@ -12,8 +13,17 @@ namespace wifisense::data {
 void write_csv(const DatasetView& view, std::ostream& os);
 void write_csv(const DatasetView& view, const std::string& path);
 
-/// Parses a file produced by write_csv (header required).
-/// Throws std::runtime_error on malformed content.
+/// Parses a file produced by write_csv (header required). Rejects rows with
+/// the wrong field count and rows whose numeric fields are NaN/Inf (which
+/// std::from_chars would otherwise happily parse). Diagnostics carry
+/// `source_name` plus the 1-based line number, e.g.
+///   "read_csv: capture.csv:42: non-finite value in field 3".
+common::Result<Dataset> try_read_csv(std::istream& is,
+                                     const std::string& source_name = "<stream>");
+common::Result<Dataset> try_read_csv(const std::string& path);
+
+/// Throwing wrappers around try_read_csv (std::runtime_error with the same
+/// diagnostic message).
 Dataset read_csv(std::istream& is);
 Dataset read_csv(const std::string& path);
 

@@ -13,7 +13,15 @@ void StandardScaler::fit(const nn::Matrix& x) {
 
     for (std::size_t r = 0; r < x.rows(); ++r) {
         const std::span<const float> row = x.row(r);
-        for (std::size_t c = 0; c < d; ++c) mean_[c] += static_cast<double>(row[c]);
+        for (std::size_t c = 0; c < d; ++c) {
+            // A single NaN would silently poison the column mean and turn the
+            // whole feature into NaN after transform; fail loudly instead.
+            if (!std::isfinite(row[c]))
+                throw std::invalid_argument(
+                    "StandardScaler::fit: non-finite value in column " +
+                    std::to_string(c) + " (row " + std::to_string(r) + ")");
+            mean_[c] += static_cast<double>(row[c]);
+        }
     }
     const double inv_n = 1.0 / static_cast<double>(x.rows());
     for (double& m : mean_) m *= inv_n;
@@ -28,7 +36,9 @@ void StandardScaler::fit(const nn::Matrix& x) {
     }
     for (std::size_t c = 0; c < d; ++c) {
         const double sd = std::sqrt(sq[c] / static_cast<double>(x.rows() - 1));
-        scale_[c] = sd > 1e-12 ? sd : 1.0;
+        // Zero-variance (or numerically dead) feature: scale by 1 so the
+        // column transforms to a constant 0 instead of dividing by ~0.
+        scale_[c] = std::isfinite(sd) && sd > 1e-12 ? sd : 1.0;
     }
 }
 

@@ -33,13 +33,18 @@ void EnvironmentSensor::step(double dt, double true_temperature_c,
 
 double EnvironmentSensor::read_temperature_c() {
     const double raw = temp_state_ + cfg_.temp_noise_c * noise_(rng_);
-    return std::round(raw / cfg_.temp_quant_c) * cfg_.temp_quant_c;
+    const double q = std::round(raw / cfg_.temp_quant_c) * cfg_.temp_quant_c;
+    if (!stalled_) last_temp_reading_ = q;
+    return last_temp_reading_;
 }
 
 double EnvironmentSensor::read_humidity_pct() {
     const double raw = hum_state_ + cfg_.humidity_noise_pct * noise_(rng_);
-    const double q = std::round(raw / cfg_.humidity_quant_pct) * cfg_.humidity_quant_pct;
-    return std::clamp(q, 0.0, 100.0);
+    const double q = std::clamp(
+        std::round(raw / cfg_.humidity_quant_pct) * cfg_.humidity_quant_pct, 0.0,
+        100.0);
+    if (!stalled_) last_hum_reading_ = q;
+    return last_hum_reading_;
 }
 
 }  // namespace wifisense::envsim

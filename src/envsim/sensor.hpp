@@ -36,11 +36,21 @@ public:
     double read_temperature_c();
     double read_humidity_pct();
 
+    /// Fault injection: while stalled, the device repeats its last reported
+    /// reading (a wedged I2C transaction on the real Thingy). Reads still
+    /// consume their noise draws so the RNG stream — and therefore every
+    /// reading after the stall clears — is identical to a stall-free run.
+    void set_stalled(bool stalled) { stalled_ = stalled; }
+    bool stalled() const { return stalled_; }
+
 private:
     SensorConfig cfg_;
     double temp_state_ = 21.0;
     double hum_state_ = 35.0;
     double pickup_ = 0.0;
+    bool stalled_ = false;
+    double last_temp_reading_ = 21.0;
+    double last_hum_reading_ = 35.0;
     std::mt19937_64 rng_;
     std::normal_distribution<double> noise_{0.0, 1.0};
 };

@@ -1,11 +1,14 @@
 #include "envsim/simulation.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <complex>
+#include <deque>
 #include <stdexcept>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "common/parallel.hpp"
 
 namespace wifisense::envsim {
@@ -110,6 +113,17 @@ void OfficeSimulator::run(const std::function<void(const data::SampleRecord&)>& 
     std::mt19937_64 event_rng(cfg_.seed ^ 0x66);
     std::uniform_real_distribution<double> uni(0.0, 1.0);
 
+    // Fault injection: the plan's decisions are pure functions of its own
+    // seed (packet index / time window), so none of the streams above are
+    // perturbed. An inactive plan leaves this function's behavior — and its
+    // emitted bytes — exactly as before the fault layer existed.
+    const common::FaultPlan fault_plan(cfg_.faults);
+    if (fault_plan.active()) receiver.set_fault_plan(&fault_plan);
+    const double env_skew = fault_plan.env_skew_s();
+    // Reported (t, temperature, humidity) history backing the clock skew:
+    // with skew, the record carries the env reading from `skew` seconds ago.
+    std::deque<std::array<double, 3>> env_history;
+
     // Warm up the thermal state: simulate the morning before collection
     // starts (06:00 -> start) so the 15:08 initial condition is consistent
     // with a heated, occupied office rather than the config default.
@@ -204,6 +218,7 @@ void OfficeSimulator::run(const std::function<void(const data::SampleRecord&)>& 
             event_active ? cfg_.furniture.event_air_changes_per_h : 0.0;
 
         thermal.step(t, dt, inside, window_open, extra_ach);
+        if (fault_plan.active()) sensor.set_stalled(fault_plan.env_stalled(t));
         sensor.step(dt, thermal.indoor_temperature_c(), thermal.relative_humidity_pct(),
                     thermal.heater_on());
         if (inside > 0 && occupants.any_walking())
@@ -226,6 +241,18 @@ void OfficeSimulator::run(const std::function<void(const data::SampleRecord&)>& 
         job.scatterers = channel.scatterer_positions();
         job.temperature_c = static_cast<float>(sensor.read_temperature_c());
         job.humidity_pct = static_cast<float>(sensor.read_humidity_pct());
+        if (env_skew > 0.0) {
+            // Clock skew between the CSI and env streams: the row at CSI
+            // time t carries the env reading from t - skew. The reads above
+            // still happen (RNG order is preserved); only the reported
+            // values are delayed.
+            env_history.push_back({t, static_cast<double>(job.temperature_c),
+                                   static_cast<double>(job.humidity_pct)});
+            while (env_history.size() > 1 && env_history[1][0] <= t - env_skew)
+                env_history.pop_front();
+            job.temperature_c = static_cast<float>(env_history.front()[1]);
+            job.humidity_pct = static_cast<float>(env_history.front()[2]);
+        }
         job.occupant_count = static_cast<std::uint8_t>(inside);
         job.occupancy = inside > 0 ? 1 : 0;
         job.activity = static_cast<std::uint8_t>(
@@ -236,14 +263,20 @@ void OfficeSimulator::run(const std::function<void(const data::SampleRecord&)>& 
         while (sample_time < t + dt && next_sample < n_samples) {
             PacketJob packet;
             packet.timestamp = sample_time;
+            // Always drawn — dropped packets consume their noise exactly like
+            // delivered ones, so the surviving packets of a faulty run stay
+            // bitwise equal to the same packets of the fault-free run.
             packet.noise = receiver.draw_packet_noise(cfg_.channel.n_subcarriers);
-            job.packets.push_back(std::move(packet));
+            const bool lost = fault_plan.active() &&
+                              (packet.noise.fault.dropped ||
+                               fault_plan.csi_offline(sample_time));
+            if (!lost) job.packets.push_back(std::move(packet));
             ++next_sample;
             sample_time =
                 cfg_.start_timestamp + sample_period * static_cast<double>(next_sample);
         }
         window_packets += job.packets.size();
-        window.push_back(std::move(job));
+        if (!job.packets.empty()) window.push_back(std::move(job));
         if (window_packets >= kFlushPackets) {
             flush_window(window, channel, receiver, sink);
             window_packets = 0;

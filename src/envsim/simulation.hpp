@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/fault.hpp"
 #include "csi/channel.hpp"
 #include "csi/geometry.hpp"
 #include "csi/receiver.hpp"
@@ -94,6 +95,15 @@ struct SimulationConfig {
     SensorConfig sensor;
     OccupantConfig occupants;
     FurnitureEvent furniture;
+
+    /// Deterministic fault injection (common/fault.hpp): frame drops, outage
+    /// bursts, amplitude corruption, subcarrier dropout, env-sensor stalls
+    /// and CSI<->env clock skew. Fault decisions come from their own seeded
+    /// substreams and never consume world randomness, so the default
+    /// (all-zero) config emits a stream bitwise identical to a build without
+    /// this field, and a faulty run's surviving packets are bitwise equal to
+    /// the corresponding packets of the fault-free run.
+    common::FaultConfig faults;
 
     /// Mean window-opening events per occupied hour (ventilation bursts).
     double window_open_rate_per_h = 0.08;

@@ -1,16 +1,25 @@
 #include "nn/serialize.hpp"
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 namespace wifisense::nn {
 
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
 namespace {
 
 constexpr char kMagic[4] = {'W', 'S', 'N', 'N'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+/// Hard ceiling on a plausible payload (the paper MLP is ~0.5 MB); rejects
+/// garbage size words before any allocation.
+constexpr std::uint64_t kMaxPayloadBytes = 1ull << 30;
 
 enum class LayerKind : std::uint8_t { kDense = 0, kReLU = 1, kSigmoid = 2, kDropout = 3 };
 
@@ -27,11 +36,26 @@ T read_pod(std::istream& is) {
     return value;
 }
 
-}  // namespace
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+std::uint32_t crc32(const char* data, std::size_t n) {
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < n; ++i)
+        crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xFFu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
 
-void save_mlp(const Mlp& net, std::ostream& os) {
-    os.write(kMagic, sizeof(kMagic));
-    write_pod(os, kVersion);
+/// Serializes `u64 layer_count | layers...` (the payload shared by v1/v2).
+void write_layers(const Mlp& net, std::ostream& os) {
     write_pod(os, static_cast<std::uint64_t>(net.layers().size()));
     for (const auto& layer : net.layers()) {
         const auto in = static_cast<std::uint64_t>(layer->input_size());
@@ -62,25 +86,11 @@ void save_mlp(const Mlp& net, std::ostream& os) {
             throw std::runtime_error("save_mlp: unknown layer type");
         }
     }
-    if (!os) throw std::runtime_error("save_mlp: write failure");
 }
 
-void save_mlp(const Mlp& net, const std::string& path) {
-    std::ofstream os(path, std::ios::binary);
-    if (!os) throw std::runtime_error("save_mlp: cannot open " + path);
-    save_mlp(net, os);
-}
-
-Mlp load_mlp(std::istream& is) {
-    char magic[4];
-    is.read(magic, sizeof(magic));
-    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        throw std::runtime_error("load_mlp: bad magic");
-    const auto version = read_pod<std::uint32_t>(is);
-    if (version != kVersion) throw std::runtime_error("load_mlp: unsupported version");
-    const auto layer_count = read_pod<std::uint64_t>(is);
-    if (layer_count > 1024) throw std::runtime_error("load_mlp: implausible layer count");
-
+/// Parses the layer records (after layer_count). Throws std::runtime_error
+/// on malformed content; the caller maps that to kCorruptData.
+Mlp read_layers(std::istream& is, std::uint64_t layer_count) {
     Mlp net;
     for (std::uint64_t i = 0; i < layer_count; ++i) {
         const auto kind = static_cast<LayerKind>(read_pod<std::uint8_t>(is));
@@ -120,10 +130,102 @@ Mlp load_mlp(std::istream& is) {
     return net;
 }
 
-Mlp load_mlp(const std::string& path) {
+}  // namespace
+
+void save_mlp(const Mlp& net, std::ostream& os) {
+    std::ostringstream payload_os(std::ios::binary);
+    write_layers(net, payload_os);
+    const std::string payload = payload_os.str();
+
+    os.write(kMagic, sizeof(kMagic));
+    write_pod(os, kVersion);
+    write_pod(os, static_cast<std::uint64_t>(payload.size()));
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    write_pod(os, crc32(payload.data(), payload.size()));
+    if (!os) throw std::runtime_error("save_mlp: write failure");
+}
+
+void save_mlp(const Mlp& net, const std::string& path) {
+    std::ofstream os(path, std::ios::binary);
+    if (!os) throw std::runtime_error("save_mlp: cannot open " + path);
+    save_mlp(net, os);
+}
+
+Result<Mlp> try_load_mlp(std::istream& is) {
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is)
+        return Status(StatusCode::kTruncated, "load_mlp: truncated header");
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return Status(StatusCode::kFormatMismatch, "load_mlp: bad magic");
+    std::uint32_t version = 0;
+    is.read(reinterpret_cast<char*>(&version), sizeof(version));
+    if (!is)
+        return Status(StatusCode::kTruncated, "load_mlp: truncated header");
+
+    try {
+        if (version == 1) {
+            // Legacy framing: layer records follow the version word directly,
+            // no size or checksum. Still loadable, just unprotected.
+            const auto layer_count = read_pod<std::uint64_t>(is);
+            if (layer_count > 1024)
+                throw std::runtime_error("load_mlp: implausible layer count");
+            return read_layers(is, layer_count);
+        }
+        if (version != kVersion)
+            return Status(StatusCode::kFormatMismatch,
+                          "load_mlp: unsupported version " +
+                              std::to_string(version));
+
+        std::uint64_t payload_bytes = 0;
+        is.read(reinterpret_cast<char*>(&payload_bytes), sizeof(payload_bytes));
+        if (!is)
+            return Status(StatusCode::kTruncated, "load_mlp: truncated header");
+        if (payload_bytes < sizeof(std::uint64_t) ||
+            payload_bytes > kMaxPayloadBytes)
+            return Status(StatusCode::kCorruptData,
+                          "load_mlp: implausible payload size " +
+                              std::to_string(payload_bytes));
+
+        std::string payload(payload_bytes, '\0');
+        is.read(payload.data(), static_cast<std::streamsize>(payload_bytes));
+        if (!is)
+            return Status(StatusCode::kTruncated,
+                          "load_mlp: truncated payload (declared " +
+                              std::to_string(payload_bytes) + " bytes, got " +
+                              std::to_string(is.gcount()) + ")");
+        std::uint32_t stored_crc = 0;
+        is.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
+        if (!is)
+            return Status(StatusCode::kTruncated, "load_mlp: missing checksum");
+        const std::uint32_t actual_crc = crc32(payload.data(), payload.size());
+        if (actual_crc != stored_crc)
+            return Status(StatusCode::kCorruptData,
+                          "load_mlp: checkpoint corrupted (crc mismatch)");
+
+        std::istringstream ps(payload, std::ios::binary);
+        const auto layer_count = read_pod<std::uint64_t>(ps);
+        if (layer_count > 1024)
+            throw std::runtime_error("load_mlp: implausible layer count");
+        return read_layers(ps, layer_count);
+    } catch (const std::runtime_error& e) {
+        return Status(StatusCode::kCorruptData, e.what());
+    }
+}
+
+Result<Mlp> try_load_mlp(const std::string& path) {
     std::ifstream is(path, std::ios::binary);
-    if (!is) throw std::runtime_error("load_mlp: cannot open " + path);
-    return load_mlp(is);
+    if (!is)
+        return Status(StatusCode::kNotFound, "load_mlp: cannot open " + path);
+    return try_load_mlp(is);
+}
+
+Mlp load_mlp(std::istream& is) {
+    return try_load_mlp(is).value();
+}
+
+Mlp load_mlp(const std::string& path) {
+    return try_load_mlp(path).value();
 }
 
 }  // namespace wifisense::nn

@@ -1,14 +1,23 @@
 // Binary model persistence (save/load of the Dense/ReLU/Sigmoid stack).
 //
-// Format (little-endian):
-//   magic "WSNN" | u32 version | u64 layer_count | per layer:
-//     u8 kind (0=Dense,1=ReLU,2=Sigmoid) | u64 in | u64 out |
-//     [Dense only] float32 weights (in*out, row-major) | float32 bias (out)
+// Format v2 (little-endian):
+//   magic "WSNN" | u32 version | u64 payload_bytes | payload | u32 crc32
+// where crc32 is the CRC-32 (IEEE, reflected 0xEDB88320) of the payload and
+// the payload is:
+//   u64 layer_count | per layer:
+//     u8 kind (0=Dense,1=ReLU,2=Sigmoid,3=Dropout) | u64 in | u64 out |
+//     [Dense] float32 weights (in*out, row-major) | float32 bias (out)
+//     [Dropout] f64 rate
+// The declared payload size catches truncation before parsing; the CRC
+// catches in-place corruption (a flipped bit in a checkpoint otherwise loads
+// silently into garbage weights). Version-1 streams (no size/CRC framing,
+// payload follows the version word directly) still load.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "common/status.hpp"
 #include "nn/mlp.hpp"
 
 namespace wifisense::nn {
@@ -16,7 +25,15 @@ namespace wifisense::nn {
 void save_mlp(const Mlp& net, std::ostream& os);
 void save_mlp(const Mlp& net, const std::string& path);
 
-/// Throws std::runtime_error on malformed input.
+/// Typed-error variant. Distinguishes:
+///   kFormatMismatch  wrong magic / unsupported version
+///   kTruncated       stream ends before the declared payload
+///   kCorruptData     CRC mismatch or malformed layer records
+///   kNotFound        unopenable path
+common::Result<Mlp> try_load_mlp(std::istream& is);
+common::Result<Mlp> try_load_mlp(const std::string& path);
+
+/// Throwing wrappers (std::runtime_error with the same diagnostic).
 Mlp load_mlp(std::istream& is);
 Mlp load_mlp(const std::string& path);
 

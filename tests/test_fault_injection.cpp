@@ -1,0 +1,597 @@
+// Fault-injection layer: determinism of the plan, the bitwise-identity
+// guarantees of the simulator hooks, quarantine/imputation accounting, and
+// the detector degradation policy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "common/parallel.hpp"
+#include "core/resilient_detector.hpp"
+#include "core/stream_health.hpp"
+#include "data/record_validator.hpp"
+#include "envsim/simulation.hpp"
+
+namespace common = wifisense::common;
+namespace core = wifisense::core;
+namespace data = wifisense::data;
+namespace envsim = wifisense::envsim;
+
+namespace {
+
+/// Short collection (2 h at 2 Hz) for the simulator-level checks.
+envsim::SimulationConfig short_config() {
+    envsim::SimulationConfig cfg = envsim::paper_config(2.0, 7);
+    cfg.duration_s = 2.0 * 3600.0;
+    return cfg;
+}
+
+bool records_equal(const data::SampleRecord& a, const data::SampleRecord& b) {
+    return std::memcmp(&a.timestamp, &b.timestamp, sizeof(double)) == 0 &&
+           std::memcmp(a.csi.data(), b.csi.data(),
+                       a.csi.size() * sizeof(float)) == 0 &&
+           std::memcmp(&a.temperature_c, &b.temperature_c, sizeof(float)) == 0 &&
+           std::memcmp(&a.humidity_pct, &b.humidity_pct, sizeof(float)) == 0 &&
+           a.occupant_count == b.occupant_count && a.occupancy == b.occupancy &&
+           a.activity == b.activity;
+}
+
+struct ThreadGuard {
+    explicit ThreadGuard(std::size_t n) {
+        common::set_execution_config({n});
+    }
+    ~ThreadGuard() { common::set_execution_config({1}); }
+};
+
+common::FaultConfig busy_config() {
+    common::FaultConfig f;
+    f.frame_drop_rate = 0.2;
+    f.nan_rate = 0.1;
+    f.inf_rate = 0.05;
+    f.saturate_rate = 0.05;
+    f.subcarrier_dropout_rate = 0.1;
+    f.burst_rate_per_h = 2.0;
+    f.burst_len_s = 45.0;
+    f.env_stall_rate_per_h = 1.5;
+    f.env_stall_len_s = 90.0;
+    f.seed = 1234;
+    return f;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FaultPlan purity / determinism
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, InactiveByDefault) {
+    const common::FaultPlan plan;
+    EXPECT_FALSE(plan.active());
+    EXPECT_FALSE(plan.packet_fault(0).any());
+    EXPECT_FALSE(plan.csi_offline(1000.0));
+    EXPECT_FALSE(plan.env_stalled(1000.0));
+    EXPECT_EQ(plan.env_skew_s(), 0.0);
+
+    const common::FaultPlan zero{common::FaultConfig{}};
+    EXPECT_FALSE(zero.active());
+}
+
+TEST(FaultPlan, RejectsInvalidConfigs) {
+    common::FaultConfig bad = busy_config();
+    bad.frame_drop_rate = 1.5;
+    EXPECT_THROW(common::FaultPlan{bad}, std::invalid_argument);
+    bad = busy_config();
+    bad.nan_rate = 0.6;
+    bad.inf_rate = 0.6;
+    EXPECT_THROW(common::FaultPlan{bad}, std::invalid_argument);
+    bad = busy_config();
+    bad.burst_len_s = -1.0;
+    EXPECT_THROW(common::FaultPlan{bad}, std::invalid_argument);
+}
+
+TEST(FaultPlan, PacketDecisionsArePureFunctionsOfIndex) {
+    const common::FaultPlan plan(busy_config());
+    constexpr std::size_t kN = 5000;
+
+    std::vector<common::PacketFault> serial(kN);
+    for (std::size_t i = kN; i-- > 0;)  // reverse order: no hidden state
+        serial[i] = plan.packet_fault(i);
+
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        ThreadGuard guard(threads);
+        std::vector<common::PacketFault> parallel(kN);
+        common::parallel_for(kN, [&](std::size_t i) {
+            parallel[i] = plan.packet_fault(i);
+        });
+        for (std::size_t i = 0; i < kN; ++i) {
+            EXPECT_EQ(parallel[i].dropped, serial[i].dropped) << i;
+            EXPECT_EQ(parallel[i].corrupt, serial[i].corrupt) << i;
+            EXPECT_EQ(parallel[i].corrupt_mask_seed, serial[i].corrupt_mask_seed);
+            EXPECT_EQ(parallel[i].dropout_mask_seed, serial[i].dropout_mask_seed);
+        }
+    }
+}
+
+TEST(FaultPlan, RatesAreRealizedApproximately) {
+    common::FaultConfig cfg;
+    cfg.frame_drop_rate = 0.25;
+    cfg.subcarrier_dropout_rate = 0.1;
+    const common::FaultPlan plan(cfg);
+    constexpr std::size_t kN = 40000;
+    std::size_t drops = 0, holes = 0;
+    for (std::size_t i = 0; i < kN; ++i) {
+        const common::PacketFault f = plan.packet_fault(i);
+        drops += f.dropped;
+        holes += f.dropout_mask_seed != 0;
+    }
+    EXPECT_NEAR((double)drops / kN, 0.25, 0.02);
+    // Dropped frames have no payload, so dropout only hits survivors.
+    EXPECT_NEAR((double)holes / (double)(kN - drops), 0.10, 0.02);
+}
+
+TEST(FaultPlan, WindowFaultsAreStatelessAndOrderFree) {
+    const common::FaultPlan plan(busy_config());
+    // Query a timeline forward, then backward: answers must match.
+    std::vector<char> forward;
+    for (std::size_t k = 0; k * 7 < 7200; ++k)
+        forward.push_back(plan.csi_offline(7.0 * (double)k) ? 1 : 0);
+    for (std::size_t k = forward.size(); k-- > 0;)
+        EXPECT_EQ(plan.csi_offline(7.0 * (double)k), forward[k] != 0) << k;
+    // With the chosen rate some windows must be offline and most online.
+    const std::size_t offline =
+        (std::size_t)std::count(forward.begin(), forward.end(), 1);
+    EXPECT_GT(offline, 0u);
+    EXPECT_LT(offline, forward.size() / 2);
+}
+
+TEST(FaultSpec, ParseRoundTripAndErrors) {
+    const auto parsed = common::parse_fault_spec(
+        "drop=0.05,nan=0.01,dropout=0.02,burst_rate=0.5,burst_len=45,seed=99");
+    ASSERT_TRUE(parsed.is_ok());
+    EXPECT_DOUBLE_EQ(parsed.value().frame_drop_rate, 0.05);
+    EXPECT_DOUBLE_EQ(parsed.value().burst_len_s, 45.0);
+    EXPECT_EQ(parsed.value().seed, 99u);
+
+    const auto back = common::parse_fault_spec(common::to_spec(parsed.value()));
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_DOUBLE_EQ(back.value().frame_drop_rate, 0.05);
+
+    EXPECT_FALSE(common::parse_fault_spec("bogus=1").is_ok());
+    EXPECT_FALSE(common::parse_fault_spec("drop").is_ok());
+    EXPECT_FALSE(common::parse_fault_spec("drop=abc").is_ok());
+    EXPECT_FALSE(common::parse_fault_spec("drop=1.5").is_ok());
+    EXPECT_TRUE(common::parse_fault_spec("").is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Simulator integration: bitwise guarantees
+// ---------------------------------------------------------------------------
+
+TEST(FaultSim, ZeroFaultConfigIsBitwiseIdenticalToSeedAtAnyThreadCount) {
+    envsim::SimulationConfig cfg = short_config();
+    const data::Dataset baseline = [&] {
+        ThreadGuard guard(1);
+        return envsim::OfficeSimulator(cfg).run();
+    }();
+    ASSERT_GT(baseline.size(), 1000u);
+
+    // Default (all-zero) FaultConfig, any thread count: identical stream.
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        ThreadGuard guard(threads);
+        envsim::SimulationConfig faulted = short_config();
+        faulted.faults = common::FaultConfig{};  // explicit inert plan
+        const data::Dataset out = envsim::OfficeSimulator(faulted).run();
+        ASSERT_EQ(out.size(), baseline.size()) << threads << " threads";
+        for (std::size_t i = 0; i < out.size(); ++i)
+            ASSERT_TRUE(records_equal(out[i], baseline[i]))
+                << "record " << i << " at " << threads << " threads";
+    }
+}
+
+TEST(FaultSim, DropOnlySurvivorsAreBitwiseSubsetOfCleanRun) {
+    envsim::SimulationConfig clean_cfg = short_config();
+    ThreadGuard guard(2);
+    const data::Dataset clean = envsim::OfficeSimulator(clean_cfg).run();
+
+    envsim::SimulationConfig faulty_cfg = short_config();
+    faulty_cfg.faults.frame_drop_rate = 0.3;
+    faulty_cfg.faults.burst_rate_per_h = 2.0;
+    faulty_cfg.faults.burst_len_s = 60.0;
+    const data::Dataset faulty = envsim::OfficeSimulator(faulty_cfg).run();
+
+    ASSERT_LT(faulty.size(), clean.size());
+    ASSERT_GT(faulty.size(), clean.size() / 2);
+
+    // Every surviving record equals the clean record with its timestamp.
+    std::size_t ci = 0;
+    for (std::size_t fi = 0; fi < faulty.size(); ++fi) {
+        while (ci < clean.size() && clean[ci].timestamp < faulty[fi].timestamp)
+            ++ci;
+        ASSERT_LT(ci, clean.size());
+        ASSERT_TRUE(records_equal(faulty[fi], clean[ci])) << "record " << fi;
+    }
+}
+
+TEST(FaultSim, CorruptionProducesNonFiniteAmplitudesDeterministically) {
+    envsim::SimulationConfig cfg = short_config();
+    cfg.faults.nan_rate = 0.1;
+    cfg.faults.inf_rate = 0.05;
+    cfg.faults.subcarrier_dropout_rate = 0.1;
+    ThreadGuard guard(2);
+    const data::Dataset a = envsim::OfficeSimulator(cfg).run();
+    const data::Dataset b = envsim::OfficeSimulator(cfg).run();
+    ASSERT_EQ(a.size(), b.size());
+    std::size_t nonfinite_rows = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_TRUE(records_equal(a[i], b[i])) << i;
+        for (const float amp : a[i].csi)
+            if (!std::isfinite(amp)) {
+                ++nonfinite_rows;
+                break;
+            }
+    }
+    EXPECT_GT(nonfinite_rows, a.size() / 20);  // faults actually landed
+    EXPECT_LT(nonfinite_rows, a.size() / 2);
+}
+
+TEST(FaultSim, EnvStallRepeatsReadingsWithoutPerturbingTheRest) {
+    envsim::SimulationConfig cfg = short_config();
+    cfg.faults.env_stall_rate_per_h = 6.0;
+    cfg.faults.env_stall_len_s = 120.0;
+    ThreadGuard guard(1);
+    const data::Dataset stalled = envsim::OfficeSimulator(cfg).run();
+    const data::Dataset clean =
+        envsim::OfficeSimulator(short_config()).run();
+    ASSERT_EQ(stalled.size(), clean.size());
+
+    const common::FaultPlan plan(cfg.faults);
+    std::size_t stalled_ticks = 0, diffs = 0;
+    for (std::size_t i = 0; i < stalled.size(); ++i) {
+        // CSI and labels are untouched by an env-sensor stall.
+        ASSERT_EQ(0, std::memcmp(stalled[i].csi.data(), clean[i].csi.data(),
+                                 stalled[i].csi.size() * sizeof(float)));
+        if (plan.env_stalled(stalled[i].timestamp)) ++stalled_ticks;
+        if (stalled[i].temperature_c != clean[i].temperature_c ||
+            stalled[i].humidity_pct != clean[i].humidity_pct)
+            ++diffs;
+    }
+    EXPECT_GT(stalled_ticks, 0u);
+    EXPECT_GT(diffs, 0u);           // the stall visibly froze some readings
+    EXPECT_LE(diffs, stalled_ticks);  // ...but only within stall windows
+}
+
+// ---------------------------------------------------------------------------
+// Validating ingest
+// ---------------------------------------------------------------------------
+
+namespace {
+
+data::SampleRecord valid_record(double t) {
+    data::SampleRecord r;
+    r.timestamp = t;
+    for (std::size_t k = 0; k < data::kNumSubcarriers; ++k)
+        r.csi[k] = 0.002f + 0.0001f * (float)k;
+    r.temperature_c = 21.5f;
+    r.humidity_pct = 38.0f;
+    r.occupancy = 1;
+    r.occupant_count = 1;
+    return r;
+}
+
+}  // namespace
+
+TEST(RecordValidator, AccountingIsExactAndOutputFinite) {
+    std::vector<data::SampleRecord> rows;
+    for (int i = 0; i < 100; ++i) rows.push_back(valid_record(i));
+    rows[10].csi[3] = std::numeric_limits<float>::quiet_NaN();   // repairable
+    rows[20].temperature_c = std::numeric_limits<float>::infinity();
+    for (auto& a : rows[30].csi) a = std::numeric_limits<float>::quiet_NaN();
+    rows[40].timestamp = 5.0;  // goes backwards
+    rows[50].humidity_pct = 140.0f;  // out of range
+
+    const data::CleanIngest clean = data::sanitize_records(rows);
+    const data::IngestStats& s = clean.stats;
+    EXPECT_EQ(s.total, 100u);
+    EXPECT_EQ(s.accepted + s.repaired + s.quarantined, s.total);
+    EXPECT_EQ(s.quarantined, 2u);  // all-NaN frame + nonmonotonic row
+    EXPECT_EQ(s.repaired, 3u);
+    EXPECT_EQ(s.csi_values_imputed, 1u);
+    EXPECT_EQ(s.env_values_imputed, 2u);
+    EXPECT_EQ(s.nonmonotonic_timestamps, 1u);
+    EXPECT_EQ(clean.dataset.size(), 98u);
+
+    for (const auto& r : clean.dataset.records()) {
+        for (const float a : r.csi) EXPECT_TRUE(std::isfinite(a));
+        EXPECT_TRUE(std::isfinite(r.temperature_c));
+        EXPECT_TRUE(std::isfinite(r.humidity_pct));
+    }
+    EXPECT_NE(clean.stats.summary().find("100 records"), std::string::npos);
+}
+
+TEST(RecordValidator, StalenessBudgetBoundsImputation) {
+    data::ValidationPolicy policy;
+    policy.staleness_budget_s = 2.0;
+    data::RecordValidator v(policy);
+
+    data::SampleRecord good = valid_record(0.0);
+    EXPECT_EQ(v.ingest(good), data::RecordDisposition::kAccepted);
+
+    data::SampleRecord fresh_bad = valid_record(1.0);
+    fresh_bad.csi[0] = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_EQ(v.ingest(fresh_bad), data::RecordDisposition::kRepaired);
+    EXPECT_FLOAT_EQ(fresh_bad.csi[0], good.csi[0]);
+
+    data::SampleRecord stale_bad = valid_record(10.0);
+    stale_bad.csi[0] = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_EQ(v.ingest(stale_bad), data::RecordDisposition::kQuarantined);
+}
+
+TEST(RecordValidator, SaturatedFramesAreQuarantined) {
+    data::RecordValidator v;
+    data::SampleRecord r = valid_record(0.0);
+    for (auto& a : r.csi) a = 0.02f;  // pinned at full scale
+    EXPECT_EQ(v.ingest(r), data::RecordDisposition::kQuarantined);
+    EXPECT_EQ(v.stats().saturated_frames, 1u);
+}
+
+TEST(RecordValidator, ResampleForwardFillRespectsBudget) {
+    std::vector<data::SampleRecord> rows;
+    for (int i = 0; i < 10; ++i) rows.push_back(valid_record(i));
+    for (int i = 30; i < 40; ++i) rows.push_back(valid_record(i));  // 20 s hole
+    const data::Dataset ds(std::move(rows));
+
+    data::ValidationPolicy policy;
+    policy.staleness_budget_s = 3.0;
+    const data::CleanIngest out =
+        data::resample_forward_fill(ds.view(), 1.0, policy);
+
+    // Grid spans [0, 39]: 40 points. The hole [10, 26] stays a hole (ages
+    // 1..17 s beyond the 3 s budget allow only 10,11,12).
+    EXPECT_EQ(out.stats.total, 40u);
+    EXPECT_EQ(out.dataset.size(), 23u);
+    EXPECT_GT(out.stats.gaps, 0u);
+    EXPECT_GT(out.stats.rows_forward_filled, 0u);
+    for (std::size_t i = 1; i < out.dataset.size(); ++i)
+        EXPECT_GT(out.dataset[i].timestamp, out.dataset[i - 1].timestamp);
+}
+
+// ---------------------------------------------------------------------------
+// Stream health + degradation policy
+// ---------------------------------------------------------------------------
+
+TEST(StreamHealth, EwmaTracksValidityAndStaleness) {
+    core::StreamHealthConfig cfg;
+    cfg.tau_s = 10.0;
+    cfg.stale_after_s = 5.0;
+    core::StreamHealth h(cfg);
+    EXPECT_DOUBLE_EQ(h.health(), 1.0);
+    EXPECT_TRUE(h.stale(0.0));  // nothing seen yet
+
+    h.observe(0.0, true);
+    EXPECT_DOUBLE_EQ(h.health(), 1.0);
+    EXPECT_FALSE(h.stale(3.0));
+    EXPECT_TRUE(h.stale(6.0));
+
+    double prev = h.health();
+    for (double t = 1.0; t <= 30.0; t += 1.0) {
+        h.observe(t, false);
+        EXPECT_LT(h.health(), prev);
+        prev = h.health();
+    }
+    EXPECT_LT(h.health(), 0.1);  // ~3 tau of outage
+    EXPECT_TRUE(h.stale(30.0));
+}
+
+namespace {
+
+/// Tiny trainable dataset: occupancy flips every 50 records; CSI and env
+/// both carry the label so either model can learn it.
+data::Dataset trainable_dataset(std::size_t n) {
+    data::Dataset ds;
+    for (std::size_t i = 0; i < n; ++i) {
+        const int occ = (i / 50) % 2;
+        data::SampleRecord r;
+        r.timestamp = (double)i;
+        for (std::size_t k = 0; k < data::kNumSubcarriers; ++k)
+            r.csi[k] = 0.004f + 0.002f * (float)occ +
+                       0.0001f * (float)((i * 7 + k * 13) % 10);
+        r.temperature_c = 20.0f + 3.0f * (float)occ +
+                          0.1f * (float)((i * 3) % 5);
+        r.humidity_pct = 35.0f + 6.0f * (float)occ + 0.2f * (float)(i % 4);
+        r.occupancy = (std::uint8_t)occ;
+        r.occupant_count = (std::uint8_t)occ;
+        ds.push_back(r);
+    }
+    return ds;
+}
+
+core::ResilientDetector fitted_detector() {
+    core::ResilientConfig cfg;
+    cfg.full.training.epochs = 4;
+    cfg.fallback.training.epochs = 4;
+    // Short env hold so a total blackout reaches kStaleHold within the test
+    // horizon (records are 1 s apart).
+    cfg.env_staleness_budget_s = 5.0;
+    core::ResilientDetector det(cfg);
+    det.fit(trainable_dataset(600).view());
+    return det;
+}
+
+}  // namespace
+
+TEST(ResilientDetector, ThrowsOnlyWhenUnfitted) {
+    core::ResilientDetector det;
+    EXPECT_THROW(det.process(core::Observation{}), std::logic_error);
+}
+
+TEST(ResilientDetector, FullModeOnCleanStream) {
+    core::ResilientDetector det = fitted_detector();
+    const data::Dataset ds = trainable_dataset(600);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        const auto d = det.process(core::Observation::from_record(ds[i]));
+        EXPECT_EQ(d.mode, core::DetectorMode::kFull);
+        EXPECT_TRUE(std::isfinite(d.probability));
+        correct += d.prediction == (int)ds[i].occupancy;
+    }
+    EXPECT_GT((double)correct / (double)ds.size(), 0.9);
+    EXPECT_EQ(det.stats().full_mode, ds.size());
+}
+
+TEST(ResilientDetector, DegradesThroughEnvOnlyToStaleHoldAndRecovers) {
+    core::ResilientDetector det = fitted_detector();
+    const data::Dataset ds = trainable_dataset(400);
+
+    // Phase 1: healthy.
+    for (std::size_t i = 0; i < 100; ++i) {
+        const auto d = det.process(core::Observation::from_record(ds[i]));
+        EXPECT_EQ(d.mode, core::DetectorMode::kFull);
+    }
+
+    // Phase 2: CSI dies, env alive -> env-only once health crosses the floor.
+    core::DetectorMode last_mode = core::DetectorMode::kFull;
+    for (std::size_t i = 100; i < 200; ++i) {
+        core::Observation o = core::Observation::from_record(ds[i]);
+        o.has_csi = false;
+        const auto d = det.process(o);
+        EXPECT_TRUE(std::isfinite(d.probability));
+        last_mode = d.mode;
+    }
+    EXPECT_EQ(last_mode, core::DetectorMode::kEnvOnly);
+    EXPECT_GT(det.stats().env_only_mode, 50u);
+
+    // Phase 3: both streams dark. Env values are forward-held for the first
+    // few seconds (env-only), then the detector enters stale hold with
+    // monotonically decaying confidence — and never NaN.
+    double prev_conf = 1.1;
+    std::size_t stale_ticks = 0;
+    for (std::size_t i = 200; i < 300; ++i) {
+        core::Observation o;
+        o.timestamp = ds[i].timestamp;
+        const auto d = det.process(o);
+        ASSERT_TRUE(std::isfinite(d.probability));
+        EXPECT_GE(d.probability, 0.0);
+        EXPECT_LE(d.probability, 1.0);
+        EXPECT_NE(d.mode, core::DetectorMode::kFull);
+        if (d.mode == core::DetectorMode::kStaleHold) {
+            if (stale_ticks > 0) EXPECT_LE(d.confidence, prev_conf);
+            prev_conf = d.confidence;
+            ++stale_ticks;
+        }
+    }
+    EXPECT_GT(stale_ticks, 80u);  // the hold budget expires quickly
+    // ~95 s of blackout at tau=60 s: decay factor exp(-95/60) ~ 0.21.
+    EXPECT_LT(prev_conf, 0.25);   // long outage decays toward "don't know"
+
+    // Phase 4: CSI returns -> recovery to full once health rebuilds.
+    core::DetectorMode final_mode = core::DetectorMode::kStaleHold;
+    for (std::size_t i = 300; i < 400; ++i) {
+        const auto d = det.process(core::Observation::from_record(ds[i]));
+        final_mode = d.mode;
+        EXPECT_TRUE(std::isfinite(d.probability));
+    }
+    EXPECT_EQ(final_mode, core::DetectorMode::kFull);
+    EXPECT_GT(det.stats().reconnects, 0u);
+}
+
+TEST(ResilientDetector, HundredPercentCsiDropoutNeverThrowsOrEmitsNaN) {
+    core::ResilientDetector det = fitted_detector();
+    const data::Dataset ds = trainable_dataset(500);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        core::Observation o = core::Observation::from_record(ds[i]);
+        o.has_csi = false;  // total CSI loss
+        const auto d = det.process(o);
+        ASSERT_TRUE(std::isfinite(d.probability));
+        ASSERT_GE(d.probability, 0.0);
+        ASSERT_LE(d.probability, 1.0);
+        EXPECT_NE(d.mode, core::DetectorMode::kFull);
+        correct += d.prediction == (int)ds[i].occupancy;
+    }
+    EXPECT_EQ(det.stats().full_mode, 0u);
+    // Env features still carry the label: the fallback keeps detecting.
+    EXPECT_GT((double)correct / (double)ds.size(), 0.8);
+}
+
+TEST(ResilientDetector, AllNaNFramesAreHandledLikeDrops) {
+    core::ResilientDetector det = fitted_detector();
+    const data::Dataset ds = trainable_dataset(300);
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        core::Observation o = core::Observation::from_record(ds[i]);
+        for (auto& a : o.csi) a = std::numeric_limits<float>::quiet_NaN();
+        const auto d = det.process(o);
+        ASSERT_TRUE(std::isfinite(d.probability));
+        EXPECT_NE(d.mode, core::DetectorMode::kFull);
+    }
+}
+
+TEST(ResilientDetector, RepairsLightCorruptionWithinBudget) {
+    core::ResilientDetector det = fitted_detector();
+    const data::Dataset ds = trainable_dataset(300);
+    // Healthy warm-up so a fresh donor frame exists.
+    for (std::size_t i = 0; i < 10; ++i)
+        det.process(core::Observation::from_record(ds[i]));
+    core::Observation o = core::Observation::from_record(ds[10]);
+    o.csi[5] = std::numeric_limits<float>::quiet_NaN();
+    o.csi[17] = std::numeric_limits<float>::infinity();
+    const auto d = det.process(o);
+    EXPECT_EQ(d.mode, core::DetectorMode::kFull);
+    EXPECT_TRUE(d.csi_repaired);
+    EXPECT_TRUE(std::isfinite(d.probability));
+    EXPECT_EQ(det.stats().csi_values_imputed, 2u);
+}
+
+TEST(ResilientDetector, BackoffGrowsBoundedlyWhileDown) {
+    core::ResilientConfig cfg;
+    cfg.full.training.epochs = 2;
+    cfg.fallback.training.epochs = 2;
+    cfg.retry_backoff_initial_s = 1.0;
+    cfg.retry_backoff_mult = 2.0;
+    cfg.retry_backoff_max_s = 8.0;
+    core::ResilientDetector det(cfg);
+    det.fit(trainable_dataset(300).view());
+
+    std::vector<double> attempt_times;
+    det.set_reconnect_hook([&] { return false; });
+
+    const data::Dataset ds = trainable_dataset(300);
+    std::uint64_t prev_attempts = 0;
+    for (std::size_t i = 0; i < 120; ++i) {
+        core::Observation o = core::Observation::from_record(ds[i]);
+        o.has_csi = false;
+        det.process(o);
+        if (det.stats().reconnect_attempts > prev_attempts) {
+            attempt_times.push_back(o.timestamp);
+            prev_attempts = det.stats().reconnect_attempts;
+        }
+    }
+    ASSERT_GE(attempt_times.size(), 4u);
+    // Gaps grow (exponential phase) and cap at the max.
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < attempt_times.size(); ++i)
+        gaps.push_back(attempt_times[i] - attempt_times[i - 1]);
+    for (std::size_t i = 1; i < gaps.size(); ++i)
+        EXPECT_GE(gaps[i] + 1e-9, gaps[i - 1]);
+    EXPECT_LE(gaps.back(), cfg.retry_backoff_max_s + 1.0);
+    EXPECT_GE(gaps.back(), 4.0);
+}
+
+TEST(ResilientDetector, ResetStreamClearsStateButKeepsModels) {
+    core::ResilientDetector det = fitted_detector();
+    const data::Dataset ds = trainable_dataset(100);
+    for (std::size_t i = 0; i < 50; ++i) {
+        core::Observation o = core::Observation::from_record(ds[i]);
+        o.has_csi = false;
+        det.process(o);
+    }
+    EXPECT_GT(det.stats().observations, 0u);
+    det.reset_stream();
+    EXPECT_EQ(det.stats().observations, 0u);
+    EXPECT_TRUE(det.fitted());
+    const auto d = det.process(core::Observation::from_record(ds[0]));
+    EXPECT_EQ(d.mode, core::DetectorMode::kFull);  // health is fresh again
+}

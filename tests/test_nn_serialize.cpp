@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <random>
 #include <sstream>
 
@@ -77,6 +78,68 @@ TEST(Serialize, FileRoundTrip) {
 TEST(Serialize, MissingFileThrows) {
     EXPECT_THROW(nn::load_mlp(std::string("/nonexistent/path/model.bin")),
                  std::runtime_error);
+}
+
+TEST(Serialize, CorruptedCheckpointIsDetected) {
+    std::mt19937_64 rng(9);
+    nn::Mlp net({4, 8, 1}, nn::Init::kKaimingUniform, rng);
+    std::stringstream buf;
+    nn::save_mlp(net, buf);
+    std::string bytes = buf.str();
+
+    // Flip one bit in the middle of the weight payload: without the CRC this
+    // would load silently into a slightly-wrong model.
+    bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+    std::stringstream corrupted(bytes);
+    const auto result = nn::try_load_mlp(corrupted);
+    ASSERT_FALSE(result.is_ok());
+    EXPECT_EQ(result.status().code(), wifisense::common::StatusCode::kCorruptData);
+    EXPECT_NE(result.status().message().find("crc"), std::string::npos);
+}
+
+TEST(Serialize, TypedErrorsDistinguishFailureModes) {
+    std::stringstream bad_magic("XXXXthis is not a model");
+    EXPECT_EQ(nn::try_load_mlp(bad_magic).status().code(),
+              wifisense::common::StatusCode::kFormatMismatch);
+
+    std::mt19937_64 rng(10);
+    nn::Mlp net({3, 5, 1}, nn::Init::kKaimingUniform, rng);
+    std::stringstream buf;
+    nn::save_mlp(net, buf);
+    const std::string full = buf.str();
+    std::stringstream cut(full.substr(0, full.size() - 10));
+    EXPECT_EQ(nn::try_load_mlp(cut).status().code(),
+              wifisense::common::StatusCode::kTruncated);
+
+    EXPECT_EQ(nn::try_load_mlp(std::string("/nonexistent/model.bin")).status().code(),
+              wifisense::common::StatusCode::kNotFound);
+}
+
+TEST(Serialize, LegacyV1StreamStillLoads) {
+    // Hand-build a v1 stream: magic | version=1 | layer_count | one Dense
+    // 2->1 layer (the pre-CRC framing).
+    std::stringstream buf;
+    buf.write("WSNN", 4);
+    const std::uint32_t version = 1;
+    buf.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    const std::uint64_t layers = 1;
+    buf.write(reinterpret_cast<const char*>(&layers), sizeof(layers));
+    const std::uint8_t kind = 0;  // Dense
+    buf.write(reinterpret_cast<const char*>(&kind), sizeof(kind));
+    const std::uint64_t in = 2, out = 1;
+    buf.write(reinterpret_cast<const char*>(&in), sizeof(in));
+    buf.write(reinterpret_cast<const char*>(&out), sizeof(out));
+    const float w[2] = {0.5f, -0.25f};
+    const float b[1] = {0.125f};
+    buf.write(reinterpret_cast<const char*>(w), sizeof(w));
+    buf.write(reinterpret_cast<const char*>(b), sizeof(b));
+
+    nn::Mlp loaded = nn::load_mlp(buf);
+    ASSERT_EQ(loaded.input_size(), 2u);
+    nn::Matrix x(1, 2);
+    x.at(0, 0) = 2.0f;
+    x.at(0, 1) = 4.0f;
+    EXPECT_FLOAT_EQ(loaded.forward(x).at(0, 0), 2.0f * 0.5f - 4.0f * 0.25f + 0.125f);
 }
 
 TEST(Serialize, LoadedModelIsTrainable) {
