@@ -17,6 +17,8 @@
 // BenchReport — the input of the repo's performance trajectory.
 #pragma once
 
+// wifisense-lint: allow-file(det.clock) wall-clock timing harness; results are
+// reported, never gating, and carry no influence on computed outputs.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>

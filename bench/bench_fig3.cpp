@@ -1,5 +1,7 @@
 // Reproduces Figure 3: Grad-CAM importance of every input feature (64 CSI
 // subcarriers + temperature + humidity) for the trained C+E classifier.
+// wifisense-lint: allow-file(det.clock) wall-clock timing harness; results are
+// reported, never gating, and carry no influence on computed outputs.
 #include <chrono>
 #include <cstdio>
 

@@ -1,5 +1,7 @@
 // Reproduces Table V: MAE/MAPE of linear (OLS) and neural-network regression
 // of temperature (T) and humidity (H) from CSI amplitudes, per test fold.
+// wifisense-lint: allow-file(det.clock) wall-clock timing harness; results are
+// reported, never gating, and carry no influence on computed outputs.
 #include <chrono>
 #include <cstdio>
 

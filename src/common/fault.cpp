@@ -178,7 +178,7 @@ void apply_packet_fault(std::span<float> amps, const PacketFault& fault,
     }
 }
 
-Result<FaultConfig> parse_fault_spec(std::string_view spec) {
+[[nodiscard]] Result<FaultConfig> parse_fault_spec(std::string_view spec) {
     FaultConfig cfg;
     std::string_view rest = spec;
     while (!rest.empty()) {

@@ -123,7 +123,7 @@ void apply_packet_fault(std::span<float> amps, const PacketFault& fault,
 /// Keys: drop, nan, inf, saturate, dropout, dropout_fraction, burst_rate,
 /// burst_len, env_stall_rate, env_stall_len, skew, seed. Unknown keys and
 /// out-of-range values produce kInvalidArgument.
-Result<FaultConfig> parse_fault_spec(std::string_view spec);
+[[nodiscard]] Result<FaultConfig> parse_fault_spec(std::string_view spec);
 
 /// Render a config back to the spec format (diagnostics, bench metadata).
 std::string to_spec(const FaultConfig& cfg);

@@ -47,7 +47,7 @@ public:
     Status(StatusCode code, std::string message)
         : code_(code), message_(std::move(message)) {}
 
-    static Status ok() { return Status(); }
+    [[nodiscard]] static Status ok() { return Status(); }
 
     bool is_ok() const { return code_ == StatusCode::kOk; }
     StatusCode code() const { return code_; }

@@ -425,13 +425,19 @@ std::string Figure3Result::render(std::size_t width) const {
     const std::vector<double> norm = normalized();
     os << "Grad-CAM feature importance (signed, normalized to max |.| = 1)\n";
     for (std::size_t i = 0; i < norm.size(); ++i) {
-        std::string label = i < 64 ? "a" + std::to_string(i)
-                            : i == 64 ? "e (temp)"
-                                      : "h (hum)";
+        // Fixed buffer instead of `"a" + std::to_string(i)`: gcc 12 emits a
+        // spurious -Wrestrict through the inlined std::string concatenation
+        // (PR105651) which -Werror would promote.
+        char label[16];
+        if (i < 64)
+            std::snprintf(label, sizeof(label), "a%zu", i);
+        else
+            std::snprintf(label, sizeof(label), "%s",
+                          i == 64 ? "e (temp)" : "h (hum)");
         const auto bars = static_cast<std::size_t>(
             std::abs(norm[i]) * static_cast<double>(width));
         char head[32];
-        std::snprintf(head, sizeof(head), "%-9s %+7.3f ", label.c_str(), norm[i]);
+        std::snprintf(head, sizeof(head), "%-9s %+7.3f ", label, norm[i]);
         os << head << std::string(bars, norm[i] >= 0.0 ? '#' : '-') << "\n";
     }
     char tail[96];

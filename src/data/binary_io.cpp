@@ -56,7 +56,7 @@ void write_binary(const DatasetView& view, const std::string& path) {
     write_binary(view, os);
 }
 
-common::Result<Dataset> try_read_binary(std::istream& is) {
+[[nodiscard]] common::Result<Dataset> try_read_binary(std::istream& is) {
     using common::Status;
     using common::StatusCode;
 
@@ -129,7 +129,7 @@ common::Result<Dataset> try_read_binary(std::istream& is) {
     return Dataset(std::move(records));
 }
 
-common::Result<Dataset> try_read_binary(const std::string& path) {
+[[nodiscard]] common::Result<Dataset> try_read_binary(const std::string& path) {
     std::ifstream is(path, std::ios::binary);
     if (!is)
         return common::Status(common::StatusCode::kNotFound,

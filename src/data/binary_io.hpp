@@ -25,8 +25,8 @@ void write_binary(const DatasetView& view, const std::string& path);
 ///                    present (detected up front for seekable streams, and
 ///                    again during the read for pipes)
 ///   kNotFound        unopenable path
-common::Result<Dataset> try_read_binary(std::istream& is);
-common::Result<Dataset> try_read_binary(const std::string& path);
+[[nodiscard]] common::Result<Dataset> try_read_binary(std::istream& is);
+[[nodiscard]] common::Result<Dataset> try_read_binary(const std::string& path);
 
 /// Throwing wrappers (std::runtime_error with the same diagnostic).
 Dataset read_binary(std::istream& is);

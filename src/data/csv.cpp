@@ -31,7 +31,7 @@ std::string diag(const std::string& source, std::size_t line_no,
 /// Parses one numeric token. NaN/Inf are rejected here: from_chars accepts
 /// "nan"/"inf" spellings, and a single such value would silently poison the
 /// scaler statistics and every downstream gradient.
-Status parse_finite(std::string_view token, std::size_t field,
+[[nodiscard]] Status parse_finite(std::string_view token, std::size_t field,
                     const std::string& source, std::size_t line_no,
                     double& out) {
     const auto [ptr, ec] =
@@ -69,7 +69,7 @@ void write_csv(const DatasetView& view, const std::string& path) {
     write_csv(view, os);
 }
 
-Result<Dataset> try_read_csv(std::istream& is, const std::string& source_name) {
+[[nodiscard]] Result<Dataset> try_read_csv(std::istream& is, const std::string& source_name) {
     std::string line;
     if (!std::getline(is, line))
         return Status(StatusCode::kCorruptData,
@@ -125,7 +125,7 @@ Result<Dataset> try_read_csv(std::istream& is, const std::string& source_name) {
     return Dataset(std::move(records));
 }
 
-Result<Dataset> try_read_csv(const std::string& path) {
+[[nodiscard]] Result<Dataset> try_read_csv(const std::string& path) {
     std::ifstream is(path);
     if (!is)
         return Status(StatusCode::kNotFound, "read_csv: cannot open " + path);

@@ -18,9 +18,9 @@ void write_csv(const DatasetView& view, const std::string& path);
 /// std::from_chars would otherwise happily parse). Diagnostics carry
 /// `source_name` plus the 1-based line number, e.g.
 ///   "read_csv: capture.csv:42: non-finite value in field 3".
-common::Result<Dataset> try_read_csv(std::istream& is,
+[[nodiscard]] common::Result<Dataset> try_read_csv(std::istream& is,
                                      const std::string& source_name = "<stream>");
-common::Result<Dataset> try_read_csv(const std::string& path);
+[[nodiscard]] common::Result<Dataset> try_read_csv(const std::string& path);
 
 /// Throwing wrappers around try_read_csv (std::runtime_error with the same
 /// diagnostic message).

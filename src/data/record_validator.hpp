@@ -95,7 +95,7 @@ public:
     /// Triage one record in stream order. kRepaired mutates `r` in place
     /// (imputed values); kQuarantined leaves `r` unspecified and the caller
     /// must drop it. Never throws on data content.
-    RecordDisposition ingest(SampleRecord& r);
+    [[nodiscard]] RecordDisposition ingest(SampleRecord& r);
 
     const IngestStats& stats() const { return stats_; }
     const ValidationPolicy& policy() const { return policy_; }
@@ -126,15 +126,16 @@ struct CleanIngest {
 
 /// Batch triage of a record stream: returns a Dataset that is guaranteed
 /// free of NaN/Inf and non-monotonic timestamps, plus the accounting.
-CleanIngest sanitize_records(std::vector<SampleRecord> records,
-                             const ValidationPolicy& policy = {});
+[[nodiscard]] CleanIngest sanitize_records(std::vector<SampleRecord> records,
+                                           const ValidationPolicy& policy = {});
 
 /// Gap-aware resampling onto a fixed `period_s` grid spanning the view's
 /// time range. Grid points whose newest record is at most
 /// `policy.staleness_budget_s` old emit that record (timestamp rewritten to
 /// the grid); staler points stay holes. Fill/gap accounting lands in the
 /// returned stats. The input must be validated (use sanitize_records first).
-CleanIngest resample_forward_fill(const DatasetView& view, double period_s,
-                                  const ValidationPolicy& policy = {});
+[[nodiscard]] CleanIngest resample_forward_fill(const DatasetView& view,
+                                                double period_s,
+                                                const ValidationPolicy& policy = {});
 
 }  // namespace wifisense::data

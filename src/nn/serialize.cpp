@@ -151,7 +151,7 @@ void save_mlp(const Mlp& net, const std::string& path) {
     save_mlp(net, os);
 }
 
-Result<Mlp> try_load_mlp(std::istream& is) {
+[[nodiscard]] Result<Mlp> try_load_mlp(std::istream& is) {
     char magic[4];
     is.read(magic, sizeof(magic));
     if (!is)
@@ -213,7 +213,7 @@ Result<Mlp> try_load_mlp(std::istream& is) {
     }
 }
 
-Result<Mlp> try_load_mlp(const std::string& path) {
+[[nodiscard]] Result<Mlp> try_load_mlp(const std::string& path) {
     std::ifstream is(path, std::ios::binary);
     if (!is)
         return Status(StatusCode::kNotFound, "load_mlp: cannot open " + path);

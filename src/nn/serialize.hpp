@@ -30,8 +30,8 @@ void save_mlp(const Mlp& net, const std::string& path);
 ///   kTruncated       stream ends before the declared payload
 ///   kCorruptData     CRC mismatch or malformed layer records
 ///   kNotFound        unopenable path
-common::Result<Mlp> try_load_mlp(std::istream& is);
-common::Result<Mlp> try_load_mlp(const std::string& path);
+[[nodiscard]] common::Result<Mlp> try_load_mlp(std::istream& is);
+[[nodiscard]] common::Result<Mlp> try_load_mlp(const std::string& path);
 
 /// Throwing wrappers (std::runtime_error with the same diagnostic).
 Mlp load_mlp(std::istream& is);

@@ -120,10 +120,17 @@ std::string Matrix::shape_string() const {
     return os.str();
 }
 
+// The steady-state train/predict loop runs entirely through the kernels
+// below; the annotated regions let wifisense-lint hold them to the
+// zero-allocation contract of DESIGN.md §11.
+// wifisense-lint: noalloc-begin
+
 void matmul_into(const Matrix& a, const Matrix& b, Matrix& out) {
     if (a.cols() != b.rows())
         throw std::invalid_argument("matmul: inner dimensions differ " +
                                     a.shape_string() + " * " + b.shape_string());
+    // wifisense-lint: allow(noalloc.container-growth) resize within the
+    // reserved workspace capacity is allocation-free (DESIGN.md §11)
     out.resize(a.rows(), b.cols());
     out.fill(0.0f);  // the row kernels accumulate, exactly like the wrapper
     const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
@@ -142,6 +149,8 @@ void matmul_tn_into(const Matrix& a, const Matrix& b, Matrix& out,
         if (out.rows() != a.cols() || out.cols() != b.cols())
             throw std::invalid_argument("matmul_tn_into: accumulate shape mismatch");
     } else {
+        // wifisense-lint: allow(noalloc.container-growth) resize within the
+        // reserved workspace capacity is allocation-free (DESIGN.md §11)
         out.resize(a.cols(), b.cols());
         out.fill(0.0f);
     }
@@ -156,6 +165,8 @@ void matmul_nt_into(const Matrix& a, const Matrix& b, Matrix& out) {
     if (a.cols() != b.cols())
         throw std::invalid_argument("matmul_nt: column counts differ " +
                                     a.shape_string() + " * " + b.shape_string() + "^T");
+    // wifisense-lint: allow(noalloc.container-growth) resize within the
+    // reserved workspace capacity is allocation-free (DESIGN.md §11)
     out.resize(a.rows(), b.rows());
     const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
     common::parallel_for_chunks(m, gemm_row_grain(k * n),
@@ -163,6 +174,8 @@ void matmul_nt_into(const Matrix& a, const Matrix& b, Matrix& out) {
                                     matmul_nt_rows(a, b, out, r0, r1);
                                 });
 }
+
+// wifisense-lint: noalloc-end
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
     Matrix c;
@@ -197,6 +210,7 @@ std::vector<float> column_sums(const Matrix& a) {
     return out;
 }
 
+// wifisense-lint: noalloc-begin
 void column_sums_into(const Matrix& a, std::span<float> out, bool accumulate) {
     if (out.size() != a.cols())
         throw std::invalid_argument("column_sums_into: output length != cols");
@@ -206,6 +220,7 @@ void column_sums_into(const Matrix& a, std::span<float> out, bool accumulate) {
         for (std::size_t c = 0; c < out.size(); ++c) out[c] += row[c];
     }
 }
+// wifisense-lint: noalloc-end
 
 std::vector<float> column_means(const Matrix& a) {
     std::vector<float> out = column_sums(a);
@@ -265,14 +280,18 @@ Matrix row_block(const Matrix& a, std::size_t begin, std::size_t count) {
     return out;
 }
 
+// wifisense-lint: noalloc-begin
 void row_block_into(const Matrix& a, std::size_t begin, std::size_t count,
                     Matrix& out) {
     if (begin + count > a.rows())
         throw std::out_of_range("row_block: range exceeds matrix");
+    // wifisense-lint: allow(noalloc.container-growth) resize within the
+    // reserved workspace capacity is allocation-free (DESIGN.md §11)
     out.resize(count, a.cols());
     std::copy_n(a.data().data() + begin * a.cols(), count * a.cols(),
                 out.data().data());
 }
+// wifisense-lint: noalloc-end
 
 Matrix gather_rows(const Matrix& a, std::span<const std::size_t> indices) {
     Matrix out;
@@ -280,14 +299,18 @@ Matrix gather_rows(const Matrix& a, std::span<const std::size_t> indices) {
     return out;
 }
 
+// wifisense-lint: noalloc-begin
 void gather_rows_into(const Matrix& a, std::span<const std::size_t> indices,
                       Matrix& out) {
+    // wifisense-lint: allow(noalloc.container-growth) resize within the
+    // reserved workspace capacity is allocation-free (DESIGN.md §11)
     out.resize(indices.size(), a.cols());
     for (std::size_t i = 0; i < indices.size(); ++i) {
         if (indices[i] >= a.rows()) throw std::out_of_range("gather_rows: bad index");
         std::copy_n(a.row(indices[i]).data(), a.cols(), out.row(i).data());
     }
 }
+// wifisense-lint: noalloc-end
 
 float max_abs_diff(const Matrix& a, const Matrix& b) {
     check_same_shape(a, b, "max_abs_diff");

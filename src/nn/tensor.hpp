@@ -72,6 +72,8 @@ private:
 // must not alias any input.
 // ---------------------------------------------------------------------------
 
+// wifisense-lint: noalloc-begin
+
 /// out = A * B. Shapes: [m x k] * [k x n] -> [m x n].
 void matmul_into(const Matrix& a, const Matrix& b, Matrix& out);
 
@@ -87,6 +89,8 @@ void matmul_tn_into(const Matrix& a, const Matrix& b, Matrix& out,
 
 /// out = A * B^T. Shapes: [m x k] * [n x k]^T -> [m x n].
 void matmul_nt_into(const Matrix& a, const Matrix& b, Matrix& out);
+
+// wifisense-lint: noalloc-end
 
 /// C = A * B. Shapes: [m x k] * [k x n] -> [m x n].
 Matrix matmul(const Matrix& a, const Matrix& b);
@@ -106,8 +110,10 @@ std::vector<float> column_sums(const Matrix& a);
 /// out (+)= column sums of a; out.size() must equal a.cols(). With
 /// `accumulate` the row contributions fold onto the existing contents (same
 /// zero-start bitwise caveat as matmul_tn_into).
+// wifisense-lint: noalloc-begin
 void column_sums_into(const Matrix& a, std::span<float> out,
                       bool accumulate = false);
+// wifisense-lint: noalloc-end
 
 /// Column means of a.
 std::vector<float> column_means(const Matrix& a);
@@ -132,15 +138,19 @@ Matrix transpose(const Matrix& a);
 Matrix row_block(const Matrix& a, std::size_t begin, std::size_t count);
 
 /// out = rows [begin, begin+count) of a (resizes out; see *_into contract).
+// wifisense-lint: noalloc-begin
 void row_block_into(const Matrix& a, std::size_t begin, std::size_t count,
                     Matrix& out);
+// wifisense-lint: noalloc-end
 
 /// Gather rows by index (out-of-range indices throw).
 Matrix gather_rows(const Matrix& a, std::span<const std::size_t> indices);
 
 /// out = a[indices] (resizes out; out-of-range indices throw).
+// wifisense-lint: noalloc-begin
 void gather_rows_into(const Matrix& a, std::span<const std::size_t> indices,
                       Matrix& out);
+// wifisense-lint: noalloc-end
 
 /// Max absolute difference between two equally-shaped matrices.
 float max_abs_diff(const Matrix& a, const Matrix& b);

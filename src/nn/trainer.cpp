@@ -82,6 +82,11 @@ TrainHistory train(Mlp& net, const Matrix& inputs, const Matrix& targets,
         double epoch_loss = 0.0;
         std::size_t batches = 0;
 
+        // Steady-state step: after the first batch warms the optimizer state
+        // this loop is heap-free (tests/test_nn_workspace.cpp asserts 0
+        // allocations per step); the annotation lets wifisense-lint reject
+        // any future allocating call textually inside it.
+        // wifisense-lint: noalloc-begin
         for (std::size_t begin = 0; begin < order.size(); begin += cfg.batch_size) {
             const std::size_t count = std::min(cfg.batch_size, order.size() - begin);
             const std::span<const std::size_t> idx(&order[begin], count);
@@ -105,6 +110,7 @@ TrainHistory train(Mlp& net, const Matrix& inputs, const Matrix& targets,
             epoch_loss += batch_loss;
             ++batches;
         }
+        // wifisense-lint: noalloc-end
 
         const double mean_loss = epoch_loss / static_cast<double>(batches);
         history.epoch_loss.push_back(mean_loss);

@@ -1,0 +1,18 @@
+// Malformed suppression directives. Never compiled — scanned by
+// wifisense-lint --self-test only.
+// lint-expect-file: lint.bad-directive
+// lint-expect-file: lint.bad-directive
+// lint-expect-file: lint.bad-directive
+
+namespace fixture {
+
+// wifisense-lint: frobnicate
+int unknown_directive = 0;
+
+// wifisense-lint: allow(det.rand)
+int allow_without_reason = 0;
+
+// wifisense-lint: allow(not.a.rule) reason text for an unknown rule
+int allow_unknown_rule = 0;
+
+}  // namespace fixture

@@ -1,0 +1,56 @@
+// Known-bad determinism snippets: every banned randomness/time primitive,
+// plus negative cases proving the seeded idioms and the suppression
+// directive do NOT fire. Never compiled — scanned by wifisense-lint
+// --self-test only.
+#include <chrono>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+int bad_entropy() {
+    std::random_device rd;  // lint-expect: det.random-device
+    return static_cast<int>(rd());
+}
+
+int bad_legacy_rand() {
+    srand(7);                // lint-expect: det.rand
+    return std::rand() % 6;  // lint-expect: det.rand
+}
+
+double bad_clocks() {
+    const auto t0 = std::chrono::steady_clock::now();   // lint-expect: det.clock
+    const auto t1 = std::chrono::system_clock::now();   // lint-expect: det.clock
+    (void)t0;
+    (void)t1;
+    return static_cast<double>(std::time(nullptr));     // lint-expect: det.clock
+}
+
+void bad_engines(unsigned seed) {
+    std::mt19937 narrow(seed);   // lint-expect: det.raw-mt19937
+    std::mt19937_64 unseeded;    // lint-expect: det.raw-mt19937
+    std::mt19937_64 braced{};    // lint-expect: det.raw-mt19937
+    (void)narrow;
+    (void)unseeded;
+    (void)braced;
+}
+
+// Negative cases: the seeded idioms the codebase actually uses.
+struct SeededMember {
+    std::mt19937_64 rng_;  // member, seeded in the constructor: no finding
+};
+
+void good_engines(std::uint64_t seed, std::mt19937_64& shared) {
+    std::mt19937_64 rng(seed);  // explicit seed: no finding
+    (void)rng;
+    (void)shared;
+}
+
+double suppressed_clock() {
+    // wifisense-lint: allow(det.clock) fixture proving scoped suppression
+    // works (the reason may wrap over several comment lines)
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Header-hygiene violations: no #pragma once, and a namespace-scope
+// using-directive. Never compiled — scanned by wifisense-lint --self-test
+// only.
+// lint-expect-file: hdr.pragma-once
+
+#include <string>
+
+namespace fixture {
+
+using namespace std;  // lint-expect: hdr.using-namespace
+
+string leaky_name();
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// noalloc.required: a destination-passing kernel in a file named
+// src/nn/tensor.cpp must sit inside an annotated noalloc region. Never
+// compiled — scanned by wifisense-lint --self-test only.
+
+namespace wifisense::nn {
+
+void matmul_into(const float* a, const float* b, float* out);  // lint-expect: noalloc.required
+
+// wifisense-lint: noalloc-begin
+void gather_rows_into(const float* a, float* out);  // annotated: no finding
+// wifisense-lint: noalloc-end
+
+}  // namespace wifisense::nn

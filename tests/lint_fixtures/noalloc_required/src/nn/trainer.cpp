@@ -1,0 +1,10 @@
+// noalloc.required: a file named src/nn/trainer.cpp must annotate its
+// steady-state training step with a noalloc region; this one has none.
+// Never compiled — scanned by wifisense-lint --self-test only.
+// lint-expect-file: noalloc.required
+
+namespace wifisense::nn {
+
+void train_step_without_annotation() {}
+
+}  // namespace wifisense::nn

@@ -1,0 +1,36 @@
+// Known-bad allocation snippets inside an annotated noalloc region, plus
+// negative cases outside the region and a suppressed line inside it.
+// Never compiled — scanned by wifisense-lint --self-test only.
+#include <functional>
+#include <vector>
+
+namespace fixture {
+
+// Outside any region: allocation is unrestricted. No findings here.
+std::vector<int> cold_path() {
+    std::vector<int> v;
+    v.reserve(8);
+    v.push_back(1);
+    return v;
+}
+
+// wifisense-lint: noalloc-begin
+void hot_path(std::vector<int>& v, int* slot) {
+    int* p = new int(7);                  // lint-expect: noalloc.new
+    delete p;                             // lint-expect: noalloc.new
+    void* q = malloc(16);                 // lint-expect: noalloc.malloc
+    free(q);                              // lint-expect: noalloc.malloc
+    v.push_back(1);                       // lint-expect: noalloc.container-growth
+    v.emplace_back(2);                    // lint-expect: noalloc.container-growth
+    v.resize(4);                          // lint-expect: noalloc.container-growth
+    v.reserve(8);                         // lint-expect: noalloc.container-growth
+    std::function<void()> f = [] {};      // lint-expect: noalloc.std-function
+    f();
+    *slot = 0;  // plain stores are fine: no finding
+    // wifisense-lint: allow(noalloc.container-growth) resize stays within
+    // capacity pre-reserved by the cold path
+    v.resize(2);
+}
+// wifisense-lint: noalloc-end
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Region-annotation nesting errors: an end with no begin, then a begin
+// never closed before EOF. Never compiled — scanned by wifisense-lint
+// --self-test only.
+// lint-expect-file: noalloc.unbalanced
+// lint-expect-file: noalloc.unbalanced
+
+namespace fixture {
+
+// wifisense-lint: noalloc-end
+void stray_end() {}
+
+// wifisense-lint: noalloc-begin
+void unterminated() {}
+
+}  // namespace fixture

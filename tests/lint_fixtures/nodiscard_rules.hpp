@@ -1,0 +1,30 @@
+// Status/Result declarations with and without [[nodiscard]]. Never
+// compiled — scanned by wifisense-lint --self-test only.
+#pragma once
+
+#include <string>
+
+namespace fixture {
+
+class Status {};
+template <class T>
+class Result {};
+
+Status open_stream(const std::string& path);          // lint-expect: err.nodiscard
+Result<int> parse_count(const std::string& token);    // lint-expect: err.nodiscard
+static Status flush_buffers();                        // lint-expect: err.nodiscard
+inline Result<double> parse_ratio(const std::string& t);  // lint-expect: err.nodiscard
+
+// Annotated declarations: no findings.
+[[nodiscard]] Status close_stream();
+[[nodiscard]] Result<int> checked_parse(const std::string& token);
+[[nodiscard]]
+Result<std::string> attribute_on_previous_line();
+
+// Non-function uses of the types: no findings.
+inline Status g_last_status;
+// wifisense-lint: allow(err.nodiscard) fixture: the one sanctioned escape
+// hatch for a fire-and-forget status
+Status best_effort_flush();
+
+}  // namespace fixture

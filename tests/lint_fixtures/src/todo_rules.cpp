@@ -1,0 +1,11 @@
+// err.todo: loose ends in src/ must carry an issue tag. This fixture lives
+// under a src/ path segment because the rule only applies there. Never
+// compiled — scanned by wifisense-lint --self-test only.
+
+namespace fixture {
+
+int tracked_work = 0;    // TODO(#12) tracked: no finding
+int loose_end = 1;       // TODO tidy this up  lint-expect: err.todo
+int broken_thing = 2;    // FIXME fell over in the rain  lint-expect: err.todo
+
+}  // namespace fixture

@@ -6,9 +6,13 @@
 #include <numeric>
 #include <random>
 
+#include "common/fault.hpp"
+#include "common/rng.hpp"
+#include "core/resilient_detector.hpp"
 #include "csi/channel.hpp"
 #include "csi/receiver.hpp"
 #include "data/scaler.hpp"
+#include "envsim/simulation.hpp"
 #include "ml/random_forest.hpp"
 #include "nn/loss.hpp"
 #include "nn/mlp.hpp"
@@ -229,3 +233,141 @@ TEST_P(LrSweep, BlobsSeparableAtAnyReasonableLr) {
 
 INSTANTIATE_TEST_SUITE_P(LearningRates, LrSweep,
                          ::testing::Values(2e-3, 5e-3, 1e-2, 2e-2));
+
+// --- chaos soak: random fault plans through the full pipeline ------------------
+//
+// ROADMAP follow-up to the fault-injection layer: ~50 randomly drawn (but
+// seeded) FaultPlans pushed through the simulator and a fitted
+// ResilientDetector. The invariant under ANY plan: process() never throws,
+// never emits NaN/Inf, and probability/confidence/health all stay in [0, 1].
+// Plan parameters are derived from substreams of one master seed, so a
+// failure reproduces exactly from the printed plan index.
+
+namespace {
+
+wifisense::common::FaultConfig random_fault_config(std::uint64_t master_seed,
+                                                   std::uint64_t plan_index) {
+    namespace common = wifisense::common;
+    std::mt19937_64 rng = common::substream(master_seed, plan_index);
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    common::FaultConfig f;
+    f.frame_drop_rate = 0.5 * u(rng);
+    // Corruption rates must sum to at most 1 (FaultPlan validation).
+    f.nan_rate = 0.15 * u(rng);
+    f.inf_rate = 0.15 * u(rng);
+    f.saturate_rate = 0.15 * u(rng);
+    f.subcarrier_dropout_rate = 0.3 * u(rng);
+    f.subcarrier_dropout_fraction = 0.05 + 0.9 * u(rng);
+    f.burst_rate_per_h = 4.0 * u(rng);
+    f.burst_len_s = 5.0 + 115.0 * u(rng);
+    f.env_stall_rate_per_h = 3.0 * u(rng);
+    f.env_stall_len_s = 10.0 + 290.0 * u(rng);
+    f.env_clock_skew_s = 3.0 * u(rng);
+    f.seed = common::substream_seed(master_seed, plan_index ^ 0xFA17);
+    return f;
+}
+
+/// One decision's invariant check. Returns a diagnostic, or empty when sane.
+std::string decision_violation(const wifisense::core::DetectorDecision& d) {
+    const auto in01 = [](double v) { return std::isfinite(v) && v >= 0.0 && v <= 1.0; };
+    if (!in01(d.probability)) return "probability outside [0,1] or non-finite";
+    if (!in01(d.confidence)) return "confidence outside [0,1] or non-finite";
+    if (!in01(d.csi_health)) return "csi_health outside [0,1] or non-finite";
+    if (!in01(d.env_health)) return "env_health outside [0,1] or non-finite";
+    if (d.prediction != 0 && d.prediction != 1) return "prediction not binary";
+    return {};
+}
+
+}  // namespace
+
+TEST(ChaosSoak, RandomFaultPlansNeverThrowNeverNaN) {
+    namespace common = wifisense::common;
+    namespace core = wifisense::core;
+    namespace envsim = wifisense::envsim;
+    constexpr std::uint64_t kMasterSeed = 0xC4A05;
+    constexpr std::uint64_t kPlans = 50;
+
+    // Fit once on a clean simulated capture; stream state (not the trained
+    // models) is reset between plans.
+    envsim::SimulationConfig train_cfg = envsim::paper_config(2.0, 7);
+    train_cfg.duration_s = 1200.0;
+    const wifisense::data::Dataset train_set =
+        envsim::OfficeSimulator(train_cfg).run();
+    core::ResilientConfig rcfg;
+    rcfg.full.training.epochs = 3;
+    rcfg.fallback.training.epochs = 3;
+    rcfg.env_staleness_budget_s = 10.0;
+    core::ResilientDetector det(rcfg);
+    det.fit(train_set.view());
+
+    for (std::uint64_t plan_i = 0; plan_i < kPlans; ++plan_i) {
+        SCOPED_TRACE("plan " + std::to_string(plan_i));
+        const common::FaultConfig fcfg = random_fault_config(kMasterSeed, plan_i);
+        ASSERT_NO_THROW({ common::FaultPlan probe(fcfg); });
+
+        envsim::SimulationConfig sim_cfg = envsim::paper_config(2.0, 7);
+        sim_cfg.duration_s = 600.0;
+        sim_cfg.seed = common::substream_seed(kMasterSeed, 1000 + plan_i);
+        sim_cfg.faults = fcfg;
+
+        wifisense::data::Dataset stream;
+        ASSERT_NO_THROW(stream = envsim::OfficeSimulator(sim_cfg).run());
+
+        // The simulator already dropped/corrupted frames; layer the plan's
+        // packet decisions on top so the has_csi=false and has_env=false
+        // triage paths are exercised even on surviving records.
+        const common::FaultPlan plan(fcfg);
+        det.reset_stream();
+        std::size_t violations = 0;
+        std::string first_violation;
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+            core::Observation obs = core::Observation::from_record(stream[i]);
+            if (plan.packet_fault(i).dropped) obs.has_csi = false;
+            if (plan.env_stalled(obs.timestamp)) obs.has_env = false;
+            core::DetectorDecision d;
+            try {
+                d = det.process(obs);
+            } catch (const std::exception& e) {
+                FAIL() << "process() threw on record " << i << ": " << e.what();
+            }
+            const std::string why = decision_violation(d);
+            if (!why.empty() && ++violations == 1)
+                first_violation = "record " + std::to_string(i) + ": " + why;
+        }
+        EXPECT_EQ(violations, 0u) << first_violation;
+        EXPECT_EQ(det.stats().observations, stream.size());
+    }
+}
+
+TEST(ChaosSoak, TotalBlackoutHoldsFiniteOutputs) {
+    // Degenerate plan the random sweep is unlikely to draw exactly: 100%
+    // frame loss AND stalled env. The detector must ride kStaleHold with
+    // decaying confidence, never NaN.
+    namespace core = wifisense::core;
+    namespace envsim = wifisense::envsim;
+    envsim::SimulationConfig train_cfg = envsim::paper_config(2.0, 11);
+    train_cfg.duration_s = 900.0;
+    const wifisense::data::Dataset train_set =
+        envsim::OfficeSimulator(train_cfg).run();
+    core::ResilientConfig rcfg;
+    rcfg.full.training.epochs = 3;
+    rcfg.fallback.training.epochs = 3;
+    rcfg.env_staleness_budget_s = 5.0;
+    core::ResilientDetector det(rcfg);
+    det.fit(train_set.view());
+
+    double last_confidence = 1.0;
+    for (std::size_t i = 0; i < 2000; ++i) {
+        core::Observation obs;
+        obs.timestamp = static_cast<double>(i);
+        obs.has_csi = false;
+        obs.has_env = false;
+        const core::DetectorDecision d = det.process(obs);
+        EXPECT_TRUE(decision_violation(d).empty()) << "tick " << i;
+        if (i > 10) {
+            EXPECT_EQ(d.mode, core::DetectorMode::kStaleHold) << "tick " << i;
+            EXPECT_LE(d.confidence, last_confidence + 1e-12) << "tick " << i;
+        }
+        last_confidence = d.confidence;
+    }
+}

@@ -1,0 +1,809 @@
+// The project-rule static checker (wifisense-lint).
+//
+// The repo's three load-bearing guarantees — bitwise determinism at any
+// thread count (DESIGN.md §10), an allocation-free train/predict hot path
+// (§11), and typed Status/Result error handling on every load path (§12) —
+// are invariants a single careless token can erode long before a golden
+// test notices. This tool makes them cheap to keep: a token/line-level
+// scanner (no libclang) that walks src/, bench/, tools/ and examples/ and
+// fails the build on any violation. See DESIGN.md §13 for the rule
+// catalogue and suppression syntax.
+//
+// Rules (rule-id: meaning):
+//   det.rand          std::rand/srand/rand_r/drand48 — unseedable legacy RNG
+//   det.random-device std::random_device — nondeterministic entropy source
+//   det.clock         wall/steady clocks and time() — time-dependent logic
+//   det.raw-mt19937   32-bit mt19937, or a default-constructed (unseeded)
+//                     mt19937_64 — randomness must flow through the
+//                     common/rng.hpp substream API
+//   noalloc.new       new/delete inside a noalloc region
+//   noalloc.malloc    malloc/calloc/realloc/free inside a noalloc region
+//   noalloc.container-growth  push_back/emplace_back/resize/reserve inside
+//                     a noalloc region
+//   noalloc.std-function      std::function construction inside a noalloc
+//                     region (type erasure heap-allocates)
+//   noalloc.required  a file contractually bound to noalloc annotations is
+//                     missing them (the _into kernels in src/nn/tensor.*,
+//                     the steady-state step in src/nn/trainer.cpp)
+//   noalloc.unbalanced  noalloc-begin/end nesting errors
+//   err.nodiscard     function returning Status/Result<T> without
+//                     [[nodiscard]]
+//   err.todo          TODO/FIXME in src/ without an issue tag "(#N)"
+//   hdr.pragma-once   header missing #pragma once
+//   hdr.using-namespace  using namespace at namespace scope in a header
+//   lint.bad-directive   malformed wifisense-lint comment
+//
+// Suppression (scoped, reason required; the directive prefix is
+// "wifisense-lint" followed by a colon — spelled loosely here so this very
+// comment does not parse as a directive):
+//   ... offending code ...  // <prefix> allow(<rule>) <reason>
+//   // <prefix> allow(<rule>) <reason>        <- whole-line comment form:
+//   ... applies to the next code line ...        the reason may wrap over
+//                                                several comment lines
+//   // <prefix> allow-file(<rule>) <reason>   <- whole file
+//
+// Region annotations: "<prefix> noalloc-begin" / "<prefix> noalloc-end"
+// comments bracket an allocation-free region.
+//
+// Self-test mode (--self-test <dir>): every fixture line may carry
+//   // lint-expect: <rule-id>        a finding of that rule MUST fire here
+//   // lint-expect-file: <rule-id>   ... anywhere in this file
+// The run fails on any unexpected finding or unsatisfied expectation, so
+// the fixture corpus pins each rule to a known-bad snippet.
+//
+// Exit status: 0 clean, 1 findings (or self-test mismatch), 2 usage/IO error.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Finding & rule identifiers
+// ---------------------------------------------------------------------------
+
+struct Finding {
+    std::string file;
+    std::size_t line = 0;  // 1-based; 0 = whole-file
+    std::string rule;
+    std::string message;
+};
+
+const char* const kAllRules[] = {
+    "det.rand",          "det.random-device", "det.clock",
+    "det.raw-mt19937",   "noalloc.new",       "noalloc.malloc",
+    "noalloc.container-growth",               "noalloc.std-function",
+    "noalloc.required",  "noalloc.unbalanced", "err.nodiscard",
+    "err.todo",          "hdr.pragma-once",   "hdr.using-namespace",
+    "lint.bad-directive",
+};
+
+bool known_rule(std::string_view rule) {
+    for (const char* r : kAllRules)
+        if (rule == r) return true;
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// Line model: the raw text, the code with comments/strings blanked (same
+// column positions), and the comment text (directives live in comments).
+// ---------------------------------------------------------------------------
+
+struct Line {
+    std::string raw;
+    std::string code;     ///< comments and string/char literal bodies blanked
+    std::string comment;  ///< concatenated comment text of this line
+};
+
+/// Strip comments and literals across the whole file, preserving columns.
+std::vector<Line> split_lines(const std::string& text) {
+    std::vector<std::string> raw;
+    {
+        std::string cur;
+        for (const char c : text) {
+            if (c == '\n') {
+                raw.push_back(cur);
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        raw.push_back(cur);
+    }
+
+    std::vector<Line> lines(raw.size());
+    bool in_block_comment = false;
+    for (std::size_t li = 0; li < raw.size(); ++li) {
+        const std::string& s = raw[li];
+        Line& out = lines[li];
+        out.raw = s;
+        out.code.assign(s.size(), ' ');
+        std::size_t i = 0;
+        while (i < s.size()) {
+            if (in_block_comment) {
+                if (s[i] == '*' && i + 1 < s.size() && s[i + 1] == '/') {
+                    in_block_comment = false;
+                    i += 2;
+                } else {
+                    out.comment += s[i];
+                    ++i;
+                }
+                continue;
+            }
+            const char c = s[i];
+            if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+                out.comment += s.substr(i + 2);
+                break;  // rest of the line is comment
+            }
+            if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+                in_block_comment = true;
+                i += 2;
+                continue;
+            }
+            if (c == '"') {
+                out.code[i] = '"';
+                ++i;
+                while (i < s.size() && s[i] != '"') {
+                    if (s[i] == '\\') ++i;
+                    ++i;
+                }
+                if (i < s.size()) out.code[i] = '"';
+                ++i;
+                continue;
+            }
+            // Char literal — but not a digit separator (1'000'000).
+            if (c == '\'' && (i == 0 || !std::isalnum(static_cast<unsigned char>(s[i - 1])))) {
+                out.code[i] = '\'';
+                ++i;
+                while (i < s.size() && s[i] != '\'') {
+                    if (s[i] == '\\') ++i;
+                    ++i;
+                }
+                if (i < s.size()) out.code[i] = '\'';
+                ++i;
+                continue;
+            }
+            out.code[i] = c;
+            ++i;
+        }
+    }
+    return lines;
+}
+
+bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+struct Token {
+    std::string text;
+    std::size_t begin = 0;  ///< column of first char
+    std::size_t end = 0;    ///< one past last char
+};
+
+std::vector<Token> identifiers(const std::string& code) {
+    std::vector<Token> out;
+    std::size_t i = 0;
+    while (i < code.size()) {
+        if (is_ident_char(code[i]) &&
+            !std::isdigit(static_cast<unsigned char>(code[i]))) {
+            const std::size_t begin = i;
+            while (i < code.size() && is_ident_char(code[i])) ++i;
+            out.push_back({code.substr(begin, i - begin), begin, i});
+        } else {
+            ++i;
+        }
+    }
+    return out;
+}
+
+/// First non-space char at or after `pos`, or '\0'.
+char next_code_char(const std::string& code, std::size_t pos, std::size_t* at = nullptr) {
+    while (pos < code.size() && std::isspace(static_cast<unsigned char>(code[pos]))) ++pos;
+    if (at) *at = pos;
+    return pos < code.size() ? code[pos] : '\0';
+}
+
+bool is_qualified_std(const std::string& code, std::size_t ident_begin) {
+    // True when the identifier is written std::<ident> (possibly with spaces).
+    std::size_t i = ident_begin;
+    while (i > 0 && std::isspace(static_cast<unsigned char>(code[i - 1]))) --i;
+    if (i < 2 || code[i - 1] != ':' || code[i - 2] != ':') return false;
+    std::size_t j = i - 2;
+    while (j > 0 && std::isspace(static_cast<unsigned char>(code[j - 1]))) --j;
+    return j >= 3 && code.compare(j - 3, 3, "std") == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Directives
+// ---------------------------------------------------------------------------
+
+struct Directives {
+    // line (1-based) -> rules allowed on that line
+    std::map<std::size_t, std::set<std::string>> line_allows;
+    std::set<std::string> file_allows;
+    // [begin, end) line ranges (1-based, half-open) of noalloc regions
+    std::vector<std::pair<std::size_t, std::size_t>> noalloc_regions;
+    // Self-test expectations.
+    std::map<std::size_t, std::vector<std::string>> expect_lines;
+    std::vector<std::string> expect_file;
+};
+
+std::string trim(std::string_view s) {
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return std::string(s.substr(b, e - b));
+}
+
+/// Parse "allow(rule) reason" / "allow-file(rule) reason" bodies. Returns
+/// the rule, or empty on malformed input.
+std::string parse_allow_body(std::string_view body, std::string* reason) {
+    const std::size_t open = body.find('(');
+    const std::size_t close = body.find(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open)
+        return {};
+    *reason = trim(body.substr(close + 1));
+    return trim(body.substr(open + 1, close - open - 1));
+}
+
+Directives collect_directives(const std::vector<Line>& lines,
+                              std::vector<Finding>& findings,
+                              const std::string& file, bool self_test) {
+    Directives d;
+    std::vector<std::size_t> region_stack;
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+        const std::size_t lineno = li + 1;
+        const std::string& comment = lines[li].comment;
+        const bool comment_only = trim(lines[li].code).empty();
+
+        if (self_test) {
+            static constexpr std::string_view kExpectFile = "lint-expect-file:";
+            static constexpr std::string_view kExpect = "lint-expect:";
+            std::size_t pos = comment.find(kExpectFile);
+            if (pos != std::string::npos) {
+                d.expect_file.push_back(trim(comment.substr(pos + kExpectFile.size())));
+            } else if ((pos = comment.find(kExpect)) != std::string::npos) {
+                d.expect_lines[lineno].push_back(trim(comment.substr(pos + kExpect.size())));
+            }
+        }
+
+        static constexpr std::string_view kPrefix = "wifisense-lint:";
+        const std::size_t pos = comment.find(kPrefix);
+        if (pos == std::string::npos) continue;
+        const std::string body = trim(comment.substr(pos + kPrefix.size()));
+
+        if (body == "noalloc-begin") {
+            region_stack.push_back(lineno);
+            if (region_stack.size() > 1)
+                findings.push_back({file, lineno, "noalloc.unbalanced",
+                                    "nested noalloc-begin (regions do not nest)"});
+        } else if (body == "noalloc-end") {
+            if (region_stack.empty()) {
+                findings.push_back({file, lineno, "noalloc.unbalanced",
+                                    "noalloc-end without a matching begin"});
+            } else {
+                d.noalloc_regions.emplace_back(region_stack.back(), lineno);
+                region_stack.pop_back();
+            }
+        } else if (body.rfind("allow-file(", 0) == 0) {
+            std::string reason;
+            const std::string rule = parse_allow_body(body.substr(10), &reason);
+            if (rule.empty() || !known_rule(rule) || reason.empty())
+                findings.push_back({file, lineno, "lint.bad-directive",
+                                    "allow-file needs a known rule and a reason: '" +
+                                        body + "'"});
+            else
+                d.file_allows.insert(rule);
+        } else if (body.rfind("allow(", 0) == 0) {
+            std::string reason;
+            const std::string rule = parse_allow_body(body.substr(5), &reason);
+            if (rule.empty() || !known_rule(rule) || reason.empty()) {
+                findings.push_back({file, lineno, "lint.bad-directive",
+                                    "allow needs a known rule and a reason: '" +
+                                        body + "'"});
+            } else {
+                // Trailing comment covers its own line; a comment-only line
+                // covers the next code line (the suppression reason may wrap
+                // over several comment lines).
+                d.line_allows[lineno].insert(rule);
+                if (comment_only) {
+                    std::size_t next = li + 1;
+                    while (next < lines.size() &&
+                           trim(lines[next].code).empty())
+                        ++next;
+                    d.line_allows[next + 1].insert(rule);
+                }
+            }
+        } else {
+            findings.push_back({file, lineno, "lint.bad-directive",
+                                "unknown wifisense-lint directive: '" + body + "'"});
+        }
+    }
+    for (const std::size_t begin : region_stack)
+        findings.push_back({file, begin, "noalloc.unbalanced",
+                            "noalloc-begin without a matching end"});
+    return d;
+}
+
+bool in_noalloc_region(const Directives& d, std::size_t lineno) {
+    for (const auto& [b, e] : d.noalloc_regions)
+        if (lineno > b && lineno < e) return true;
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// Rule checks
+// ---------------------------------------------------------------------------
+
+bool path_ends_with(const std::string& path, std::string_view suffix) {
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Files exempt from the determinism rules: the substream API itself and the
+/// pool (which owns the only legitimate uses of low-level primitives).
+bool det_exempt(const std::string& path) {
+    return path_ends_with(path, "src/common/rng.hpp") ||
+           path_ends_with(path, "src/common/parallel.hpp") ||
+           path_ends_with(path, "src/common/parallel.cpp");
+}
+
+bool is_header(const std::string& path) {
+    return path_ends_with(path, ".hpp") || path_ends_with(path, ".h");
+}
+
+bool in_src_tree(const std::string& path) {
+    return path.find("src/") != std::string::npos;
+}
+
+void check_determinism(const std::string& file, const std::vector<Line>& lines,
+                       std::vector<Finding>& findings) {
+    if (det_exempt(file)) return;
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+        const std::size_t lineno = li + 1;
+        const std::string& code = lines[li].code;
+        for (const Token& t : identifiers(code)) {
+            const char after = next_code_char(code, t.end);
+            if ((t.text == "rand" || t.text == "srand" || t.text == "rand_r" ||
+                 t.text == "drand48") &&
+                after == '(') {
+                findings.push_back({file, lineno, "det.rand",
+                                    "'" + t.text +
+                                        "' is unseedable legacy RNG; use "
+                                        "common::substream(seed, stream)"});
+            } else if (t.text == "random_device") {
+                findings.push_back({file, lineno, "det.random-device",
+                                    "std::random_device is nondeterministic; "
+                                    "derive seeds via common/rng.hpp substreams"});
+            } else if (t.text == "system_clock" || t.text == "steady_clock" ||
+                       t.text == "high_resolution_clock" ||
+                       t.text == "clock_gettime" || t.text == "gettimeofday" ||
+                       ((t.text == "time" || t.text == "clock") && after == '(' &&
+                        is_qualified_std(code, t.begin))) {
+                findings.push_back({file, lineno, "det.clock",
+                                    "'" + t.text +
+                                        "' makes behavior time-dependent; "
+                                        "simulated time must come from "
+                                        "data/simtime"});
+            } else if (t.text == "mt19937") {
+                findings.push_back({file, lineno, "det.raw-mt19937",
+                                    "32-bit std::mt19937 is banned; use "
+                                    "std::mt19937_64 seeded via "
+                                    "common/rng.hpp"});
+            } else if (t.text == "mt19937_64") {
+                // Unseeded forms: `mt19937_64 name;`, `mt19937_64 name{}`,
+                // `mt19937_64()` / `mt19937_64{}`. A declarator ending in '_'
+                // is a class member (seeded in the constructor by project
+                // convention).
+                std::size_t at = 0;
+                char c = next_code_char(code, t.end, &at);
+                bool bad = false;
+                if (c == '(' || c == '{') {
+                    const char close2 = next_code_char(code, at + 1);
+                    bad = (c == '(' && close2 == ')') || (c == '{' && close2 == '}');
+                } else if (is_ident_char(c) && !std::isdigit(static_cast<unsigned char>(c))) {
+                    std::size_t e = at;
+                    while (e < code.size() && is_ident_char(code[e])) ++e;
+                    const std::string name = code.substr(at, e - at);
+                    std::size_t at2 = 0;
+                    const char c2 = next_code_char(code, e, &at2);
+                    if (c2 == ';' && !name.empty() && name.back() != '_') {
+                        bad = true;
+                    } else if (c2 == '(' || c2 == '{') {
+                        const char close2 = next_code_char(code, at2 + 1);
+                        bad = (c2 == '(' && close2 == ')') ||
+                              (c2 == '{' && close2 == '}');
+                    }
+                }
+                if (bad)
+                    findings.push_back({file, lineno, "det.raw-mt19937",
+                                        "default-constructed std::mt19937_64 is "
+                                        "unseeded; seed it via "
+                                        "common::substream(seed, stream)"});
+            }
+        }
+    }
+}
+
+void check_noalloc(const std::string& file, const std::vector<Line>& lines,
+                   const Directives& d, std::vector<Finding>& findings) {
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+        const std::size_t lineno = li + 1;
+        if (!in_noalloc_region(d, lineno)) continue;
+        const std::string& code = lines[li].code;
+        for (const Token& t : identifiers(code)) {
+            if (t.text == "new" || t.text == "delete") {
+                findings.push_back({file, lineno, "noalloc.new",
+                                    "'" + t.text + "' inside a noalloc region"});
+            } else if (t.text == "malloc" || t.text == "calloc" ||
+                       t.text == "realloc" || t.text == "free") {
+                if (next_code_char(code, t.end) == '(')
+                    findings.push_back({file, lineno, "noalloc.malloc",
+                                        "'" + t.text +
+                                            "' inside a noalloc region"});
+            } else if (t.text == "push_back" || t.text == "emplace_back" ||
+                       t.text == "resize" || t.text == "reserve") {
+                findings.push_back({file, lineno, "noalloc.container-growth",
+                                    "'" + t.text +
+                                        "' may reallocate inside a noalloc "
+                                        "region"});
+            } else if (t.text == "function" && is_qualified_std(code, t.begin)) {
+                findings.push_back({file, lineno, "noalloc.std-function",
+                                    "std::function type erasure heap-allocates "
+                                    "inside a noalloc region"});
+            }
+        }
+    }
+}
+
+/// Files contractually bound to noalloc annotations. In tensor.* every
+/// `*_into` kernel must sit inside an annotated region; trainer.cpp must
+/// annotate its steady-state step.
+void check_noalloc_required(const std::string& file,
+                            const std::vector<Line>& lines, const Directives& d,
+                            std::vector<Finding>& findings) {
+    const bool is_tensor = path_ends_with(file, "src/nn/tensor.cpp") ||
+                           path_ends_with(file, "src/nn/tensor.hpp");
+    const bool is_trainer = path_ends_with(file, "src/nn/trainer.cpp");
+    if (!is_tensor && !is_trainer) return;
+
+    if (is_trainer && d.noalloc_regions.empty()) {
+        findings.push_back({file, 0, "noalloc.required",
+                            "trainer.cpp must annotate its steady-state "
+                            "training step with noalloc-begin/end"});
+        return;
+    }
+    if (!is_tensor) return;
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+        const std::size_t lineno = li + 1;
+        // Only signature lines bind the contract: `void <name>_into(...`.
+        // Call sites inside the allocating convenience wrappers are exempt
+        // (the call itself does not allocate; the wrapper's Matrix does).
+        const std::vector<Token> toks = identifiers(lines[li].code);
+        if (toks.empty() || toks.front().text != "void") continue;
+        for (const Token& t : toks) {
+            if (t.text.size() > 5 &&
+                t.text.compare(t.text.size() - 5, 5, "_into") == 0 &&
+                !in_noalloc_region(d, lineno)) {
+                findings.push_back({file, lineno, "noalloc.required",
+                                    "'" + t.text +
+                                        "' kernel must sit inside a "
+                                        "noalloc-begin/end region"});
+            }
+        }
+    }
+}
+
+/// Does `code` start (after qualifiers) with a Status/Result<T> return type
+/// followed by a function name and '('? Token-level heuristic for the
+/// declaration-site nodiscard rule.
+bool returns_status_or_result(const std::string& code) {
+    std::vector<Token> toks = identifiers(code);
+    std::size_t i = 0;
+    auto skip = [&](std::string_view w) {
+        if (i < toks.size() && toks[i].text == w) ++i;
+    };
+    skip("nodiscard");  // inside [[...]]
+    for (;;) {
+        const std::size_t before = i;
+        skip("static");
+        skip("inline");
+        skip("constexpr");
+        skip("virtual");
+        skip("friend");
+        skip("explicit");
+        if (i == before) break;
+    }
+    skip("wifisense");
+    skip("common");
+    if (i >= toks.size()) return false;
+    const Token& ret = toks[i];
+    if (ret.text != "Status" && ret.text != "Result") return false;
+    // The return type must be the first real token (this is a declaration
+    // line, not `return Status(...)` or `foo(Status s)`).
+    std::size_t first_col = 0;
+    (void)next_code_char(code, 0, &first_col);
+    std::size_t lead = toks.front().begin;
+    if (toks.front().text == "nodiscard") {
+        // allow "[[nodiscard]] Status ..." — the attribute brackets precede
+        lead = first_col;
+    }
+    if (lead != first_col) return false;
+
+    std::size_t pos = ret.end;
+    if (ret.text == "Result") {
+        // Require a template argument list and skip it (bracket matching).
+        std::size_t at = 0;
+        if (next_code_char(code, pos, &at) != '<') return false;
+        int depth = 0;
+        while (at < code.size()) {
+            if (code[at] == '<') ++depth;
+            if (code[at] == '>') {
+                --depth;
+                if (depth == 0) break;
+            }
+            ++at;
+        }
+        if (depth != 0) return false;
+        pos = at + 1;
+    }
+    // Next: an identifier (the function name) then '('. A '(' immediately
+    // after the type is a constructor/temporary; '=' is a variable init.
+    std::size_t at = 0;
+    const char c = next_code_char(code, pos, &at);
+    if (!is_ident_char(c) || std::isdigit(static_cast<unsigned char>(c)))
+        return false;
+    std::size_t e = at;
+    while (e < code.size() && is_ident_char(code[e])) ++e;
+    const std::string name = code.substr(at, e - at);
+    if (name == "operator") return false;
+    std::size_t at2 = 0;
+    return next_code_char(code, e, &at2) == '(';
+}
+
+void check_nodiscard(const std::string& file, const std::vector<Line>& lines,
+                     std::vector<Finding>& findings) {
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+        const std::string& code = lines[li].code;
+        if (!returns_status_or_result(code)) continue;
+        const bool here = code.find("[[nodiscard]]") != std::string::npos;
+        bool above = false;
+        for (std::size_t p = li; p-- > 0;) {
+            const std::string prev = trim(lines[p].code);
+            if (prev.empty()) continue;  // comment/blank line
+            above = prev.find("[[nodiscard]]") != std::string::npos;
+            break;
+        }
+        if (!here && !above)
+            findings.push_back({file, li + 1, "err.nodiscard",
+                                "function returning Status/Result must be "
+                                "[[nodiscard]] (a dropped error is a "
+                                "swallowed failure)"});
+    }
+}
+
+void check_todo(const std::string& file, const std::vector<Line>& lines,
+                std::vector<Finding>& findings) {
+    if (!in_src_tree(file)) return;
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+        const std::string& comment = lines[li].comment;
+        for (const std::string_view word : {"TODO", "FIXME"}) {
+            const std::size_t pos = comment.find(word);
+            if (pos == std::string::npos) continue;
+            // Accept "TODO(#123)" — anything else is an untracked loose end.
+            if (comment.compare(pos + word.size(), 2, "(#") != 0)
+                findings.push_back({file, li + 1, "err.todo",
+                                    std::string(word) +
+                                        " without an issue tag; write " +
+                                        std::string(word) + "(#N)"});
+        }
+    }
+}
+
+void check_header_hygiene(const std::string& file, const std::vector<Line>& lines,
+                          std::vector<Finding>& findings) {
+    if (!is_header(file)) return;
+    bool has_pragma = false;
+    for (const Line& l : lines) {
+        if (trim(l.raw).rfind("#pragma once", 0) == 0) {
+            has_pragma = true;
+            break;
+        }
+    }
+    if (!has_pragma)
+        findings.push_back({file, 0, "hdr.pragma-once",
+                            "header is missing #pragma once"});
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+        const std::vector<Token> toks = identifiers(lines[li].code);
+        for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+            if (toks[i].text == "using" && toks[i + 1].text == "namespace") {
+                findings.push_back({file, li + 1, "hdr.using-namespace",
+                                    "using namespace in a header leaks into "
+                                    "every includer"});
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+struct FileReport {
+    std::vector<Finding> findings;  ///< post-suppression
+    Directives directives;
+};
+
+FileReport scan_file(const std::string& path, bool self_test) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::vector<Line> lines = split_lines(buf.str());
+
+    std::vector<Finding> raw_findings;
+    Directives d = collect_directives(lines, raw_findings, path, self_test);
+
+    check_determinism(path, lines, raw_findings);
+    check_noalloc(path, lines, d, raw_findings);
+    check_noalloc_required(path, lines, d, raw_findings);
+    check_nodiscard(path, lines, raw_findings);
+    check_todo(path, lines, raw_findings);
+    check_header_hygiene(path, lines, raw_findings);
+
+    FileReport report;
+    report.directives = d;
+    for (Finding& f : raw_findings) {
+        if (d.file_allows.count(f.rule)) continue;
+        const auto it = d.line_allows.find(f.line);
+        if (it != d.line_allows.end() && it->second.count(f.rule)) continue;
+        report.findings.push_back(std::move(f));
+    }
+    std::sort(report.findings.begin(), report.findings.end(),
+              [](const Finding& a, const Finding& b) {
+                  return std::tie(a.file, a.line, a.rule) <
+                         std::tie(b.file, b.line, b.rule);
+              });
+    return report;
+}
+
+bool lintable(const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+std::vector<std::string> collect_files(const std::vector<std::string>& roots,
+                                       bool* io_error) {
+    std::vector<std::string> files;
+    for (const std::string& root : roots) {
+        std::error_code ec;
+        if (fs::is_regular_file(root, ec)) {
+            files.push_back(root);
+            continue;
+        }
+        if (!fs::is_directory(root, ec)) {
+            std::cerr << "wifisense-lint: no such file or directory: " << root
+                      << "\n";
+            *io_error = true;
+            continue;
+        }
+        for (auto it = fs::recursive_directory_iterator(root, ec);
+             it != fs::recursive_directory_iterator(); it.increment(ec)) {
+            if (ec) break;
+            if (it->is_regular_file() && lintable(it->path()))
+                files.push_back(it->path().string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+int run_lint(const std::vector<std::string>& roots) {
+    bool io_error = false;
+    const std::vector<std::string> files = collect_files(roots, &io_error);
+    if (io_error) return 2;
+    std::size_t total = 0;
+    for (const std::string& file : files) {
+        const FileReport report = scan_file(file, /*self_test=*/false);
+        for (const Finding& f : report.findings) {
+            std::cout << f.file << ":" << f.line << ": " << f.rule << ": "
+                      << f.message << "\n";
+            ++total;
+        }
+    }
+    if (total > 0) {
+        std::cout << "wifisense-lint: " << total << " finding"
+                  << (total == 1 ? "" : "s") << " in " << files.size()
+                  << " files\n";
+        return 1;
+    }
+    std::cout << "wifisense-lint: clean (" << files.size() << " files)\n";
+    return 0;
+}
+
+int run_self_test(const std::string& dir) {
+    bool io_error = false;
+    const std::vector<std::string> files = collect_files({dir}, &io_error);
+    if (io_error || files.empty()) {
+        std::cerr << "wifisense-lint: no fixtures under " << dir << "\n";
+        return 2;
+    }
+    std::size_t mismatches = 0;
+    std::size_t satisfied = 0;
+    for (const std::string& file : files) {
+        const FileReport report = scan_file(file, /*self_test=*/true);
+        // Expected (file,line,rule) triples, multiset semantics.
+        std::multiset<std::pair<std::size_t, std::string>> expected;
+        for (const auto& [line, rules] : report.directives.expect_lines)
+            for (const std::string& r : rules) expected.insert({line, r});
+        std::multiset<std::string> expected_file(
+            report.directives.expect_file.begin(),
+            report.directives.expect_file.end());
+
+        for (const Finding& f : report.findings) {
+            const auto line_it = expected.find({f.line, f.rule});
+            if (line_it != expected.end()) {
+                expected.erase(line_it);
+                ++satisfied;
+                continue;
+            }
+            const auto file_it = expected_file.find(f.rule);
+            if (file_it != expected_file.end()) {
+                expected_file.erase(file_it);
+                ++satisfied;
+                continue;
+            }
+            std::cout << f.file << ":" << f.line << ": unexpected finding "
+                      << f.rule << ": " << f.message << "\n";
+            ++mismatches;
+        }
+        for (const auto& [line, rule] : expected) {
+            std::cout << file << ":" << line << ": expected finding did not "
+                      << "fire: " << rule << "\n";
+            ++mismatches;
+        }
+        for (const std::string& rule : expected_file) {
+            std::cout << file << ":0: expected file-level finding did not "
+                      << "fire: " << rule << "\n";
+            ++mismatches;
+        }
+    }
+    if (mismatches > 0) {
+        std::cout << "wifisense-lint --self-test: " << mismatches
+                  << " mismatches\n";
+        return 1;
+    }
+    std::cout << "wifisense-lint --self-test: ok (" << satisfied
+              << " expectations over " << files.size() << " fixtures)\n";
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty()) {
+        std::cerr << "usage: wifisense-lint <path>...\n"
+                  << "       wifisense-lint --self-test <fixture-dir>\n";
+        return 2;
+    }
+    if (args[0] == "--self-test") {
+        if (args.size() != 2) {
+            std::cerr << "usage: wifisense-lint --self-test <fixture-dir>\n";
+            return 2;
+        }
+        return run_self_test(args[1]);
+    }
+    return run_lint(args);
+}
