@@ -6,9 +6,6 @@
 //   A4b kNN baseline on CSI features;
 //   A5 sampling-rate sensitivity of the detector.
 // Runs on a reduced-rate dataset so the whole sweep stays in CPU minutes.
-// wifisense-lint: allow-file(det.clock) wall-clock timing harness; results are
-// reported, never gating, and carry no influence on computed outputs.
-#include <chrono>
 #include <cstdio>
 #include <random>
 
@@ -43,8 +40,9 @@ double avg_accuracy(nn::Mlp& net, const Fold5Eval& eval) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace wifisense;
+    bench::configure_observability(argc, argv);
     bench::print_header("Ablations - architecture / optimizer / augmentation");
     bench::BenchReport report("ablation");
 
@@ -79,12 +77,10 @@ int main() {
                                     nn::Optimizer* opt) {
         std::mt19937_64 rng(42);
         nn::Mlp net(std::move(dims), nn::Init::kKaimingUniform, rng);
-        const auto t0 = std::chrono::steady_clock::now();
+        const std::uint64_t t0 = common::trace_now_ns();
         if (opt != nullptr) nn::train(net, train_x, train_y, loss, tc, *opt);
         else nn::train(net, train_x, train_y, loss, tc);
-        const double secs = std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() - t0)
-                                .count();
+        const double secs = common::trace_seconds_since(t0);
         const double acc = avg_accuracy(net, eval);
         return std::pair<double, double>{acc, secs};
     };
@@ -160,7 +156,7 @@ int main() {
         ml::KnnClassifier knn({.k = k, .max_reference_rows = 10'000});
         std::vector<int> labels(rows.size());
         for (std::size_t i = 0; i < rows.size(); ++i) labels[i] = rows[i].occupancy;
-        const auto t0 = std::chrono::steady_clock::now();
+        const std::uint64_t t0 = common::trace_now_ns();
         knn.fit(train_x, labels);
         double acc = 0.0;
         for (std::size_t f = 0; f < data::kNumTestFolds; ++f) {
@@ -174,9 +170,7 @@ int main() {
                 hit += pred[i] == eval.y[f][idx[i]] ? 1u : 0u;
             acc += static_cast<double>(hit) / static_cast<double>(idx.size());
         }
-        const double secs = std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() - t0)
-                                .count();
+        const double secs = common::trace_seconds_since(t0);
         std::printf("  k=%-3zu refs=%zu  avg acc=%5.1f%%  fit+eval=%5.1fs\n",
                     static_cast<std::size_t>(k), knn.reference_rows(),
                     100.0 * acc / 5.0, secs);
@@ -188,14 +182,12 @@ int main() {
         const data::Dataset d2 = core::generate_paper_dataset(rate);
         const data::FoldSplit s2 = data::split_paper_folds(d2);
         core::OccupancyDetector det;
-        const auto t0 = std::chrono::steady_clock::now();
+        const std::uint64_t t0 = common::trace_now_ns();
         det.fit(s2.train);
         double acc = 0.0;
         for (std::size_t f = 0; f < data::kNumTestFolds; ++f)
             acc += det.evaluate_accuracy(s2.test[f]);
-        const double secs = std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() - t0)
-                                .count();
+        const double secs = common::trace_seconds_since(t0);
         std::printf("  rate=%-5.2fHz samples=%7zu  avg acc=%5.1f%%  fit+eval=%5.1fs\n",
                     rate, d2.size(), 100.0 * acc / 5.0, secs);
         char key[48];

@@ -12,23 +12,33 @@
 // Results are thread-count invariant by the determinism contract; only the
 // wall clock changes.
 //
+// Observability (DESIGN.md §14) is wired the same way: WIFISENSE_TRACE /
+// WIFISENSE_METRICS environment variables (or the --trace-out=FILE /
+// --metrics-out=FILE flags, via configure_observability) turn on the span
+// recorder and the metric registry. Timing flows through the sanctioned
+// common/trace.hpp clock, so the bench harness needs no raw-clock lint
+// exemptions and its per-phase spans land in the same trace as the
+// instrumented library code.
+//
 // Besides its stdout tables, every bench records machine-readable results in
-// BENCH_<name>.json (wall clock, thread count, rows, key metrics) via
+// BENCH_<name>.json (wall clock, thread count, rows, key metrics, plus
+// aggregated per-span timings and the metric registry when enabled) via
 // BenchReport — the input of the repo's performance trajectory.
 #pragma once
 
-// wifisense-lint: allow-file(det.clock) wall-clock timing harness; results are
-// reported, never gating, and carry no influence on computed outputs.
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 #include "core/experiments.hpp"
 #include "data/folds.hpp"
 
@@ -42,15 +52,43 @@ inline double bench_rate() {
     return 1.0;
 }
 
+/// The process-wide observability settings. First use applies the
+/// WIFISENSE_TRACE / WIFISENSE_METRICS environment variables.
+inline common::ObservabilityEnv& observability() {
+    static common::ObservabilityEnv env =
+        common::configure_observability_from_env();
+    return env;
+}
+
+/// Apply the environment and then any --trace-out=FILE / --metrics-out=FILE
+/// command-line flags (flags win). Call first thing in main(); unknown
+/// arguments are left for the bench's own parsing.
+inline common::ObservabilityEnv& configure_observability(int argc,
+                                                         char** argv) {
+    common::ObservabilityEnv& env = observability();
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+            env.trace = true;
+            env.trace_path = argv[i] + 12;
+            common::trace_enable();
+        } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+            env.metrics = true;
+            env.metrics_path = argv[i] + 14;
+            common::metrics_enable();
+        }
+    }
+    return env;
+}
+
 inline data::Dataset generate_dataset() {
     const double rate = bench_rate();
     std::printf("generating simulated collection: 74.5 h @ %.2f Hz (%zu threads) ...\n",
                 rate, common::thread_count());
-    const auto t0 = std::chrono::steady_clock::now();
+    common::TraceScope span("bench.generate_dataset");
+    const std::uint64_t t0 = common::trace_now_ns();
     data::Dataset ds = core::generate_paper_dataset(rate);
-    const auto dt = std::chrono::duration<double>(
-        std::chrono::steady_clock::now() - t0);
-    std::printf("  %zu samples in %.1f s\n\n", ds.size(), dt.count());
+    std::printf("  %zu samples in %.1f s\n\n", ds.size(),
+                common::trace_seconds_since(t0));
     return ds;
 }
 
@@ -61,15 +99,18 @@ inline void print_header(const char* what) {
 }
 
 /// Machine-readable bench record. Construct at bench start (starts the wall
-/// clock and applies WIFISENSE_THREADS), add key metrics as they are
-/// computed, and call write() last — it emits BENCH_<name>.json in the
-/// working directory.
+/// clock, applies WIFISENSE_THREADS and the observability environment), add
+/// key metrics as they are computed, and call write() last — it emits
+/// BENCH_<name>.json in the working directory and, when observability is on,
+/// the side-car trace/metrics files requested via env or flags.
 class BenchReport {
 public:
     explicit BenchReport(std::string name)
         : name_(std::move(name)),
-          threads_(common::configure_threads_from_env()),
-          start_(std::chrono::steady_clock::now()) {}
+          threads_(common::configure_threads_from_env()) {
+        (void)observability();  // apply WIFISENSE_TRACE / WIFISENSE_METRICS
+        start_ = common::trace_now_ns();
+    }
 
     void set_rows(std::uint64_t rows) { rows_ = rows; }
 
@@ -83,11 +124,7 @@ public:
         metrics_.emplace_back(key, value);
     }
 
-    double elapsed_s() const {
-        return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                             start_)
-            .count();
-    }
+    double elapsed_s() const { return common::trace_seconds_since(start_); }
 
     /// Write BENCH_<name>.json; returns the path written.
     std::string write() const {
@@ -101,6 +138,8 @@ public:
         std::fprintf(f, "  \"rows\": %llu,\n",
                      static_cast<unsigned long long>(rows_));
         std::fprintf(f, "  \"wall_clock_s\": %.6f,\n", elapsed_s());
+        write_spans(f);
+        write_metric_registry(f);
         std::fprintf(f, "  \"metrics\": {");
         for (std::size_t i = 0; i < metrics_.size(); ++i)
             std::fprintf(f, "%s\n    \"%s\": %.17g", i ? "," : "",
@@ -108,13 +147,71 @@ public:
         std::fprintf(f, "%s}\n}\n", metrics_.empty() ? "" : "\n  ");
         std::fclose(f);
         std::printf("wrote %s\n", path.c_str());
+        write_sidecars();
         return path;
     }
 
 private:
+    /// "spans": per-name {count, total_s} aggregated from the trace rings —
+    /// the cross-commit wall-clock trend input of bench_compare.py --trend.
+    void write_spans(std::FILE* f) const {
+        if (!common::trace_enabled()) return;
+        struct Agg {
+            std::uint64_t count = 0;
+            std::uint64_t total_ns = 0;
+        };
+        std::map<std::string, Agg> agg;  // sorted => deterministic output
+        for (const common::TraceEvent& e : common::trace_snapshot()) {
+            if (e.instant) continue;
+            Agg& a = agg[e.name];
+            ++a.count;
+            a.total_ns += e.end_ns - e.start_ns;
+        }
+        if (agg.empty()) return;
+        std::fprintf(f, "  \"spans\": {");
+        bool first = true;
+        for (const auto& [span_name, a] : agg) {
+            std::fprintf(f, "%s\n    \"%s\": {\"count\": %llu, \"total_s\": %.6f}",
+                         first ? "" : ",", span_name.c_str(),
+                         static_cast<unsigned long long>(a.count),
+                         static_cast<double>(a.total_ns) * 1e-9);
+            first = false;
+        }
+        std::fprintf(f, "\n  },\n");
+    }
+
+    /// "observability": the full metric registry (counters/gauges/histograms).
+    void write_metric_registry(std::FILE* f) const {
+        if (!common::metrics_enabled()) return;
+        std::fprintf(f, "  \"observability\": %s,\n",
+                     common::metrics_to_json().c_str());
+    }
+
+    /// Export the trace / metrics side-car files requested via env or flags.
+    void write_sidecars() const {
+        const common::ObservabilityEnv& env = observability();
+        if (env.trace && !env.trace_path.empty()) {
+            const common::Status st = common::write_chrome_trace(env.trace_path);
+            if (st.is_ok())
+                std::printf("wrote %s\n", env.trace_path.c_str());
+            else
+                std::fprintf(stderr, "trace export failed: %s\n",
+                             st.to_string().c_str());
+        }
+        if (env.metrics && !env.metrics_path.empty()) {
+            const common::Status st =
+                common::write_metrics_json(env.metrics_path);
+            if (st.is_ok())
+                std::printf("wrote %s\n", env.metrics_path.c_str());
+            else
+                std::fprintf(stderr, "metrics export failed: %s\n",
+                             st.to_string().c_str());
+        }
+    }
+
     std::string name_;
     std::size_t threads_;
-    std::chrono::steady_clock::time_point start_;
+    std::uint64_t start_ = 0;
     std::uint64_t rows_ = 0;
     std::vector<std::pair<std::string, double>> metrics_;
 };

@@ -2,17 +2,15 @@
 // recognition, and occupant counting. Not a paper table — this regenerates
 // the experiment the authors propose as next steps, on the same simulated
 // collection and fold protocol.
-// wifisense-lint: allow-file(det.clock) wall-clock timing harness; results are
-// reported, never gating, and carry no influence on computed outputs.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "core/extensions.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace wifisense;
+    bench::configure_observability(argc, argv);
     bench::print_header("Extension - activity recognition & occupant counting");
     bench::BenchReport report("extension");
 
@@ -29,7 +27,7 @@ int main() {
 
     std::printf("--- joint occupancy + activity (empty / sedentary / active) ---\n");
     {
-        const auto t0 = std::chrono::steady_clock::now();
+        const std::uint64_t t0 = common::trace_now_ns();
         core::ActivityRecognizer rec(cfg);
         rec.fit(split.train);
         std::printf("%-6s %14s %22s\n", "fold", "activity acc", "implied occupancy acc");
@@ -57,15 +55,13 @@ int main() {
         const core::MultiClassResult all =
             core::evaluate_multiclass(truth, pred, data::kNumActivityClasses);
         std::printf("\n%s", all.render(core::ActivityRecognizer::class_names()).c_str());
-        const double secs = std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() - t0)
-                                .count();
+        const double secs = common::trace_seconds_since(t0);
         std::printf("(%.1f s)\n\n", secs);
     }
 
     std::printf("--- occupant counting (0 / 1 / 2 / 3 / 4+) ---\n");
     {
-        const auto t0 = std::chrono::steady_clock::now();
+        const std::uint64_t t0 = common::trace_now_ns();
         core::OccupantCounter counter(cfg);
         counter.fit(split.train);
         std::printf("%-6s %12s %18s\n", "fold", "class acc", "mean |count err|");
@@ -80,9 +76,7 @@ int main() {
         std::printf("avg    %11.1f%% %18.2f\n", 100.0 * acc / 5.0, err / 5.0);
         report.metric("counting_avg_acc_pct", 100.0 * acc / 5.0);
         report.metric("counting_mean_abs_err", err / 5.0);
-        const double secs = std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() - t0)
-                                .count();
+        const double secs = common::trace_seconds_since(t0);
         std::printf("(%.1f s)\n\n", secs);
     }
 

@@ -1,14 +1,12 @@
 // Reproduces Figure 3: Grad-CAM importance of every input feature (64 CSI
 // subcarriers + temperature + humidity) for the trained C+E classifier.
-// wifisense-lint: allow-file(det.clock) wall-clock timing harness; results are
-// reported, never gating, and carry no influence on computed outputs.
-#include <chrono>
 #include <cstdio>
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace wifisense;
+    bench::configure_observability(argc, argv);
     bench::print_header("Figure 3 - Grad-CAM feature importance");
     bench::BenchReport report("fig3");
 
@@ -16,14 +14,13 @@ int main() {
     report.set_rows(ds.size());
     const data::FoldSplit split = data::split_paper_folds(ds);
 
-    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t t0 = common::trace_now_ns();
     const core::Figure3Result result = core::run_figure3(split);
-    const auto dt =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0);
+    const double dt_s = common::trace_seconds_since(t0);
 
     std::printf("%s", result.render().c_str());
-    std::printf("(training + attribution: %.1f s)\n\n", dt.count());
-    report.metric("train_attr_s", dt.count());
+    std::printf("(training + attribution: %.1f s)\n\n", dt_s);
+    report.metric("train_attr_s", dt_s);
     report.metric("csi_mass", result.csi_mass());
     report.metric("env_mass", result.env_mass());
     report.write();

@@ -8,12 +8,9 @@
 // warm predict pass (the workspace refactor pins the steady-state counts at
 // zero) and the process peak RSS. Allocation counts come from the
 // wifisense_alloc_counter operator-new replacement linked into this binary.
-// wifisense-lint: allow-file(det.clock) wall-clock timing harness; results are
-// reported, never gating, and carry no influence on computed outputs.
 #include <benchmark/benchmark.h>
 #include <sys/resource.h>
 
-#include <chrono>
 #include <cmath>
 #include <random>
 
@@ -133,11 +130,9 @@ void record_training_profile(wifisense::bench::BenchReport& report) {
     nn::train(net, x, y, loss, cfg);  // warm-up epoch
 
     alloc::AllocationProbe epoch_probe;
-    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t t0 = common::trace_now_ns();
     nn::train(net, x, y, loss, cfg);
-    const double epoch_s =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    const double epoch_s = common::trace_seconds_since(t0);
     // Per-call scaffolding (shuffle order, parameter views, history) is the
     // only remaining heap traffic; the per-step loop contributes zero.
     const double epoch_allocs = static_cast<double>(epoch_probe.delta());
@@ -189,6 +184,7 @@ void record_training_profile(wifisense::bench::BenchReport& report) {
 }  // namespace
 
 int main(int argc, char** argv) {
+    wifisense::bench::configure_observability(argc, argv);
     wifisense::bench::BenchReport report("footprint");
     {
         nn::Mlp net = make_net(64);
@@ -209,12 +205,10 @@ int main(int argc, char** argv) {
         net.set_training(false);
         const nn::Matrix x = random_batch(1, net.input_size());
         constexpr int kReps = 2000;
-        const auto t0 = std::chrono::steady_clock::now();
+        const std::uint64_t t0 = common::trace_now_ns();
         for (int i = 0; i < kReps; ++i)
             benchmark::DoNotOptimize(net.forward_ws(x, /*cache=*/false));
-        const double secs = std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() - t0)
-                                .count();
+        const double secs = common::trace_seconds_since(t0);
         report.metric("inference_us_per_sample", 1e6 * secs / kReps);
         report.set_rows(kReps);
     }

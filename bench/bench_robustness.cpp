@@ -6,10 +6,7 @@
 // subcarrier dropout, outage bursts, env-sensor stalls) by x/100. The
 // 0%-point must match the plain detector bitwise — fault decision streams
 // are independent of the world RNG by construction.
-// wifisense-lint: allow-file(det.clock) wall-clock timing harness; results are
-// reported, never gating, and carry no influence on computed outputs.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <span>
 
@@ -97,8 +94,9 @@ FaultyEvalResult evaluate_under_faults(wifisense::core::ResilientDetector& det,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace wifisense;
+    bench::configure_observability(argc, argv);
     bench::print_header("robustness - accuracy vs fault intensity (fold 1)");
     bench::BenchReport report("robustness");
 
@@ -112,12 +110,10 @@ int main() {
     rcfg.full.train_stride = std::max<std::size_t>(1, split.train.size() / 25000);
     rcfg.fallback.train_stride = rcfg.full.train_stride;
 
-    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t t0 = common::trace_now_ns();
     core::ResilientDetector det(rcfg);
     det.fit(split.train);
-    report.metric("train_s", std::chrono::duration<double>(
-                                 std::chrono::steady_clock::now() - t0)
-                                 .count());
+    report.metric("train_s", common::trace_seconds_since(t0));
 
     // Reference point: the plain full model on the clean fold (what
     // bench_table4's MLP/CSI+Env fold-1 cell reports).

@@ -5,8 +5,9 @@
 #include "bench_common.hpp"
 #include "data/simtime.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace wifisense;
+    bench::configure_observability(argc, argv);
     bench::print_header("Table III - train/test fold boundaries and env ranges");
     bench::BenchReport report("table3");
 

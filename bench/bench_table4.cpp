@@ -2,15 +2,13 @@
 // (Logistic Regression, Random Forest, MLP) on the three feature subsets
 // (CSI, Env, CSI+Env) across the five temporally disjoint test folds, plus
 // the paper's time-only baseline (89.3%).
-// wifisense-lint: allow-file(det.clock) wall-clock timing harness; results are
-// reported, never gating, and carry no influence on computed outputs.
-#include <chrono>
 #include <cstdio>
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace wifisense;
+    bench::configure_observability(argc, argv);
     bench::print_header("Table IV - occupancy detection accuracy");
     bench::BenchReport report("table4");
 
@@ -19,15 +17,14 @@ int main() {
     report.metric("generate_s", report.elapsed_s());
     const data::FoldSplit split = data::split_paper_folds(ds);
 
-    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t t0 = common::trace_now_ns();
     const core::Table4Result result = core::run_table4(split);
-    const auto dt =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0);
+    const double dt_s = common::trace_seconds_since(t0);
 
     std::printf("%s", result.render().c_str());
-    std::printf("(training + evaluation: %.1f s)\n\n", dt.count());
+    std::printf("(training + evaluation: %.1f s)\n\n", dt_s);
 
-    report.metric("train_eval_s", dt.count());
+    report.metric("train_eval_s", dt_s);
     report.metric("time_baseline_pct", result.time_baseline_pct);
     static const char* kModelKeys[3] = {"logistic", "forest", "mlp"};
     static const char* kFeatureKeys[3] = {"csi", "env", "csi_env"};

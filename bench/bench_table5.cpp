@@ -1,14 +1,12 @@
 // Reproduces Table V: MAE/MAPE of linear (OLS) and neural-network regression
 // of temperature (T) and humidity (H) from CSI amplitudes, per test fold.
-// wifisense-lint: allow-file(det.clock) wall-clock timing harness; results are
-// reported, never gating, and carry no influence on computed outputs.
-#include <chrono>
 #include <cstdio>
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace wifisense;
+    bench::configure_observability(argc, argv);
     bench::print_header("Table V - humidity/temperature regression from CSI");
     bench::BenchReport report("table5");
 
@@ -16,15 +14,14 @@ int main() {
     report.set_rows(ds.size());
     const data::FoldSplit split = data::split_paper_folds(ds);
 
-    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t t0 = common::trace_now_ns();
     const core::Table5Result result = core::run_table5(split);
-    const auto dt =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0);
+    const double dt_s = common::trace_seconds_since(t0);
 
     std::printf("%s", result.render().c_str());
-    std::printf("(training + evaluation: %.1f s)\n\n", dt.count());
+    std::printf("(training + evaluation: %.1f s)\n\n", dt_s);
 
-    report.metric("train_eval_s", dt.count());
+    report.metric("train_eval_s", dt_s);
     static const char* kModelKeys[2] = {"linear", "nn"};
     for (std::size_t m = 0; m < 2; ++m) {
         report.metric(std::string("avg_mae_t_") + kModelKeys[m], result.avg_mae_t[m]);

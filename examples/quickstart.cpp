@@ -2,6 +2,7 @@
 // detector, evaluate on unseen days, and round-trip the model through disk.
 //
 //   ./quickstart [sample_rate_hz] [--fault-plan=SPEC]
+//               [--trace-out=FILE] [--metrics-out=FILE]
 //
 // The optional fault plan injects deterministic sensing faults into the
 // simulated collection (frame drops, NaN/Inf/saturated amplitudes,
@@ -12,6 +13,11 @@
 // and the corrupted stream is then cleaned by data::sanitize_records before
 // training, demonstrating the validating-ingest path end to end.
 //
+// --trace-out=FILE records the run's spans into a Chrome-trace JSON (open
+// in chrome://tracing or Perfetto); --metrics-out=FILE dumps the metric
+// registry. The WIFISENSE_TRACE / WIFISENSE_METRICS environment variables
+// do the same without flags (see DESIGN.md §14).
+//
 // The defaults finish in under a minute on a laptop.
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +25,8 @@
 #include <utility>
 
 #include "common/fault.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "core/experiments.hpp"
 #include "core/occupancy_detector.hpp"
 #include "data/folds.hpp"
@@ -32,8 +40,17 @@ int main(int argc, char** argv) {
     double rate = 0.25;
     common::FaultConfig faults;  // inert by default
     bool have_faults = false;
+    common::ObservabilityEnv obs = common::configure_observability_from_env();
     for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--fault-plan=", 13) == 0) {
+        if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+            obs.trace = true;
+            obs.trace_path = argv[i] + 12;
+            common::trace_enable();
+        } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+            obs.metrics = true;
+            obs.metrics_path = argv[i] + 14;
+            common::metrics_enable();
+        } else if (std::strncmp(argv[i], "--fault-plan=", 13) == 0) {
             auto parsed = common::parse_fault_spec(argv[i] + 13);
             if (!parsed.is_ok()) {
                 std::fprintf(stderr, "bad --fault-plan: %s\n",
@@ -90,6 +107,23 @@ int main(int argc, char** argv) {
     std::printf("   reloaded model: P(occupied) for a fold-5 sample = %.3f "
                 "(ground truth: %d)\n",
                 loaded.predict_proba(probe), static_cast<int>(probe.occupancy));
+
+    if (obs.trace && !obs.trace_path.empty()) {
+        const common::Status st = common::write_chrome_trace(obs.trace_path);
+        if (st.is_ok())
+            std::printf("wrote trace to %s\n", obs.trace_path.c_str());
+        else
+            std::fprintf(stderr, "trace export failed: %s\n",
+                         st.to_string().c_str());
+    }
+    if (obs.metrics && !obs.metrics_path.empty()) {
+        const common::Status st = common::write_metrics_json(obs.metrics_path);
+        if (st.is_ok())
+            std::printf("wrote metrics to %s\n", obs.metrics_path.c_str());
+        else
+            std::fprintf(stderr, "metrics export failed: %s\n",
+                         st.to_string().c_str());
+    }
 
     std::printf("done.\n");
     return 0;

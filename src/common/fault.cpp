@@ -7,6 +7,8 @@
 #include <limits>
 #include <sstream>
 
+#include "common/metrics.hpp"
+
 namespace wifisense::common {
 
 namespace {
@@ -35,6 +37,17 @@ std::uint64_t next(std::uint64_t& h) {
 }
 
 double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+/// Metric-side accounting of one packet decision. packet_fault() is pure and
+/// called concurrently; counters are atomic, so the query stays thread-safe.
+void note_packet_fault(const PacketFault& fault) {
+    static Counter& dropped = obs_counter("fault.frames_dropped");
+    static Counter& corrupted = obs_counter("fault.frames_corrupted");
+    static Counter& dropouts = obs_counter("fault.subcarrier_dropouts");
+    if (fault.dropped) dropped.add(1);
+    if (fault.corrupt != CorruptKind::kNone) corrupted.add(1);
+    if (fault.dropout_mask_seed != 0) dropouts.add(1);
+}
 
 }  // namespace
 
@@ -84,6 +97,7 @@ PacketFault FaultPlan::packet_fault(std::uint64_t packet_index) const {
 
     if (uniform01(next(h)) < cfg_.frame_drop_rate) {
         fault.dropped = true;
+        if (metrics_enabled()) note_packet_fault(fault);
         return fault;  // a dropped frame has no payload to corrupt
     }
 
@@ -101,6 +115,7 @@ PacketFault FaultPlan::packet_fault(std::uint64_t packet_index) const {
     if (uniform01(next(h)) < cfg_.subcarrier_dropout_rate)
         fault.dropout_mask_seed =
             substream_seed(cfg_.seed ^ kSaltDropout, packet_index) | 1u;
+    if (metrics_enabled() && fault.any()) note_packet_fault(fault);
     return fault;
 }
 

@@ -1,0 +1,277 @@
+#include "common/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "common/metrics.hpp"
+
+namespace wifisense::common {
+
+std::uint64_t trace_now_ns() {
+    // The tree's single sanctioned monotonic clock read (this file is exempt
+    // from det.clock / obs.raw-clock — see tools/lint/wifisense_lint.cpp).
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+double trace_seconds_since(std::uint64_t start_ns) {
+    const std::uint64_t now = trace_now_ns();
+    return now >= start_ns ? static_cast<double>(now - start_ns) * 1e-9 : 0.0;
+}
+
+#if WIFISENSE_TRACE_COMPILED
+
+namespace obsdetail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace obsdetail
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v && p < (std::size_t{1} << 30)) p <<= 1;
+    return p;
+}
+
+/// One thread's event storage: a fixed-capacity ring indexed by a monotonic
+/// head counter. `slots` is sized once at enable time; recording writes
+/// slots[head & mask] and never allocates.
+struct ThreadRing {
+    std::vector<TraceEvent> slots;
+    std::uint64_t head = 0;  ///< total events ever written to this ring
+};
+
+/// All tracing state of one enable() session. Guarded informally: enable /
+/// reset / snapshot must run outside parallel regions (documented contract);
+/// recording itself is wait-free per thread.
+struct TraceState {
+    std::size_t capacity = 0;  ///< power of two
+    std::vector<ThreadRing> rings;
+    std::atomic<std::size_t> next_slot{0};
+    std::atomic<std::uint64_t> slot_overflow{0};
+};
+
+TraceState& state() {
+    static TraceState s;
+    return s;
+}
+
+/// Bumped on every enable()/reset() so threads re-acquire their slot.
+std::atomic<std::uint64_t> g_epoch{0};
+
+struct TlSlot {
+    std::uint64_t epoch = 0;
+    ThreadRing* ring = nullptr;
+};
+thread_local TlSlot tl_slot;
+
+/// The calling thread's ring for the current session, acquiring a slot on
+/// first use (atomic increment into the pre-reserved table — no allocation).
+ThreadRing* local_ring() {
+    const std::uint64_t epoch = g_epoch.load(std::memory_order_acquire);
+    if (tl_slot.epoch != epoch) {
+        tl_slot.epoch = epoch;
+        TraceState& s = state();
+        const std::size_t idx = s.next_slot.fetch_add(1, std::memory_order_relaxed);
+        if (idx < s.rings.size()) {
+            tl_slot.ring = &s.rings[idx];
+        } else {
+            tl_slot.ring = nullptr;
+            s.slot_overflow.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    return tl_slot.ring;
+}
+
+void record_event(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+                  bool instant) {
+    if (!obsdetail::g_trace_enabled.load(std::memory_order_relaxed)) return;
+    ThreadRing* ring = local_ring();
+    if (ring == nullptr) return;
+    TraceState& s = state();
+    TraceEvent& e = ring->slots[ring->head & (s.capacity - 1)];
+    e.name = name;
+    e.start_ns = start_ns;
+    e.end_ns = end_ns;
+    e.tid = static_cast<std::uint32_t>(ring - s.rings.data());
+    e.instant = instant;
+    ++ring->head;
+}
+
+void append_json_escaped(std::string& out, const char* text) {
+    for (const char* p = text; *p != '\0'; ++p) {
+        const char c = *p;
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+}
+
+}  // namespace
+
+namespace obsdetail {
+
+void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns) {
+    record_event(name, start_ns, end_ns, /*instant=*/false);
+}
+
+void record_instant(const char* name, std::uint64_t t_ns) {
+    record_event(name, t_ns, t_ns, /*instant=*/true);
+}
+
+}  // namespace obsdetail
+
+void trace_enable(const TraceConfig& cfg) {
+    TraceState& s = state();
+    obsdetail::g_trace_enabled.store(false, std::memory_order_relaxed);
+    s.capacity = round_up_pow2(std::max<std::size_t>(cfg.events_per_thread, 64));
+    const std::size_t threads = std::max<std::size_t>(cfg.max_threads, 1);
+    s.rings.assign(threads, ThreadRing{});
+    for (ThreadRing& r : s.rings) r.slots.assign(s.capacity, TraceEvent{});
+    s.next_slot.store(0, std::memory_order_relaxed);
+    s.slot_overflow.store(0, std::memory_order_relaxed);
+    g_epoch.fetch_add(1, std::memory_order_release);
+    obsdetail::g_trace_enabled.store(true, std::memory_order_release);
+}
+
+void trace_disable() {
+    obsdetail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void trace_reset() {
+    TraceState& s = state();
+    const bool was_enabled =
+        obsdetail::g_trace_enabled.load(std::memory_order_relaxed);
+    obsdetail::g_trace_enabled.store(false, std::memory_order_relaxed);
+    for (ThreadRing& r : s.rings) r.head = 0;
+    s.next_slot.store(0, std::memory_order_relaxed);
+    s.slot_overflow.store(0, std::memory_order_relaxed);
+    g_epoch.fetch_add(1, std::memory_order_release);
+    obsdetail::g_trace_enabled.store(was_enabled, std::memory_order_release);
+}
+
+std::vector<TraceEvent> trace_snapshot() {
+    TraceState& s = state();
+    std::vector<TraceEvent> out;
+    if (s.capacity == 0) return out;
+    for (const ThreadRing& r : s.rings) {
+        const std::uint64_t kept = std::min<std::uint64_t>(r.head, s.capacity);
+        const std::uint64_t first = r.head - kept;
+        for (std::uint64_t i = first; i < r.head; ++i)
+            out.push_back(r.slots[i & (s.capacity - 1)]);
+    }
+    return out;
+}
+
+std::uint64_t trace_dropped_events() {
+    TraceState& s = state();
+    std::uint64_t dropped = s.slot_overflow.load(std::memory_order_relaxed);
+    for (const ThreadRing& r : s.rings)
+        if (r.head > s.capacity) dropped += r.head - s.capacity;
+    return dropped;
+}
+
+std::string trace_to_chrome_json() {
+    std::vector<TraceEvent> events = trace_snapshot();
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                  if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                  if (a.tid != b.tid) return a.tid < b.tid;
+                  return a.end_ns > b.end_ns;  // parents before children
+              });
+
+    std::string out = "{\"traceEvents\":[";
+    char buf[160];
+    bool first = true;
+    std::uint32_t max_tid = 0;
+    for (const TraceEvent& e : events) {
+        max_tid = std::max(max_tid, e.tid);
+        if (!first) out += ',';
+        first = false;
+        out += "{\"name\":\"";
+        append_json_escaped(out, e.name);
+        if (e.instant) {
+            std::snprintf(buf, sizeof buf,
+                          "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%u,"
+                          "\"ts\":%.3f}",
+                          e.tid, static_cast<double>(e.start_ns) * 1e-3);
+        } else {
+            std::snprintf(buf, sizeof buf,
+                          "\",\"ph\":\"X\",\"pid\":0,\"tid\":%u,\"ts\":%.3f,"
+                          "\"dur\":%.3f}",
+                          e.tid, static_cast<double>(e.start_ns) * 1e-3,
+                          static_cast<double>(e.end_ns - e.start_ns) * 1e-3);
+        }
+        out += buf;
+    }
+    for (std::uint32_t tid = 0; !events.empty() && tid <= max_tid; ++tid) {
+        std::snprintf(buf, sizeof buf,
+                      ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                      "\"tid\":%u,\"args\":{\"name\":\"slot-%u\"}}",
+                      tid, tid);
+        out += buf;
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}\n";
+    return out;
+}
+
+#else  // WIFISENSE_TRACE_COMPILED == 0
+
+namespace obsdetail {
+void record_span(const char*, std::uint64_t, std::uint64_t) {}
+void record_instant(const char*, std::uint64_t) {}
+}  // namespace obsdetail
+
+void trace_enable(const TraceConfig&) {}
+void trace_disable() {}
+void trace_reset() {}
+std::vector<TraceEvent> trace_snapshot() { return {}; }
+std::uint64_t trace_dropped_events() { return 0; }
+std::string trace_to_chrome_json() {
+    return "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+#endif  // WIFISENSE_TRACE_COMPILED
+
+[[nodiscard]] Status write_chrome_trace(const std::string& path) {
+    const std::string json = trace_to_chrome_json();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return Status(StatusCode::kIoError,
+                      "write_chrome_trace: cannot open " + path);
+    const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    if (written != json.size())
+        return Status(StatusCode::kIoError,
+                      "write_chrome_trace: short write to " + path);
+    return Status::ok();
+}
+
+ObservabilityEnv configure_observability_from_env() {
+    ObservabilityEnv env;
+    const auto parse = [](const char* value, bool* enabled, std::string* path) {
+        if (value == nullptr || value[0] == '\0') return;
+        if (std::string_view(value) == "0") return;
+        *enabled = true;
+        if (std::string_view(value) != "1") *path = value;
+    };
+    parse(std::getenv("WIFISENSE_TRACE"), &env.trace, &env.trace_path);
+    parse(std::getenv("WIFISENSE_METRICS"), &env.metrics, &env.metrics_path);
+    if (env.trace) trace_enable();
+    if (env.metrics) metrics_enable();
+    return env;
+}
+
+}  // namespace wifisense::common

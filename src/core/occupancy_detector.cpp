@@ -6,6 +6,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "nn/loss.hpp"
 #include "nn/serialize.hpp"
 #include "stats/metrics.hpp"
@@ -19,6 +21,7 @@ OccupancyDetector::OccupancyDetector(DetectorConfig cfg) : cfg_(cfg) {
 
 nn::TrainHistory OccupancyDetector::fit(const data::DatasetView& train) {
     if (train.empty()) throw std::invalid_argument("OccupancyDetector::fit: empty fold");
+    common::TraceScope span("detector.fit");
 
     // Stride-subsample the training fold.
     std::vector<data::SampleRecord> rows;
@@ -46,6 +49,7 @@ nn::TrainHistory OccupancyDetector::fit(const data::DatasetView& train) {
 
 std::vector<int> OccupancyDetector::predict(const data::DatasetView& view) {
     if (!fitted_) throw std::logic_error("OccupancyDetector: not fitted");
+    common::TraceScope span("detector.predict");
     const nn::Matrix x = scaler_.transform(view.features(cfg_.features));
     return nn::predict_binary(net_, x);
 }
@@ -61,9 +65,12 @@ double OccupancyDetector::predict_proba(const data::SampleRecord& record) {
 }
 
 double OccupancyDetector::evaluate_accuracy(const data::DatasetView& view) {
+    common::TraceScope span("detector.evaluate");
     const std::vector<int> pred = predict(view);
     const std::vector<int> truth = view.labels();
-    return stats::accuracy(truth, pred);
+    const double acc = stats::accuracy(truth, pred);
+    common::obs_gauge("detector.eval_accuracy").set(acc);
+    return acc;
 }
 
 namespace {

@@ -4,9 +4,32 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
 namespace wifisense::core {
 
 namespace {
+
+/// Observability hook for a degradation-state change: one instant event on
+/// the trace timeline (named after the new mode) plus a per-target-mode
+/// transition counter. Purely observational — the decision is already made.
+void note_mode_transition(DetectorMode mode) {
+    switch (mode) {
+        case DetectorMode::kFull:
+            common::trace_instant("resilient.to_full");
+            common::obs_counter("resilient.transitions_to_full").add(1);
+            break;
+        case DetectorMode::kEnvOnly:
+            common::trace_instant("resilient.to_env_only");
+            common::obs_counter("resilient.transitions_to_env_only").add(1);
+            break;
+        case DetectorMode::kStaleHold:
+            common::trace_instant("resilient.to_stale_hold");
+            common::obs_counter("resilient.transitions_to_stale_hold").add(1);
+            break;
+    }
+}
 
 double clamp01(double v) {
     if (!(v > 0.0)) return 0.0;  // also maps NaN to 0
@@ -71,6 +94,7 @@ void ResilientDetector::reset_stream() {
     has_last_env_ = false;
     has_last_decision_ = false;
     last_decision_p_ = 0.5;
+    has_prev_mode_ = false;
     csi_down_ = false;
     next_retry_t_ = 0.0;
     current_backoff_s_ = cfg_.retry_backoff_initial_s;
@@ -229,6 +253,18 @@ DetectorDecision ResilientDetector::process(const Observation& obs) {
         last_decision_p_ = d.probability;
     }
     d.prediction = d.probability > 0.5 ? 1 : 0;
+
+    // Observability: EWMA health gauges every tick, a transition event when
+    // the degradation state machine moved. Never feeds back into decisions.
+    if (common::metrics_enabled() || common::trace_enabled()) {
+        static common::Gauge& csi_gauge = common::obs_gauge("resilient.csi_health");
+        static common::Gauge& env_gauge = common::obs_gauge("resilient.env_health");
+        csi_gauge.set(d.csi_health);
+        env_gauge.set(d.env_health);
+        if (!has_prev_mode_ || prev_mode_ != d.mode) note_mode_transition(d.mode);
+    }
+    prev_mode_ = d.mode;
+    has_prev_mode_ = true;
     return d;
 }
 

@@ -172,6 +172,11 @@ private:
     double last_decision_t_ = 0.0;
     double last_decision_p_ = 0.5;
 
+    // Previous tick's mode, for degradation-transition observability events
+    // (common/trace.hpp instants + transition counters; never decision-bearing).
+    bool has_prev_mode_ = false;
+    DetectorMode prev_mode_ = DetectorMode::kFull;
+
     // Reconnect backoff.
     bool csi_down_ = false;
     double next_retry_t_ = 0.0;

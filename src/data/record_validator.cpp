@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "common/metrics.hpp"
+
 namespace wifisense::data {
 
 namespace {
@@ -50,6 +52,29 @@ void RecordValidator::reset_stream() {
 }
 
 RecordDisposition RecordValidator::ingest(SampleRecord& r) {
+    if (!common::metrics_enabled()) return ingest_impl(r);
+    // Mirror the exact stats deltas of this record into the process-wide
+    // metric registry (common/metrics.hpp) so quarantine/repair rates are
+    // visible without plumbing an IngestStats out of every call site.
+    const IngestStats before = stats_;
+    const RecordDisposition d = ingest_impl(r);
+    static common::Counter& obs_accepted = common::obs_counter("ingest.accepted");
+    static common::Counter& obs_repaired = common::obs_counter("ingest.repaired");
+    static common::Counter& obs_quarantined =
+        common::obs_counter("ingest.quarantined");
+    static common::Counter& obs_csi_imputed =
+        common::obs_counter("ingest.csi_values_imputed");
+    static common::Counter& obs_env_imputed =
+        common::obs_counter("ingest.env_values_imputed");
+    obs_accepted.add(stats_.accepted - before.accepted);
+    obs_repaired.add(stats_.repaired - before.repaired);
+    obs_quarantined.add(stats_.quarantined - before.quarantined);
+    obs_csi_imputed.add(stats_.csi_values_imputed - before.csi_values_imputed);
+    obs_env_imputed.add(stats_.env_values_imputed - before.env_values_imputed);
+    return d;
+}
+
+RecordDisposition RecordValidator::ingest_impl(SampleRecord& r) {
     ++stats_.total;
 
     // --- Timestamp sanity: the stream must move forward. ---------------------

@@ -105,6 +105,9 @@ public:
     void reset_stream();
 
 private:
+    /// The triage logic; ingest() wraps it with observability accounting.
+    [[nodiscard]] RecordDisposition ingest_impl(SampleRecord& r);
+
     ValidationPolicy policy_;
     IngestStats stats_;
     bool has_last_csi_ = false;

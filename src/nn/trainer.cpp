@@ -5,6 +5,9 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
 namespace wifisense::nn {
 
 namespace {
@@ -76,18 +79,31 @@ TrainHistory train(Mlp& net, const Matrix& inputs, const Matrix& targets,
     Matrix by;
     by.reserve(max_batch, targets.cols());
 
+    // Instrument handles are hoisted here so the steady-state loop below
+    // performs only gated atomic recording (see common/metrics.hpp).
+    common::Counter& obs_steps = common::obs_counter("train.steps");
+    common::Counter& obs_epochs = common::obs_counter("train.epochs");
+    common::Gauge& obs_loss = common::obs_gauge("train.epoch_loss");
+    common::Gauge& obs_lr = common::obs_gauge("train.lr");
+
     for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        common::TraceScope epoch_span("train.epoch");
         opt.set_learning_rate(scheduled_lr(cfg, epoch));
+        obs_lr.set(scheduled_lr(cfg, epoch));
         if (cfg.shuffle) std::shuffle(order.begin(), order.end(), rng);
         double epoch_loss = 0.0;
         std::size_t batches = 0;
 
         // Steady-state step: after the first batch warms the optimizer state
         // this loop is heap-free (tests/test_nn_workspace.cpp asserts 0
-        // allocations per step); the annotation lets wifisense-lint reject
-        // any future allocating call textually inside it.
+        // allocations per step, with tracing disabled AND enabled); the
+        // annotation lets wifisense-lint reject any future allocating call
+        // textually inside it. TraceScope/Counter recording is a gated
+        // atomic slot write into pre-reserved buffers — never a heap touch.
         // wifisense-lint: noalloc-begin
         for (std::size_t begin = 0; begin < order.size(); begin += cfg.batch_size) {
+            common::TraceScope step_span("train.step");
+            obs_steps.add(1);
             const std::size_t count = std::min(cfg.batch_size, order.size() - begin);
             const std::span<const std::size_t> idx(&order[begin], count);
             Matrix& bx = net.input_buffer();
@@ -113,6 +129,8 @@ TrainHistory train(Mlp& net, const Matrix& inputs, const Matrix& targets,
         // wifisense-lint: noalloc-end
 
         const double mean_loss = epoch_loss / static_cast<double>(batches);
+        obs_epochs.add(1);
+        obs_loss.set(mean_loss);
         history.epoch_loss.push_back(mean_loss);
         if (cfg.on_epoch) cfg.on_epoch(epoch, mean_loss);
     }
@@ -129,13 +147,20 @@ Matrix predict(Mlp& net, const Matrix& inputs, std::size_t batch_size) {
     net.set_training(false);
     if (inputs.rows() > 0)
         net.reserve_workspace(std::min(batch_size, inputs.rows()));
+    common::Histogram& obs_batch_us =
+        common::obs_histogram("predict.batch_us", common::kLatencyBucketsUs);
     Matrix out(inputs.rows(), net.output_size());
     for (std::size_t begin = 0; begin < inputs.rows(); begin += batch_size) {
+        common::TraceScope batch_span("predict.batch");
+        const std::uint64_t t0 =
+            common::metrics_enabled() ? common::trace_now_ns() : 0;
         const std::size_t count = std::min(batch_size, inputs.rows() - begin);
         Matrix& block = net.input_buffer();
         row_block_into(inputs, begin, count, block);
         const Matrix& y = net.forward_ws(block, /*cache=*/false);
         std::copy_n(y.data().data(), y.size(), out.data().data() + begin * out.cols());
+        if (t0 != 0)
+            obs_batch_us.observe(common::trace_seconds_since(t0) * 1e6);
     }
     net.set_training(was_training);
     return out;

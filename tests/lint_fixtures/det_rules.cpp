@@ -19,10 +19,12 @@ int bad_legacy_rand() {
 }
 
 double bad_clocks() {
-    const auto t0 = std::chrono::steady_clock::now();   // lint-expect: det.clock
+    const auto t0 = std::chrono::steady_clock::now();   // lint-expect: obs.raw-clock
     const auto t1 = std::chrono::system_clock::now();   // lint-expect: det.clock
+    const auto t2 = std::chrono::high_resolution_clock::now();  // lint-expect: obs.raw-clock
     (void)t0;
     (void)t1;
+    (void)t2;
     return static_cast<double>(std::time(nullptr));     // lint-expect: det.clock
 }
 
@@ -47,9 +49,14 @@ void good_engines(std::uint64_t seed, std::mt19937_64& shared) {
 }
 
 double suppressed_clock() {
-    // wifisense-lint: allow(det.clock) fixture proving scoped suppression
+    // wifisense-lint: allow(obs.raw-clock) fixture proving scoped suppression
     // works (the reason may wrap over several comment lines)
     const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+double suppressed_wall_clock() {
+    const auto now = std::chrono::system_clock::now();  // wifisense-lint: allow(det.clock) fixture: trailing-comment suppression form
     return std::chrono::duration<double>(now.time_since_epoch()).count();
 }
 

@@ -3,9 +3,17 @@
 
 Usage:
     bench_compare.py BASELINE CURRENT [--tolerance REL] [--gate KEY]...
+    bench_compare.py --trend DIR [DIR ...]
 
 BASELINE and CURRENT are directories holding BENCH_*.json files (or two
 individual files). Records are matched by file name.
+
+--trend renders a cross-commit wall-clock trend table instead of gating:
+each DIR holds one commit's BENCH_*.json files (oldest first — e.g. one
+directory per commit of CI artifacts), and the table tracks the whole-bench
+wall clock plus every per-span aggregate ("spans" section, recorded when
+the bench ran with WIFISENSE_TRACE) across those commits. Timing is never
+gated; the trend exists to make hot-path regressions visible over time.
 
 Gating rules -- the exit status is non-zero iff a gated metric drifts:
   * every metric whose key contains "acc" (accuracy percentages) is gated
@@ -50,15 +58,51 @@ def rel_diff(a: float, b: float) -> float:
     return 0.0 if scale == 0.0 else abs(a - b) / scale
 
 
+def print_trend(dirs: list[Path]) -> int:
+    """Cross-commit trend table: one column per directory (commit), one row
+    per bench wall clock and per recorded span aggregate."""
+    columns = [load_records(d) for d in dirs]
+    labels = [d.name or str(d) for d in dirs]
+    width = max(12, max(len(lb) for lb in labels) + 2)
+
+    names = sorted({n for col in columns for n in col})
+    print(f"{'':40}" + "".join(f"{lb:>{width}}" for lb in labels))
+    for name in names:
+        cells = []
+        for col in columns:
+            rec = col.get(name)
+            cells.append(f"{rec['wall_clock_s']:.2f}s" if rec else "-")
+        print(f"{name + ' wall_clock':40}" +
+              "".join(f"{c:>{width}}" for c in cells))
+        span_names = sorted(
+            {s for col in columns for s in col.get(name, {}).get("spans", {})})
+        for span in span_names:
+            cells = []
+            for col in columns:
+                info = col.get(name, {}).get("spans", {}).get(span)
+                cells.append(
+                    f"{info['total_s']:.2f}s/{info['count']}" if info else "-")
+            print(f"{'  span ' + span:40}" +
+                  "".join(f"{c:>{width}}" for c in cells))
+    return 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("baseline", type=Path)
-    ap.add_argument("current", type=Path)
+    ap.add_argument("baseline", type=Path, nargs="?")
+    ap.add_argument("current", type=Path, nargs="?")
     ap.add_argument("--tolerance", type=float, default=1e-9,
                     help="relative tolerance for gated metrics (default 1e-9)")
     ap.add_argument("--gate", action="append", default=[], metavar="KEY",
                     help="additional metric keys to gate exactly (repeatable)")
+    ap.add_argument("--trend", nargs="+", type=Path, metavar="DIR",
+                    help="trend mode: one column per directory, oldest first")
     args = ap.parse_args()
+
+    if args.trend:
+        return print_trend(args.trend)
+    if args.baseline is None or args.current is None:
+        ap.error("BASELINE and CURRENT are required unless --trend is given")
 
     base = load_records(args.baseline)
     cur = load_records(args.current)

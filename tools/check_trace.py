@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validate a Chrome-trace JSON produced by common/trace.hpp.
+
+Usage:
+    check_trace.py TRACE.json [--min-events N] [--require-span NAME]...
+
+Checks (exit 1 on any failure):
+  * top level is an object with a "traceEvents" array;
+  * every event has the complete-event ("X"), instant ("i"), or metadata
+    ("M") phase, a string "name", integer "pid"/"tid", and a numeric,
+    non-negative "ts" (microseconds); "X" events also need a non-negative
+    "dur";
+  * within one tid, "X" events nest properly (spans overlap only by full
+    containment — the property chrome://tracing relies on to draw stacks);
+  * at least --min-events recorded events (default 1, metadata excluded);
+  * every --require-span name appears at least once (CI uses this to prove
+    the instrumented paths actually recorded).
+
+This is the CI schema gate for the observability layer (DESIGN.md §14): a
+malformed export fails loudly here rather than silently rendering an empty
+timeline in the trace viewer.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}")
+    sys.exit(1)
+
+
+def check_event(i: int, ev: object) -> None:
+    if not isinstance(ev, dict):
+        fail(f"event {i}: not an object")
+    ph = ev.get("ph")
+    if ph not in ("X", "i", "M"):
+        fail(f"event {i}: unsupported phase {ph!r}")
+    if not isinstance(ev.get("name"), str) or not ev["name"]:
+        fail(f"event {i}: missing/empty name")
+    for key in ("pid", "tid"):
+        if not isinstance(ev.get(key), int):
+            fail(f"event {i}: {key} must be an integer")
+    if ph == "M":
+        return  # metadata events carry no timestamp
+    ts = ev.get("ts")
+    if not isinstance(ts, (int, float)) or ts < 0:
+        fail(f"event {i}: bad ts {ts!r}")
+    if ph == "X":
+        dur = ev.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            fail(f"event {i}: bad dur {dur!r}")
+
+
+def check_nesting(events: list[dict]) -> None:
+    """Spans on one thread must overlap only by containment."""
+    by_tid: dict[int, list[tuple[float, float]]] = {}
+    for ev in events:
+        if ev.get("ph") == "X":
+            by_tid.setdefault(ev["tid"], []).append(
+                (float(ev["ts"]), float(ev["ts"]) + float(ev["dur"])))
+    for tid, spans in by_tid.items():
+        spans.sort()
+        stack: list[tuple[float, float]] = []
+        for begin, end in spans:
+            while stack and begin >= stack[-1][1]:
+                stack.pop()
+            if stack and end > stack[-1][1] + 1:  # 1 us slack on the edge
+                fail(f"tid {tid}: span [{begin}, {end}) partially overlaps "
+                     f"enclosing [{stack[-1][0]}, {stack[-1][1]})")
+            stack.append((begin, end))
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", type=Path)
+    ap.add_argument("--min-events", type=int, default=1,
+                    help="minimum non-metadata events (default 1)")
+    ap.add_argument("--require-span", action="append", default=[],
+                    metavar="NAME", help="span name that must appear")
+    args = ap.parse_args()
+
+    try:
+        doc = json.loads(args.trace.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{args.trace}: {e}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        fail("top level must be an object with a traceEvents array")
+
+    events = doc["traceEvents"]
+    for i, ev in enumerate(events):
+        check_event(i, ev)
+    recorded = [ev for ev in events if ev.get("ph") in ("X", "i")]
+    if len(recorded) < args.min_events:
+        fail(f"only {len(recorded)} recorded events (need {args.min_events})")
+    names = {ev["name"] for ev in recorded}
+    for want in args.require_span:
+        if want not in names:
+            fail(f"required span {want!r} never recorded "
+                 f"(saw: {', '.join(sorted(names)[:12])} ...)")
+    check_nesting(events)
+
+    print(f"check_trace: ok ({len(recorded)} events, "
+          f"{len(names)} distinct names)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

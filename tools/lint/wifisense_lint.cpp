@@ -12,7 +12,10 @@
 // Rules (rule-id: meaning):
 //   det.rand          std::rand/srand/rand_r/drand48 — unseedable legacy RNG
 //   det.random-device std::random_device — nondeterministic entropy source
-//   det.clock         wall/steady clocks and time() — time-dependent logic
+//   det.clock         wall clocks and time() — time-dependent logic
+//   obs.raw-clock     raw monotonic clocks (steady_clock, clock_gettime) —
+//                     elapsed-time measurement must flow through the
+//                     sanctioned common/trace.hpp clock
 //   det.raw-mt19937   32-bit mt19937, or a default-constructed (unseeded)
 //                     mt19937_64 — randomness must flow through the
 //                     common/rng.hpp substream API
@@ -82,8 +85,9 @@ struct Finding {
 
 const char* const kAllRules[] = {
     "det.rand",          "det.random-device", "det.clock",
-    "det.raw-mt19937",   "noalloc.new",       "noalloc.malloc",
-    "noalloc.container-growth",               "noalloc.std-function",
+    "obs.raw-clock",     "det.raw-mt19937",   "noalloc.new",
+    "noalloc.malloc",    "noalloc.container-growth",
+    "noalloc.std-function",
     "noalloc.required",  "noalloc.unbalanced", "err.nodiscard",
     "err.todo",          "hdr.pragma-once",   "hdr.using-namespace",
     "lint.bad-directive",
@@ -352,12 +356,15 @@ bool path_ends_with(const std::string& path, std::string_view suffix) {
            path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-/// Files exempt from the determinism rules: the substream API itself and the
-/// pool (which owns the only legitimate uses of low-level primitives).
+/// Files exempt from the determinism rules: the substream API itself, the
+/// pool (which owns the only legitimate uses of low-level primitives), and
+/// the trace module (the sanctioned owner of the monotonic clock).
 bool det_exempt(const std::string& path) {
     return path_ends_with(path, "src/common/rng.hpp") ||
            path_ends_with(path, "src/common/parallel.hpp") ||
-           path_ends_with(path, "src/common/parallel.cpp");
+           path_ends_with(path, "src/common/parallel.cpp") ||
+           path_ends_with(path, "src/common/trace.hpp") ||
+           path_ends_with(path, "src/common/trace.cpp");
 }
 
 bool is_header(const std::string& path) {
@@ -387,9 +394,15 @@ void check_determinism(const std::string& file, const std::vector<Line>& lines,
                 findings.push_back({file, lineno, "det.random-device",
                                     "std::random_device is nondeterministic; "
                                     "derive seeds via common/rng.hpp substreams"});
-            } else if (t.text == "system_clock" || t.text == "steady_clock" ||
+            } else if (t.text == "steady_clock" ||
                        t.text == "high_resolution_clock" ||
-                       t.text == "clock_gettime" || t.text == "gettimeofday" ||
+                       t.text == "clock_gettime") {
+                findings.push_back({file, lineno, "obs.raw-clock",
+                                    "'" + t.text +
+                                        "' reads a raw monotonic clock; "
+                                        "measure elapsed time via "
+                                        "common/trace.hpp (trace_now_ns)"});
+            } else if (t.text == "system_clock" || t.text == "gettimeofday" ||
                        ((t.text == "time" || t.text == "clock") && after == '(' &&
                         is_qualified_std(code, t.begin))) {
                 findings.push_back({file, lineno, "det.clock",
