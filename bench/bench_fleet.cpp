@@ -1,0 +1,77 @@
+// Fleet-scale simulation bench: 1000 heterogeneous rooms (offices,
+// classrooms, home offices, corridors drawn from the default archetype mix,
+// a quarter of them carrying availability-fault plans) simulated through the
+// discrete-event core and concatenated in room-index order.
+//
+// Two numbers matter:
+//   * rooms/sec — the throughput of the corpus generator (timing: reported,
+//     never gated);
+//   * the output digest — data::dataset_digest of the concatenated stream.
+//     The determinism contract makes it a constant of (config, code), so the
+//     committed BENCH_fleet.json gates it exactly (split into two 32-bit
+//     halves: bench metrics are doubles, and a 64-bit digest does not round-
+//     trip through one). Any same-thread-count drift is a real behaviour
+//     change in the simulator, the scenario generator, or the record layout.
+//
+// The fleet configuration is FIXED — deliberately independent of
+// WIFISENSE_BENCH_RATE — so the digest gate holds at every CI rate setting.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "envsim/fleet.hpp"
+
+int main(int argc, char** argv) {
+    using namespace wifisense;
+    bench::configure_observability(argc, argv);
+    bench::print_header("fleet - 1000-room discrete-event scenario sweep");
+    bench::BenchReport report("fleet");
+
+    envsim::FleetConfig cfg;
+    cfg.n_rooms = 1000;
+    cfg.seed = 7;
+    cfg.duration_s = 600.0;  // 10 min per room at 0.5 Hz: ~300 rows/room
+    cfg.sample_rate_hz = 0.5;
+    // Default mix (55/20/15/10) and faulty_fraction (0.25).
+
+    std::printf("simulating %zu rooms x %.0f s @ %.2f Hz (%zu threads) ...\n",
+                cfg.n_rooms, cfg.duration_s, cfg.sample_rate_hz,
+                common::thread_count());
+
+    const std::uint64_t t0 = common::trace_now_ns();
+    envsim::FleetSimulator sim(cfg);
+    const envsim::FleetRunStats stats =
+        sim.run([](const data::SampleRecord&) {});
+    const double sim_wall = common::trace_seconds_since(t0);
+    report.set_rows(stats.rows);
+
+    const double rooms_per_s =
+        static_cast<double>(stats.rooms) / (sim_wall > 0.0 ? sim_wall : 1e-9);
+    std::printf(
+        "  rooms   %zu  (office %zu / classroom %zu / home %zu / corridor %zu)\n"
+        "  rows    %zu\n"
+        "  wall    %.2f s  (%.1f rooms/s)\n"
+        "  digest  0x%016llx\n",
+        stats.rooms, stats.rooms_by_archetype[0], stats.rooms_by_archetype[1],
+        stats.rooms_by_archetype[2], stats.rooms_by_archetype[3], stats.rows,
+        sim_wall, rooms_per_s, static_cast<unsigned long long>(stats.digest));
+
+    report.metric("rooms", static_cast<double>(stats.rooms));
+    report.metric("rows_total", static_cast<double>(stats.rows));
+    report.metric("arch_office", static_cast<double>(stats.rooms_by_archetype[0]));
+    report.metric("arch_classroom",
+                  static_cast<double>(stats.rooms_by_archetype[1]));
+    report.metric("arch_home", static_cast<double>(stats.rooms_by_archetype[2]));
+    report.metric("arch_corridor",
+                  static_cast<double>(stats.rooms_by_archetype[3]));
+    report.metric("digest_lo32",
+                  static_cast<double>(stats.digest & 0xffffffffull));
+    report.metric("digest_hi32", static_cast<double>(stats.digest >> 32));
+    report.metric("sim_wall_s", sim_wall);
+    report.metric("rooms_per_s", rooms_per_s);
+    report.write();
+
+    std::printf(
+        "\nexpected shape: the digest (and every count) is identical at any\n"
+        "WIFISENSE_THREADS setting; only the wall clock and rooms/s move.\n");
+    return 0;
+}

@@ -19,8 +19,11 @@ namespace {
 thread_local int tl_region_depth = 0;
 
 /// One parallel region: a batch of `n` tasks drained via an atomic cursor.
+/// The task is a raw function pointer + opaque context (not std::function),
+/// so posting a region never touches the heap.
 struct Job {
-    const std::function<void(std::size_t)>* task = nullptr;
+    void (*task)(const void*, std::size_t) = nullptr;
+    const void* ctx = nullptr;
     std::size_t n = 0;
     std::atomic<std::size_t> next{0};
     std::size_t done = 0;    // completed tasks; guarded by the pool mutex
@@ -58,20 +61,27 @@ public:
         return workers_.size() + 1;
     }
 
-    /// Run task(0..n-1) to completion, caller participating.
-    void run(std::size_t n, const std::function<void(std::size_t)>& task) {
+    // Posting and draining a parallel region is on the steady-state path of
+    // training, inference, and the fleet simulator: it must stay heap-free
+    // at any thread count.
+    // wifisense-lint: noalloc-begin
+
+    /// Run task(ctx, 0..n-1) to completion, caller participating.
+    void run(std::size_t n, void (*task)(const void*, std::size_t),
+             const void* ctx) {
         if (n == 0) return;
         if (tl_region_depth > 0) {  // nested region: inline, no fan-out
-            run_inline(n, task);
+            run_inline(n, task, ctx);
             return;
         }
         std::lock_guard region(region_mu_);
         if (workers_.empty() || n == 1) {
-            run_inline(n, task);
+            run_inline(n, task, ctx);
             return;
         }
         Job job;
-        job.task = &task;
+        job.task = task;
+        job.ctx = ctx;
         job.n = n;
         {
             std::lock_guard lk(mu_);
@@ -90,6 +100,7 @@ public:
         }
         if (job.error) std::rethrow_exception(job.error);
     }
+    // wifisense-lint: noalloc-end
 
 private:
     ThreadPool() {
@@ -102,10 +113,11 @@ private:
         spawn_workers(threads - 1);
     }
 
-    static void run_inline(std::size_t n, const std::function<void(std::size_t)>& task) {
+    static void run_inline(std::size_t n, void (*task)(const void*, std::size_t),
+                           const void* ctx) {
         ++tl_region_depth;
         try {
-            for (std::size_t i = 0; i < n; ++i) task(i);
+            for (std::size_t i = 0; i < n; ++i) task(ctx, i);
         } catch (...) {
             --tl_region_depth;
             throw;
@@ -121,7 +133,7 @@ private:
             const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
             if (i >= job.n) break;
             try {
-                (*job.task)(i);
+                job.task(job.ctx, i);
             } catch (...) {
                 std::lock_guard lk(job.error_mu);
                 if (!job.error) job.error = std::current_exception();
@@ -219,29 +231,50 @@ bool region_runs_inline(std::size_t tasks) {
 InlineRegion::InlineRegion() { ++tl_region_depth; }
 InlineRegion::~InlineRegion() { --tl_region_depth; }
 
+// The type-erased fan-out: stack context + captureless trampolines only,
+// zero heap allocations per region.
+// wifisense-lint: noalloc-begin
+
+/// Per-region chunk description, passed by address through the pool.
+struct ChunkCtx {
+    std::size_t n;
+    std::size_t chunk_size;
+    void (*body)(const void*, std::size_t, std::size_t);
+    const void* body_ctx;
+};
+
 void run_chunks_erased(std::size_t n, std::size_t chunk_size,
-                       const std::function<void(std::size_t, std::size_t)>& body) {
+                       void (*body)(const void* ctx, std::size_t begin,
+                                    std::size_t end),
+                       const void* ctx) {
     const std::size_t chunks = (n + chunk_size - 1) / chunk_size;
-    const std::function<void(std::size_t)> task = [&](std::size_t c) {
-        // Each fanned-out chunk records one span on the worker that ran it,
-        // so spans emitted inside `body` nest under their chunk in the trace
-        // viewer (the inline path needs no marker: it already runs nested
-        // under the caller's spans on the caller's thread).
-        TraceScope span("pool.chunk");
-        const std::size_t begin = c * chunk_size;
-        body(begin, std::min(n, begin + chunk_size));
-    };
-    ThreadPool::instance().run(chunks, task);
+    const ChunkCtx chunk_ctx{n, chunk_size, body, ctx};
+    ThreadPool::instance().run(
+        chunks,
+        +[](const void* p, std::size_t c) {
+            // Each fanned-out chunk records one span on the worker that ran
+            // it, so spans emitted inside `body` nest under their chunk in
+            // the trace viewer (the inline path needs no marker: it already
+            // runs nested under the caller's spans on the caller's thread).
+            TraceScope span("pool.chunk");
+            const auto& cc = *static_cast<const ChunkCtx*>(p);
+            const std::size_t begin = c * cc.chunk_size;
+            cc.body(cc.body_ctx, begin, std::min(cc.n, begin + cc.chunk_size));
+        },
+        &chunk_ctx);
 }
+// wifisense-lint: noalloc-end
 
 }  // namespace detail
 
 void parallel_invoke(std::span<const std::function<void()>> tasks) {
-    const std::function<void(std::size_t)> task = [&](std::size_t i) {
-        TraceScope span("pool.task");
-        tasks[i]();
-    };
-    ThreadPool::instance().run(tasks.size(), task);
+    ThreadPool::instance().run(
+        tasks.size(),
+        +[](const void* ctx, std::size_t i) {
+            TraceScope span("pool.task");
+            (*static_cast<const std::span<const std::function<void()>>*>(ctx))[i]();
+        },
+        &tasks);
 }
 
 }  // namespace wifisense::common

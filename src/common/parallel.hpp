@@ -66,8 +66,14 @@ public:
 };
 
 /// Type-erased fan-out path (the pre-template parallel_for_chunks body).
+/// Erasure is a raw function pointer plus an opaque context — not
+/// std::function — so entering a parallel region performs zero heap
+/// allocations at any thread count (the fleet simulator and the training
+/// loop both fan out in their steady state; see DESIGN.md, "Memory model").
 void run_chunks_erased(std::size_t n, std::size_t chunk_size,
-                       const std::function<void(std::size_t, std::size_t)>& body);
+                       void (*body)(const void* ctx, std::size_t begin,
+                                    std::size_t end),
+                       const void* ctx);
 
 }  // namespace detail
 
@@ -95,7 +101,14 @@ void parallel_for_chunks(std::size_t n, std::size_t chunk_size, const Body& body
         }
         return;
     }
-    detail::run_chunks_erased(n, chunk_size, body);
+    // Captureless trampoline: the callable is passed by address, so the
+    // fan-out path stays allocation-free (no std::function conversion).
+    detail::run_chunks_erased(
+        n, chunk_size,
+        +[](const void* ctx, std::size_t begin, std::size_t end) {
+            (*static_cast<const Body*>(ctx))(begin, end);
+        },
+        &body);
 }
 
 /// Run body(i) for every i in [0, n), grouped into chunks of `grain`

@@ -43,14 +43,17 @@ std::size_t round_up_pow2(std::size_t v) {
 /// slots[head & mask] and never allocates.
 struct ThreadRing {
     std::vector<TraceEvent> slots;
-    std::uint64_t head = 0;  ///< total events ever written to this ring
+    std::uint64_t head = 0;     ///< total events ever written to this ring
+    std::uint64_t seen = 0;     ///< events offered (sampling counter)
+    std::uint64_t skipped = 0;  ///< events sampled out (policy, not loss)
 };
 
 /// All tracing state of one enable() session. Guarded informally: enable /
 /// reset / snapshot must run outside parallel regions (documented contract);
 /// recording itself is wait-free per thread.
 struct TraceState {
-    std::size_t capacity = 0;  ///< power of two
+    std::size_t capacity = 0;      ///< power of two
+    std::size_t sample_every = 1;  ///< record every N-th event per thread
     std::vector<ThreadRing> rings;
     std::atomic<std::size_t> next_slot{0};
     std::atomic<std::uint64_t> slot_overflow{0};
@@ -94,6 +97,12 @@ void record_event(const char* name, std::uint64_t start_ns, std::uint64_t end_ns
     ThreadRing* ring = local_ring();
     if (ring == nullptr) return;
     TraceState& s = state();
+    // 1-in-N sampling: each thread keeps the first of every `sample_every`
+    // events it offers (per-thread counter — no cross-thread coordination).
+    if (s.sample_every > 1 && (ring->seen++ % s.sample_every) != 0) {
+        ++ring->skipped;
+        return;
+    }
     TraceEvent& e = ring->slots[ring->head & (s.capacity - 1)];
     e.name = name;
     e.start_ns = start_ns;
@@ -137,6 +146,7 @@ void trace_enable(const TraceConfig& cfg) {
     TraceState& s = state();
     obsdetail::g_trace_enabled.store(false, std::memory_order_relaxed);
     s.capacity = round_up_pow2(std::max<std::size_t>(cfg.events_per_thread, 64));
+    s.sample_every = std::max<std::size_t>(cfg.sample_every, 1);
     const std::size_t threads = std::max<std::size_t>(cfg.max_threads, 1);
     s.rings.assign(threads, ThreadRing{});
     for (ThreadRing& r : s.rings) r.slots.assign(s.capacity, TraceEvent{});
@@ -155,7 +165,11 @@ void trace_reset() {
     const bool was_enabled =
         obsdetail::g_trace_enabled.load(std::memory_order_relaxed);
     obsdetail::g_trace_enabled.store(false, std::memory_order_relaxed);
-    for (ThreadRing& r : s.rings) r.head = 0;
+    for (ThreadRing& r : s.rings) {
+        r.head = 0;
+        r.seen = 0;
+        r.skipped = 0;
+    }
     s.next_slot.store(0, std::memory_order_relaxed);
     s.slot_overflow.store(0, std::memory_order_relaxed);
     g_epoch.fetch_add(1, std::memory_order_release);
@@ -181,6 +195,13 @@ std::uint64_t trace_dropped_events() {
     for (const ThreadRing& r : s.rings)
         if (r.head > s.capacity) dropped += r.head - s.capacity;
     return dropped;
+}
+
+std::uint64_t trace_sampled_out() {
+    TraceState& s = state();
+    std::uint64_t skipped = 0;
+    for (const ThreadRing& r : s.rings) skipped += r.skipped;
+    return skipped;
 }
 
 std::string trace_to_chrome_json() {
@@ -239,6 +260,7 @@ void trace_disable() {}
 void trace_reset() {}
 std::vector<TraceEvent> trace_snapshot() { return {}; }
 std::uint64_t trace_dropped_events() { return 0; }
+std::uint64_t trace_sampled_out() { return 0; }
 std::string trace_to_chrome_json() {
     return "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n";
 }
@@ -269,7 +291,15 @@ ObservabilityEnv configure_observability_from_env() {
     };
     parse(std::getenv("WIFISENSE_TRACE"), &env.trace, &env.trace_path);
     parse(std::getenv("WIFISENSE_METRICS"), &env.metrics, &env.metrics_path);
-    if (env.trace) trace_enable();
+    if (const char* sample = std::getenv("WIFISENSE_TRACE_SAMPLE")) {
+        const long v = std::atol(sample);
+        if (v > 1) env.trace_sample_every = static_cast<std::size_t>(v);
+    }
+    if (env.trace) {
+        TraceConfig cfg;
+        cfg.sample_every = env.trace_sample_every;
+        trace_enable(cfg);
+    }
     if (env.metrics) metrics_enable();
     return env;
 }

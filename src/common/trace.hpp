@@ -67,6 +67,12 @@ struct TraceConfig {
     /// Thread slots pre-reserved at enable time. Threads beyond this record
     /// nothing (counted in trace_dropped_events()).
     std::size_t max_threads = 64;
+    /// Record only every N-th event per thread (1 = record everything).
+    /// Fleet-scale soaks emit millions of sim.event/sim.tick spans; sampling
+    /// keeps a long run's rings from wrapping while preserving the shape of
+    /// the profile. Sampled-out events are counted by trace_sampled_out(),
+    /// not by trace_dropped_events() (they were skipped by policy, not lost).
+    std::size_t sample_every = 1;
 };
 
 /// One recorded event. `tid` is the recording thread's slot index (stable
@@ -97,6 +103,9 @@ std::vector<TraceEvent> trace_snapshot();
 
 /// Events lost to ring wrap-around or thread-slot exhaustion.
 std::uint64_t trace_dropped_events();
+
+/// Events skipped by the 1-in-N sampling policy (TraceConfig::sample_every).
+std::uint64_t trace_sampled_out();
 
 /// Chrome-trace JSON ("traceEvents" array of "X"/"i" events plus thread
 /// metadata), ready for chrome://tracing or Perfetto.
@@ -173,12 +182,14 @@ struct ObservabilityEnv {
     std::string trace_path;       ///< output path ("" = in-memory only)
     bool metrics = false;         ///< metrics enabled via WIFISENSE_METRICS
     std::string metrics_path;     ///< output path ("" = embed in reports only)
+    std::size_t trace_sample_every = 1;  ///< WIFISENSE_TRACE_SAMPLE (1-in-N)
 };
 
 /// Apply the WIFISENSE_TRACE / WIFISENSE_METRICS environment variables,
 /// mirroring WIFISENSE_THREADS:
 ///   WIFISENSE_TRACE=trace.json    enable tracing, export to trace.json
 ///   WIFISENSE_TRACE=1             enable tracing, keep events in memory
+///   WIFISENSE_TRACE_SAMPLE=N      record only every N-th span per thread
 ///   WIFISENSE_METRICS=metrics.json / =1   likewise for the metric registry
 /// Unset, empty, or "0" leaves the corresponding subsystem untouched.
 ObservabilityEnv configure_observability_from_env();

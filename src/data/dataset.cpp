@@ -165,4 +165,49 @@ Dataset Dataset::strided_copy(std::size_t stride) const {
     return Dataset(std::move(out));
 }
 
+std::vector<RoomSlice> room_slices(DatasetView view) {
+    std::vector<RoomSlice> out;
+    const std::span<const SampleRecord> records = view.records();
+    std::size_t begin = 0;
+    for (std::size_t i = 1; i <= records.size(); ++i) {
+        if (i == records.size() || records[i].room_id != records[begin].room_id) {
+            out.push_back(RoomSlice{records[begin].room_id,
+                                    DatasetView(records.subspan(begin, i - begin))});
+            begin = i;
+        }
+    }
+    return out;
+}
+
+namespace {
+
+std::uint64_t fnv1a(const void* data, std::size_t n, std::uint64_t h) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+}  // namespace
+
+std::uint64_t dataset_digest(DatasetView view) {
+    return dataset_digest(view, 0xcbf29ce484222325ull);  // FNV-1a offset basis
+}
+
+std::uint64_t dataset_digest(DatasetView view, std::uint64_t h) {
+    for (const SampleRecord& r : view.records()) {
+        h = fnv1a(&r.timestamp, sizeof r.timestamp, h);
+        h = fnv1a(r.csi.data(), sizeof r.csi, h);
+        h = fnv1a(&r.temperature_c, sizeof r.temperature_c, h);
+        h = fnv1a(&r.humidity_pct, sizeof r.humidity_pct, h);
+        h = fnv1a(&r.occupant_count, sizeof r.occupant_count, h);
+        h = fnv1a(&r.occupancy, sizeof r.occupancy, h);
+        h = fnv1a(&r.activity, sizeof r.activity, h);
+        h = fnv1a(&r.room_id, sizeof r.room_id, h);
+    }
+    return h;
+}
+
 }  // namespace wifisense::data

@@ -103,4 +103,27 @@ private:
 /// Build the feature matrix for any span of records.
 nn::Matrix make_features(std::span<const SampleRecord> records, FeatureSet set);
 
+/// One room's contiguous run of records inside a fleet dataset (fleet
+/// output is concatenated in room-id order, so each room is one slice).
+struct RoomSlice {
+    std::uint32_t room_id = 0;
+    DatasetView view;
+};
+
+/// Split a view into per-room slices at room_id boundaries (a single-room
+/// dataset yields one slice with room_id 0). Records are not reordered:
+/// each maximal run of equal room_id becomes one slice.
+std::vector<RoomSlice> room_slices(DatasetView view);
+
+/// Order-sensitive FNV-1a 64 digest over every field of every record
+/// (timestamp, CSI amplitudes, temperature, humidity, occupant count,
+/// occupancy, activity, room id — each hashed from its in-memory bytes).
+/// The determinism contract's canonical fingerprint: tests, bench_fleet,
+/// and the CI smoke jobs all compare this value.
+std::uint64_t dataset_digest(DatasetView view);
+
+/// Chaining form: continue a digest across several views (e.g. the per-room
+/// shards of a fleet run). dataset_digest(v) == chained over any split of v.
+std::uint64_t dataset_digest(DatasetView view, std::uint64_t h);
+
 }  // namespace wifisense::data

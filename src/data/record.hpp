@@ -36,6 +36,9 @@ struct SampleRecord {
     std::uint8_t occupancy = 0;
     /// Dominant-activity annotation (extension; see ActivityLabel).
     std::uint8_t activity = 0;
+    /// Originating room of a fleet simulation (envsim/fleet.hpp); 0 for the
+    /// paper's single-office collection.
+    std::uint32_t room_id = 0;
 };
 
 }  // namespace wifisense::data

@@ -1,0 +1,38 @@
+#include "envsim/event_queue.hpp"
+
+#include <stdexcept>
+
+#include "common/trace.hpp"
+
+namespace wifisense::envsim {
+
+std::size_t EventQueue::add_process(LogicalProcess* lp) {
+    if (lp == nullptr)
+        throw std::invalid_argument("EventQueue: null logical process");
+    processes_.push_back(lp);
+    return processes_.size() - 1;
+}
+
+void EventQueue::schedule(double t, std::size_t lp_id) {
+    if (lp_id >= processes_.size())
+        throw std::invalid_argument("EventQueue: unknown logical process id");
+    if (started_ && t < now_)
+        throw std::invalid_argument(
+            "EventQueue: scheduling into the past (causality violation)");
+    heap_.push(Event{t, lp_id, seq_++});
+}
+
+void EventQueue::run() {
+    stop_requested_ = false;
+    while (!heap_.empty() && !stop_requested_) {
+        const Event ev = heap_.top();
+        heap_.pop();
+        now_ = ev.time;
+        started_ = true;
+        ++dispatched_;
+        common::TraceScope span("sim.event");
+        processes_[ev.lp]->on_event(ev.time, *this);
+    }
+}
+
+}  // namespace wifisense::envsim

@@ -1,0 +1,87 @@
+// Discrete-event core for the environment simulator (the ROOT-Sim idiom,
+// scaled down): logical processes (LPs) register with an EventQueue, events
+// are timestamped activations of one LP, and the queue dispatches them in
+// deterministic order.
+//
+// Determinism contract — the whole point of this queue over a plain loop:
+//   * events are ordered by (time, lp_id, seq): two events at the same
+//     timestamp dispatch in LP-registration order, and two events for the
+//     same LP at the same time dispatch in scheduling order;
+//   * scheduling into the past throws (causality violation), so a run is a
+//     single non-decreasing sweep over simulated time;
+//   * the queue itself consumes no randomness — every stochastic decision
+//     lives inside an LP with its own substream RNG (common/rng.hpp).
+// A fixed set of LPs plus fixed per-LP RNG substreams therefore defines one
+// execution bitwise, which is what lets the fleet layer fan thousands of
+// rooms across threads while keeping the concatenated output byte-stable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace wifisense::envsim {
+
+class EventQueue;
+
+/// One logical process: a state machine activated at discrete timestamps.
+/// `on_event` runs the LP's work for simulated time `t` and may schedule
+/// future activations (of itself or of other LPs) on the queue.
+class LogicalProcess {
+public:
+    virtual ~LogicalProcess() = default;
+    virtual void on_event(double t, EventQueue& queue) = 0;
+};
+
+class EventQueue {
+public:
+    /// Register a process; the returned id is its registration index and the
+    /// secondary sort key for same-timestamp events (lower id runs first).
+    std::size_t add_process(LogicalProcess* lp);
+
+    /// Schedule an activation of `lp_id` at simulated time `t`. Throws
+    /// std::invalid_argument if `t` precedes the current dispatch time or
+    /// `lp_id` is unknown.
+    void schedule(double t, std::size_t lp_id);
+
+    /// Dispatch events in (time, lp_id, seq) order until the queue is empty
+    /// or an LP calls request_stop(). Pending events past a stop are
+    /// discarded, not dispatched — their LPs never observe them.
+    void run();
+
+    /// Ask the dispatch loop to stop after the current event returns.
+    void request_stop() { stop_requested_ = true; }
+
+    /// Timestamp of the event being (or last) dispatched.
+    double now() const { return now_; }
+
+    /// Total events dispatched so far (diagnostics / tests).
+    std::uint64_t dispatched() const { return dispatched_; }
+
+    std::size_t pending() const { return heap_.size(); }
+
+private:
+    struct Event {
+        double time;
+        std::size_t lp;
+        std::uint64_t seq;
+    };
+    struct After {  // priority_queue is a max-heap: "After" yields a min-heap
+        bool operator()(const Event& a, const Event& b) const {
+            if (a.time != b.time) return a.time > b.time;
+            if (a.lp != b.lp) return a.lp > b.lp;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::vector<LogicalProcess*> processes_;
+    std::priority_queue<Event, std::vector<Event>, After> heap_;
+    double now_ = 0.0;
+    bool started_ = false;
+    bool stop_requested_ = false;
+    std::uint64_t seq_ = 0;
+    std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace wifisense::envsim

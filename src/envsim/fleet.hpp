@@ -1,0 +1,56 @@
+// Fleet simulator: fans N independently-seeded room simulations (scenarios
+// from envsim/scenario.hpp) across the deterministic thread pool and
+// concatenates their outputs in room-id order.
+//
+// Determinism contract: room i's records are a pure function of
+// (fleet.seed, i) — rooms never share RNG state — and concatenation order is
+// the room index, not completion order. The concatenated byte stream (and
+// therefore data::dataset_digest of it) is identical at every thread count;
+// bench_fleet and the CI fleet-smoke job pin that digest.
+//
+// Execution model: the pool parallelizes *across* rooms (one region, grain
+// 1); the per-room flush_window regions nest inside a worker and run inline,
+// so a fleet run costs one pool region regardless of room count.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "data/dataset.hpp"
+#include "envsim/scenario.hpp"
+
+namespace wifisense::envsim {
+
+struct FleetRunStats {
+    std::size_t rooms = 0;
+    std::size_t rows = 0;
+    /// Rooms per archetype, indexed by RoomArchetype.
+    std::array<std::size_t, kNumArchetypes> rooms_by_archetype{};
+    /// data::dataset_digest of the concatenated output.
+    std::uint64_t digest = 0;
+};
+
+class FleetSimulator {
+public:
+    /// Throws std::invalid_argument on zero rooms, non-positive
+    /// duration/rate, or an invalid archetype mix.
+    explicit FleetSimulator(FleetConfig cfg);
+
+    /// Simulate every room and return the concatenated dataset (records
+    /// tagged with their room_id, rooms in index order). Optionally reports
+    /// run statistics.
+    data::Dataset run(FleetRunStats* stats = nullptr);
+
+    /// Streaming variant: hands every record to `sink` in room-id order
+    /// without retaining the concatenated dataset.
+    FleetRunStats run(const std::function<void(const data::SampleRecord&)>& sink);
+
+    const FleetConfig& config() const { return cfg_; }
+
+private:
+    FleetConfig cfg_;
+};
+
+}  // namespace wifisense::envsim

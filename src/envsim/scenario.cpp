@@ -1,0 +1,264 @@
+#include "envsim/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace wifisense::envsim {
+
+namespace {
+
+double uniform(std::mt19937_64& rng, double lo, double hi) {
+    std::uniform_real_distribution<double> u(lo, hi);
+    return u(rng);
+}
+
+std::size_t uniform_count(std::mt19937_64& rng, std::size_t lo, std::size_t hi) {
+    std::uniform_int_distribution<std::size_t> u(lo, hi);
+    return u(rng);
+}
+
+RoomArchetype draw_archetype(std::mt19937_64& rng, const ArchetypeMix& mix) {
+    double total = 0.0;
+    for (double w : mix.weights) total += w;
+    double x = uniform(rng, 0.0, 1.0) * total;
+    for (std::size_t a = 0; a < kNumArchetypes; ++a) {
+        x -= mix.weights[a];
+        if (x < 0.0) return static_cast<RoomArchetype>(a);
+    }
+    return RoomArchetype::kCorridor;
+}
+
+/// Scale the paper office's thermal envelope (216 m^3) to the drawn room:
+/// capacities and the heater scale with volume, envelope conductances with
+/// volume^(2/3) (surface area), so small homes and big lecture halls both
+/// settle at plausible time constants.
+void scale_thermal(ThermalConfig& th, double volume_m3) {
+    const double ratio = volume_m3 / 216.0;
+    const double area_ratio = std::pow(ratio, 2.0 / 3.0);
+    th.volume_m3 = volume_m3;
+    th.air_capacity_j_per_k *= ratio;
+    th.structure_capacity_j_per_k *= ratio;
+    th.heater_power_w *= ratio;
+    th.air_structure_w_per_k *= area_ratio;
+    th.air_outdoor_w_per_k *= area_ratio;
+    th.structure_outdoor_w_per_k *= area_ratio;
+}
+
+}  // namespace
+
+const char* to_string(RoomArchetype archetype) {
+    switch (archetype) {
+        case RoomArchetype::kOffice: return "office";
+        case RoomArchetype::kClassroom: return "classroom";
+        case RoomArchetype::kHome: return "home";
+        case RoomArchetype::kCorridor: return "corridor";
+    }
+    return "unknown";
+}
+
+[[nodiscard]] common::Result<ArchetypeMix> parse_archetype_mix(
+    std::string_view spec) {
+    using common::StatusCode;
+    ArchetypeMix mix;
+    mix.weights = {0.0, 0.0, 0.0, 0.0};
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string_view::npos) comma = spec.size();
+        const std::string_view item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty()) continue;
+        const std::size_t colon = item.find(':');
+        if (colon == std::string_view::npos)
+            return common::Status(
+                StatusCode::kInvalidArgument,
+                "parse_archetype_mix: expected name:weight, got '" +
+                    std::string(item) + "'");
+        const std::string_view name = item.substr(0, colon);
+        const std::string value(item.substr(colon + 1));
+        std::size_t a = 0;
+        for (; a < kNumArchetypes; ++a)
+            if (name == to_string(static_cast<RoomArchetype>(a))) break;
+        if (a == kNumArchetypes)
+            return common::Status(
+                StatusCode::kInvalidArgument,
+                "parse_archetype_mix: unknown archetype '" + std::string(name) +
+                    "'");
+        char* end = nullptr;
+        const double w = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0' || !std::isfinite(w) || w < 0.0)
+            return common::Status(
+                StatusCode::kInvalidArgument,
+                "parse_archetype_mix: bad weight '" + value + "' for '" +
+                    std::string(name) + "'");
+        mix.weights[a] = w;
+    }
+    double total = 0.0;
+    for (double w : mix.weights) total += w;
+    if (total <= 0.0)
+        return common::Status(StatusCode::kInvalidArgument,
+                              "parse_archetype_mix: all weights are zero");
+    return mix;
+}
+
+std::string to_spec(const ArchetypeMix& mix) {
+    std::string out;
+    for (std::size_t a = 0; a < kNumArchetypes; ++a) {
+        if (!out.empty()) out += ',';
+        out += to_string(static_cast<RoomArchetype>(a));
+        out += ':';
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%g", mix.weights[a]);
+        out += buf;
+    }
+    return out;
+}
+
+RoomScenario make_room_scenario(const FleetConfig& fleet,
+                                std::size_t room_index) {
+    if (fleet.duration_s <= 0.0)
+        throw std::invalid_argument("make_room_scenario: non-positive duration");
+    if (fleet.sample_rate_hz <= 0.0)
+        throw std::invalid_argument(
+            "make_room_scenario: non-positive sample rate");
+    double total_weight = 0.0;
+    for (double w : fleet.mix.weights) {
+        if (!(w >= 0.0))
+            throw std::invalid_argument(
+                "make_room_scenario: negative archetype weight");
+        total_weight += w;
+    }
+    if (total_weight <= 0.0)
+        throw std::invalid_argument("make_room_scenario: all-zero archetype mix");
+
+    // Two substreams per room: one for the scenario draws below, one as the
+    // room's world seed — so scenario generation never shares an engine with
+    // the simulation it parameterizes.
+    std::mt19937_64 rng = common::substream(fleet.seed, 2 * room_index);
+
+    RoomScenario scenario;
+    scenario.room_id = static_cast<std::uint32_t>(room_index);
+    scenario.archetype = draw_archetype(rng, fleet.mix);
+
+    SimulationConfig& sim = scenario.sim;
+    sim.start_timestamp = fleet.start_timestamp;
+    sim.duration_s = fleet.duration_s;
+    sim.sample_rate_hz = fleet.sample_rate_hz;
+    sim.seed = common::substream_seed(fleet.seed, 2 * room_index + 1);
+
+    // --- geometry + population per archetype -------------------------------
+    // Lower bounds keep the desk grid (needs lx > 2, ly > keepout_y + 1.2)
+    // and the TX/RX wall mount (y = 0.4, z below the ceiling) valid.
+    switch (scenario.archetype) {
+        case RoomArchetype::kOffice:
+            sim.room.lx = uniform(rng, 8.0, 14.0);
+            sim.room.ly = uniform(rng, 5.0, 8.0);
+            sim.room.lz = 3.0;
+            sim.occupants.n_subjects = uniform_count(rng, 4, 8);
+            break;
+        case RoomArchetype::kClassroom:
+            sim.room.lx = uniform(rng, 10.0, 16.0);
+            sim.room.ly = uniform(rng, 7.0, 10.0);
+            sim.room.lz = 3.4;
+            sim.occupants.n_subjects = uniform_count(rng, 12, 24);
+            // Lecture blocks: everyone in at once, out by late afternoon,
+            // frequent room changes instead of desk work.
+            sim.occupants.present_prob = 0.75;
+            sim.occupants.arrival_mean_h = 8.2;
+            sim.occupants.arrival_sd_h = 0.4;
+            sim.occupants.departure_mean_h = 16.5;
+            sim.occupants.departure_latest_h = 18.0;
+            sim.occupants.excursion_rate_per_h = 1.4;
+            sim.occupants.sit_dwell_s = 1'500.0;
+            break;
+        case RoomArchetype::kHome:
+            sim.room.lx = uniform(rng, 4.5, 7.0);
+            sim.room.ly = uniform(rng, 3.5, 5.0);
+            sim.room.lz = 2.7;
+            sim.occupants.n_subjects = uniform_count(rng, 1, 4);
+            // Home office: nearly always somebody in, long days, few exits.
+            sim.occupants.present_prob = 0.9;
+            sim.occupants.arrival_mean_h = 7.2;
+            sim.occupants.arrival_sd_h = 0.6;
+            sim.occupants.departure_mean_h = 21.5;
+            sim.occupants.departure_latest_h = 23.0;
+            sim.occupants.excursion_rate_per_h = 0.5;
+            sim.occupants.excursion_len_mean_h = 1.0;
+            break;
+        case RoomArchetype::kCorridor:
+            sim.room.lx = uniform(rng, 15.0, 25.0);
+            sim.room.ly = uniform(rng, 2.6, 3.4);
+            sim.room.lz = 3.0;
+            sim.occupants.n_subjects = uniform_count(rng, 2, 6);
+            // Transit space: presence is mostly brief passages (excursions
+            // carve the nominal day into slivers) and nobody sits for long.
+            sim.occupants.present_prob = 0.6;
+            sim.occupants.excursion_rate_per_h = 3.0;
+            sim.occupants.excursion_len_mean_h = 0.4;
+            sim.occupants.sit_dwell_s = 60.0;
+            sim.occupants.stand_dwell_s = 60.0;
+            sim.occupants.walk_dwell_s = 120.0;
+            break;
+    }
+
+    // TX/RX along the y = 0.4 wall, ~2 m apart (clamped into short rooms).
+    const double antenna_z = std::min(1.4, sim.room.lz - 0.5);
+    sim.room.tx = {0.35 * sim.room.lx, 0.4, antenna_z};
+    sim.room.rx = {0.35 * sim.room.lx + std::min(2.0, 0.3 * sim.room.lx), 0.4,
+                   antenna_z};
+
+    // --- thermal zone ------------------------------------------------------
+    scale_thermal(sim.thermal, sim.room.lx * sim.room.ly * sim.room.lz);
+    sim.thermal.setpoint_c = uniform(rng, 20.0, 23.0);
+    if (scenario.archetype != RoomArchetype::kOffice) {
+        // The Friday heater fault is the paper office's story; other rooms
+        // heat normally.
+        sim.thermal.fault_day = -1;
+        if (scenario.archetype == RoomArchetype::kHome) {
+            sim.thermal.heating_on_hour = 6.5;
+            sim.thermal.heating_off_hour = 23.0;
+        } else if (scenario.archetype == RoomArchetype::kCorridor) {
+            sim.thermal.setpoint_c = uniform(rng, 17.0, 19.0);
+        }
+    }
+
+    // Schedules are anchored to absolute days: cover every day the window
+    // touches (and at least the paper's 4-day shape so the early/late-day
+    // overrides stay meaningful).
+    const int last_day = data::day_index(fleet.start_timestamp + fleet.duration_s);
+    sim.occupants.n_days =
+        std::max<std::size_t>(4, static_cast<std::size_t>(last_day) + 1);
+
+    // The rearrangement event stays an office phenomenon; other archetypes
+    // keep the shuffle streams but skip the big displacement window.
+    if (scenario.archetype != RoomArchetype::kOffice) {
+        sim.furniture.start = -1.0;
+        sim.furniture.end = -1.0;
+    }
+
+    // --- availability-fault mix -------------------------------------------
+    // Faulty rooms draw drops / saturation / bursts / stalls / skew. NaN and
+    // Inf corruption (and NaN-reporting subcarrier dropout) are deliberately
+    // excluded: every fleet record is finite by construction.
+    const bool faulty = uniform(rng, 0.0, 1.0) < fleet.faulty_fraction;
+    if (faulty) {
+        sim.faults.frame_drop_rate = uniform(rng, 0.01, 0.10);
+        sim.faults.saturate_rate = uniform(rng, 0.0, 0.01);
+        sim.faults.burst_rate_per_h = uniform(rng, 0.0, 1.0);
+        sim.faults.burst_len_s = uniform(rng, 15.0, 60.0);
+        sim.faults.env_stall_rate_per_h = uniform(rng, 0.0, 2.0);
+        sim.faults.env_stall_len_s = uniform(rng, 30.0, 120.0);
+        sim.faults.env_clock_skew_s = uniform(rng, 0.0, 2.0);
+        sim.faults.seed = common::substream_seed(sim.seed, 0xFA017);
+    }
+
+    return scenario;
+}
+
+}  // namespace wifisense::envsim

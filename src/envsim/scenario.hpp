@@ -1,0 +1,96 @@
+// Seeded scenario generation for the fleet simulator: one FleetConfig
+// describes a whole deployment (the campus-occupancy setting of Mohottige et
+// al. — thousands of heterogeneous rooms, not one office), and
+// make_room_scenario() expands room index i into a fully-parameterized
+// SimulationConfig drawn from the room's own RNG substream.
+//
+// Determinism: room i's scenario is a pure function of
+// (fleet.seed, i) via common::substream — independent of every other room,
+// of the thread count, and of generation order. The fleet layer relies on
+// this to generate scenarios lazily inside worker threads.
+//
+// Archetypes vary what the paper's single office holds fixed: geometry,
+// occupant counts, schedule shape, and the availability-fault mix
+// (SenseFi's observation that model quality hinges on environment
+// diversity). Scenario fault plans draw only *availability* faults — frame
+// drops, saturation, outage bursts, sensor stalls, clock skew — never the
+// NaN/Inf value corruptions, so every fleet record is finite by
+// construction (the ChaosSoak fleet invariant). Value-corruption faults
+// remain available through an explicit SimulationConfig::faults.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "data/simtime.hpp"
+#include "envsim/simulation.hpp"
+
+namespace wifisense::envsim {
+
+enum class RoomArchetype : std::uint8_t {
+    kOffice = 0,
+    kClassroom,
+    kHome,
+    kCorridor,
+};
+
+inline constexpr std::size_t kNumArchetypes = 4;
+
+const char* to_string(RoomArchetype archetype);
+
+/// Sampling weights over the four archetypes (need not sum to 1; they are
+/// normalized at draw time). The default mirrors a campus building: mostly
+/// offices, some teaching rooms, a few home-office links, and corridors.
+struct ArchetypeMix {
+    std::array<double, kNumArchetypes> weights{0.55, 0.20, 0.15, 0.10};
+
+    double weight(RoomArchetype a) const {
+        return weights[static_cast<std::size_t>(a)];
+    }
+};
+
+/// Parse "office:0.5,classroom:0.3,home:0.15,corridor:0.05". Omitted
+/// archetypes get weight 0; unknown names, negative weights, or an all-zero
+/// mix produce kInvalidArgument.
+[[nodiscard]] common::Result<ArchetypeMix> parse_archetype_mix(
+    std::string_view spec);
+
+std::string to_spec(const ArchetypeMix& mix);
+
+struct FleetConfig {
+    std::size_t n_rooms = 16;
+    std::uint64_t seed = 7;
+
+    /// Shared collection window: every room simulates the same wall-clock
+    /// span (rooms differ in everything else).
+    double start_timestamp = data::kCollectionStart;
+    double duration_s = 3600.0;
+    double sample_rate_hz = 0.5;
+
+    ArchetypeMix mix;
+
+    /// Fraction of rooms carrying an availability-fault plan (drops,
+    /// saturation, bursts, stalls, skew — never NaN/Inf corruption).
+    double faulty_fraction = 0.25;
+};
+
+/// One room's expansion: the archetype label plus the concrete simulator
+/// configuration (the room_id is stamped onto every emitted record).
+struct RoomScenario {
+    std::uint32_t room_id = 0;
+    RoomArchetype archetype = RoomArchetype::kOffice;
+    SimulationConfig sim;
+};
+
+/// Expand room `room_index` of the fleet. Pure function of
+/// (fleet, room_index); throws std::invalid_argument on an invalid fleet
+/// (zero rooms is allowed here — validated by FleetSimulator — but
+/// non-positive duration/rate or an all-zero mix is not).
+RoomScenario make_room_scenario(const FleetConfig& fleet,
+                                std::size_t room_index);
+
+}  // namespace wifisense::envsim

@@ -10,26 +10,40 @@
 
 #include "common/fault.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
+#include "envsim/event_queue.hpp"
 
 namespace wifisense::envsim {
 
 namespace {
 
 // ---------------------------------------------------------------------------
-// Two-phase measurement pipeline.
+// Discrete-event decomposition.
 //
-// Phase 1 (serial): the world-tick loop in run() advances every stochastic
-// component and consumes ALL randomness in the historical order; for each
-// emitting tick it captures a TickJob — the pure inputs of the measurement:
-// environment, bodies, the scatterer snapshot, the sensor/label fields, and
-// the pre-drawn receiver noise of each packet.
+// The world advances as five logical processes on an EventQueue, activated
+// once per kDynamicsDt tick in registration order (the queue's
+// (time, lp_id, seq) tie-break):
 //
-// Phase 2 (parallel): flush_window() synthesizes the records — one CFR per
-// tick, one impairment pass per packet — from those snapshots. Each tick job
-// writes to its own pre-computed slot range, and the records are handed to
-// the sink in timestamp order afterwards. No RNG is touched here, so the
-// emitted stream is bitwise identical to the historical single-pass loop at
-// every thread count (threads=1 included).
+//   0 FurnitureVentilationLP  furniture shuffles/events, channel drift,
+//                             window-opening draws  (owns event_rng, ^0x66)
+//   1 OccupantLP              agent schedules + motion            (^0x55)
+//   2 ThermalLP               zone heat/moisture balance          (^0x33)
+//   3 SensorLP                env-sensor dynamics + stall faults  (^0x44)
+//   4 CsiSamplingLP           measurement capture; receiver noise (^0x22)
+//                             over the channel model              (^0x11)
+//
+// Each LP draws only from its own substream RNG, so the dispatch order —
+// not thread scheduling — defines every stream. This per-tick LP order
+// consumes exactly the randomness, in exactly the order, of the historical
+// monolithic loop; the single-room output is therefore bitwise identical to
+// the pre-DES simulator (pinned by the EventQueueGolden tests).
+//
+// Measurement itself stays two-phase: the CSI LP captures a TickJob — the
+// pure inputs of the measurement (environment, bodies, scatterer snapshot,
+// sensor/label fields, pre-drawn receiver noise per packet) — and
+// flush_window() synthesizes records in parallel over windowed tick shards,
+// handing them to the sink in timestamp order. No RNG is touched in phase 2,
+// so the emitted stream is bitwise identical at every thread count.
 // ---------------------------------------------------------------------------
 
 struct PacketJob {
@@ -65,6 +79,7 @@ void flush_window(std::vector<TickJob>& window, const csi::ChannelModel& channel
     common::parallel_for(
         window.size(),
         [&](std::size_t ti) {
+            common::TraceScope span("csi.sample");
             const TickJob& job = window[ti];
             const std::vector<std::complex<double>> cfr =
                 channel.frequency_response(job.env, job.bodies, job.scatterers);
@@ -87,6 +102,326 @@ void flush_window(std::vector<TickJob>& window, const csi::ChannelModel& channel
     window.clear();
 }
 
+/// Mutable world state shared by the logical processes: the seeded component
+/// models (each with its own substream RNG), the fault plan, and the per-tick
+/// latches written by earlier LPs and read by later ones in the same tick.
+struct SimWorld {
+    explicit SimWorld(const SimulationConfig& cfg_in)
+        : cfg(cfg_in),
+          sample_period(1.0 / cfg_in.sample_rate_hz),
+          channel(cfg_in.room, cfg_in.channel, cfg_in.seed ^ 0x11),
+          receiver(cfg_in.receiver, cfg_in.seed ^ 0x22),
+          thermal(cfg_in.thermal, cfg_in.seed ^ 0x33),
+          sensor(cfg_in.sensor, cfg_in.seed ^ 0x44),
+          occupants(cfg_in.occupants, cfg_in.room, cfg_in.seed ^ 0x55),
+          event_rng(cfg_in.seed ^ 0x66),
+          fault_plan(cfg_in.faults),
+          env_skew(fault_plan.env_skew_s()),
+          last_shuffle_day(data::day_index(cfg_in.start_timestamp)),
+          n_samples(static_cast<std::size_t>(
+              std::llround(cfg_in.duration_s * cfg_in.sample_rate_hz))),
+          n_ticks(static_cast<std::size_t>(
+              std::llround(cfg_in.duration_s / kDynamicsDt))) {
+        // Fault injection: the plan's decisions are pure functions of its own
+        // seed (packet index / time window), so none of the world substreams
+        // are perturbed. An inactive plan leaves the emitted bytes exactly as
+        // before the fault layer existed.
+        if (fault_plan.active()) receiver.set_fault_plan(&fault_plan);
+
+        // Warm up the thermal state: simulate the morning before collection
+        // starts (06:00 -> start) so the 15:08 initial condition is
+        // consistent with a heated, occupied office rather than the config
+        // default.
+        const double warm_start =
+            std::floor(cfg.start_timestamp / data::kSecondsPerDay) *
+                data::kSecondsPerDay +
+            6.0 * 3600.0;
+        for (double t = warm_start; t < cfg.start_timestamp; t += 30.0)
+            thermal.step(t, 30.0, occupants.count_inside(t), false);
+        for (int i = 0; i < 20; ++i)
+            sensor.step(30.0, thermal.indoor_temperature_c(),
+                        thermal.relative_humidity_pct(), thermal.heater_on());
+    }
+
+    const SimulationConfig& cfg;
+    const double dt = kDynamicsDt;
+    const double sample_period;
+
+    csi::ChannelModel channel;
+    csi::Receiver receiver;
+    ThermalModel thermal;
+    EnvironmentSensor sensor;
+    OccupantModel occupants;
+    // wifisense-lint: allow(det.raw-mt19937) seeded in the ctor init list
+    // with the event substream (cfg.seed ^ 0x66).
+    std::mt19937_64 event_rng;
+    std::uniform_real_distribution<double> uni{0.0, 1.0};
+
+    common::FaultPlan fault_plan;
+    double env_skew;
+    /// Reported (t, temperature, humidity) history backing the clock skew:
+    /// with skew, the record carries the env reading from `skew` seconds ago.
+    std::deque<std::array<double, 3>> env_history;
+
+    bool furniture_displaced = false;
+    double window_open_until = -1.0;
+    double active_until = -1.0;
+    int last_shuffle_day;
+
+    const std::size_t n_samples;
+    const std::size_t n_ticks;
+    std::size_t next_sample = 0;
+
+    // Per-tick latches: written by FurnitureVentilationLP / OccupantLP, read
+    // by the LPs that dispatch after them at the same timestamp.
+    int inside = 0;
+    bool window_open = false;
+    double extra_ach = 0.0;
+
+    std::vector<TickJob> window;
+    std::size_t window_packets = 0;
+};
+
+/// Base for the once-per-tick LPs: registers at the collection start and
+/// re-schedules itself every kDynamicsDt until the tick budget is spent.
+/// Activation times are computed as start + dt*tick — the same expression in
+/// every LP — so the five processes coincide at identical timestamps and the
+/// queue's lp_id tie-break alone fixes their per-tick order.
+class TickProcess : public LogicalProcess {
+public:
+    explicit TickProcess(SimWorld& world) : w_(&world) {}
+
+    void register_with(EventQueue& queue) {
+        lp_id_ = queue.add_process(this);
+        queue.schedule(w_->cfg.start_timestamp, lp_id_);
+    }
+
+    void on_event(double t, EventQueue& queue) final {
+        step(t, queue);
+        ++tick_;
+        if (tick_ < w_->n_ticks)
+            queue.schedule(
+                w_->cfg.start_timestamp + w_->dt * static_cast<double>(tick_),
+                lp_id_);
+    }
+
+protected:
+    virtual void step(double t, EventQueue& queue) = 0;
+
+    SimWorld* w_;
+    std::size_t lp_id_ = 0;
+    std::size_t tick_ = 0;
+};
+
+/// LP 0 — furniture + ventilation: nightly cleaning-crew shuffles, occupant
+/// mini-shuffles, the rearrangement event, slow channel drift, and the
+/// window-opening stream. Sole owner of event_rng (^0x66).
+class FurnitureVentilationLP final : public TickProcess {
+public:
+    using TickProcess::TickProcess;
+
+private:
+    void step(double t, EventQueue&) override {
+        SimWorld& w = *w_;
+        const SimulationConfig& cfg = w.cfg;
+
+        // --- nightly cleaning-crew shuffle (anchored) ----------------------
+        if (cfg.furniture.enabled && cfg.furniture.nightly_shuffle_m > 0.0) {
+            const int day = data::day_index(t);
+            if (day != w.last_shuffle_day &&
+                data::hour_of_day(t) >= cfg.furniture.nightly_hour) {
+                w.channel.shuffle_furniture(cfg.furniture.nightly_shuffle_m,
+                                            w.event_rng,
+                                            cfg.furniture.nightly_fraction);
+                w.last_shuffle_day = day;
+            }
+        }
+
+        // --- mini-shuffles (occupants by day, ambient churn when empty) ----
+        if (cfg.furniture.enabled && !w.furniture_displaced) {
+            const bool someone_inside = w.occupants.count_inside(t) > 0;
+            const double rate = someone_inside
+                                    ? cfg.furniture.daily_shuffle_rate_per_h
+                                    : cfg.furniture.empty_shuffle_rate_per_h;
+            if (rate > 0.0 && w.uni(w.event_rng) < rate * w.dt / 3600.0)
+                w.channel.shuffle_furniture(
+                    someone_inside ? cfg.furniture.daily_shuffle_m
+                                   : cfg.furniture.empty_shuffle_m,
+                    w.event_rng,
+                    someone_inside ? cfg.furniture.daily_shuffle_fraction
+                                   : cfg.furniture.empty_shuffle_fraction);
+        }
+
+        // --- furniture event ----------------------------------------------
+        if (cfg.furniture.enabled) {
+            if (!w.furniture_displaced && t >= cfg.furniture.start &&
+                t < cfg.furniture.end) {
+                w.channel.perturb_furniture(cfg.furniture.magnitude_m,
+                                            w.event_rng);
+                w.furniture_displaced = true;
+            } else if (w.furniture_displaced && t >= cfg.furniture.end) {
+                // Restoration is anchored: the room comes back to its usual
+                // configuration cloud with a small fresh displacement.
+                w.channel.shuffle_furniture(cfg.furniture.residual_m,
+                                            w.event_rng);
+                w.furniture_displaced = false;
+            }
+        }
+
+        w.channel.advance_drift(w.dt, w.event_rng);
+
+        // --- window-opening draw ------------------------------------------
+        // count_inside(t) is a pure schedule lookup (independent of the
+        // agents' step), so drawing here — before OccupantLP runs this tick —
+        // consumes the event stream exactly as the historical loop did after
+        // the step.
+        if (w.occupants.count_inside(t) > 0 && t > w.window_open_until) {
+            const double p_open = cfg.window_open_rate_per_h * w.dt / 3600.0;
+            if (w.uni(w.event_rng) < p_open)
+                w.window_open_until = t + cfg.window_open_len_s;
+        }
+        w.window_open = t <= w.window_open_until;
+        // While the room is being rearranged the corridor door is propped
+        // open and windows are cracked, so the furniture event strongly
+        // ventilates the room — fold 4 stays cold AND dry despite occupancy,
+        // which is what defeats the Env-only models in Table IV.
+        const bool event_active = cfg.furniture.enabled &&
+                                  t >= cfg.furniture.start &&
+                                  t < cfg.furniture.end;
+        w.extra_ach =
+            event_active ? cfg.furniture.event_air_changes_per_h : 0.0;
+    }
+};
+
+/// LP 1 — occupant agents: schedules + motion (^0x55), plus the sticky
+/// activity annotation (no RNG; read only by the CSI LP later this tick).
+class OccupantLP final : public TickProcess {
+public:
+    using TickProcess::TickProcess;
+
+private:
+    void step(double t, EventQueue&) override {
+        SimWorld& w = *w_;
+        w.occupants.step(t, w.dt);
+        w.inside = w.occupants.count_inside(t);
+        if (w.inside > 0 && w.occupants.any_walking())
+            w.active_until = t + w.cfg.activity_hold_s;
+    }
+};
+
+/// LP 2 — thermal zone: heat/moisture balance driven by the occupancy and
+/// ventilation latches of the two LPs before it (^0x33).
+class ThermalLP final : public TickProcess {
+public:
+    using TickProcess::TickProcess;
+
+private:
+    void step(double t, EventQueue&) override {
+        SimWorld& w = *w_;
+        w.thermal.step(t, w.dt, w.inside, w.window_open, w.extra_ach);
+    }
+};
+
+/// LP 3 — environmental sensor: first-order response to the zone state,
+/// including fault-plan stalls (^0x44).
+class SensorLP final : public TickProcess {
+public:
+    using TickProcess::TickProcess;
+
+private:
+    void step(double t, EventQueue&) override {
+        SimWorld& w = *w_;
+        if (w.fault_plan.active())
+            w.sensor.set_stalled(w.fault_plan.env_stalled(t));
+        w.sensor.step(w.dt, w.thermal.indoor_temperature_c(),
+                      w.thermal.relative_humidity_pct(), w.thermal.heater_on());
+    }
+};
+
+/// LP 4 — CSI sampling: captures every sample instant inside the tick (rates
+/// above the tick rate reuse the tick's channel state but draw fresh receiver
+/// noise per packet), defers the expensive synthesis to the parallel flush,
+/// and stops the run once the sample budget is spent.
+class CsiSamplingLP final : public TickProcess {
+public:
+    explicit CsiSamplingLP(
+        SimWorld& world,
+        const std::function<void(const data::SampleRecord&)>& sink)
+        : TickProcess(world), sink_(&sink) {}
+
+private:
+    void step(double t, EventQueue& queue) override {
+        SimWorld& w = *w_;
+        common::TraceScope span("sim.tick");
+
+        double sample_time = w.cfg.start_timestamp +
+                             w.sample_period * static_cast<double>(w.next_sample);
+        if (sample_time < t + w.dt && w.next_sample < w.n_samples) {
+            TickJob job;
+            job.env = csi::EnvironmentState{
+                w.thermal.indoor_temperature_c(),
+                csi::vapor_density_gm3(w.thermal.indoor_temperature_c(),
+                                       w.thermal.relative_humidity_pct())};
+            job.bodies = w.occupants.bodies();
+            job.scatterers = w.channel.scatterer_positions();
+            job.temperature_c = static_cast<float>(w.sensor.read_temperature_c());
+            job.humidity_pct = static_cast<float>(w.sensor.read_humidity_pct());
+            if (w.env_skew > 0.0) {
+                // Clock skew between the CSI and env streams: the row at CSI
+                // time t carries the env reading from t - skew. The reads
+                // above still happen (RNG order is preserved); only the
+                // reported values are delayed.
+                w.env_history.push_back({t,
+                                         static_cast<double>(job.temperature_c),
+                                         static_cast<double>(job.humidity_pct)});
+                while (w.env_history.size() > 1 &&
+                       w.env_history[1][0] <= t - w.env_skew)
+                    w.env_history.pop_front();
+                job.temperature_c = static_cast<float>(w.env_history.front()[1]);
+                job.humidity_pct = static_cast<float>(w.env_history.front()[2]);
+            }
+            job.occupant_count = static_cast<std::uint8_t>(w.inside);
+            job.occupancy = w.inside > 0 ? 1 : 0;
+            job.activity = static_cast<std::uint8_t>(
+                w.inside == 0           ? data::ActivityLabel::kEmpty
+                : t <= w.active_until   ? data::ActivityLabel::kActive
+                                        : data::ActivityLabel::kSedentary);
+
+            while (sample_time < t + w.dt && w.next_sample < w.n_samples) {
+                PacketJob packet;
+                packet.timestamp = sample_time;
+                // Always drawn — dropped packets consume their noise exactly
+                // like delivered ones, so the surviving packets of a faulty
+                // run stay bitwise equal to the same packets of the
+                // fault-free run.
+                packet.noise =
+                    w.receiver.draw_packet_noise(w.cfg.channel.n_subcarriers);
+                const bool lost = w.fault_plan.active() &&
+                                  (packet.noise.fault.dropped ||
+                                   w.fault_plan.csi_offline(sample_time));
+                if (!lost) job.packets.push_back(std::move(packet));
+                ++w.next_sample;
+                sample_time = w.cfg.start_timestamp +
+                              w.sample_period * static_cast<double>(w.next_sample);
+            }
+            w.window_packets += job.packets.size();
+            if (!job.packets.empty()) w.window.push_back(std::move(job));
+            if (w.window_packets >= kFlushPackets) {
+                flush_window(w.window, w.channel, w.receiver, *sink_);
+                w.window_packets = 0;
+            }
+        }
+
+        // Sample budget spent: stop the queue. Events already scheduled for
+        // the next tick are discarded, not dispatched, so no LP consumes
+        // randomness past this point — matching the historical loop, whose
+        // `next_sample < n_samples` bound was checked before each tick.
+        if (w.next_sample >= w.n_samples) queue.request_stop();
+    }
+
+    const std::function<void(const data::SampleRecord&)>* sink_;
+};
+
 }  // namespace
 
 OfficeSimulator::OfficeSimulator(SimulationConfig cfg) : cfg_(cfg) {
@@ -101,188 +436,25 @@ void OfficeSimulator::run(const std::function<void(const data::SampleRecord&)>& 
     // the CSI sampling rate, so a given seed produces the *same world*
     // (schedules, furniture shuffles, window events, thermal trajectory) at
     // every rate — only the measurement density changes.
-    const double dt = kDynamicsDt;
-    const double sample_period = 1.0 / cfg_.sample_rate_hz;
+    SimWorld world(cfg_);
 
-    // Independent deterministic streams per component.
-    csi::ChannelModel channel(cfg_.room, cfg_.channel, cfg_.seed ^ 0x11);
-    csi::Receiver receiver(cfg_.receiver, cfg_.seed ^ 0x22);
-    ThermalModel thermal(cfg_.thermal, cfg_.seed ^ 0x33);
-    EnvironmentSensor sensor(cfg_.sensor, cfg_.seed ^ 0x44);
-    OccupantModel occupants(cfg_.occupants, cfg_.room, cfg_.seed ^ 0x55);
-    std::mt19937_64 event_rng(cfg_.seed ^ 0x66);
-    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    FurnitureVentilationLP furniture_lp(world);
+    OccupantLP occupant_lp(world);
+    ThermalLP thermal_lp(world);
+    SensorLP sensor_lp(world);
+    CsiSamplingLP csi_lp(world, sink);
 
-    // Fault injection: the plan's decisions are pure functions of its own
-    // seed (packet index / time window), so none of the streams above are
-    // perturbed. An inactive plan leaves this function's behavior — and its
-    // emitted bytes — exactly as before the fault layer existed.
-    const common::FaultPlan fault_plan(cfg_.faults);
-    if (fault_plan.active()) receiver.set_fault_plan(&fault_plan);
-    const double env_skew = fault_plan.env_skew_s();
-    // Reported (t, temperature, humidity) history backing the clock skew:
-    // with skew, the record carries the env reading from `skew` seconds ago.
-    std::deque<std::array<double, 3>> env_history;
-
-    // Warm up the thermal state: simulate the morning before collection
-    // starts (06:00 -> start) so the 15:08 initial condition is consistent
-    // with a heated, occupied office rather than the config default.
-    {
-        const double warm_start =
-            std::floor(cfg_.start_timestamp / data::kSecondsPerDay) *
-                data::kSecondsPerDay +
-            6.0 * 3600.0;
-        for (double t = warm_start; t < cfg_.start_timestamp; t += 30.0)
-            thermal.step(t, 30.0, occupants.count_inside(t), false);
-        for (int i = 0; i < 20; ++i)
-            sensor.step(30.0, thermal.indoor_temperature_c(),
-                        thermal.relative_humidity_pct(), thermal.heater_on());
+    if (world.n_ticks > 0 && world.n_samples > 0) {
+        EventQueue queue;
+        // Registration order = per-tick dispatch order (lp_id tie-break).
+        furniture_lp.register_with(queue);
+        occupant_lp.register_with(queue);
+        thermal_lp.register_with(queue);
+        sensor_lp.register_with(queue);
+        csi_lp.register_with(queue);
+        queue.run();
     }
-
-    bool furniture_displaced = false;
-    std::vector<csi::Vec3> pre_event_layout;
-    double window_open_until = -1.0;
-    double active_until = -1.0;
-    int last_shuffle_day = data::day_index(cfg_.start_timestamp);
-
-    const auto n_samples =
-        static_cast<std::size_t>(std::llround(cfg_.duration_s * cfg_.sample_rate_hz));
-    const auto n_ticks =
-        static_cast<std::size_t>(std::llround(cfg_.duration_s / dt));
-    std::size_t next_sample = 0;
-
-    std::vector<TickJob> window;
-    std::size_t window_packets = 0;
-
-    for (std::size_t tick = 0; tick < n_ticks && next_sample < n_samples; ++tick) {
-        const double t = cfg_.start_timestamp + dt * static_cast<double>(tick);
-        // --- nightly cleaning-crew shuffle (anchored) -----------------------
-        if (cfg_.furniture.enabled && cfg_.furniture.nightly_shuffle_m > 0.0) {
-            const int day = data::day_index(t);
-            if (day != last_shuffle_day &&
-                data::hour_of_day(t) >= cfg_.furniture.nightly_hour) {
-                channel.shuffle_furniture(cfg_.furniture.nightly_shuffle_m, event_rng,
-                                          cfg_.furniture.nightly_fraction);
-                last_shuffle_day = day;
-            }
-        }
-
-        // --- mini-shuffles (occupants by day, ambient churn when empty) ----
-        if (cfg_.furniture.enabled && !furniture_displaced) {
-            const bool someone_inside = occupants.count_inside(t) > 0;
-            const double rate = someone_inside
-                                    ? cfg_.furniture.daily_shuffle_rate_per_h
-                                    : cfg_.furniture.empty_shuffle_rate_per_h;
-            if (rate > 0.0 && uni(event_rng) < rate * dt / 3600.0)
-                channel.shuffle_furniture(
-                    someone_inside ? cfg_.furniture.daily_shuffle_m
-                                   : cfg_.furniture.empty_shuffle_m,
-                    event_rng,
-                    someone_inside ? cfg_.furniture.daily_shuffle_fraction
-                                   : cfg_.furniture.empty_shuffle_fraction);
-        }
-
-        // --- furniture event ---------------------------------------------
-        if (cfg_.furniture.enabled) {
-            if (!furniture_displaced && t >= cfg_.furniture.start &&
-                t < cfg_.furniture.end) {
-                pre_event_layout = channel.furniture();
-                channel.perturb_furniture(cfg_.furniture.magnitude_m, event_rng);
-                furniture_displaced = true;
-            } else if (furniture_displaced && t >= cfg_.furniture.end) {
-                // Restoration is anchored: the room comes back to its usual
-                // configuration cloud with a small fresh displacement.
-                channel.shuffle_furniture(cfg_.furniture.residual_m, event_rng);
-                furniture_displaced = false;
-            }
-        }
-
-        // --- dynamics ------------------------------------------------------
-        channel.advance_drift(dt, event_rng);
-        occupants.step(t, dt);
-        const int inside = occupants.count_inside(t);
-
-        if (inside > 0 && t > window_open_until) {
-            const double p_open = cfg_.window_open_rate_per_h * dt / 3600.0;
-            if (uni(event_rng) < p_open) window_open_until = t + cfg_.window_open_len_s;
-        }
-        const bool window_open = t <= window_open_until;
-        // While the room is being rearranged the corridor door is propped
-        // open and windows are cracked, so the furniture event strongly
-        // ventilates the room — fold 4 stays cold AND dry despite occupancy,
-        // which is what defeats the Env-only models in Table IV.
-        const bool event_active = cfg_.furniture.enabled &&
-                                  t >= cfg_.furniture.start &&
-                                  t < cfg_.furniture.end;
-        const double extra_ach =
-            event_active ? cfg_.furniture.event_air_changes_per_h : 0.0;
-
-        thermal.step(t, dt, inside, window_open, extra_ach);
-        if (fault_plan.active()) sensor.set_stalled(fault_plan.env_stalled(t));
-        sensor.step(dt, thermal.indoor_temperature_c(), thermal.relative_humidity_pct(),
-                    thermal.heater_on());
-        if (inside > 0 && occupants.any_walking())
-            active_until = t + cfg_.activity_hold_s;
-
-        // --- measurement: capture every sample instant that falls inside
-        // this tick (rates above the tick rate reuse the tick's channel state
-        // but draw fresh receiver noise per packet). The expensive synthesis
-        // itself is deferred to the parallel flush -----------------------------
-        double sample_time =
-            cfg_.start_timestamp + sample_period * static_cast<double>(next_sample);
-        if (sample_time >= t + dt) continue;
-
-        TickJob job;
-        job.env = csi::EnvironmentState{
-            thermal.indoor_temperature_c(),
-            csi::vapor_density_gm3(thermal.indoor_temperature_c(),
-                                   thermal.relative_humidity_pct())};
-        job.bodies = occupants.bodies();
-        job.scatterers = channel.scatterer_positions();
-        job.temperature_c = static_cast<float>(sensor.read_temperature_c());
-        job.humidity_pct = static_cast<float>(sensor.read_humidity_pct());
-        if (env_skew > 0.0) {
-            // Clock skew between the CSI and env streams: the row at CSI
-            // time t carries the env reading from t - skew. The reads above
-            // still happen (RNG order is preserved); only the reported
-            // values are delayed.
-            env_history.push_back({t, static_cast<double>(job.temperature_c),
-                                   static_cast<double>(job.humidity_pct)});
-            while (env_history.size() > 1 && env_history[1][0] <= t - env_skew)
-                env_history.pop_front();
-            job.temperature_c = static_cast<float>(env_history.front()[1]);
-            job.humidity_pct = static_cast<float>(env_history.front()[2]);
-        }
-        job.occupant_count = static_cast<std::uint8_t>(inside);
-        job.occupancy = inside > 0 ? 1 : 0;
-        job.activity = static_cast<std::uint8_t>(
-            inside == 0          ? data::ActivityLabel::kEmpty
-            : t <= active_until  ? data::ActivityLabel::kActive
-                                 : data::ActivityLabel::kSedentary);
-
-        while (sample_time < t + dt && next_sample < n_samples) {
-            PacketJob packet;
-            packet.timestamp = sample_time;
-            // Always drawn — dropped packets consume their noise exactly like
-            // delivered ones, so the surviving packets of a faulty run stay
-            // bitwise equal to the same packets of the fault-free run.
-            packet.noise = receiver.draw_packet_noise(cfg_.channel.n_subcarriers);
-            const bool lost = fault_plan.active() &&
-                              (packet.noise.fault.dropped ||
-                               fault_plan.csi_offline(sample_time));
-            if (!lost) job.packets.push_back(std::move(packet));
-            ++next_sample;
-            sample_time =
-                cfg_.start_timestamp + sample_period * static_cast<double>(next_sample);
-        }
-        window_packets += job.packets.size();
-        if (!job.packets.empty()) window.push_back(std::move(job));
-        if (window_packets >= kFlushPackets) {
-            flush_window(window, channel, receiver, sink);
-            window_packets = 0;
-        }
-    }
-    flush_window(window, channel, receiver, sink);
+    flush_window(world.window, world.channel, world.receiver, sink);
 }
 
 data::Dataset OfficeSimulator::run() {

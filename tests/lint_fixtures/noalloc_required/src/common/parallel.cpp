@@ -1,0 +1,10 @@
+// noalloc.required: a file named src/common/parallel.cpp must annotate its
+// region-posting fan-out path with a noalloc region; this one has none.
+// Never compiled — scanned by wifisense-lint --self-test only.
+// lint-expect-file: noalloc.required
+
+namespace wifisense::common {
+
+void run_chunks_without_annotation() {}
+
+}  // namespace wifisense::common

@@ -7,6 +7,7 @@
 // "Parallel*:Matmul*:ThreadInvariance*").
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <functional>
@@ -14,6 +15,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/alloc_counter.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/experiments.hpp"
@@ -134,6 +136,31 @@ TEST(ParallelFor, ParallelInvokeRunsEveryTask) {
     common::parallel_invoke(tasks);
     for (std::size_t i = 0; i < done.size(); ++i)
         EXPECT_EQ(done[i], static_cast<int>(i) + 1);
+}
+
+TEST(ParallelAlloc, ChunkFanOutIsHeapFreeAtAnyThreadCount) {
+    // Posting + draining a region goes through run_chunks_erased's raw
+    // function-pointer path: after the pool's workers exist, a region must
+    // never touch the heap — the fleet simulator and the training hot loop
+    // both sit inside noalloc lint regions that rely on this.
+    std::vector<double> sink(4096, 0.0);
+    const auto body = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) sink[i] += 1.0;
+    };
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        ThreadGuard guard(threads);
+        std::fill(sink.begin(), sink.end(), 0.0);
+        // Warm-up: spawning workers (and any lazy pool state) may allocate.
+        common::parallel_for_chunks(sink.size(), 256, body);
+
+        wifisense::alloc::AllocationProbe probe;
+        for (int rep = 0; rep < 16; ++rep)
+            common::parallel_for_chunks(sink.size(), 256, body);
+        EXPECT_EQ(probe.delta(), 0u)
+            << "region fan-out allocated at " << threads << " threads";
+        for (const double v : sink) ASSERT_EQ(v, 17.0);
+    }
 }
 
 TEST(ParallelConfig, SubstreamSeedsAreStablePureFunctions) {

@@ -1,0 +1,391 @@
+// Tests for the discrete-event core (envsim/event_queue.hpp), the seeded
+// scenario generator (envsim/scenario.hpp), and the fleet simulator
+// (envsim/fleet.hpp):
+//
+//   1. the event queue's tie-break contract: same-timestamp events dispatch
+//      in LP-registration order regardless of scheduling order, scheduling
+//      into the past throws, and request_stop() discards pending events;
+//   2. the DES decomposition of OfficeSimulator is bitwise identical to the
+//      seed monolithic loop — golden digests captured from the pre-refactor
+//      simulator, reproduced at 1/2/8 threads, clean and faulted;
+//   3. scenarios are pure functions of (fleet.seed, room_index);
+//   4. a fleet run is bitwise deterministic across thread counts, its
+//      records are room-tagged in index order, and the streaming sink sees
+//      the same byte stream as the owning run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "data/dataset.hpp"
+#include "envsim/event_queue.hpp"
+#include "envsim/fleet.hpp"
+#include "envsim/scenario.hpp"
+#include "envsim/simulation.hpp"
+
+namespace common = wifisense::common;
+namespace data = wifisense::data;
+namespace envsim = wifisense::envsim;
+
+namespace {
+
+/// Scoped thread-count override (same idiom as test_common_parallel.cpp).
+class ThreadGuard {
+public:
+    explicit ThreadGuard(std::size_t threads) : prev_(common::execution_config()) {
+        common::set_execution_config({.threads = threads});
+    }
+    ~ThreadGuard() { common::set_execution_config(prev_); }
+
+private:
+    common::ExecutionConfig prev_;
+};
+
+/// LP that logs its queue id on every activation into a shared trace.
+class RecordingLp : public envsim::LogicalProcess {
+public:
+    RecordingLp(std::vector<std::size_t>* trace, std::size_t tag)
+        : trace_(trace), tag_(tag) {}
+    void on_event(double, envsim::EventQueue&) override {
+        trace_->push_back(tag_);
+    }
+
+private:
+    std::vector<std::size_t>* trace_;
+    std::size_t tag_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Event queue: dispatch order, causality, stop semantics
+// ---------------------------------------------------------------------------
+
+TEST(EventQueue, SameTimestampDispatchesInRegistrationOrder) {
+    std::vector<std::size_t> trace;
+    RecordingLp a(&trace, 0), b(&trace, 1), c(&trace, 2);
+    envsim::EventQueue q;
+    ASSERT_EQ(q.add_process(&a), 0u);
+    ASSERT_EQ(q.add_process(&b), 1u);
+    ASSERT_EQ(q.add_process(&c), 2u);
+
+    // Scheduled in scrambled order; an earlier event for LP 1 leads. The
+    // same-timestamp group at t=1 must come out in registration order.
+    q.schedule(1.0, 2);
+    q.schedule(1.0, 0);
+    q.schedule(0.5, 1);
+    q.schedule(1.0, 1);
+    q.run();
+
+    const std::vector<std::size_t> expected{1, 0, 1, 2};
+    EXPECT_EQ(trace, expected);
+    EXPECT_EQ(q.dispatched(), 4u);
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_EQ(q.now(), 1.0);
+}
+
+TEST(EventQueue, SchedulingIntoThePastThrows) {
+    /// At its second activation (t=2) this LP violates causality.
+    class TimeTraveler : public envsim::LogicalProcess {
+    public:
+        void on_event(double t, envsim::EventQueue& q) override {
+            if (t >= 2.0) q.schedule(t - 1.5, 0);  // now_ is 2.0: throws
+        }
+    } lp;
+    envsim::EventQueue q;
+    q.add_process(&lp);
+    q.schedule(1.0, 0);
+    q.schedule(2.0, 0);
+    EXPECT_THROW(q.run(), std::invalid_argument);
+
+    envsim::EventQueue q2;
+    EXPECT_THROW(q2.schedule(0.0, 0), std::invalid_argument)  // unknown LP
+        << "scheduling an unregistered LP must throw";
+    EXPECT_THROW(q2.add_process(nullptr), std::invalid_argument);
+}
+
+TEST(EventQueue, RequestStopDiscardsPendingEvents) {
+    std::vector<std::size_t> trace;
+    /// Stops the queue on its first activation.
+    class Stopper : public envsim::LogicalProcess {
+    public:
+        explicit Stopper(std::vector<std::size_t>* trace) : trace_(trace) {}
+        void on_event(double, envsim::EventQueue& q) override {
+            trace_->push_back(0);
+            q.request_stop();
+        }
+
+    private:
+        std::vector<std::size_t>* trace_;
+    } stopper(&trace);
+    RecordingLp bystander(&trace, 1);
+    envsim::EventQueue q;
+    q.add_process(&stopper);
+    q.add_process(&bystander);
+    q.schedule(1.0, 0);
+    q.schedule(1.0, 1);  // same timestamp, later registration: never runs
+    q.schedule(2.0, 1);
+    q.run();
+
+    const std::vector<std::size_t> expected{0};
+    EXPECT_EQ(trace, expected) << "events past a stop must not dispatch";
+    EXPECT_EQ(q.dispatched(), 1u);
+    EXPECT_EQ(q.pending(), 2u) << "discarded events remain undispatched";
+}
+
+// ---------------------------------------------------------------------------
+// DES refactor: bitwise identical to the pre-refactor monolithic loop
+// ---------------------------------------------------------------------------
+//
+// Golden digests captured from the seed simulator (commit 7f25c84 lineage,
+// before the event-queue decomposition) with data::dataset_digest's exact
+// byte walk. Any reordering of RNG draws across the five LPs changes these.
+
+namespace {
+
+struct GoldenRun {
+    const char* name;
+    double sample_rate_hz;
+    std::uint64_t seed;
+    double duration_s;
+    bool faulted;
+    std::size_t rows;
+    std::uint64_t digest;
+};
+
+constexpr GoldenRun kGoldenRuns[] = {
+    {"A: 1h @ 0.25Hz seed 7", 0.25, 7, 3'600.0, false, 900,
+     0xee8fe1ba02f47804ull},
+    {"B: 10min @ 2Hz seed 42", 2.0, 42, 600.0, false, 1200,
+     0x530d868f42ef7cc4ull},
+    {"C: faulted 10min @ 2Hz seed 7", 2.0, 7, 600.0, true, 1083,
+     0x7c519dcad56dcaa3ull},
+};
+
+envsim::SimulationConfig golden_config(const GoldenRun& g) {
+    envsim::SimulationConfig cfg = envsim::paper_config(g.sample_rate_hz, g.seed);
+    cfg.duration_s = g.duration_s;
+    if (g.faulted) {
+        cfg.faults.frame_drop_rate = 0.1;
+        cfg.faults.nan_rate = 0.02;
+        cfg.faults.env_stall_rate_per_h = 2.0;
+        cfg.faults.env_stall_len_s = 30.0;
+        cfg.faults.env_clock_skew_s = 1.5;
+        cfg.faults.seed = 99;
+    }
+    return cfg;
+}
+
+}  // namespace
+
+TEST(DesGolden, SingleRoomBitwiseIdenticalToSeedSimulatorAt1_2_8Threads) {
+    for (const GoldenRun& g : kGoldenRuns) {
+        SCOPED_TRACE(g.name);
+        for (const std::size_t threads :
+             {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+            SCOPED_TRACE("threads=" + std::to_string(threads));
+            ThreadGuard guard(threads);
+            const data::Dataset ds =
+                envsim::OfficeSimulator(golden_config(g)).run();
+            EXPECT_EQ(ds.size(), g.rows);
+            EXPECT_EQ(data::dataset_digest(ds.view()), g.digest);
+        }
+    }
+}
+
+TEST(DesGolden, NonPositiveDurationRejectedAtConstruction) {
+    envsim::SimulationConfig cfg = envsim::paper_config(2.0, 7);
+    cfg.duration_s = 0.0;
+    EXPECT_THROW(envsim::OfficeSimulator{cfg}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario generator
+// ---------------------------------------------------------------------------
+
+TEST(Scenario, ParseArchetypeMixRoundTripsAndValidates) {
+    const auto parsed = envsim::parse_archetype_mix(
+        "office:0.5,classroom:0.3,home:0.15,corridor:0.05");
+    ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+    EXPECT_DOUBLE_EQ(parsed.value().weight(envsim::RoomArchetype::kOffice), 0.5);
+    EXPECT_DOUBLE_EQ(parsed.value().weight(envsim::RoomArchetype::kClassroom),
+                     0.3);
+    EXPECT_DOUBLE_EQ(parsed.value().weight(envsim::RoomArchetype::kHome), 0.15);
+    EXPECT_DOUBLE_EQ(parsed.value().weight(envsim::RoomArchetype::kCorridor),
+                     0.05);
+
+    // Omitted archetypes get weight zero.
+    const auto partial = envsim::parse_archetype_mix("classroom:1");
+    ASSERT_TRUE(partial.is_ok());
+    EXPECT_DOUBLE_EQ(partial.value().weight(envsim::RoomArchetype::kClassroom),
+                     1.0);
+    EXPECT_DOUBLE_EQ(partial.value().weight(envsim::RoomArchetype::kOffice), 0.0);
+
+    // The spec printer parses back to the same weights.
+    const auto back = envsim::parse_archetype_mix(envsim::to_spec(parsed.value()));
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(back.value().weights, parsed.value().weights);
+
+    EXPECT_FALSE(envsim::parse_archetype_mix("lab:1").is_ok());
+    EXPECT_FALSE(envsim::parse_archetype_mix("office:-1").is_ok());
+    EXPECT_FALSE(envsim::parse_archetype_mix("office:0,home:0").is_ok());
+    EXPECT_FALSE(envsim::parse_archetype_mix("office").is_ok());
+}
+
+TEST(Scenario, IsPureFunctionOfFleetSeedAndRoomIndex) {
+    envsim::FleetConfig fleet;
+    fleet.n_rooms = 32;
+    fleet.seed = 1234;
+    for (const std::size_t i : {std::size_t{0}, std::size_t{7}, std::size_t{31}}) {
+        SCOPED_TRACE("room " + std::to_string(i));
+        const envsim::RoomScenario a = envsim::make_room_scenario(fleet, i);
+        const envsim::RoomScenario b = envsim::make_room_scenario(fleet, i);
+        EXPECT_EQ(a.room_id, i);
+        EXPECT_EQ(a.archetype, b.archetype);
+        EXPECT_EQ(a.sim.seed, b.sim.seed);
+        EXPECT_EQ(a.sim.room.lx, b.sim.room.lx);
+        EXPECT_EQ(a.sim.room.ly, b.sim.room.ly);
+        EXPECT_EQ(a.sim.room.lz, b.sim.room.lz);
+        EXPECT_EQ(a.sim.thermal.setpoint_c, b.sim.thermal.setpoint_c);
+        EXPECT_EQ(a.sim.occupants.n_subjects, b.sim.occupants.n_subjects);
+        EXPECT_EQ(a.sim.faults.frame_drop_rate, b.sim.faults.frame_drop_rate);
+        EXPECT_EQ(a.sim.faults.seed, b.sim.faults.seed);
+
+        // Shared collection window, room-specific everything else.
+        EXPECT_EQ(a.sim.start_timestamp, fleet.start_timestamp);
+        EXPECT_EQ(a.sim.duration_s, fleet.duration_s);
+        EXPECT_EQ(a.sim.sample_rate_hz, fleet.sample_rate_hz);
+    }
+
+    // Different rooms draw different worlds (seeds are substreams).
+    const envsim::RoomScenario r0 = envsim::make_room_scenario(fleet, 0);
+    const envsim::RoomScenario r1 = envsim::make_room_scenario(fleet, 1);
+    EXPECT_NE(r0.sim.seed, r1.sim.seed);
+}
+
+TEST(Scenario, FaultPlansCarryAvailabilityFaultsOnly) {
+    // With faulty_fraction = 1 every room draws a plan; none of them may
+    // carry a value-corrupting fault (the fleet NaN-free invariant).
+    envsim::FleetConfig fleet;
+    fleet.n_rooms = 24;
+    fleet.seed = 5;
+    fleet.faulty_fraction = 1.0;
+    for (std::size_t i = 0; i < fleet.n_rooms; ++i) {
+        const envsim::RoomScenario s = envsim::make_room_scenario(fleet, i);
+        EXPECT_EQ(s.sim.faults.nan_rate, 0.0) << "room " << i;
+        EXPECT_EQ(s.sim.faults.inf_rate, 0.0) << "room " << i;
+        EXPECT_EQ(s.sim.faults.subcarrier_dropout_rate, 0.0) << "room " << i;
+    }
+}
+
+TEST(Scenario, InvalidFleetConfigThrows) {
+    envsim::FleetConfig bad;
+    bad.duration_s = 0.0;
+    EXPECT_THROW(envsim::make_room_scenario(bad, 0), std::invalid_argument);
+    bad = {};
+    bad.sample_rate_hz = -1.0;
+    EXPECT_THROW(envsim::make_room_scenario(bad, 0), std::invalid_argument);
+    bad = {};
+    bad.mix.weights = {0.0, 0.0, 0.0, 0.0};
+    EXPECT_THROW(envsim::make_room_scenario(bad, 0), std::invalid_argument);
+
+    envsim::FleetConfig zero_rooms;
+    zero_rooms.n_rooms = 0;
+    EXPECT_THROW(envsim::FleetSimulator{zero_rooms}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet simulator
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The pinned smoke fleet: small enough for a unit test, big enough to mix
+/// archetypes and cross the faulty_fraction boundary.
+envsim::FleetConfig smoke_fleet() {
+    envsim::FleetConfig cfg;
+    cfg.n_rooms = 8;
+    cfg.seed = 7;
+    cfg.duration_s = 600.0;
+    cfg.sample_rate_hz = 0.5;
+    return cfg;
+}
+
+// Golden fleet digest: captured at 1 thread, reproduced at every count.
+constexpr std::size_t kSmokeRows = 2355;
+constexpr std::uint64_t kSmokeDigest = 0xb5dbf7e2272f6333ull;
+
+}  // namespace
+
+TEST(Fleet, BitwiseDeterministicAcrossThreadCounts) {
+    for (const std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        ThreadGuard guard(threads);
+        envsim::FleetRunStats stats;
+        const data::Dataset ds = envsim::FleetSimulator(smoke_fleet()).run(&stats);
+        EXPECT_EQ(ds.size(), kSmokeRows);
+        EXPECT_EQ(data::dataset_digest(ds.view()), kSmokeDigest);
+        EXPECT_EQ(stats.rooms, 8u);
+        EXPECT_EQ(stats.rows, kSmokeRows);
+        EXPECT_EQ(stats.digest, kSmokeDigest);
+        std::size_t archetype_total = 0;
+        for (const std::size_t n : stats.rooms_by_archetype) archetype_total += n;
+        EXPECT_EQ(archetype_total, stats.rooms);
+    }
+}
+
+TEST(Fleet, RecordsAreRoomTaggedInIndexOrder) {
+    ThreadGuard guard(4);
+    const envsim::FleetConfig cfg = smoke_fleet();
+    const data::Dataset ds = envsim::FleetSimulator(cfg).run();
+
+    const std::vector<data::RoomSlice> slices = data::room_slices(ds.view());
+    ASSERT_EQ(slices.size(), cfg.n_rooms)
+        << "every room contributes one contiguous slice";
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+        EXPECT_EQ(slices[i].room_id, i) << "rooms concatenate in index order";
+        EXPECT_FALSE(slices[i].view.empty());
+        for (std::size_t r = 0; r < slices[i].view.size(); ++r)
+            ASSERT_EQ(slices[i].view[r].room_id, i);
+        total += slices[i].view.size();
+    }
+    EXPECT_EQ(total, ds.size());
+
+    // The chaining digest over per-room slices equals the whole-view digest
+    // (the fleet layer computes the digest this way from its shards).
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const data::RoomSlice& s : slices) h = data::dataset_digest(s.view, h);
+    EXPECT_EQ(h, data::dataset_digest(ds.view()));
+}
+
+TEST(Fleet, StreamingSinkSeesTheSameByteStream) {
+    ThreadGuard guard(4);
+    const data::Dataset owned = envsim::FleetSimulator(smoke_fleet()).run();
+
+    data::Dataset streamed;
+    const envsim::FleetRunStats stats = envsim::FleetSimulator(smoke_fleet())
+        .run([&](const data::SampleRecord& r) { streamed.push_back(r); });
+
+    ASSERT_EQ(streamed.size(), owned.size());
+    EXPECT_EQ(data::dataset_digest(streamed.view()), kSmokeDigest);
+    EXPECT_EQ(stats.digest, kSmokeDigest);
+    for (std::size_t i = 0; i < owned.size(); ++i)
+        ASSERT_EQ(std::memcmp(&streamed[i], &owned[i], sizeof owned[i]), 0)
+            << "record " << i;
+}
+
+TEST(Fleet, SingleRoomDatasetYieldsOneSlice) {
+    envsim::SimulationConfig cfg = envsim::paper_config(2.0, 7);
+    cfg.duration_s = 60.0;
+    const data::Dataset ds = envsim::OfficeSimulator(cfg).run();
+    const std::vector<data::RoomSlice> slices = data::room_slices(ds.view());
+    ASSERT_EQ(slices.size(), 1u);
+    EXPECT_EQ(slices[0].room_id, 0u);
+    EXPECT_EQ(slices[0].view.size(), ds.size());
+    EXPECT_EQ(data::room_slices(data::DatasetView{}).size(), 0u);
+}

@@ -28,6 +28,7 @@
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/trace.hpp"
+#include "envsim/simulation.hpp"
 #include "nn/loss.hpp"
 #include "nn/mlp.hpp"
 #include "nn/trainer.hpp"
@@ -144,6 +145,52 @@ TEST(TraceSpans, RingWrapsWithoutGrowingAndCountsDrops) {
     EXPECT_LE(events.size(), 64u);
     EXPECT_GT(events.size(), 0u);
     EXPECT_EQ(common::trace_dropped_events(), 200u - events.size());
+}
+
+TEST(TraceSpans, SamplingKeepsOneInNAndCountsTheRest) {
+    ObservabilityGuard guard;
+    common::set_execution_config({.threads = 1});
+    common::TraceConfig cfg;
+    cfg.sample_every = 4;
+    common::trace_enable(cfg);
+
+    for (int i = 0; i < 100; ++i) common::trace_instant("test.sampled");
+    common::trace_disable();
+
+    // Per-thread 1-in-N policy: the first of every 4 offered events is kept.
+    EXPECT_EQ(common::trace_snapshot().size(), 25u);
+    EXPECT_EQ(common::trace_sampled_out(), 75u);
+    EXPECT_EQ(common::trace_dropped_events(), 0u)
+        << "sampled-out events are policy, not loss";
+
+    // reset() restarts both the rings and the sampling counters.
+    common::trace_enable(cfg);
+    common::trace_reset();
+    common::trace_disable();
+    EXPECT_EQ(common::trace_sampled_out(), 0u);
+}
+
+TEST(TraceSpans, SimulatorEmitsTickEventAndSampleSpans) {
+    ObservabilityGuard guard;
+    common::set_execution_config({.threads = 2});
+    common::trace_enable();
+
+    envsim::SimulationConfig cfg = envsim::paper_config(2.0, 7);
+    cfg.duration_s = 30.0;  // 60 ticks on the 0.5 s dynamics step
+    (void)envsim::OfficeSimulator(cfg).run();
+    common::trace_disable();
+
+    std::size_t events = 0, ticks = 0, samples = 0;
+    for (const common::TraceEvent& e : common::trace_snapshot()) {
+        const std::string_view name(e.name);
+        events += name == "sim.event" ? 1u : 0u;
+        ticks += name == "sim.tick" ? 1u : 0u;
+        samples += name == "csi.sample" ? 1u : 0u;
+    }
+    EXPECT_EQ(ticks, 60u) << "one sim.tick per dynamics step";
+    EXPECT_EQ(events, 5u * 60u) << "five LP activations per tick";
+    EXPECT_EQ(samples, 60u)
+        << "one csi.sample per flushed tick window (2 Hz x 30 s, no drops)";
 }
 
 TEST(TraceSpans, ChromeJsonContainsRecordedSpans) {

@@ -2,7 +2,16 @@
 // for users who want to drive the dataset from Python/pandas or archive a
 // fixed realization.
 //
+// Single-room (the paper's office):
 //   generate_dataset [--threads N] out.csv [rate_hz=1.0] [seed=7] [hours=74.5]
+//
+// Fleet mode (heterogeneous rooms via envsim/scenario.hpp):
+//   generate_dataset [--threads N] --fleet [--rooms N] [--archetype-mix SPEC]
+//                    [--faulty-fraction F] out.csv [rate_hz=0.5] [seed=7]
+//                    [hours=1.0]
+// Rooms are concatenated in room-index order; the run prints the fleet
+// digest (data::dataset_digest over the tagged records — the value the CI
+// fleet-smoke job and BENCH_fleet.json pin).
 //
 // The output is bitwise identical for any thread count (see DESIGN.md,
 // "Concurrency model"); --threads only changes the wall clock.
@@ -13,9 +22,17 @@
 
 #include "common/parallel.hpp"
 #include "data/csv.hpp"
+#include "envsim/fleet.hpp"
 #include "envsim/simulation.hpp"
 
 namespace {
+
+struct FleetFlags {
+    bool enabled = false;
+    std::size_t rooms = 16;
+    wifisense::envsim::ArchetypeMix mix;
+    double faulty_fraction = 0.25;
+};
 
 // Consume a leading "--threads N" (default: WIFISENSE_THREADS, else all
 // hardware threads; 0 = auto) and shift the positional arguments down.
@@ -34,37 +51,116 @@ void apply_threads_flag(int& argc, char** argv) {
     argc -= 2;
 }
 
+/// Consume --fleet and its option flags wherever they appear before the
+/// positional arguments, shifting the rest down.
+FleetFlags apply_fleet_flags(int& argc, char** argv) {
+    FleetFlags flags;
+    const auto eat = [&](int at, int count) {
+        for (int i = at + count; i < argc; ++i) argv[i - count] = argv[i];
+        argc -= count;
+    };
+    const auto value_of = [&](int i, const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "error: %s requires a value\n", flag);
+            std::exit(2);
+        }
+        return argv[i + 1];
+    };
+    int i = 1;
+    while (i < argc) {
+        if (std::strcmp(argv[i], "--fleet") == 0) {
+            flags.enabled = true;
+            eat(i, 1);
+        } else if (std::strcmp(argv[i], "--rooms") == 0) {
+            flags.rooms = std::strtoull(value_of(i, "--rooms"), nullptr, 10);
+            eat(i, 2);
+        } else if (std::strcmp(argv[i], "--archetype-mix") == 0) {
+            const auto parsed = wifisense::envsim::parse_archetype_mix(
+                value_of(i, "--archetype-mix"));
+            if (!parsed.is_ok()) {
+                std::fprintf(stderr, "error: %s\n",
+                             parsed.status().message().c_str());
+                std::exit(2);
+            }
+            flags.mix = parsed.value();
+            eat(i, 2);
+        } else if (std::strcmp(argv[i], "--faulty-fraction") == 0) {
+            flags.faulty_fraction = std::atof(value_of(i, "--faulty-fraction"));
+            eat(i, 2);
+        } else {
+            ++i;
+        }
+    }
+    return flags;
+}
+
+int run_fleet(const FleetFlags& flags, const std::string& path, double rate,
+              std::uint64_t seed, double hours) {
+    using namespace wifisense;
+    envsim::FleetConfig cfg;
+    cfg.n_rooms = flags.rooms;
+    cfg.seed = seed;
+    cfg.duration_s = hours * 3600.0;
+    cfg.sample_rate_hz = rate;
+    cfg.mix = flags.mix;
+    cfg.faulty_fraction = flags.faulty_fraction;
+
+    std::printf(
+        "simulating fleet: %zu rooms x %.1f h @ %.2f Hz (seed %llu, %zu "
+        "threads)...\n",
+        cfg.n_rooms, hours, rate, static_cast<unsigned long long>(seed),
+        common::thread_count());
+    envsim::FleetRunStats stats;
+    const data::Dataset ds = envsim::FleetSimulator(cfg).run(&stats);
+    std::printf(
+        "fleet: %zu rooms (office %zu / classroom %zu / home %zu / corridor "
+        "%zu), %zu rows, digest 0x%016llx\n",
+        stats.rooms, stats.rooms_by_archetype[0], stats.rooms_by_archetype[1],
+        stats.rooms_by_archetype[2], stats.rooms_by_archetype[3], stats.rows,
+        static_cast<unsigned long long>(stats.digest));
+    std::printf("writing %zu records to %s ...\n", ds.size(), path.c_str());
+    data::write_csv(ds.view(), path);
+    std::printf("done.\n");
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     using namespace wifisense;
 
     apply_threads_flag(argc, argv);
+    const FleetFlags fleet = apply_fleet_flags(argc, argv);
     if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: %s [--threads N] out.csv [rate_hz=1.0] [seed=7] "
-                     "[hours=74.5]\n",
-                     argv[0]);
+        std::fprintf(
+            stderr,
+            "usage: %s [--threads N] out.csv [rate_hz=1.0] [seed=7] "
+            "[hours=74.5]\n"
+            "       %s [--threads N] --fleet [--rooms N] "
+            "[--archetype-mix SPEC] [--faulty-fraction F]\n"
+            "           out.csv [rate_hz=0.5] [seed=7] [hours=1.0]\n",
+            argv[0], argv[0]);
         return 2;
     }
     const std::string path = argv[1];
-    const double rate = argc > 2 ? std::atof(argv[2]) : 1.0;
+    const double rate = argc > 2 ? std::atof(argv[2]) : (fleet.enabled ? 0.5 : 1.0);
     const auto seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7ull;
-    const double hours = argc > 4 ? std::atof(argv[4]) : 74.5;
+    const double hours = argc > 4 ? std::atof(argv[4]) : (fleet.enabled ? 1.0 : 74.5);
     if (rate <= 0.0 || hours <= 0.0) {
         std::fprintf(stderr, "error: rate and hours must be positive\n");
         return 2;
     }
 
-    envsim::SimulationConfig cfg = envsim::paper_config(rate, seed);
-    cfg.duration_s = hours * 3600.0;
-
-    std::printf("simulating %.1f h @ %.2f Hz (seed %llu, %zu threads)...\n",
-                hours, rate, static_cast<unsigned long long>(seed),
-                common::thread_count());
-    const data::Dataset ds = envsim::OfficeSimulator(cfg).run();
-    std::printf("writing %zu records to %s ...\n", ds.size(), path.c_str());
     try {
+        if (fleet.enabled) return run_fleet(fleet, path, rate, seed, hours);
+
+        envsim::SimulationConfig cfg = envsim::paper_config(rate, seed);
+        cfg.duration_s = hours * 3600.0;
+        std::printf("simulating %.1f h @ %.2f Hz (seed %llu, %zu threads)...\n",
+                    hours, rate, static_cast<unsigned long long>(seed),
+                    common::thread_count());
+        const data::Dataset ds = envsim::OfficeSimulator(cfg).run();
+        std::printf("writing %zu records to %s ...\n", ds.size(), path.c_str());
         data::write_csv(ds.view(), path);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());

@@ -483,19 +483,27 @@ void check_noalloc(const std::string& file, const std::vector<Line>& lines,
 
 /// Files contractually bound to noalloc annotations. In tensor.* every
 /// `*_into` kernel must sit inside an annotated region; trainer.cpp must
-/// annotate its steady-state step.
+/// annotate its steady-state step; parallel.cpp must annotate its region
+/// posting / fan-out path (run_chunks_erased and the pool's run/drain).
 void check_noalloc_required(const std::string& file,
                             const std::vector<Line>& lines, const Directives& d,
                             std::vector<Finding>& findings) {
     const bool is_tensor = path_ends_with(file, "src/nn/tensor.cpp") ||
                            path_ends_with(file, "src/nn/tensor.hpp");
     const bool is_trainer = path_ends_with(file, "src/nn/trainer.cpp");
-    if (!is_tensor && !is_trainer) return;
+    const bool is_pool = path_ends_with(file, "src/common/parallel.cpp");
+    if (!is_tensor && !is_trainer && !is_pool) return;
 
     if (is_trainer && d.noalloc_regions.empty()) {
         findings.push_back({file, 0, "noalloc.required",
                             "trainer.cpp must annotate its steady-state "
                             "training step with noalloc-begin/end"});
+        return;
+    }
+    if (is_pool && d.noalloc_regions.empty()) {
+        findings.push_back({file, 0, "noalloc.required",
+                            "parallel.cpp must annotate its region-posting "
+                            "fan-out path with noalloc-begin/end"});
         return;
     }
     if (!is_tensor) return;
