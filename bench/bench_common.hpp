@@ -36,11 +36,13 @@
 #include <utility>
 #include <vector>
 
+#include "common/cpuid.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/trace.hpp"
 #include "core/experiments.hpp"
 #include "data/folds.hpp"
+#include "nn/kernels/backend.hpp"
 
 namespace wifisense::bench {
 
@@ -61,8 +63,9 @@ inline common::ObservabilityEnv& observability() {
 }
 
 /// Apply the environment and then any --trace-out=FILE / --metrics-out=FILE
-/// command-line flags (flags win). Call first thing in main(); unknown
-/// arguments are left for the bench's own parsing.
+/// / --kernels=NAME command-line flags (flags win over the WIFISENSE_TRACE /
+/// WIFISENSE_METRICS / WIFISENSE_KERNELS environment). Call first thing in
+/// main(); unknown arguments are left for the bench's own parsing.
 inline common::ObservabilityEnv& configure_observability(int argc,
                                                          char** argv) {
     common::ObservabilityEnv& env = observability();
@@ -75,6 +78,16 @@ inline common::ObservabilityEnv& configure_observability(int argc,
             env.metrics = true;
             env.metrics_path = argv[i] + 14;
             common::metrics_enable();
+        } else if (std::strncmp(argv[i], "--kernels=", 10) == 0) {
+            // First touch applies WIFISENSE_KERNELS; the flag then overrides.
+            (void)nn::kernels::configure_kernels_from_env();
+            if (!nn::kernels::set_kernel_backend(argv[i] + 10))
+                std::fprintf(stderr,
+                             "bench: --kernels=%s is unknown or unsupported "
+                             "on this CPU (%s); keeping %s kernels\n",
+                             argv[i] + 10,
+                             common::cpu_feature_string().c_str(),
+                             nn::kernels::active_backend().name);
         }
     }
     return env;
@@ -107,7 +120,9 @@ class BenchReport {
 public:
     explicit BenchReport(std::string name)
         : name_(std::move(name)),
-          threads_(common::configure_threads_from_env()) {
+          threads_(common::configure_threads_from_env()),
+          kernel_backend_(nn::kernels::configure_kernels_from_env()),
+          cpu_features_(common::cpu_feature_string()) {
         (void)observability();  // apply WIFISENSE_TRACE / WIFISENSE_METRICS
         start_ = common::trace_now_ns();
     }
@@ -138,6 +153,12 @@ public:
         std::fprintf(f, "  \"rows\": %llu,\n",
                      static_cast<unsigned long long>(rows_));
         std::fprintf(f, "  \"wall_clock_s\": %.6f,\n", elapsed_s());
+        // Observability annotations: which microkernel backend ran this
+        // bench, and what the host CPU reports (DESIGN.md §16). Strings, so
+        // bench_compare treats them as record metadata, never as metrics.
+        std::fprintf(f, "  \"kernel_backend\": \"%s\",\n",
+                     kernel_backend_.c_str());
+        std::fprintf(f, "  \"cpu_features\": \"%s\",\n", cpu_features_.c_str());
         write_spans(f);
         write_metric_registry(f);
         std::fprintf(f, "  \"metrics\": {");
@@ -211,6 +232,8 @@ private:
 
     std::string name_;
     std::size_t threads_;
+    std::string kernel_backend_;  ///< backend active at bench start
+    std::string cpu_features_;
     std::uint64_t start_ = 0;
     std::uint64_t rows_ = 0;
     std::vector<std::pair<std::string, double>> metrics_;

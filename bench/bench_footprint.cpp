@@ -18,8 +18,10 @@
 #include "common/alloc_counter.hpp"
 #include "core/occupancy_detector.hpp"
 #include "data/dataset.hpp"
+#include "nn/kernels/backend.hpp"
 #include "nn/loss.hpp"
 #include "nn/mlp.hpp"
+#include "nn/quant.hpp"
 #include "nn/trainer.hpp"
 
 namespace {
@@ -181,6 +183,101 @@ void record_training_profile(wifisense::bench::BenchReport& report) {
         predict_allocs);
 }
 
+/// Warm batched-predict throughput (samples/sec) on the active backend.
+double predict_throughput(nn::Mlp& net, const nn::Matrix& x) {
+    net.set_training(false);
+    (void)net.forward_ws(x, /*cache=*/false);  // warm the workspace
+    constexpr int kReps = 50;
+    const std::uint64_t t0 = common::trace_now_ns();
+    for (int i = 0; i < kReps; ++i)
+        benchmark::DoNotOptimize(net.forward_ws(x, /*cache=*/false));
+    const double secs = common::trace_seconds_since(t0);
+    return static_cast<double>(x.rows()) * kReps / secs;
+}
+
+/// Single-sample warm inference latency (microseconds) on the active backend.
+double inference_us(nn::Mlp& net, const nn::Matrix& one) {
+    net.set_training(false);
+    (void)net.forward_ws(one, /*cache=*/false);
+    constexpr int kReps = 2000;
+    const std::uint64_t t0 = common::trace_now_ns();
+    for (int i = 0; i < kReps; ++i)
+        benchmark::DoNotOptimize(net.forward_ws(one, /*cache=*/false));
+    return 1e6 * common::trace_seconds_since(t0) / kReps;
+}
+
+/// Per-backend kernel profile: float throughput/latency on every supported
+/// backend plus the int8 quantized path, each with a warm-forward
+/// zero-allocation probe. The startup backend is restored afterwards so the
+/// google-benchmark section below measures the configuration the user asked
+/// for.
+void record_kernel_backends(wifisense::bench::BenchReport& report) {
+    constexpr std::size_t kRows = 4096;
+    nn::Mlp net = make_net(64);
+    net.set_training(false);
+    const nn::Matrix x = random_batch(kRows, 64);
+    const nn::Matrix one = random_batch(1, 64);
+    const std::string startup = nn::kernels::active_backend().name;
+
+    nn::kernels::set_kernel_backend("scalar");
+    const double scalar_sps = predict_throughput(net, x);
+    report.metric("predict_samples_per_sec_scalar", scalar_sps);
+    std::printf("kernel backends (cpu: %s):\n  scalar: %.3g samples/s\n",
+                common::cpu_feature_string().c_str(), scalar_sps);
+
+    if (nn::kernels::avx2_supported()) {
+        nn::kernels::set_kernel_backend("avx2");
+        const double avx2_sps = predict_throughput(net, x);
+        report.metric("predict_samples_per_sec_avx2", avx2_sps);
+        report.metric("inference_us_per_sample_avx2", inference_us(net, one));
+        (void)net.forward_ws(x, /*cache=*/false);
+        alloc::AllocationProbe probe;
+        (void)net.forward_ws(x, /*cache=*/false);
+        report.metric("warm_forward_allocs_avx2",
+                      static_cast<double>(probe.delta()));
+        std::printf("  avx2:   %.3g samples/s (%.1fx scalar)\n", avx2_sps,
+                    avx2_sps / scalar_sps);
+    } else {
+        std::printf("  avx2:   unsupported on this CPU\n");
+    }
+    // int8 quantized inference, measured on the fastest supported backend —
+    // outputs are bitwise backend-independent (nn/quant.hpp), so "auto" only
+    // changes the wall clock, never the recorded accuracy story. Calibrate
+    // on the bench batch itself: for a footprint timing run the scales only
+    // need to be representative.
+    nn::kernels::set_kernel_backend("auto");
+    nn::QuantizedMlp qnet = nn::quantize_mlp(net, x);
+    report.metric("quant_weight_kib",
+                  static_cast<double>(qnet.weight_bytes()) / 1024.0);
+    qnet.reserve_workspace(kRows);
+    (void)qnet.forward_ws(x);  // warm
+    {
+        alloc::AllocationProbe probe;
+        (void)qnet.forward_ws(x);
+        report.metric("warm_forward_allocs_int8",
+                      static_cast<double>(probe.delta()));
+    }
+    constexpr int kReps = 50;
+    const std::uint64_t t0 = common::trace_now_ns();
+    for (int i = 0; i < kReps; ++i) benchmark::DoNotOptimize(qnet.forward_ws(x));
+    const double int8_sps =
+        static_cast<double>(kRows) * kReps / common::trace_seconds_since(t0);
+    report.metric("predict_samples_per_sec_int8", int8_sps);
+    (void)qnet.forward_ws(one);
+    constexpr int kOneReps = 2000;
+    const std::uint64_t t1 = common::trace_now_ns();
+    for (int i = 0; i < kOneReps; ++i)
+        benchmark::DoNotOptimize(qnet.forward_ws(one));
+    report.metric("inference_us_per_sample_int8",
+                  1e6 * common::trace_seconds_since(t1) / kOneReps);
+    std::printf(
+        "  int8:   %.3g samples/s (%.1fx scalar float, %s backend), "
+        "weights %.2f KiB\n\n",
+        int8_sps, int8_sps / scalar_sps, nn::kernels::active_backend().name,
+        static_cast<double>(qnet.weight_bytes()) / 1024.0);
+    nn::kernels::set_kernel_backend(startup);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -211,7 +308,13 @@ int main(int argc, char** argv) {
         const double secs = common::trace_seconds_since(t0);
         report.metric("inference_us_per_sample", 1e6 * secs / kReps);
         report.set_rows(kReps);
+
+        // Batched throughput on the startup backend — the headline number
+        // the perf gate in CI tracks.
+        const nn::Matrix batch = random_batch(4096, net.input_size());
+        report.metric("predict_samples_per_sec", predict_throughput(net, batch));
     }
+    record_kernel_backends(report);
     record_training_profile(report);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

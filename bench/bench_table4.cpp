@@ -18,7 +18,9 @@ int main(int argc, char** argv) {
     const data::FoldSplit split = data::split_paper_folds(ds);
 
     const std::uint64_t t0 = common::trace_now_ns();
-    const core::Table4Result result = core::run_table4(split);
+    core::Table4Config cfg;
+    cfg.eval_int8 = true;  // quantization accuracy gate, see bench_compare
+    const core::Table4Result result = core::run_table4(split, cfg);
     const double dt_s = common::trace_seconds_since(t0);
 
     std::printf("%s", result.render().c_str());
@@ -33,6 +35,14 @@ int main(int argc, char** argv) {
             report.metric(std::string("avg_acc_pct_") + kModelKeys[m] + "_" +
                               kFeatureKeys[f],
                           result.average[m][f]);
+    if (result.has_int8) {
+        for (std::size_t f = 0; f < 3; ++f)
+            report.metric(std::string("avg_acc_pct_mlp_int8_") + kFeatureKeys[f],
+                          result.int8_average[f]);
+        // Held below 0.5 pp by the baseline-free --limit gate in CI; bitwise
+        // identical across kernel backends and thread counts (nn/quant.hpp).
+        report.metric("mlp_int8_acc_delta_pp_max", result.int8_delta_pp_max());
+    }
     report.write();
 
     std::printf(

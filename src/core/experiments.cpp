@@ -16,6 +16,7 @@
 #include "ml/random_forest.hpp"
 #include "ml/time_baseline.hpp"
 #include "nn/loss.hpp"
+#include "nn/quant.hpp"
 #include "nn/trainer.hpp"
 #include "stats/adf.hpp"
 #include "stats/correlation.hpp"
@@ -155,6 +156,24 @@ Table4Result run_table4(const data::FoldSplit& split, const Table4Config& cfg) {
                 res.accuracy[static_cast<std::size_t>(Model::kMlp)][fi][f] =
                     100.0 * stats::accuracy(b.test_y[f],
                                             nn::predict_binary(net, b.test_x[f]));
+            if (cfg.eval_int8) {
+                // Calibrate activation scales on a strided slice of the
+                // (scaled) training features — held out from the test folds.
+                const std::size_t calib_stride =
+                    std::max<std::size_t>(1, b.train_x.rows() / 2048);
+                const std::size_t calib_rows =
+                    (b.train_x.rows() + calib_stride - 1) / calib_stride;
+                nn::Matrix calib(calib_rows, b.train_x.cols());
+                for (std::size_t r = 0; r < calib_rows; ++r)
+                    std::copy_n(b.train_x.row(r * calib_stride).data(),
+                                b.train_x.cols(), calib.row(r).data());
+                nn::QuantizedMlp qnet = nn::quantize_mlp(net, calib);
+                for (std::size_t f = 0; f < data::kNumTestFolds; ++f)
+                    res.int8_accuracy[fi][f] =
+                        100.0 * stats::accuracy(
+                                    b.test_y[f],
+                                    nn::predict_binary(qnet, b.test_x[f]));
+            }
         });
     }
     common::parallel_invoke(cells);
@@ -166,6 +185,15 @@ Table4Result run_table4(const data::FoldSplit& split, const Table4Config& cfg) {
                 acc += res.accuracy[m][fi][f];
             res.average[m][fi] = acc / static_cast<double>(data::kNumTestFolds);
         }
+    if (cfg.eval_int8) {
+        res.has_int8 = true;
+        for (std::size_t fi = 0; fi < 3; ++fi) {
+            double acc = 0.0;
+            for (std::size_t f = 0; f < data::kNumTestFolds; ++f)
+                acc += res.int8_accuracy[fi][f];
+            res.int8_average[fi] = acc / static_cast<double>(data::kNumTestFolds);
+        }
+    }
 
     // Time-only baseline (the paper's 89.3% figure): the same MLP trained on
     // the single seconds-of-day feature.
@@ -202,6 +230,14 @@ Table4Result run_table4(const data::FoldSplit& split, const Table4Config& cfg) {
     return res;
 }
 
+double Table4Result::int8_delta_pp_max() const {
+    double worst = 0.0;
+    const std::size_t mlp = static_cast<std::size_t>(Model::kMlp);
+    for (std::size_t fi = 0; fi < 3; ++fi)
+        worst = std::max(worst, std::abs(average[mlp][fi] - int8_average[fi]));
+    return worst;
+}
+
 std::string Table4Result::render() const {
     std::ostringstream os;
     os << "Occupancy detection accuracy (%) over the 5 testing folds\n";
@@ -226,6 +262,18 @@ std::string Table4Result::render() const {
         row(name, f, false);
     }
     row("Avg. ", 0, true);
+    if (has_int8) {
+        os << "int8  |                    |                    |";
+        for (std::size_t fi = 0; fi < 3; ++fi) {
+            char buf[16];
+            std::snprintf(buf, sizeof(buf), " %5.1f", int8_average[fi]);
+            os << buf;
+        }
+        char delta[48];
+        std::snprintf(delta, sizeof(delta), "  | (max delta %.2f pp)\n",
+                      int8_delta_pp_max());
+        os << delta;
+    }
     char tail[64];
     std::snprintf(tail, sizeof(tail), "Time-only baseline: %.1f%%\n",
                   time_baseline_pct);

@@ -39,6 +39,13 @@ struct Table4Config {
     /// superlinearly in rows).
     std::size_t forest_extra_stride = 4;
     std::uint64_t seed = 42;
+    /// Also evaluate an int8 post-training-quantized copy of each trained
+    /// MLP cell (weights from the float net, activation scales calibrated on
+    /// a strided slice of the training features). Opt-in: adds a quantized
+    /// predict sweep per cell, nothing else changes. The quantized numbers
+    /// are bitwise identical across kernel backends and thread counts (see
+    /// nn/quant.hpp), so the accuracy-delta gate in CI is machine-stable.
+    bool eval_int8 = false;
 };
 
 struct Table4Result {
@@ -48,6 +55,16 @@ struct Table4Result {
     std::array<std::array<double, 3>, 3> average{};
     /// The paper's "time only" baseline accuracy over the whole test period.
     double time_baseline_pct = 0.0;
+
+    /// int8-quantized MLP accuracy[feature][fold], percent (populated only
+    /// with Table4Config::eval_int8; has_int8 says which).
+    std::array<std::array<double, data::kNumTestFolds>, 3> int8_accuracy{};
+    std::array<double, 3> int8_average{};
+    bool has_int8 = false;
+    /// Largest |float - int8| fold-average accuracy gap across the three MLP
+    /// feature-set cells, percentage points — the number the quantization
+    /// gate in bench_compare holds below 0.5 pp.
+    double int8_delta_pp_max() const;
 
     std::string render() const;  ///< the table, formatted like the paper
 };

@@ -1,0 +1,66 @@
+#include "nn/kernels/backend.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/cpuid.hpp"
+
+namespace wifisense::nn::kernels {
+
+namespace {
+
+const KernelBackend* resolve(std::string_view name) {
+    if (name == "scalar") return &scalar_backend();
+    if (name == "avx2") return avx2_supported() ? avx2_backend() : nullptr;
+    if (name == "auto")
+        return avx2_supported() ? avx2_backend() : &scalar_backend();
+    return nullptr;
+}
+
+/// Startup selection: WIFISENSE_KERNELS if set (bad values warn and fall
+/// back), otherwise the scalar reference. Runs once, on the first touch of
+/// the dispatch slot from any entry point.
+const KernelBackend* startup_backend() {
+    if (const char* env = std::getenv("WIFISENSE_KERNELS");
+        env != nullptr && env[0] != '\0') {
+        if (const KernelBackend* backend = resolve(env)) return backend;
+        std::fprintf(stderr,
+                     "wifisense: WIFISENSE_KERNELS=%s is unknown or "
+                     "unsupported on this CPU (%s); using scalar kernels\n",
+                     env, common::cpu_feature_string().c_str());
+    }
+    return &scalar_backend();
+}
+
+/// Relaxed is enough: the table contents are immutable statics; only the
+/// pointer swaps, and callers are required to switch between parallel
+/// regions (same contract as common::set_execution_config).
+std::atomic<const KernelBackend*>& active_slot() {
+    static std::atomic<const KernelBackend*> slot{startup_backend()};
+    return slot;
+}
+
+}  // namespace
+
+bool avx2_supported() {
+    const common::CpuFeatures& f = common::cpu_features();
+    return avx2_backend() != nullptr && f.avx2 && f.fma;
+}
+
+const KernelBackend& active_backend() {
+    return *active_slot().load(std::memory_order_relaxed);
+}
+
+bool set_kernel_backend(std::string_view name) {
+    const KernelBackend* backend = resolve(name);
+    if (backend == nullptr) return false;
+    active_slot().store(backend, std::memory_order_relaxed);
+    return true;
+}
+
+const char* configure_kernels_from_env() {
+    return active_slot().load(std::memory_order_relaxed)->name;
+}
+
+}  // namespace wifisense::nn::kernels

@@ -1,0 +1,118 @@
+// Runtime-dispatched microkernel backends (DESIGN.md §16).
+//
+// The tensor-level `_into` kernels in nn/tensor.cpp keep their shape checks,
+// workspace resizing and deterministic row-chunk decomposition, but the
+// per-row-range arithmetic is routed through the function-pointer table
+// below. Two implementations register here:
+//
+//   * scalar (src/nn/kernels/scalar.cpp) — the bitwise-deterministic
+//     reference: byte-for-byte the historical loops, pinned by the workspace
+//     goldens at 1/2/8 threads. Always available; the startup default.
+//   * avx2 (src/nn/kernels/avx2.cpp) — AVX2+FMA vectorized kernels, built
+//     only on x86-64 (the TU carries its own -mavx2 -mfma flags) and
+//     eligible only when CPUID reports both extensions. FMA contraction
+//     reassociates rounding, so this backend answers to tolerance goldens,
+//     not bitwise ones; results are still bitwise *thread-count invariant*
+//     because the chunk decomposition never changes.
+//
+// Selection: WIFISENSE_KERNELS=scalar|avx2|auto (env), or the --kernels=
+// flag on the bench/tool binaries, or set_kernel_backend() from code.
+// `auto` resolves to the fastest supported backend. The default without any
+// of those is scalar — reproduction bitwise-ness stays opt-out, speed
+// opt-in (see DESIGN.md §16 for the rationale).
+//
+// Every function here writes only rows [r0, r1) of its destination and
+// reads nothing it may concurrently write, so the tensor layer can hand
+// disjoint row blocks to different pool workers unchanged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace wifisense::nn::kernels {
+
+/// Elementwise activation fused into the bias / dequantize epilogues.
+enum class Activation : std::uint8_t { kNone = 0, kReLU = 1, kSigmoid = 2 };
+
+/// Function-pointer dispatch table. All matrices are dense row-major with
+/// no padding: row i of an [r x c] matrix starts at data + i*c.
+struct KernelBackend {
+    const char* name;
+
+    /// C[r0:r1) += A * B. A is [m x k], B is [k x n], C is [m x n].
+    void (*matmul_rows)(const float* a, const float* b, float* c,
+                        std::size_t k, std::size_t n, std::size_t r0,
+                        std::size_t r1);
+
+    /// Rows [i0, i1) of C += A^T * B. A is [kk x m], B is [kk x n],
+    /// C is [m x n].
+    void (*matmul_tn_rows)(const float* a, const float* b, float* c,
+                           std::size_t kk, std::size_t m, std::size_t n,
+                           std::size_t i0, std::size_t i1);
+
+    /// C[r0:r1) = A * B^T. A is [m x k], B is [n x k], C is [m x n].
+    void (*matmul_nt_rows)(const float* a, const float* b, float* c,
+                           std::size_t k, std::size_t n, std::size_t r0,
+                           std::size_t r1);
+
+    /// out[c] += column sums of A ([rows x cols]); out has cols entries.
+    /// Accumulation over rows is sequential per column on every backend, so
+    /// this kernel is bitwise identical across backends.
+    void (*column_sums_rows)(const float* a, std::size_t rows,
+                             std::size_t cols, float* out);
+
+    /// Fused epilogue: c[r][j] = act(c[r][j] + bias[j]) for rows [r0, r1).
+    /// Per-element order matches the historical add-bias-then-activation
+    /// layer sequence, so the scalar version is bitwise interchangeable
+    /// with it.
+    void (*bias_act_rows)(float* c, const float* bias, std::size_t n,
+                          Activation act, std::size_t r0, std::size_t r1);
+
+    /// int8 GEMM against a transposed weight matrix:
+    /// c[r][j] = sum_k a[r*k + kk] * w[j*k + kk], int32 accumulation,
+    /// for rows [r0, r1). a is [rows x k] int8, w is [n x k] int8.
+    /// Integer arithmetic is exact, so every backend agrees bitwise.
+    void (*gemm_s8_rows)(const std::int8_t* a, const std::int8_t* w,
+                         std::int32_t* c, std::size_t k, std::size_t n,
+                         std::size_t r0, std::size_t r1);
+
+    /// Symmetric int8 quantization of rows [r0, r1) of x ([rows x n]):
+    /// q[i] = clamp(round_to_nearest_even(x[i] * inv_scale), -127, 127).
+    void (*quantize_s8_rows)(const float* x, std::int8_t* q, float inv_scale,
+                             std::size_t n, std::size_t r0, std::size_t r1);
+
+    /// Dequantize + bias + activation epilogue of the int8 GEMM:
+    /// out[r][j] = act(acc[r][j] * scale + bias[j]) for rows [r0, r1).
+    void (*dequant_bias_act_rows)(const std::int32_t* acc, float scale,
+                                  const float* bias, float* out,
+                                  std::size_t n, Activation act,
+                                  std::size_t r0, std::size_t r1);
+};
+
+/// The always-available bitwise-reference backend.
+const KernelBackend& scalar_backend();
+
+/// The AVX2+FMA backend, or nullptr on builds without x86-64 support.
+/// (Hardware eligibility is a separate question — see avx2_supported().)
+const KernelBackend* avx2_backend();
+
+/// True when the AVX2 backend is both compiled in and runnable on this CPU.
+bool avx2_supported();
+
+/// The backend the tensor kernels currently route through. First use
+/// applies WIFISENSE_KERNELS (unset/empty => scalar).
+const KernelBackend& active_backend();
+
+/// Select a backend by name: "scalar", "avx2", or "auto" (fastest
+/// supported). Returns false — leaving the active backend unchanged — for
+/// unknown names or for "avx2" on hardware without it. Must not be called
+/// from inside a parallel region.
+bool set_kernel_backend(std::string_view name);
+
+/// Apply the WIFISENSE_KERNELS environment variable if set and non-empty
+/// (invalid values fall back to scalar with a stderr warning). Returns the
+/// name of the backend in effect afterwards.
+const char* configure_kernels_from_env();
+
+}  // namespace wifisense::nn::kernels

@@ -1,0 +1,164 @@
+// Scalar reference backend: the bitwise-deterministic kernels every golden
+// in the repo pins. The float GEMM bodies are byte-for-byte the historical
+// loops from nn/tensor.cpp (i-k-j order, ascending-k accumulation, the
+// zero-multiplier skip) — moving them behind the dispatch table must not
+// change a single bit at any thread count (tests/test_nn_workspace.cpp).
+#include <algorithm>
+#include <cmath>
+
+#include "nn/kernels/backend.hpp"
+
+namespace wifisense::nn::kernels {
+
+namespace {
+
+// wifisense-lint: noalloc-begin
+
+/// C[r0:r1) += A * B, i-k-j order (streams B and C rows, row-major friendly).
+void scalar_matmul_rows(const float* a, const float* b, float* c,
+                        std::size_t k, std::size_t n, std::size_t r0,
+                        std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+        const float* arow = a + i * k;
+        float* crow = c + i * n;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            if (av == 0.0f) continue;
+            const float* brow = b + kk * n;
+            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+    }
+}
+
+/// Rows [i0, i1) of C += A^T * B: row i accumulates a(kk, i) * b(kk, :)
+/// over ascending kk — the historical per-element order.
+void scalar_matmul_tn_rows(const float* a, const float* b, float* c,
+                           std::size_t kk_count, std::size_t m, std::size_t n,
+                           std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+        float* crow = c + i * n;
+        for (std::size_t kk = 0; kk < kk_count; ++kk) {
+            const float av = a[kk * m + i];
+            if (av == 0.0f) continue;
+            const float* brow = b + kk * n;
+            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+    }
+}
+
+/// C[r0:r1) = A * B^T: independent dot products per output element.
+void scalar_matmul_nt_rows(const float* a, const float* b, float* c,
+                           std::size_t k, std::size_t n, std::size_t r0,
+                           std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+        const float* arow = a + i * k;
+        float* crow = c + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float* brow = b + j * k;
+            float acc = 0.0f;
+            for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+            crow[j] = acc;
+        }
+    }
+}
+
+void scalar_column_sums_rows(const float* a, std::size_t rows,
+                             std::size_t cols, float* out) {
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float* row = a + r * cols;
+        for (std::size_t c = 0; c < cols; ++c) out[c] += row[c];
+    }
+}
+
+void scalar_bias_act_rows(float* c, const float* bias, std::size_t n,
+                          Activation act, std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+        float* crow = c + i * n;
+        switch (act) {
+            case Activation::kNone:
+                for (std::size_t j = 0; j < n; ++j) crow[j] += bias[j];
+                break;
+            case Activation::kReLU:
+                for (std::size_t j = 0; j < n; ++j) {
+                    const float v = crow[j] + bias[j];
+                    crow[j] = v > 0.0f ? v : 0.0f;
+                }
+                break;
+            case Activation::kSigmoid:
+                for (std::size_t j = 0; j < n; ++j) {
+                    const float v = crow[j] + bias[j];
+                    crow[j] = 1.0f / (1.0f + std::exp(-v));
+                }
+                break;
+        }
+    }
+}
+
+void scalar_gemm_s8_rows(const std::int8_t* a, const std::int8_t* w,
+                         std::int32_t* c, std::size_t k, std::size_t n,
+                         std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+        const std::int8_t* arow = a + i * k;
+        std::int32_t* crow = c + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            const std::int8_t* wrow = w + j * k;
+            std::int32_t acc = 0;
+            for (std::size_t kk = 0; kk < k; ++kk)
+                acc += static_cast<std::int32_t>(arow[kk]) *
+                       static_cast<std::int32_t>(wrow[kk]);
+            crow[j] = acc;
+        }
+    }
+}
+
+void scalar_quantize_s8_rows(const float* x, std::int8_t* q, float inv_scale,
+                             std::size_t n, std::size_t r0, std::size_t r1) {
+    // nearbyintf under the default FP environment rounds to nearest-even —
+    // the same rule _mm256_cvtps_epi32 applies, so the backends agree
+    // exactly on every quantized value.
+    for (std::size_t i = r0 * n; i < r1 * n; ++i) {
+        const float r = std::nearbyintf(x[i] * inv_scale);
+        const float clamped = std::min(127.0f, std::max(-127.0f, r));
+        q[i] = static_cast<std::int8_t>(clamped);
+    }
+}
+
+void scalar_dequant_bias_act_rows(const std::int32_t* acc, float scale,
+                                  const float* bias, float* out, std::size_t n,
+                                  Activation act, std::size_t r0,
+                                  std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+        const std::int32_t* arow = acc + i * n;
+        float* orow = out + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            float v = static_cast<float>(arow[j]) * scale + bias[j];
+            if (act == Activation::kReLU) {
+                v = v > 0.0f ? v : 0.0f;
+            } else if (act == Activation::kSigmoid) {
+                v = 1.0f / (1.0f + std::exp(-v));
+            }
+            orow[j] = v;
+        }
+    }
+}
+
+// wifisense-lint: noalloc-end
+
+}  // namespace
+
+const KernelBackend& scalar_backend() {
+    static const KernelBackend backend = {
+        "scalar",
+        &scalar_matmul_rows,
+        &scalar_matmul_tn_rows,
+        &scalar_matmul_nt_rows,
+        &scalar_column_sums_rows,
+        &scalar_bias_act_rows,
+        &scalar_gemm_s8_rows,
+        &scalar_quantize_s8_rows,
+        &scalar_dequant_bias_act_rows,
+    };
+    return backend;
+}
+
+}  // namespace wifisense::nn::kernels

@@ -35,6 +35,17 @@ struct ParamView {
     std::span<float> grads;
 };
 
+/// Coarse layer identity for structure-aware walkers — the Mlp fused
+/// inference path and the post-training quantizer pattern-match on this
+/// instead of dynamic_cast chains.
+enum class LayerKind : std::uint8_t {
+    kDense = 0,
+    kReLU = 1,
+    kSigmoid = 2,
+    kDropout = 3,
+    kOther = 4,
+};
+
 class Layer {
 public:
     virtual ~Layer() = default;
@@ -64,6 +75,7 @@ public:
     virtual std::vector<ParamView> parameters() { return {}; }
 
     virtual std::string name() const = 0;
+    virtual LayerKind kind() const { return LayerKind::kOther; }
     virtual std::size_t input_size() const = 0;
     virtual std::size_t output_size() const = 0;
 
@@ -86,6 +98,15 @@ public:
     /// parameters(); parameterized layers override it to avoid building the
     /// view vector (zero_grad runs every training step and must not allocate).
     virtual void zero_grad();
+
+    /// Drop the cached forward/backward views, exactly as an uncached
+    /// forward_into() would. The Mlp fused inference path bypasses
+    /// forward_into() entirely and calls this on the layers it skips, so
+    /// Grad-CAM and backward_into() observe the same "last pass was
+    /// inference" state either way.
+    void clear_forward_cache() {
+        in_view_ = out_view_ = out_grad_view_ = nullptr;
+    }
 
 protected:
     /// Record (or clear, when !cache) the forward views; resets the output
@@ -115,6 +136,7 @@ public:
     std::vector<ParamView> parameters() override;
     void zero_grad() override;
     std::string name() const override { return "Dense"; }
+    LayerKind kind() const override { return LayerKind::kDense; }
     std::size_t input_size() const override { return in_; }
     std::size_t output_size() const override { return out_; }
 
@@ -143,6 +165,7 @@ public:
     void forward_into(const Matrix& input, Matrix& output, bool cache) override;
     void backward_into(const Matrix& grad_output, Matrix& grad_input) override;
     std::string name() const override { return "ReLU"; }
+    LayerKind kind() const override { return LayerKind::kReLU; }
     std::size_t input_size() const override { return width_; }
     std::size_t output_size() const override { return width_; }
 
@@ -160,6 +183,7 @@ public:
     void forward_into(const Matrix& input, Matrix& output, bool cache) override;
     void backward_into(const Matrix& grad_output, Matrix& grad_input) override;
     std::string name() const override { return "Dropout"; }
+    LayerKind kind() const override { return LayerKind::kDropout; }
     std::size_t input_size() const override { return width_; }
     std::size_t output_size() const override { return width_; }
     void reserve_batch(std::size_t max_rows) override;
@@ -182,6 +206,7 @@ public:
     void forward_into(const Matrix& input, Matrix& output, bool cache) override;
     void backward_into(const Matrix& grad_output, Matrix& grad_input) override;
     std::string name() const override { return "Sigmoid"; }
+    LayerKind kind() const override { return LayerKind::kSigmoid; }
     std::size_t input_size() const override { return width_; }
     std::size_t output_size() const override { return width_; }
 

@@ -48,6 +48,43 @@ const Matrix& Mlp::forward_ws(const Matrix& input, bool cache) {
     if (input.rows() > ws_rows_ || ws_act_.size() != layers_.size())
         reserve_workspace(std::max(input.rows(), ws_rows_));
     const Matrix* cur = &input;
+    if (!cache && !training_) {
+        // Fused inference fast path: Dense + following ReLU/Sigmoid run as
+        // one kernel (GEMM rows + bias/activation epilogue while the rows
+        // are cache-hot), Dropout is skipped outright (identity at
+        // inference). Bitwise identical to the layer-by-layer walk on the
+        // scalar backend: same per-element arithmetic in the same order,
+        // minus the activation layer's full-batch copy. Skipped layers get
+        // their caches cleared exactly as an uncached forward_into() would.
+        for (std::size_t i = 0; i < layers_.size(); ++i) {
+            Layer& layer = *layers_[i];
+            if (layer.kind() == LayerKind::kDense) {
+                auto& dense = static_cast<Dense&>(layer);
+                const LayerKind next = i + 1 < layers_.size()
+                                           ? layers_[i + 1]->kind()
+                                           : LayerKind::kOther;
+                kernels::Activation act = kernels::Activation::kNone;
+                if (next == LayerKind::kReLU) act = kernels::Activation::kReLU;
+                if (next == LayerKind::kSigmoid) act = kernels::Activation::kSigmoid;
+                std::size_t slot = i;
+                if (act != kernels::Activation::kNone) {
+                    layers_[i + 1]->clear_forward_cache();
+                    slot = ++i;  // write straight into the activation's slot
+                }
+                layer.clear_forward_cache();
+                dense_forward_into(*cur, dense.weights(), dense.bias(), act,
+                                   ws_act_[slot]);
+                cur = &ws_act_[slot];
+            } else if (layer.kind() == LayerKind::kDropout) {
+                layer.clear_forward_cache();  // identity: no copy, no cache
+            } else {
+                layer.forward_into(*cur, ws_act_[i], /*cache=*/false);
+                cur = &ws_act_[i];
+            }
+        }
+        fwd_input_ = nullptr;
+        return *cur;
+    }
     for (std::size_t i = 0; i < layers_.size(); ++i) {
         layers_[i]->forward_into(*cur, ws_act_[i], cache);
         cur = &ws_act_[i];

@@ -1,0 +1,301 @@
+#include "nn/quant.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+#include "nn/kernels/backend.hpp"
+
+namespace wifisense::nn {
+
+namespace {
+
+/// Log-domain histogram of |v|: the bin index is the exponent plus the top
+/// four mantissa bits of the float (bits >> 19), so edges are fixed
+/// ~6%-spaced magnitudes, counts are exact integers, and the percentile
+/// scan needs no second data pass and no knowledge of the range. Used to
+/// clip the activation calibration: absmax scales are hostage to a single
+/// outlier (one 8-sigma value halves the resolution of every other
+/// activation), while a high-percentile clip saturates the handful of
+/// outliers — the quantizer clamps to +-127 anyway — and keeps the mass of
+/// values fine-grained.
+struct AbsHistogram {
+    std::array<std::uint32_t, 4096> bins{};
+    std::uint64_t zeros = 0;
+    std::uint64_t total = 0;
+    float absmax = 0.0f;
+
+    void add(float v) {
+        const float a = std::abs(v);
+        ++total;
+        if (a == 0.0f) {
+            ++zeros;
+            return;
+        }
+        absmax = std::max(absmax, a);
+        std::uint32_t bits;
+        std::memcpy(&bits, &a, sizeof(bits));
+        ++bins[bits >> 19];
+    }
+
+    /// Smallest fixed bin edge covering at least `coverage` of the values
+    /// (zeros sit below every edge); absmax when nothing can be clipped.
+    float clip(double coverage) const {
+        if (total == 0) return 0.0f;
+        const auto target = static_cast<std::uint64_t>(
+            std::ceil(coverage * static_cast<double>(total)));
+        std::uint64_t seen = zeros;
+        for (std::size_t b = 0; b < bins.size(); ++b) {
+            seen += bins[b];
+            if (seen >= target) {
+                const auto edge_bits = static_cast<std::uint32_t>((b + 1) << 19);
+                float edge;
+                std::memcpy(&edge, &edge_bits, sizeof(edge));
+                return std::min(edge, absmax);
+            }
+        }
+        return absmax;
+    }
+};
+
+/// Fraction of calibration activations kept inside the quantization range;
+/// the rest saturate. See AbsHistogram.
+constexpr double kCalibCoverage = 0.9995;
+
+/// Row-block size for the int8 layer kernel; same ~64k-mul-adds-per-task
+/// shape-only rule as the float GEMM dispatch in tensor.cpp.
+std::size_t quant_row_grain(std::size_t flops_per_row) {
+    constexpr std::size_t kTargetFlopsPerTask = 64 * 1024;
+    if (flops_per_row == 0) return 1;
+    return std::max<std::size_t>(1, kTargetFlopsPerTask / flops_per_row);
+}
+
+/// absmax/127 with a safe floor: an all-zero tensor quantizes with scale 1
+/// (every value maps to 0 either way).
+float symmetric_scale(float absmax) {
+    return absmax > 0.0f ? absmax / 127.0f : 1.0f;
+}
+
+// wifisense-lint: noalloc-begin
+
+/// One quantized layer over rows [0, rows): quantize the float input,
+/// int8-GEMM against the transposed weights, dequantize+bias+activation
+/// into `out`. All three stages run per row chunk while the rows are
+/// cache-hot. Buffers are caller-owned; nothing here allocates.
+void quantized_layer_forward_into(const QuantizedDenseLayer& layer,
+                                  const float* in, std::size_t rows,
+                                  std::int8_t* q, std::int32_t* acc,
+                                  float* out) {
+    const std::size_t k = layer.in, n = layer.out;
+    const kernels::KernelBackend& kb = kernels::active_backend();
+    const float inv_in_scale = 1.0f / layer.in_scale;
+    const float dequant_scale = layer.in_scale * layer.w_scale;
+    const std::int8_t* w = layer.weights.data();
+    const float* bias = layer.bias.data();
+    const kernels::Activation act = layer.act;
+    common::parallel_for_chunks(
+        rows, quant_row_grain(k * n), [&](std::size_t r0, std::size_t r1) {
+            kb.quantize_s8_rows(in, q, inv_in_scale, k, r0, r1);
+            kb.gemm_s8_rows(q, w, acc, k, n, r0, r1);
+            kb.dequant_bias_act_rows(acc, dequant_scale, bias, out, n, act, r0,
+                                     r1);
+        });
+}
+
+// wifisense-lint: noalloc-end
+
+}  // namespace
+
+QuantizedMlp QuantizedMlp::from_layers(std::vector<QuantizedDenseLayer> layers) {
+    if (layers.empty())
+        throw std::invalid_argument("QuantizedMlp: need at least one layer");
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const QuantizedDenseLayer& l = layers[i];
+        if (l.in == 0 || l.out == 0)
+            throw std::invalid_argument("QuantizedMlp: zero-sized layer");
+        if (l.weights.size() != l.in * l.out)
+            throw std::invalid_argument("QuantizedMlp: weight count mismatch");
+        if (l.bias.size() != l.out)
+            throw std::invalid_argument("QuantizedMlp: bias count mismatch");
+        if (!(l.in_scale > 0.0f) || !(l.w_scale > 0.0f))
+            throw std::invalid_argument("QuantizedMlp: non-positive scale");
+        if (i > 0 && layers[i - 1].out != l.in)
+            throw std::invalid_argument("QuantizedMlp: layer width mismatch");
+    }
+    QuantizedMlp net;
+    net.layers_ = std::move(layers);
+    return net;
+}
+
+std::size_t QuantizedMlp::parameter_count() const {
+    std::size_t n = 0;
+    for (const QuantizedDenseLayer& l : layers_)
+        n += l.weights.size() + l.bias.size();
+    return n;
+}
+
+std::size_t QuantizedMlp::weight_bytes() const {
+    std::size_t bytes = 0;
+    for (const QuantizedDenseLayer& l : layers_)
+        bytes += l.weights.size() * sizeof(std::int8_t) +
+                 l.bias.size() * sizeof(float);
+    return bytes;
+}
+
+void QuantizedMlp::reserve_workspace(std::size_t max_rows) {
+    if (layers_.empty())
+        throw std::logic_error("QuantizedMlp::reserve_workspace: empty network");
+    if (max_rows <= ws_rows_) return;
+    ws_rows_ = max_rows;
+    std::size_t max_in = 0, max_out = 0;
+    for (const QuantizedDenseLayer& l : layers_) {
+        max_in = std::max(max_in, l.in);
+        max_out = std::max(max_out, l.out);
+    }
+    ws_input_.reserve(max_rows, input_size());
+    ws_a_.reserve(max_rows, max_out);
+    ws_b_.reserve(max_rows, max_out);
+    // Sized once to the reserved capacity; the hot path indexes by row count
+    // and never resizes them.
+    ws_q_.resize(max_rows * max_in);
+    ws_acc_.resize(max_rows * max_out);
+}
+
+const Matrix& QuantizedMlp::forward_ws(const Matrix& input) {
+    if (layers_.empty())
+        throw std::logic_error("QuantizedMlp::forward: empty network");
+    if (input.cols() != input_size())
+        throw std::invalid_argument("QuantizedMlp::forward: input width " +
+                                    input.shape_string() + " != network input");
+    if (input.rows() > ws_rows_) reserve_workspace(input.rows());
+    const std::size_t rows = input.rows();
+    const Matrix* cur = &input;
+    Matrix* next = &ws_a_;
+    for (const QuantizedDenseLayer& layer : layers_) {
+        // wifisense-lint: allow(noalloc.container-growth) resize within the
+        // reserved workspace capacity is allocation-free (DESIGN.md §11)
+        next->resize(rows, layer.out);
+        quantized_layer_forward_into(layer, cur->data().data(), rows,
+                                     ws_q_.data(), ws_acc_.data(),
+                                     next->data().data());
+        cur = next;
+        next = next == &ws_a_ ? &ws_b_ : &ws_a_;
+    }
+    return *cur;
+}
+
+QuantizedMlp quantize_mlp(const Mlp& net, const Matrix& calibration) {
+    if (net.layers().empty())
+        throw std::invalid_argument("quantize_mlp: empty network");
+    if (calibration.rows() == 0 || calibration.cols() != net.input_size())
+        throw std::invalid_argument(
+            "quantize_mlp: calibration batch must be [n >= 1 x input_size]");
+
+    // Sweep the calibration batch through a clone of the float network with
+    // activation caching on (inference mode, so Dropout is the identity) and
+    // histogram the magnitudes seen at every Dense layer's input — the
+    // percentile-clipped maximum over that sweep, divided by 127, is the
+    // layer's activation scale.
+    Mlp probe = net.clone();
+    probe.set_training(false);
+    const std::vector<std::unique_ptr<Layer>>& layers = probe.layers();
+    std::vector<AbsHistogram> dense_hist(layers.size());
+    constexpr std::size_t kCalibBatch = 4096;
+    probe.reserve_workspace(std::min<std::size_t>(kCalibBatch, calibration.rows()));
+    for (std::size_t begin = 0; begin < calibration.rows(); begin += kCalibBatch) {
+        const std::size_t count =
+            std::min(kCalibBatch, calibration.rows() - begin);
+        Matrix& block = probe.input_buffer();
+        row_block_into(calibration, begin, count, block);
+        probe.forward_ws(block, /*cache=*/true);
+        for (std::size_t i = 0; i < layers.size(); ++i) {
+            if (layers[i]->kind() != LayerKind::kDense) continue;
+            const Matrix& in_act = i == 0 ? block : layers[i - 1]->last_output();
+            for (const float v : in_act.data()) dense_hist[i].add(v);
+        }
+    }
+
+    std::vector<QuantizedDenseLayer> qlayers;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const Layer& layer = *layers[i];
+        switch (layer.kind()) {
+            case LayerKind::kDense: {
+                const auto& dense = static_cast<const Dense&>(layer);
+                QuantizedDenseLayer q;
+                q.in = dense.input_size();
+                q.out = dense.output_size();
+                q.in_scale = symmetric_scale(dense_hist[i].clip(kCalibCoverage));
+                float wmax = 0.0f;
+                for (const float v : dense.weights().data())
+                    wmax = std::max(wmax, std::abs(v));
+                q.w_scale = symmetric_scale(wmax);
+                // Transpose [in x out] -> [out x in] while quantizing.
+                q.weights.resize(q.in * q.out);
+                const float inv_w_scale = 1.0f / q.w_scale;
+                for (std::size_t r = 0; r < q.in; ++r)
+                    for (std::size_t c = 0; c < q.out; ++c) {
+                        const float rounded = std::nearbyintf(
+                            dense.weights().at(r, c) * inv_w_scale);
+                        q.weights[c * q.in + r] = static_cast<std::int8_t>(
+                            std::min(127.0f, std::max(-127.0f, rounded)));
+                    }
+                q.bias = dense.bias();
+                // Fuse an immediately following activation layer.
+                if (i + 1 < layers.size()) {
+                    const LayerKind next = layers[i + 1]->kind();
+                    if (next == LayerKind::kReLU) {
+                        q.act = kernels::Activation::kReLU;
+                        ++i;
+                    } else if (next == LayerKind::kSigmoid) {
+                        q.act = kernels::Activation::kSigmoid;
+                        ++i;
+                    }
+                }
+                qlayers.push_back(std::move(q));
+                break;
+            }
+            case LayerKind::kDropout:
+                break;  // identity at inference
+            case LayerKind::kReLU:
+            case LayerKind::kSigmoid:
+                throw std::invalid_argument(
+                    "quantize_mlp: activation layer not preceded by Dense");
+            case LayerKind::kOther:
+                throw std::invalid_argument(
+                    "quantize_mlp: unsupported layer type " + layer.name());
+        }
+    }
+    return QuantizedMlp::from_layers(std::move(qlayers));
+}
+
+Matrix predict(QuantizedMlp& net, const Matrix& inputs, std::size_t batch_size) {
+    if (batch_size == 0) throw std::invalid_argument("predict: zero batch size");
+    if (inputs.rows() > 0)
+        net.reserve_workspace(std::min(batch_size, inputs.rows()));
+    Matrix out(inputs.rows(), net.output_size());
+    for (std::size_t begin = 0; begin < inputs.rows(); begin += batch_size) {
+        const std::size_t count = std::min(batch_size, inputs.rows() - begin);
+        Matrix& block = net.input_buffer();
+        row_block_into(inputs, begin, count, block);
+        const Matrix& y = net.forward_ws(block);
+        std::copy_n(y.data().data(), y.size(),
+                    out.data().data() + begin * out.cols());
+    }
+    return out;
+}
+
+std::vector<int> predict_binary(QuantizedMlp& net, const Matrix& inputs,
+                                std::size_t batch_size) {
+    if (net.output_size() != 1)
+        throw std::invalid_argument("predict_binary: network must have one output");
+    const Matrix logits = predict(net, inputs, batch_size);
+    std::vector<int> labels(logits.rows());
+    for (std::size_t r = 0; r < logits.rows(); ++r)
+        labels[r] = logits.at(r, 0) > 0.0f ? 1 : 0;  // sigmoid(z) > .5 <=> z > 0
+    return labels;
+}
+
+}  // namespace wifisense::nn

@@ -1,0 +1,110 @@
+// Post-training int8 quantization of a trained Mlp (DESIGN.md §16).
+//
+// Scheme: per-tensor symmetric. Each Dense layer's weights collapse to
+// int8 at scale w_scale = absmax(W)/127 and are stored TRANSPOSED
+// ([out x in]) so the int8 GEMM is a row-dot-row product (matmul_nt
+// shape) — the layout the AVX2 maddubs-style kernel wants. Activations
+// quantize on the fly at a per-layer in_scale calibrated over a held-out
+// activation sweep (quantize_mlp's `calibration` matrix pushed through the
+// float network) as a percentile-clipped absmax / 127: the handful of
+// outlier activations saturate at +-127 instead of halving the resolution
+// of everything else (see AbsHistogram in quant.cpp). Accumulation is
+// int32, exact; the epilogue dequantizes with the combined scale
+// in_scale * w_scale, adds the float bias, and applies the fused
+// activation. Biases stay float32 — they are a rounding-error-sized
+// fraction of the weight bytes and keeping them exact removes one scale
+// coupling.
+//
+// Every arithmetic step here is either exact integer math or a scalar
+// float epilogue with a backend-pinned operation order, so QuantizedMlp
+// outputs are bitwise identical across kernel backends AND thread counts —
+// the quantized accuracy figures gated in CI do not depend on which
+// machine ran them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "nn/tensor.hpp"
+
+namespace wifisense::nn {
+
+/// One quantized Dense(+fused activation) block.
+struct QuantizedDenseLayer {
+    std::size_t in = 0;
+    std::size_t out = 0;
+    kernels::Activation act = kernels::Activation::kNone;
+    float in_scale = 1.0f;  ///< float input -> int8: q = round(x / in_scale)
+    float w_scale = 1.0f;   ///< int8 weight -> float: w ~= q * w_scale
+    std::vector<std::int8_t> weights;  ///< [out x in], transposed
+    std::vector<float> bias;           ///< [out], float32
+};
+
+/// Inference-only int8 network: a stack of QuantizedDenseLayer blocks plus
+/// the caller-owned-workspace machinery of the float Mlp (reserve once,
+/// forward allocation-free thereafter).
+class QuantizedMlp {
+public:
+    QuantizedMlp() = default;
+
+    /// Assemble from explicit layer records (the serialize v3 loader);
+    /// validates the chain (each layer's `in` must match the predecessor's
+    /// `out`, buffer sizes must match the shapes).
+    static QuantizedMlp from_layers(std::vector<QuantizedDenseLayer> layers);
+
+    const std::vector<QuantizedDenseLayer>& layers() const { return layers_; }
+
+    std::size_t input_size() const {
+        return layers_.empty() ? 0 : layers_.front().in;
+    }
+    std::size_t output_size() const {
+        return layers_.empty() ? 0 : layers_.back().out;
+    }
+
+    /// Stored parameter scalars (int8 weights + float biases).
+    std::size_t parameter_count() const;
+
+    /// Serialized weight size in bytes: 1 byte per weight, 4 per bias —
+    /// the deployment-footprint figure to set against Mlp::weight_bytes().
+    std::size_t weight_bytes() const;
+
+    /// Grow the workspace so batches of up to `max_rows` rows run
+    /// allocation-free.
+    void reserve_workspace(std::size_t max_rows);
+
+    /// Batch staging slot (same contract as Mlp::input_buffer()).
+    Matrix& input_buffer() { return ws_input_; }
+
+    /// Run the network over `input` ([n x input_size]); returns a view of
+    /// the float output living in the workspace, invalidated by the next
+    /// forward_ws()/reserve_workspace() call. Allocation-free once the
+    /// workspace covers input.rows().
+    const Matrix& forward_ws(const Matrix& input);
+
+private:
+    std::vector<QuantizedDenseLayer> layers_;
+    Matrix ws_input_;
+    Matrix ws_a_, ws_b_;                // ping-pong float activations
+    std::vector<std::int8_t> ws_q_;     // quantized input rows
+    std::vector<std::int32_t> ws_acc_;  // int32 GEMM accumulators
+    std::size_t ws_rows_ = 0;           ///< reserved batch capacity (rows)
+
+    friend QuantizedMlp quantize_mlp(const Mlp& net, const Matrix& calibration);
+};
+
+/// Post-training quantization of a trained float network. `net` must be a
+/// Dense/ReLU/Sigmoid/Dropout stack (Dropout is dropped — identity at
+/// inference); `calibration` is a held-out batch of inputs ([n x
+/// input_size], n >= 1) swept through the float network to calibrate the
+/// per-layer activation scales. The float network is not modified.
+QuantizedMlp quantize_mlp(const Mlp& net, const Matrix& calibration);
+
+/// Batched inference drivers mirroring the float predict/predict_binary.
+Matrix predict(QuantizedMlp& net, const Matrix& inputs,
+               std::size_t batch_size = 4096);
+std::vector<int> predict_binary(QuantizedMlp& net, const Matrix& inputs,
+                                std::size_t batch_size = 4096);
+
+}  // namespace wifisense::nn

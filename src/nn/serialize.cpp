@@ -17,6 +17,8 @@ namespace {
 
 constexpr char kMagic[4] = {'W', 'S', 'N', 'N'};
 constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kQuantVersion = 3;
+constexpr std::uint8_t kModelKindQuantizedInt8 = 1;
 /// Hard ceiling on a plausible payload (the paper MLP is ~0.5 MB); rejects
 /// garbage size words before any allocation.
 constexpr std::uint64_t kMaxPayloadBytes = 1ull << 30;
@@ -172,6 +174,10 @@ void save_mlp(const Mlp& net, const std::string& path) {
                 throw std::runtime_error("load_mlp: implausible layer count");
             return read_layers(is, layer_count);
         }
+        if (version == kQuantVersion)
+            return Status(StatusCode::kFormatMismatch,
+                          "load_mlp: quantized (v3) checkpoint — use "
+                          "load_quantized_mlp");
         if (version != kVersion)
             return Status(StatusCode::kFormatMismatch,
                           "load_mlp: unsupported version " +
@@ -226,6 +232,150 @@ Mlp load_mlp(std::istream& is) {
 
 Mlp load_mlp(const std::string& path) {
     return try_load_mlp(path).value();
+}
+
+void save_quantized_mlp(const QuantizedMlp& net, std::ostream& os) {
+    std::ostringstream payload_os(std::ios::binary);
+    write_pod(payload_os, kModelKindQuantizedInt8);
+    write_pod(payload_os, static_cast<std::uint64_t>(net.layers().size()));
+    for (const QuantizedDenseLayer& layer : net.layers()) {
+        write_pod(payload_os, static_cast<std::uint64_t>(layer.in));
+        write_pod(payload_os, static_cast<std::uint64_t>(layer.out));
+        write_pod(payload_os, static_cast<std::uint8_t>(layer.act));
+        write_pod(payload_os, layer.in_scale);
+        write_pod(payload_os, layer.w_scale);
+        payload_os.write(reinterpret_cast<const char*>(layer.weights.data()),
+                         static_cast<std::streamsize>(layer.weights.size()));
+        payload_os.write(
+            reinterpret_cast<const char*>(layer.bias.data()),
+            static_cast<std::streamsize>(layer.bias.size() * sizeof(float)));
+    }
+    const std::string payload = payload_os.str();
+
+    os.write(kMagic, sizeof(kMagic));
+    write_pod(os, kQuantVersion);
+    write_pod(os, static_cast<std::uint64_t>(payload.size()));
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    write_pod(os, crc32(payload.data(), payload.size()));
+    if (!os) throw std::runtime_error("save_quantized_mlp: write failure");
+}
+
+void save_quantized_mlp(const QuantizedMlp& net, const std::string& path) {
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw std::runtime_error("save_quantized_mlp: cannot open " + path);
+    save_quantized_mlp(net, os);
+}
+
+[[nodiscard]] Result<QuantizedMlp> try_load_quantized_mlp(std::istream& is) {
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is)
+        return Status(StatusCode::kTruncated,
+                      "load_quantized_mlp: truncated header");
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return Status(StatusCode::kFormatMismatch,
+                      "load_quantized_mlp: bad magic");
+    std::uint32_t version = 0;
+    is.read(reinterpret_cast<char*>(&version), sizeof(version));
+    if (!is)
+        return Status(StatusCode::kTruncated,
+                      "load_quantized_mlp: truncated header");
+    if (version == 1 || version == kVersion)
+        return Status(StatusCode::kFormatMismatch,
+                      "load_quantized_mlp: float (v" + std::to_string(version) +
+                          ") checkpoint — use load_mlp");
+    if (version != kQuantVersion)
+        return Status(StatusCode::kFormatMismatch,
+                      "load_quantized_mlp: unsupported version " +
+                          std::to_string(version));
+
+    std::uint64_t payload_bytes = 0;
+    is.read(reinterpret_cast<char*>(&payload_bytes), sizeof(payload_bytes));
+    if (!is)
+        return Status(StatusCode::kTruncated,
+                      "load_quantized_mlp: truncated header");
+    if (payload_bytes < sizeof(std::uint8_t) + sizeof(std::uint64_t) ||
+        payload_bytes > kMaxPayloadBytes)
+        return Status(StatusCode::kCorruptData,
+                      "load_quantized_mlp: implausible payload size " +
+                          std::to_string(payload_bytes));
+
+    std::string payload(payload_bytes, '\0');
+    is.read(payload.data(), static_cast<std::streamsize>(payload_bytes));
+    if (!is)
+        return Status(StatusCode::kTruncated,
+                      "load_quantized_mlp: truncated payload (declared " +
+                          std::to_string(payload_bytes) + " bytes, got " +
+                          std::to_string(is.gcount()) + ")");
+    std::uint32_t stored_crc = 0;
+    is.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
+    if (!is)
+        return Status(StatusCode::kTruncated,
+                      "load_quantized_mlp: missing checksum");
+    if (crc32(payload.data(), payload.size()) != stored_crc)
+        return Status(StatusCode::kCorruptData,
+                      "load_quantized_mlp: checkpoint corrupted (crc mismatch)");
+
+    try {
+        std::istringstream ps(payload, std::ios::binary);
+        const auto model_kind = read_pod<std::uint8_t>(ps);
+        if (model_kind != kModelKindQuantizedInt8)
+            throw std::runtime_error("load_quantized_mlp: unknown model kind " +
+                                     std::to_string(model_kind));
+        const auto layer_count = read_pod<std::uint64_t>(ps);
+        if (layer_count == 0 || layer_count > 1024)
+            throw std::runtime_error(
+                "load_quantized_mlp: implausible layer count");
+        std::vector<QuantizedDenseLayer> layers;
+        layers.reserve(layer_count);
+        for (std::uint64_t i = 0; i < layer_count; ++i) {
+            QuantizedDenseLayer layer;
+            layer.in = static_cast<std::size_t>(read_pod<std::uint64_t>(ps));
+            layer.out = static_cast<std::size_t>(read_pod<std::uint64_t>(ps));
+            if (layer.in == 0 || layer.out == 0 || layer.in > (1u << 20) ||
+                layer.out > (1u << 20))
+                throw std::runtime_error(
+                    "load_quantized_mlp: implausible layer shape");
+            const auto act = read_pod<std::uint8_t>(ps);
+            if (act > static_cast<std::uint8_t>(kernels::Activation::kSigmoid))
+                throw std::runtime_error(
+                    "load_quantized_mlp: unknown activation");
+            layer.act = static_cast<kernels::Activation>(act);
+            layer.in_scale = read_pod<float>(ps);
+            layer.w_scale = read_pod<float>(ps);
+            layer.weights.resize(layer.in * layer.out);
+            ps.read(reinterpret_cast<char*>(layer.weights.data()),
+                    static_cast<std::streamsize>(layer.weights.size()));
+            layer.bias.resize(layer.out);
+            ps.read(reinterpret_cast<char*>(layer.bias.data()),
+                    static_cast<std::streamsize>(layer.bias.size() *
+                                                 sizeof(float)));
+            if (!ps)
+                throw std::runtime_error(
+                    "load_quantized_mlp: truncated weights");
+            layers.push_back(std::move(layer));
+        }
+        return QuantizedMlp::from_layers(std::move(layers));
+    } catch (const std::exception& e) {
+        return Status(StatusCode::kCorruptData, e.what());
+    }
+}
+
+[[nodiscard]] Result<QuantizedMlp> try_load_quantized_mlp(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return Status(StatusCode::kNotFound,
+                      "load_quantized_mlp: cannot open " + path);
+    return try_load_quantized_mlp(is);
+}
+
+QuantizedMlp load_quantized_mlp(std::istream& is) {
+    return try_load_quantized_mlp(is).value();
+}
+
+QuantizedMlp load_quantized_mlp(const std::string& path) {
+    return try_load_quantized_mlp(path).value();
 }
 
 }  // namespace wifisense::nn

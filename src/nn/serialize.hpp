@@ -12,6 +12,18 @@
 // catches in-place corruption (a flipped bit in a checkpoint otherwise loads
 // silently into garbage weights). Version-1 streams (no size/CRC framing,
 // payload follows the version word directly) still load.
+//
+// Format v3 carries quantized int8 models under the same
+// magic/size/CRC framing:
+//   u32 version=3 | u64 payload_bytes | payload | u32 crc32
+// with payload:
+//   u8 model_kind (1 = int8 QuantizedMlp) | u64 layer_count | per layer:
+//     u64 in | u64 out | u8 activation (kernels::Activation) |
+//     f32 in_scale | f32 w_scale |
+//     int8 weights (out*in, transposed [out x in]) | float32 bias (out)
+// Float loaders reject v3 streams (and the quantized loader rejects v1/v2)
+// with kFormatMismatch naming the other entry point — a quantized
+// checkpoint must never half-load as float garbage or vice versa.
 #pragma once
 
 #include <iosfwd>
@@ -19,6 +31,7 @@
 
 #include "common/status.hpp"
 #include "nn/mlp.hpp"
+#include "nn/quant.hpp"
 
 namespace wifisense::nn {
 
@@ -26,7 +39,7 @@ void save_mlp(const Mlp& net, std::ostream& os);
 void save_mlp(const Mlp& net, const std::string& path);
 
 /// Typed-error variant. Distinguishes:
-///   kFormatMismatch  wrong magic / unsupported version
+///   kFormatMismatch  wrong magic / unsupported version (incl. quantized v3)
 ///   kTruncated       stream ends before the declared payload
 ///   kCorruptData     CRC mismatch or malformed layer records
 ///   kNotFound        unopenable path
@@ -36,5 +49,16 @@ void save_mlp(const Mlp& net, const std::string& path);
 /// Throwing wrappers (std::runtime_error with the same diagnostic).
 Mlp load_mlp(std::istream& is);
 Mlp load_mlp(const std::string& path);
+
+/// Quantized (format v3) counterparts. Same error taxonomy; float v1/v2
+/// streams come back kFormatMismatch pointing at load_mlp.
+void save_quantized_mlp(const QuantizedMlp& net, std::ostream& os);
+void save_quantized_mlp(const QuantizedMlp& net, const std::string& path);
+
+[[nodiscard]] common::Result<QuantizedMlp> try_load_quantized_mlp(std::istream& is);
+[[nodiscard]] common::Result<QuantizedMlp> try_load_quantized_mlp(const std::string& path);
+
+QuantizedMlp load_quantized_mlp(std::istream& is);
+QuantizedMlp load_quantized_mlp(const std::string& path);
 
 }  // namespace wifisense::nn

@@ -18,71 +18,32 @@ void check_same_shape(const Matrix& a, const Matrix& b, const char* what) {
 }
 
 // ---------------------------------------------------------------------------
-// GEMM: serial row-range kernels + a row-block-parallel dispatcher.
+// GEMM: backend row-range kernels + a row-block-parallel dispatcher.
 //
-// Each kernel computes output rows [r0, r1) of C and touches nothing else, so
-// the dispatcher can hand disjoint row blocks to different threads and the
-// result is bitwise identical to a serial run: every output element is
-// produced by exactly one thread, with the same accumulation order (ascending
-// k) at any thread count. Do NOT introduce shared accumulators here.
+// The per-row-range arithmetic lives in src/nn/kernels/ behind the
+// KernelBackend dispatch table (scalar reference + AVX2/FMA); this file owns
+// the shape checks, workspace resizing, and the deterministic row-chunk
+// decomposition. Each backend kernel computes output rows [r0, r1) of C and
+// touches nothing else, so the dispatcher can hand disjoint row blocks to
+// different threads and the result is bitwise identical to a serial run on
+// the same backend: every output element is produced by exactly one thread,
+// with a backend-fixed accumulation order (ascending k) at any thread
+// count. Do NOT introduce shared accumulators here.
 // ---------------------------------------------------------------------------
 
-/// C[r0:r1) += A * B, i-k-j order (streams B and C rows, row-major friendly).
-void matmul_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
-                 std::size_t r1) {
-    const std::size_t k = a.cols(), n = b.cols();
-    for (std::size_t i = r0; i < r1; ++i) {
-        const std::span<const float> arow = a.row(i);
-        const std::span<float> crow = c.row(i);
-        for (std::size_t kk = 0; kk < k; ++kk) {
-            const float av = arow[kk];
-            if (av == 0.0f) continue;
-            const std::span<const float> brow = b.row(kk);
-            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-    }
-}
-
-/// C[i0:i1) of C = A^T * B. Row i of C accumulates a(kk, i) * b(kk, :) over
-/// ascending kk — the same per-element order as the historical k-outer loop,
-/// so the refactor preserves results bit-for-bit.
-void matmul_tn_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t i0,
-                    std::size_t i1) {
-    const std::size_t k = a.rows(), n = b.cols();
-    for (std::size_t i = i0; i < i1; ++i) {
-        float* crow = &c.at(i, 0);
-        for (std::size_t kk = 0; kk < k; ++kk) {
-            const float av = a.at(kk, i);
-            if (av == 0.0f) continue;
-            const std::span<const float> brow = b.row(kk);
-            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-    }
-}
-
-/// C[r0:r1) of C = A * B^T: independent dot products per output element.
-void matmul_nt_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
-                    std::size_t r1) {
-    const std::size_t k = a.cols(), n = b.rows();
-    for (std::size_t i = r0; i < r1; ++i) {
-        const std::span<const float> arow = a.row(i);
-        float* crow = &c.at(i, 0);
-        for (std::size_t j = 0; j < n; ++j) {
-            const std::span<const float> brow = b.row(j);
-            float acc = 0.0f;
-            for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-            crow[j] = acc;
-        }
-    }
-}
-
-/// Row-block size targeting ~64k mul-adds per task. Depends only on the
-/// problem shape (never on the thread count), so the chunk decomposition —
-/// and with it any per-chunk behavior — is invariant across configurations.
+/// Row-block size targeting ~1M mul-adds per task, floored at 16 rows.
+/// Depends only on the problem shape (never on the thread count), so the
+/// chunk decomposition — and with it any per-chunk behavior — is invariant
+/// across configurations. The floor matters for the AVX2 backend: its
+/// packed 4x16-blocked GEMM only engages on chunks of >= 4 rows and
+/// amortizes its B-panel packing across the chunk's row blocks, so
+/// starving it with 1-2-row chunks silently degrades it to the single-row
+/// tail kernel (~3x slower at MLP-sized k*n).
 std::size_t gemm_row_grain(std::size_t flops_per_row) {
-    constexpr std::size_t kTargetFlopsPerTask = 64 * 1024;
-    if (flops_per_row == 0) return 1;
-    return std::max<std::size_t>(1, kTargetFlopsPerTask / flops_per_row);
+    constexpr std::size_t kTargetFlopsPerTask = 1024 * 1024;
+    constexpr std::size_t kMinRows = 16;
+    if (flops_per_row == 0) return kMinRows;
+    return std::max(kMinRows, kTargetFlopsPerTask / flops_per_row);
 }
 
 }  // namespace
@@ -134,9 +95,13 @@ void matmul_into(const Matrix& a, const Matrix& b, Matrix& out) {
     out.resize(a.rows(), b.cols());
     out.fill(0.0f);  // the row kernels accumulate, exactly like the wrapper
     const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+    const kernels::KernelBackend& kb = kernels::active_backend();
+    const float* ap = a.data().data();
+    const float* bp = b.data().data();
+    float* cp = out.data().data();
     common::parallel_for_chunks(m, gemm_row_grain(k * n),
-                                [&](std::size_t r0, std::size_t r1) {
-                                    matmul_rows(a, b, out, r0, r1);
+                                [&, ap, bp, cp](std::size_t r0, std::size_t r1) {
+                                    kb.matmul_rows(ap, bp, cp, k, n, r0, r1);
                                 });
 }
 
@@ -155,9 +120,13 @@ void matmul_tn_into(const Matrix& a, const Matrix& b, Matrix& out,
         out.fill(0.0f);
     }
     const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+    const kernels::KernelBackend& kb = kernels::active_backend();
+    const float* ap = a.data().data();
+    const float* bp = b.data().data();
+    float* cp = out.data().data();
     common::parallel_for_chunks(m, gemm_row_grain(k * n),
-                                [&](std::size_t i0, std::size_t i1) {
-                                    matmul_tn_rows(a, b, out, i0, i1);
+                                [&, ap, bp, cp](std::size_t i0, std::size_t i1) {
+                                    kb.matmul_tn_rows(ap, bp, cp, k, m, n, i0, i1);
                                 });
 }
 
@@ -169,10 +138,40 @@ void matmul_nt_into(const Matrix& a, const Matrix& b, Matrix& out) {
     // reserved workspace capacity is allocation-free (DESIGN.md §11)
     out.resize(a.rows(), b.rows());
     const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+    const kernels::KernelBackend& kb = kernels::active_backend();
+    const float* ap = a.data().data();
+    const float* bp = b.data().data();
+    float* cp = out.data().data();
     common::parallel_for_chunks(m, gemm_row_grain(k * n),
-                                [&](std::size_t r0, std::size_t r1) {
-                                    matmul_nt_rows(a, b, out, r0, r1);
+                                [&, ap, bp, cp](std::size_t r0, std::size_t r1) {
+                                    kb.matmul_nt_rows(ap, bp, cp, k, n, r0, r1);
                                 });
+}
+
+void dense_forward_into(const Matrix& a, const Matrix& w,
+                        std::span<const float> bias, kernels::Activation act,
+                        Matrix& out) {
+    if (a.cols() != w.rows())
+        throw std::invalid_argument("dense_forward: inner dimensions differ " +
+                                    a.shape_string() + " * " + w.shape_string());
+    if (bias.size() != w.cols())
+        throw std::invalid_argument("dense_forward: bias length != output cols");
+    // wifisense-lint: allow(noalloc.container-growth) resize within the
+    // reserved workspace capacity is allocation-free (DESIGN.md §11)
+    out.resize(a.rows(), w.cols());
+    out.fill(0.0f);
+    const std::size_t m = a.rows(), k = a.cols(), n = w.cols();
+    const kernels::KernelBackend& kb = kernels::active_backend();
+    const float* ap = a.data().data();
+    const float* wp = w.data().data();
+    const float* bp = bias.data();
+    float* cp = out.data().data();
+    common::parallel_for_chunks(
+        m, gemm_row_grain(k * n),
+        [&, ap, wp, bp, cp](std::size_t r0, std::size_t r1) {
+            kb.matmul_rows(ap, wp, cp, k, n, r0, r1);
+            kb.bias_act_rows(cp, bp, n, act, r0, r1);
+        });
 }
 
 // wifisense-lint: noalloc-end
@@ -215,10 +214,8 @@ void column_sums_into(const Matrix& a, std::span<float> out, bool accumulate) {
     if (out.size() != a.cols())
         throw std::invalid_argument("column_sums_into: output length != cols");
     if (!accumulate) std::fill(out.begin(), out.end(), 0.0f);
-    for (std::size_t r = 0; r < a.rows(); ++r) {
-        const std::span<const float> row = a.row(r);
-        for (std::size_t c = 0; c < out.size(); ++c) out[c] += row[c];
-    }
+    kernels::active_backend().column_sums_rows(a.data().data(), a.rows(),
+                                               a.cols(), out.data());
 }
 // wifisense-lint: noalloc-end
 

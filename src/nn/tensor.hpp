@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "nn/kernels/backend.hpp"
+
 namespace wifisense::nn {
 
 class Matrix {
@@ -89,6 +91,17 @@ void matmul_tn_into(const Matrix& a, const Matrix& b, Matrix& out,
 
 /// out = A * B^T. Shapes: [m x k] * [n x k]^T -> [m x n].
 void matmul_nt_into(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = act(A * W + bias): the fused dense-layer forward of the inference
+/// fast path. Each parallel row chunk runs the GEMM rows and then the
+/// bias+activation epilogue while those rows are cache-hot, eliminating the
+/// separate bias pass and the activation layer's full-batch copy. On the
+/// scalar backend the result is bitwise identical to the unfused
+/// matmul_into + add_row_vector_inplace + ReLU/Sigmoid sequence (same
+/// per-element operation order; float32 stores round-trip exactly).
+void dense_forward_into(const Matrix& a, const Matrix& w,
+                        std::span<const float> bias, kernels::Activation act,
+                        Matrix& out);
 
 // wifisense-lint: noalloc-end
 

@@ -1,0 +1,16 @@
+// noalloc.required: a microkernel in a file under src/nn/kernels/ must sit
+// inside an annotated noalloc region — both the _into and the row-range
+// _rows spellings are bound. Never compiled — scanned by
+// wifisense-lint --self-test only.
+
+namespace wifisense::nn::kernels {
+
+void matmul_rows(const float* a, const float* b, float* c);  // lint-expect: noalloc.required
+
+void pack_tile_into(const float* a, float* out);  // lint-expect: noalloc.required
+
+// wifisense-lint: noalloc-begin
+void bias_act_rows(float* c, const float* bias);  // annotated: no finding
+// wifisense-lint: noalloc-end
+
+}  // namespace wifisense::nn::kernels

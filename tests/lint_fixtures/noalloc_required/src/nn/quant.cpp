@@ -1,0 +1,14 @@
+// noalloc.required: the quantized-inference kernels in a file named
+// src/nn/quant.cpp must sit inside an annotated noalloc region (the _into
+// spelling only — helper _rows functions live in src/nn/kernels/). Never
+// compiled — scanned by wifisense-lint --self-test only.
+
+namespace wifisense::nn {
+
+void quantized_layer_forward_into(const float* x, float* out);  // lint-expect: noalloc.required
+
+// wifisense-lint: noalloc-begin
+void quantized_forward_into(const float* x, float* out);  // annotated: no finding
+// wifisense-lint: noalloc-end
+
+}  // namespace wifisense::nn

@@ -1,0 +1,559 @@
+// Microkernel backend dispatch + int8 quantized inference (DESIGN.md §16).
+//
+// Contract under test:
+//   * scalar is the startup default and stays the bitwise reference — the
+//     workspace goldens in test_nn_workspace.cpp pin it; here we pin the
+//     dispatch seams around it;
+//   * the AVX2 backend answers to tolerance goldens on the FMA GEMMs but is
+//     bitwise identical on every epilogue / integer kernel, and bitwise
+//     thread-count invariant everywhere (shape-only chunk decomposition);
+//   * QuantizedMlp outputs are bitwise identical across backends AND thread
+//     counts (exact int math + backend-pinned scalar float epilogue), so the
+//     accuracy deltas gated in CI are machine-independent;
+//   * serialize v3 round-trips quantized models, rejects cross-format loads,
+//     and v1/v2 float streams keep loading;
+//   * warm forward paths allocate nothing on any backend.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/alloc_counter.hpp"
+#include "common/cpuid.hpp"
+#include "common/parallel.hpp"
+#include "nn/kernels/backend.hpp"
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+#include "nn/quant.hpp"
+#include "nn/serialize.hpp"
+#include "nn/tensor.hpp"
+#include "nn/trainer.hpp"
+
+namespace {
+
+using namespace wifisense;
+namespace kn = wifisense::nn::kernels;
+
+std::uint32_t bits32(float f) {
+    std::uint32_t u;
+    std::memcpy(&u, &f, 4);
+    return u;
+}
+
+/// Restores the kernel backend on scope exit — every test here must leave
+/// the process-wide dispatch slot the way it found it.
+class KernelBackendGuard {
+public:
+    KernelBackendGuard() : saved_(kn::active_backend().name) {}
+    ~KernelBackendGuard() { kn::set_kernel_backend(saved_); }
+
+private:
+    std::string saved_;
+};
+
+/// Restores the pool configuration on scope exit.
+class ThreadConfigGuard {
+public:
+    ThreadConfigGuard() : saved_(common::execution_config()) {}
+    ~ThreadConfigGuard() { common::set_execution_config(saved_); }
+
+private:
+    common::ExecutionConfig saved_;
+};
+
+nn::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                         std::uint64_t seed, float scale = 1.0f) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<float> u(-scale, scale);
+    nn::Matrix m(rows, cols);
+    for (float& v : m.data()) v = u(rng);
+    return m;
+}
+
+bool bitwise_equal(const nn::Matrix& a, const nn::Matrix& b) {
+    if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+    return std::memcmp(a.data().data(), b.data().data(),
+                       a.data().size() * sizeof(float)) == 0;
+}
+
+/// Largest |a-b| normalized by the largest magnitude in the reference —
+/// element-wise relative error explodes under catastrophic cancellation
+/// (a near-zero dot product divides a rounding-sized FMA deviation), while
+/// the matrix-scale metric keeps the tolerance meaningful.
+double max_scaled_diff(const nn::Matrix& a, const nn::Matrix& b) {
+    double worst = 0.0, scale = 1e-6;
+    for (const float v : a.data())
+        scale = std::max(scale, static_cast<double>(std::abs(v)));
+    for (std::size_t i = 0; i < a.data().size(); ++i)
+        worst = std::max(worst, std::abs(static_cast<double>(a.data()[i]) -
+                                         static_cast<double>(b.data()[i])));
+    return worst / scale;
+}
+
+/// Deterministic toy problem shared with the workspace goldens: 600 samples,
+/// 12 features, y = [x0*x1 > 0].
+void make_dataset(nn::Matrix& x, nn::Matrix& y) {
+    std::mt19937_64 drng(123);
+    std::uniform_real_distribution<float> u(-1.0f, 1.0f);
+    x.resize(600, 12);
+    y.resize(600, 1);
+    for (float& v : x.data()) v = u(drng);
+    for (std::size_t i = 0; i < y.rows(); ++i)
+        y.at(i, 0) = (x.at(i, 0) * x.at(i, 1) > 0.0f) ? 1.0f : 0.0f;
+}
+
+/// A small trained network (3 epochs on the toy problem) — enough structure
+/// that quantization error is measurable but accuracy is stable.
+nn::Mlp trained_net(nn::Matrix& x, nn::Matrix& y) {
+    make_dataset(x, y);
+    std::mt19937_64 rng(9);
+    nn::Mlp net({12, 32, 16, 1}, nn::Init::kKaimingUniform, rng);
+    nn::TrainConfig cfg;
+    cfg.epochs = 3;
+    cfg.batch_size = 128;
+    cfg.seed = 77;
+    const nn::BceWithLogitsLoss loss;
+    (void)nn::train(net, x, y, loss, cfg);
+    net.set_training(false);
+    return net;
+}
+
+// ---------------------------------------------------------------------------
+// Backend selection / CPUID
+// ---------------------------------------------------------------------------
+
+TEST(KernelDispatch, ScalarIsSelectableAndUnknownNamesAreRejected) {
+    KernelBackendGuard guard;
+    EXPECT_TRUE(kn::set_kernel_backend("scalar"));
+    EXPECT_STREQ(kn::active_backend().name, "scalar");
+    // Unknown names leave the active backend untouched.
+    EXPECT_FALSE(kn::set_kernel_backend("neon"));
+    EXPECT_STREQ(kn::active_backend().name, "scalar");
+    EXPECT_FALSE(kn::set_kernel_backend(""));
+    EXPECT_STREQ(kn::active_backend().name, "scalar");
+}
+
+TEST(KernelDispatch, AutoResolvesToFastestSupported) {
+    KernelBackendGuard guard;
+    EXPECT_TRUE(kn::set_kernel_backend("auto"));
+    if (kn::avx2_supported())
+        EXPECT_STREQ(kn::active_backend().name, "avx2");
+    else
+        EXPECT_STREQ(kn::active_backend().name, "scalar");
+}
+
+TEST(KernelDispatch, Avx2EligibilityMatchesCpuid) {
+    const common::CpuFeatures feat = common::cpu_features();
+    const bool runnable =
+        kn::avx2_backend() != nullptr && feat.avx2 && feat.fma;
+    EXPECT_EQ(kn::avx2_supported(), runnable);
+    // Selecting avx2 must succeed exactly when it is supported.
+    KernelBackendGuard guard;
+    EXPECT_EQ(kn::set_kernel_backend("avx2"), kn::avx2_supported());
+    // The feature string mentions whatever CPUID reported (observability).
+    const std::string s = common::cpu_feature_string();
+    EXPECT_EQ(s.find("avx2") != std::string::npos, feat.avx2);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar vs AVX2 parity
+// ---------------------------------------------------------------------------
+
+/// Randomized shapes chosen to exercise every tail path: vector-width
+/// multiples, ragged tails shorter than one AVX lane, single rows/columns.
+struct GemmShape {
+    std::size_t m, k, n;
+};
+constexpr GemmShape kShapes[] = {
+    {1, 1, 1},   {3, 5, 7},    {4, 8, 16},  {17, 13, 9},
+    {33, 7, 31}, {64, 12, 32}, {5, 100, 3}, {2, 31, 65},
+};
+
+TEST(KernelParity, FloatGemmsAgreeWithinTolerance) {
+    if (!kn::avx2_supported()) GTEST_SKIP() << "no AVX2 on this host";
+    KernelBackendGuard guard;
+    std::uint64_t seed = 1000;
+    for (const GemmShape& s : kShapes) {
+        SCOPED_TRACE("m=" + std::to_string(s.m) + " k=" + std::to_string(s.k) +
+                     " n=" + std::to_string(s.n));
+        const nn::Matrix a = random_matrix(s.m, s.k, seed++);
+        const nn::Matrix b = random_matrix(s.k, s.n, seed++);
+        const nn::Matrix bt = random_matrix(s.n, s.k, seed++);
+        const nn::Matrix at = random_matrix(s.k, s.m, seed++);
+
+        nn::Matrix ref_mm, ref_nt, ref_tn;
+        ASSERT_TRUE(kn::set_kernel_backend("scalar"));
+        nn::matmul_into(a, b, ref_mm);
+        nn::matmul_nt_into(a, bt, ref_nt);
+        nn::matmul_tn_into(at, b, ref_tn);
+
+        nn::Matrix simd_mm, simd_nt, simd_tn;
+        ASSERT_TRUE(kn::set_kernel_backend("avx2"));
+        nn::matmul_into(a, b, simd_mm);
+        nn::matmul_nt_into(a, bt, simd_nt);
+        nn::matmul_tn_into(at, b, simd_tn);
+
+        // FMA reassociates rounding — tolerance goldens, not bitwise.
+        EXPECT_LT(max_scaled_diff(ref_mm, simd_mm), 1e-5);
+        EXPECT_LT(max_scaled_diff(ref_nt, simd_nt), 1e-5);
+        EXPECT_LT(max_scaled_diff(ref_tn, simd_tn), 1e-5);
+    }
+}
+
+TEST(KernelParity, EpiloguesAndIntegerKernelsAreBitwiseIdentical) {
+    if (!kn::avx2_supported()) GTEST_SKIP() << "no AVX2 on this host";
+    const kn::KernelBackend& sc = kn::scalar_backend();
+    const kn::KernelBackend& vx = *kn::avx2_backend();
+    std::mt19937_64 rng(42);
+
+    for (const GemmShape& s : kShapes) {
+        SCOPED_TRACE("m=" + std::to_string(s.m) + " k=" + std::to_string(s.k) +
+                     " n=" + std::to_string(s.n));
+        // column_sums: sequential per-column accumulation on both backends.
+        const nn::Matrix a = random_matrix(s.m, s.n, rng());
+        std::vector<float> sums_sc(s.n, 0.0f), sums_vx(s.n, 0.0f);
+        sc.column_sums_rows(a.data().data(), s.m, s.n, sums_sc.data());
+        vx.column_sums_rows(a.data().data(), s.m, s.n, sums_vx.data());
+        EXPECT_EQ(std::memcmp(sums_sc.data(), sums_vx.data(),
+                              s.n * sizeof(float)), 0);
+
+        // bias + activation epilogue, all three activations.
+        const nn::Matrix bias_m = random_matrix(1, s.n, rng());
+        for (const kn::Activation act :
+             {kn::Activation::kNone, kn::Activation::kReLU,
+              kn::Activation::kSigmoid}) {
+            nn::Matrix c1 = random_matrix(s.m, s.n, 7);
+            nn::Matrix c2 = c1;
+            sc.bias_act_rows(c1.data().data(), bias_m.data().data(), s.n, act,
+                             0, s.m);
+            vx.bias_act_rows(c2.data().data(), bias_m.data().data(), s.n, act,
+                             0, s.m);
+            EXPECT_TRUE(bitwise_equal(c1, c2))
+                << "bias_act activation " << static_cast<int>(act);
+        }
+
+        // quantize: nearest-even rounding must match _mm256_cvtps_epi32.
+        const nn::Matrix x = random_matrix(s.m, s.k, rng(), 3.0f);
+        std::vector<std::int8_t> q1(s.m * s.k), q2(s.m * s.k);
+        sc.quantize_s8_rows(x.data().data(), q1.data(), 42.333f, s.k, 0, s.m);
+        vx.quantize_s8_rows(x.data().data(), q2.data(), 42.333f, s.k, 0, s.m);
+        EXPECT_EQ(std::memcmp(q1.data(), q2.data(), q1.size()), 0);
+
+        // int8 GEMM: exact int32 accumulation.
+        std::vector<std::int8_t> w(s.n * s.k);
+        std::uniform_int_distribution<int> d8(-127, 127);
+        for (std::int8_t& v : w) v = static_cast<std::int8_t>(d8(rng));
+        std::vector<std::int32_t> acc1(s.m * s.n, 0), acc2(s.m * s.n, 0);
+        sc.gemm_s8_rows(q1.data(), w.data(), acc1.data(), s.k, s.n, 0, s.m);
+        vx.gemm_s8_rows(q1.data(), w.data(), acc2.data(), s.k, s.n, 0, s.m);
+        EXPECT_EQ(std::memcmp(acc1.data(), acc2.data(),
+                              acc1.size() * sizeof(std::int32_t)), 0);
+
+        // dequantize + bias + activation epilogue.
+        nn::Matrix o1(s.m, s.n), o2(s.m, s.n);
+        sc.dequant_bias_act_rows(acc1.data(), 0.0123f, bias_m.data().data(),
+                                 o1.data().data(), s.n,
+                                 kn::Activation::kSigmoid, 0, s.m);
+        vx.dequant_bias_act_rows(acc1.data(), 0.0123f, bias_m.data().data(),
+                                 o2.data().data(), s.n,
+                                 kn::Activation::kSigmoid, 0, s.m);
+        EXPECT_TRUE(bitwise_equal(o1, o2));
+    }
+}
+
+TEST(KernelParity, Avx2IsBitwiseThreadCountInvariant) {
+    if (!kn::avx2_supported()) GTEST_SKIP() << "no AVX2 on this host";
+    KernelBackendGuard kguard;
+    ThreadConfigGuard tguard;
+    ASSERT_TRUE(kn::set_kernel_backend("avx2"));
+
+    const nn::Matrix a = random_matrix(97, 33, 5);
+    const nn::Matrix b = random_matrix(33, 41, 6);
+
+    common::set_execution_config({.threads = 1});
+    nn::Matrix ref;
+    nn::matmul_into(a, b, ref);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        common::set_execution_config({.threads = threads});
+        nn::Matrix out;
+        nn::matmul_into(a, b, out);
+        EXPECT_TRUE(bitwise_equal(ref, out));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused inference path
+// ---------------------------------------------------------------------------
+
+TEST(FusedInference, MatchesLayerByLayerBitwiseOnScalar) {
+    KernelBackendGuard guard;
+    ASSERT_TRUE(kn::set_kernel_backend("scalar"));
+    nn::Matrix x, y;
+    nn::Mlp net = trained_net(x, y);
+
+    // cache=true walks the historical layer-by-layer path; cache=false takes
+    // the fused Dense+activation fast path. Same bits on scalar.
+    const nn::Matrix cached = net.forward_ws(x, /*cache=*/true);
+    const nn::Matrix fused = net.forward_ws(x, /*cache=*/false);
+    EXPECT_TRUE(bitwise_equal(cached, fused));
+
+    // The fused pass must leave the caches in the inference state.
+    for (const auto& layer : net.layers())
+        EXPECT_TRUE(layer->last_output().empty()) << layer->name();
+}
+
+// ---------------------------------------------------------------------------
+// int8 quantization
+// ---------------------------------------------------------------------------
+
+TEST(Quantized, QuantizeRoundTripIsNearestEvenAndSaturating) {
+    const kn::KernelBackend& sc = kn::scalar_backend();
+    const float vals[] = {0.0f,  0.4999f, 0.5f,  1.5f,  2.5f,
+                          -2.5f, 126.6f,  300.0f, -300.0f};
+    std::int8_t q[9];
+    sc.quantize_s8_rows(vals, q, 1.0f, 9, 0, 1);
+    EXPECT_EQ(q[0], 0);
+    EXPECT_EQ(q[1], 0);
+    EXPECT_EQ(q[2], 0);   // nearest-even: 0.5 -> 0
+    EXPECT_EQ(q[3], 2);   // 1.5 -> 2
+    EXPECT_EQ(q[4], 2);   // 2.5 -> 2
+    EXPECT_EQ(q[5], -2);
+    EXPECT_EQ(q[6], 127);
+    EXPECT_EQ(q[7], 127);   // saturates at +127
+    EXPECT_EQ(q[8], -127);  // symmetric: never -128
+}
+
+TEST(Quantized, MlpTracksFloatNetworkAccuracy) {
+    KernelBackendGuard guard;
+    ASSERT_TRUE(kn::set_kernel_backend("scalar"));
+    nn::Matrix x, y;
+    nn::Mlp net = trained_net(x, y);
+    nn::QuantizedMlp qnet = nn::quantize_mlp(net, x);
+
+    EXPECT_EQ(qnet.input_size(), 12u);
+    EXPECT_EQ(qnet.output_size(), 1u);
+    EXPECT_EQ(qnet.layers().size(), 3u);
+    // int8 weights + float biases: ~4x smaller than the float checkpoint.
+    EXPECT_LT(qnet.weight_bytes() * 3, net.weight_bytes());
+
+    const std::vector<int> fp = nn::predict_binary(net, x);
+    const std::vector<int> q8 = nn::predict_binary(qnet, x);
+    ASSERT_EQ(fp.size(), q8.size());
+    std::size_t agree = 0, fp_correct = 0, q8_correct = 0;
+    for (std::size_t i = 0; i < fp.size(); ++i) {
+        agree += fp[i] == q8[i];
+        fp_correct += fp[i] == static_cast<int>(y.at(i, 0));
+        q8_correct += q8[i] == static_cast<int>(y.at(i, 0));
+    }
+    // Per-tensor symmetric int8 flips only boundary cases.
+    EXPECT_GE(agree, fp.size() * 98 / 100);
+    const double delta_pp =
+        std::abs(static_cast<double>(fp_correct) - static_cast<double>(q8_correct)) *
+        100.0 / static_cast<double>(fp.size());
+    EXPECT_LE(delta_pp, 0.5) << "quantized accuracy drifted past the gate";
+}
+
+TEST(Quantized, OutputsAreBitwiseBackendAndThreadInvariant) {
+    KernelBackendGuard kguard;
+    ThreadConfigGuard tguard;
+    nn::Matrix x, y;
+    nn::Mlp net = trained_net(x, y);
+
+    ASSERT_TRUE(kn::set_kernel_backend("scalar"));
+    common::set_execution_config({.threads = 1});
+    nn::QuantizedMlp qnet = nn::quantize_mlp(net, x);
+    const nn::Matrix ref = nn::predict(qnet, x);
+
+    struct Config {
+        const char* backend;
+        std::size_t threads;
+    };
+    std::vector<Config> configs = {{"scalar", 2}, {"scalar", 8}};
+    if (kn::avx2_supported()) {
+        configs.push_back({"avx2", 1});
+        configs.push_back({"avx2", 2});
+        configs.push_back({"avx2", 8});
+    }
+    for (const Config& c : configs) {
+        SCOPED_TRACE(std::string(c.backend) + " @ " +
+                     std::to_string(c.threads) + "t");
+        ASSERT_TRUE(kn::set_kernel_backend(c.backend));
+        common::set_execution_config({.threads = c.threads});
+        const nn::Matrix out = nn::predict(qnet, x);
+        EXPECT_TRUE(bitwise_equal(ref, out));
+    }
+}
+
+TEST(Quantized, RejectsCalibrationShapeMismatch) {
+    nn::Matrix x, y;
+    nn::Mlp net = trained_net(x, y);
+    const nn::Matrix bad = random_matrix(8, 5, 1);  // 5 != input_size 12
+    EXPECT_THROW((void)nn::quantize_mlp(net, bad), std::invalid_argument);
+    const nn::Matrix empty;
+    EXPECT_THROW((void)nn::quantize_mlp(net, empty), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-allocation probes
+// ---------------------------------------------------------------------------
+
+TEST(KernelAlloc, WarmFloatForwardAllocatesNothingOnEveryBackend) {
+    KernelBackendGuard kguard;
+    ThreadConfigGuard tguard;
+    common::set_execution_config({.threads = 1});
+    nn::Matrix x, y;
+    nn::Mlp net = trained_net(x, y);
+
+    std::vector<const char*> backends = {"scalar"};
+    if (kn::avx2_supported()) backends.push_back("avx2");
+    for (const char* backend : backends) {
+        SCOPED_TRACE(backend);
+        ASSERT_TRUE(kn::set_kernel_backend(backend));
+        constexpr std::size_t kBatch = 128;
+        net.reserve_workspace(kBatch);
+        nn::Matrix& block = net.input_buffer();
+        nn::row_block_into(x, 0, kBatch, block);
+        (void)net.forward_ws(block, /*cache=*/false);  // warm
+
+        alloc::AllocationProbe probe;
+        float sink = 0.0f;
+        for (std::size_t b = 0; b + kBatch <= x.rows(); b += kBatch) {
+            nn::row_block_into(x, b, kBatch, block);
+            sink += net.forward_ws(block, /*cache=*/false).at(0, 0);
+        }
+        EXPECT_EQ(probe.delta(), 0u) << backend << " warm forward allocated";
+        EXPECT_TRUE(std::isfinite(sink));
+    }
+}
+
+TEST(KernelAlloc, WarmQuantizedForwardAllocatesNothingOnEveryBackend) {
+    KernelBackendGuard kguard;
+    ThreadConfigGuard tguard;
+    common::set_execution_config({.threads = 1});
+    nn::Matrix x, y;
+    nn::Mlp net = trained_net(x, y);
+    nn::QuantizedMlp qnet = nn::quantize_mlp(net, x);
+
+    std::vector<const char*> backends = {"scalar"};
+    if (kn::avx2_supported()) backends.push_back("avx2");
+    for (const char* backend : backends) {
+        SCOPED_TRACE(backend);
+        ASSERT_TRUE(kn::set_kernel_backend(backend));
+        constexpr std::size_t kBatch = 128;
+        qnet.reserve_workspace(kBatch);
+        nn::Matrix& block = qnet.input_buffer();
+        nn::row_block_into(x, 0, kBatch, block);
+        (void)qnet.forward_ws(block);  // warm
+
+        alloc::AllocationProbe probe;
+        float sink = 0.0f;
+        for (std::size_t b = 0; b + kBatch <= x.rows(); b += kBatch) {
+            nn::row_block_into(x, b, kBatch, block);
+            sink += qnet.forward_ws(block).at(0, 0);
+        }
+        EXPECT_EQ(probe.delta(), 0u) << backend
+                                     << " warm int8 forward allocated";
+        EXPECT_TRUE(std::isfinite(sink));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize v3
+// ---------------------------------------------------------------------------
+
+TEST(SerializeV3, QuantizedRoundTripPreservesBits) {
+    nn::Matrix x, y;
+    nn::Mlp net = trained_net(x, y);
+    nn::QuantizedMlp qnet = nn::quantize_mlp(net, x);
+
+    std::stringstream buf;
+    nn::save_quantized_mlp(qnet, buf);
+    nn::QuantizedMlp loaded = nn::load_quantized_mlp(buf);
+
+    ASSERT_EQ(loaded.layers().size(), qnet.layers().size());
+    for (std::size_t i = 0; i < qnet.layers().size(); ++i) {
+        const nn::QuantizedDenseLayer& a = qnet.layers()[i];
+        const nn::QuantizedDenseLayer& b = loaded.layers()[i];
+        EXPECT_EQ(a.in, b.in);
+        EXPECT_EQ(a.out, b.out);
+        EXPECT_EQ(a.act, b.act);
+        EXPECT_EQ(bits32(a.in_scale), bits32(b.in_scale));
+        EXPECT_EQ(bits32(a.w_scale), bits32(b.w_scale));
+        EXPECT_EQ(a.weights, b.weights);
+        ASSERT_EQ(a.bias.size(), b.bias.size());
+        for (std::size_t j = 0; j < a.bias.size(); ++j)
+            EXPECT_EQ(bits32(a.bias[j]), bits32(b.bias[j]));
+    }
+    // Same bits in, same bits out of inference.
+    const nn::Matrix p1 = nn::predict(qnet, x);
+    const nn::Matrix p2 = nn::predict(loaded, x);
+    EXPECT_TRUE(bitwise_equal(p1, p2));
+}
+
+TEST(SerializeV3, CrossFormatLoadsAreRejected) {
+    nn::Matrix x, y;
+    nn::Mlp net = trained_net(x, y);
+
+    // A float (v2) checkpoint must be refused by the quantized loader...
+    std::stringstream float_buf;
+    nn::save_mlp(net, float_buf);
+    const auto r1 = nn::try_load_quantized_mlp(float_buf);
+    EXPECT_EQ(r1.status().code(), common::StatusCode::kFormatMismatch);
+
+    // ...and a quantized (v3) checkpoint by the float loader.
+    nn::QuantizedMlp qnet = nn::quantize_mlp(net, x);
+    std::stringstream quant_buf;
+    nn::save_quantized_mlp(qnet, quant_buf);
+    const auto r2 = nn::try_load_mlp(quant_buf);
+    EXPECT_EQ(r2.status().code(), common::StatusCode::kFormatMismatch);
+}
+
+TEST(SerializeV3, LegacyFloatStreamsStillLoad) {
+    // v2 (current float) round-trip stays intact next to the v3 writer.
+    nn::Matrix x, y;
+    nn::Mlp net = trained_net(x, y);
+    std::stringstream buf;
+    nn::save_mlp(net, buf);
+    nn::Mlp loaded = nn::load_mlp(buf);
+    loaded.set_training(false);
+    const nn::Matrix p1 = nn::predict(net, x);
+    const nn::Matrix p2 = nn::predict(loaded, x);
+    EXPECT_TRUE(bitwise_equal(p1, p2));
+
+    // v1 stream (no size/CRC framing): quantized loader refuses it with
+    // kFormatMismatch, float loader still accepts it
+    // (test_nn_serialize.cpp::LegacyV1StreamStillLoads).
+    std::stringstream v1;
+    v1.write("WSNN", 4);
+    const std::uint32_t version = 1;
+    v1.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    const std::uint64_t layer_count = 0;
+    v1.write(reinterpret_cast<const char*>(&layer_count), sizeof(layer_count));
+    const auto r = nn::try_load_quantized_mlp(v1);
+    EXPECT_EQ(r.status().code(), common::StatusCode::kFormatMismatch);
+}
+
+TEST(SerializeV3, CorruptQuantizedCheckpointIsDetected) {
+    nn::Matrix x, y;
+    nn::Mlp net = trained_net(x, y);
+    nn::QuantizedMlp qnet = nn::quantize_mlp(net, x);
+    std::stringstream buf;
+    nn::save_quantized_mlp(qnet, buf);
+    std::string bytes = buf.str();
+    bytes[bytes.size() / 2] ^= 0x40;  // flip one payload bit
+    std::stringstream corrupted(bytes);
+    const auto r = nn::try_load_quantized_mlp(corrupted);
+    EXPECT_EQ(r.status().code(), common::StatusCode::kCorruptData);
+
+    std::stringstream cut(buf.str().substr(0, bytes.size() - 8));
+    const auto r2 = nn::try_load_quantized_mlp(cut);
+    EXPECT_EQ(r2.status().code(), common::StatusCode::kTruncated);
+}
+
+}  // namespace

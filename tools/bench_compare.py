@@ -21,9 +21,18 @@ Gating rules -- the exit status is non-zero iff a gated metric drifts:
     contract makes accuracy metrics bit-stable, so any real drift trips it);
   * extra keys named via --gate are gated the same way (e.g. allocation
     counts, parameter counts);
+  * --limit KEY=MAX is a baseline-free absolute gate: any current record
+    carrying KEY fails if its value exceeds MAX (e.g. the quantization
+    accuracy-delta ceiling) -- no baseline required;
+  * --perf-gate KEY=REL is a direction-aware performance band against the
+    baseline: keys containing "per_sec" are higher-is-better (fail when
+    current < baseline * (1 - REL)), everything else lower-is-better (fail
+    when current > baseline * (1 + REL)). Use generous REL values -- CI
+    runners are not the machine that recorded the baseline, so this is a
+    catastrophic-regression smoke gate, not a benchmark;
   * wall-clock / timing metrics (key ending in "_s" or containing "wall",
-    "_us_", "rss") are never gated -- they are reported for trend reading
-    but depend on the host.
+    "_us_", "rss", "samples_per_sec") are never gated by the strict rules --
+    they are reported for trend reading (only --perf-gate touches them).
 
 Everything else is reported informationally.
 """
@@ -33,7 +42,7 @@ import json
 import sys
 from pathlib import Path
 
-TIMING_MARKERS = ("wall", "_us_", "rss")
+TIMING_MARKERS = ("wall", "_us_", "rss", "samples_per_sec")
 
 
 def is_timing(key: str) -> bool:
@@ -95,9 +104,28 @@ def main() -> int:
                     help="relative tolerance for gated metrics (default 1e-9)")
     ap.add_argument("--gate", action="append", default=[], metavar="KEY",
                     help="additional metric keys to gate exactly (repeatable)")
+    ap.add_argument("--limit", action="append", default=[], metavar="KEY=MAX",
+                    help="absolute baseline-free ceiling on a current metric "
+                         "(repeatable)")
+    ap.add_argument("--perf-gate", action="append", default=[],
+                    metavar="KEY=REL",
+                    help="direction-aware performance band vs baseline "
+                         "(repeatable; 'per_sec' keys are higher-is-better)")
     ap.add_argument("--trend", nargs="+", type=Path, metavar="DIR",
                     help="trend mode: one column per directory, oldest first")
     args = ap.parse_args()
+
+    def parse_kv(spec: str, flag: str) -> tuple[str, float]:
+        key, sep, value = spec.partition("=")
+        if not sep or not key:
+            ap.error(f"{flag} expects KEY=VALUE, got {spec!r}")
+        try:
+            return key, float(value)
+        except ValueError:
+            ap.error(f"{flag} {spec!r}: {value!r} is not a number")
+
+    limits = dict(parse_kv(s, "--limit") for s in args.limit)
+    perf_gates = dict(parse_kv(s, "--perf-gate") for s in args.perf_gate)
 
     if args.trend:
         return print_trend(args.trend)
@@ -108,12 +136,26 @@ def main() -> int:
     cur = load_records(args.current)
 
     failures = []
+
+    def apply_limits(name: str, metrics: dict) -> None:
+        for key, ceiling in limits.items():
+            if key not in metrics:
+                continue
+            value = float(metrics[key])
+            if value > ceiling:
+                failures.append(
+                    f"{name}:{key} {value:.12g} exceeds limit {ceiling:.12g}")
+                print(f"  [FAIL] {key}: {value:.12g} > limit {ceiling:.12g}")
+            else:
+                print(f"  [ok  ] {key}: {value:.12g} <= limit {ceiling:.12g}")
+
     for name in sorted(set(base) | set(cur)):
         if name not in cur:
             print(f"[WARN] {name}: present in baseline only (bench not run?)")
             continue
         if name not in base:
             print(f"[INFO] {name}: new bench, no baseline to compare")
+            apply_limits(name, cur[name].get("metrics", {}))
             continue
 
         b, c = base[name], cur[name]
@@ -125,7 +167,7 @@ def main() -> int:
         for key in bm:
             if key not in cm:
                 print(f"  [WARN] {key}: dropped from current run")
-                if "acc" in key or key in args.gate:
+                if "acc" in key or key in args.gate or key in perf_gates:
                     failures.append(f"{name}:{key} missing from current run")
                 continue
             bv, cv = float(bm[key]), float(cm[key])
@@ -136,6 +178,19 @@ def main() -> int:
                 status = "FAIL"
                 failures.append(
                     f"{name}:{key} {bv:.12g} -> {cv:.12g} (rel {drift:.3g})")
+            elif key in perf_gates:
+                rel = perf_gates[key]
+                higher_better = "per_sec" in key
+                bad = (cv < bv * (1.0 - rel)) if higher_better \
+                    else (cv > bv * (1.0 + rel))
+                if bad:
+                    status = "FAIL"
+                    direction = "below" if higher_better else "above"
+                    failures.append(
+                        f"{name}:{key} {cv:.12g} is {direction} the "
+                        f"{rel:.3g} band around baseline {bv:.12g}")
+                else:
+                    status = "perf"
             elif not gated:
                 status = "info"
             print(f"  [{status:4}] {key}: {bv:.12g} -> {cv:.12g}"
@@ -143,6 +198,7 @@ def main() -> int:
         for key in cm:
             if key not in bm:
                 print(f"  [INFO] {key}: new metric {float(cm[key]):.12g}")
+        apply_limits(name, cm)
 
     if failures:
         print(f"\nbench_compare: {len(failures)} gated metric(s) drifted:")

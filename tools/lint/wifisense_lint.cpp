@@ -26,8 +26,10 @@
 //   noalloc.std-function      std::function construction inside a noalloc
 //                     region (type erasure heap-allocates)
 //   noalloc.required  a file contractually bound to noalloc annotations is
-//                     missing them (the _into kernels in src/nn/tensor.*,
-//                     the steady-state step in src/nn/trainer.cpp)
+//                     missing them (the _into kernels in src/nn/tensor.* and
+//                     src/nn/quant.cpp, the _into/_rows microkernels under
+//                     src/nn/kernels/, the steady-state step in
+//                     src/nn/trainer.cpp)
 //   noalloc.unbalanced  noalloc-begin/end nesting errors
 //   err.nodiscard     function returning Status/Result<T> without
 //                     [[nodiscard]]
@@ -481,18 +483,34 @@ void check_noalloc(const std::string& file, const std::vector<Line>& lines,
     }
 }
 
-/// Files contractually bound to noalloc annotations. In tensor.* every
-/// `*_into` kernel must sit inside an annotated region; trainer.cpp must
-/// annotate its steady-state step; parallel.cpp must annotate its region
-/// posting / fan-out path (run_chunks_erased and the pool's run/drain).
+/// True when the token ends with any of the contract suffixes.
+bool has_kernel_suffix(const std::string& text,
+                       std::initializer_list<std::string_view> suffixes) {
+    for (const std::string_view s : suffixes)
+        if (text.size() > s.size() &&
+            text.compare(text.size() - s.size(), s.size(), s) == 0)
+            return true;
+    return false;
+}
+
+/// Files contractually bound to noalloc annotations. In tensor.* and
+/// quant.cpp every `*_into` kernel must sit inside an annotated region; the
+/// microkernel backends under src/nn/kernels/ bind both `*_into` and the
+/// row-range `*_rows` implementations; trainer.cpp must annotate its
+/// steady-state step; parallel.cpp must annotate its region posting /
+/// fan-out path (run_chunks_erased and the pool's run/drain).
 void check_noalloc_required(const std::string& file,
                             const std::vector<Line>& lines, const Directives& d,
                             std::vector<Finding>& findings) {
     const bool is_tensor = path_ends_with(file, "src/nn/tensor.cpp") ||
                            path_ends_with(file, "src/nn/tensor.hpp");
+    const bool is_quant = path_ends_with(file, "src/nn/quant.cpp");
+    const bool is_kernels = file.find("src/nn/kernels/") != std::string::npos &&
+                            !is_header(file);
     const bool is_trainer = path_ends_with(file, "src/nn/trainer.cpp");
     const bool is_pool = path_ends_with(file, "src/common/parallel.cpp");
-    if (!is_tensor && !is_trainer && !is_pool) return;
+    if (!is_tensor && !is_quant && !is_kernels && !is_trainer && !is_pool)
+        return;
 
     if (is_trainer && d.noalloc_regions.empty()) {
         findings.push_back({file, 0, "noalloc.required",
@@ -506,18 +524,21 @@ void check_noalloc_required(const std::string& file,
                             "fan-out path with noalloc-begin/end"});
         return;
     }
-    if (!is_tensor) return;
+    if (!is_tensor && !is_quant && !is_kernels) return;
     for (std::size_t li = 0; li < lines.size(); ++li) {
         const std::size_t lineno = li + 1;
-        // Only signature lines bind the contract: `void <name>_into(...`.
-        // Call sites inside the allocating convenience wrappers are exempt
-        // (the call itself does not allocate; the wrapper's Matrix does).
+        // Only signature lines bind the contract: `void <name>_into(...` (or
+        // `void <name>_rows(...` in the backend TUs — the row-range kernels
+        // the dispatch table points at). Call sites inside the allocating
+        // convenience wrappers are exempt (the call itself does not
+        // allocate; the wrapper's Matrix does).
         const std::vector<Token> toks = identifiers(lines[li].code);
         if (toks.empty() || toks.front().text != "void") continue;
         for (const Token& t : toks) {
-            if (t.text.size() > 5 &&
-                t.text.compare(t.text.size() - 5, 5, "_into") == 0 &&
-                !in_noalloc_region(d, lineno)) {
+            const bool bound =
+                is_kernels ? has_kernel_suffix(t.text, {"_into", "_rows"})
+                           : has_kernel_suffix(t.text, {"_into"});
+            if (bound && !in_noalloc_region(d, lineno)) {
                 findings.push_back({file, lineno, "noalloc.required",
                                     "'" + t.text +
                                         "' kernel must sit inside a "

@@ -2,19 +2,25 @@
 // generate_dataset or converted from a real Nexmon capture) and save the
 // model; optionally evaluate on the paper's 5-fold protocol first.
 //
-//   train_detector [--threads N] data.csv model.bin [features=csi|env|both]
+//   train_detector [--threads N] [--kernels NAME] data.csv model.bin
+//                  [features=csi|env|both]
 //
 // Training is deterministic for a given seed at any thread count; --threads
-// only changes the wall clock.
+// only changes the wall clock. --kernels scalar|avx2|auto (default:
+// WIFISENSE_KERNELS, else scalar) selects the microkernel backend; training
+// on avx2 trades the bitwise reproduction of the scalar reference for speed
+// (DESIGN.md §16).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "common/cpuid.hpp"
 #include "common/parallel.hpp"
 #include "core/occupancy_detector.hpp"
 #include "data/csv.hpp"
 #include "data/folds.hpp"
+#include "nn/kernels/backend.hpp"
 
 namespace {
 
@@ -35,16 +41,40 @@ void apply_threads_flag(int& argc, char** argv) {
     argc -= 2;
 }
 
+// Consume a leading "--kernels NAME" (default: WIFISENSE_KERNELS, else
+// scalar) and shift the positional arguments down. Unknown or unsupported
+// names are a hard error here — a training run silently falling back to a
+// different backend would not reproduce the bits the caller asked for.
+void apply_kernels_flag(int& argc, char** argv) {
+    (void)wifisense::nn::kernels::configure_kernels_from_env();
+    if (argc < 2 || std::strcmp(argv[1], "--kernels") != 0) return;
+    if (argc <= 2) {
+        std::fprintf(stderr, "error: --kernels requires a backend name "
+                             "(scalar|avx2|auto)\n");
+        std::exit(2);
+    }
+    if (!wifisense::nn::kernels::set_kernel_backend(argv[2])) {
+        std::fprintf(stderr,
+                     "error: --kernels %s is unknown or unsupported on this "
+                     "CPU (%s)\n",
+                     argv[2], wifisense::common::cpu_feature_string().c_str());
+        std::exit(2);
+    }
+    for (int i = 3; i < argc; ++i) argv[i - 2] = argv[i];
+    argc -= 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     using namespace wifisense;
 
     apply_threads_flag(argc, argv);
+    apply_kernels_flag(argc, argv);
     if (argc < 3) {
         std::fprintf(stderr,
-                     "usage: %s [--threads N] data.csv model.bin "
-                     "[features=csi|env|both]\n",
+                     "usage: %s [--threads N] [--kernels scalar|avx2|auto] "
+                     "data.csv model.bin [features=csi|env|both]\n",
                      argv[0]);
         return 2;
     }
