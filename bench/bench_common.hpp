@@ -81,13 +81,17 @@ inline common::ObservabilityEnv& configure_observability(int argc,
         } else if (std::strncmp(argv[i], "--kernels=", 10) == 0) {
             // First touch applies WIFISENSE_KERNELS; the flag then overrides.
             (void)nn::kernels::configure_kernels_from_env();
-            if (!nn::kernels::set_kernel_backend(argv[i] + 10))
+            if (!nn::kernels::set_kernel_backend(argv[i] + 10)) {
+                // Hard error, matching tools/train_detector: silently
+                // benchmarking the wrong backend poisons every committed
+                // baseline downstream of this run.
                 std::fprintf(stderr,
-                             "bench: --kernels=%s is unknown or unsupported "
-                             "on this CPU (%s); keeping %s kernels\n",
+                             "bench: error: --kernels=%s is unknown or "
+                             "unsupported on this CPU (%s)\n",
                              argv[i] + 10,
-                             common::cpu_feature_string().c_str(),
-                             nn::kernels::active_backend().name);
+                             common::cpu_feature_string().c_str());
+                std::exit(2);
+            }
         }
     }
     return env;

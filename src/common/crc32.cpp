@@ -1,0 +1,41 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace wifisense::common {
+
+namespace {
+
+const std::array<std::uint32_t, 256>& crc_table() {
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32_update(std::uint32_t state, const void* data, std::size_t n) {
+    const auto& table = crc_table();
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i)
+        state = table[(state ^ bytes[i]) & 0xFFu] ^ (state >> 8);
+    return state;
+}
+
+std::uint32_t crc32_final(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+std::uint32_t crc32(const void* data, std::size_t n) {
+    return crc32_final(crc32_update(crc32_init(), data, n));
+}
+
+}  // namespace wifisense::common

@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// check shared by every framed binary format in the tree: the nn/serialize
+// model containers (v2 float, v3 int8) and the data/telemetry wire frames.
+// One implementation keeps the formats bit-compatible with each other and
+// with standard tooling (zlib's crc32, Python's binascii).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wifisense::common {
+
+/// CRC-32 of `n` bytes. Table-driven, allocation-free, safe to call
+/// concurrently (the table is built once at first use).
+std::uint32_t crc32(const void* data, std::size_t n);
+
+/// Streaming form: continue a running CRC (start from crc32_init(), finish
+/// with crc32_final()). crc32(p, n) == crc32_final(crc32_update(crc32_init(),
+/// p, n)).
+std::uint32_t crc32_init();
+std::uint32_t crc32_update(std::uint32_t state, const void* data, std::size_t n);
+std::uint32_t crc32_final(std::uint32_t state);
+
+}  // namespace wifisense::common

@@ -19,6 +19,16 @@ constexpr std::uint64_t kSaltCorrupt = 0x636f7272;   // "corr"
 constexpr std::uint64_t kSaltDropout = 0x64726f70;   // "drop"
 constexpr std::uint64_t kSaltBurst = 0x62757273;     // "burs"
 constexpr std::uint64_t kSaltEnvStall = 0x7374616c;  // "stal"
+constexpr std::uint64_t kSaltWire = 0x77697265;      // "wire"
+constexpr std::uint64_t kSaltLinkOut = 0x6c6f7574;   // "lout"
+constexpr std::uint64_t kSaltLinkSkew = 0x6c736b77;  // "lskw"
+constexpr std::uint64_t kSaltPhase = 0x70687365;     // "phse"
+
+/// Folds a link id into a salt so every link owns independent decision
+/// streams under one plan seed.
+constexpr std::uint64_t link_salt(std::uint64_t salt, std::uint8_t link_id) {
+    return salt ^ splitmix64(0x6c696e6bull + link_id);  // "link" + id
+}
 
 /// Fixed window for the time-windowed fault processes. At most one event
 /// starts per window, so rates up to 6/h stay faithful; durations are
@@ -56,7 +66,12 @@ bool FaultConfig::any_active() const {
            saturate_rate > 0.0 || subcarrier_dropout_rate > 0.0 ||
            (burst_rate_per_h > 0.0 && burst_len_s > 0.0) ||
            (env_stall_rate_per_h > 0.0 && env_stall_len_s > 0.0) ||
-           env_clock_skew_s > 0.0;
+           env_clock_skew_s > 0.0 || wire_corrupt_rate > 0.0 ||
+           wire_truncate_rate > 0.0 || wire_reorder_rate > 0.0 ||
+           wire_duplicate_rate > 0.0 ||
+           (link_outage_rate_per_h > 0.0 && link_outage_len_s > 0.0) ||
+           link_clock_skew_s > 0.0 || phase_jump_rate > 0.0 ||
+           phase_noise_rate > 0.0;
 }
 
 FaultConfig FaultConfig::scaled(double factor) const {
@@ -69,6 +84,14 @@ FaultConfig FaultConfig::scaled(double factor) const {
     out.burst_rate_per_h = std::max(0.0, burst_rate_per_h * factor);
     out.env_stall_rate_per_h = std::max(0.0, env_stall_rate_per_h * factor);
     out.env_clock_skew_s = factor > 0.0 ? env_clock_skew_s : 0.0;
+    out.wire_corrupt_rate = clamp01(wire_corrupt_rate * factor);
+    out.wire_truncate_rate = clamp01(wire_truncate_rate * factor);
+    out.wire_reorder_rate = clamp01(wire_reorder_rate * factor);
+    out.wire_duplicate_rate = clamp01(wire_duplicate_rate * factor);
+    out.link_outage_rate_per_h = std::max(0.0, link_outage_rate_per_h * factor);
+    out.link_clock_skew_s = factor > 0.0 ? link_clock_skew_s : 0.0;
+    out.phase_jump_rate = clamp01(phase_jump_rate * factor);
+    out.phase_noise_rate = clamp01(phase_noise_rate * factor);
     return out;
 }
 
@@ -77,13 +100,18 @@ FaultPlan::FaultPlan(FaultConfig cfg) : cfg_(cfg), active_(cfg.any_active()) {
     if (!check01(cfg_.frame_drop_rate) || !check01(cfg_.nan_rate) ||
         !check01(cfg_.inf_rate) || !check01(cfg_.saturate_rate) ||
         !check01(cfg_.subcarrier_dropout_rate) ||
-        !check01(cfg_.subcarrier_dropout_fraction))
+        !check01(cfg_.subcarrier_dropout_fraction) ||
+        !check01(cfg_.wire_corrupt_rate) || !check01(cfg_.wire_truncate_rate) ||
+        !check01(cfg_.wire_reorder_rate) || !check01(cfg_.wire_duplicate_rate) ||
+        !check01(cfg_.phase_jump_rate) || !check01(cfg_.phase_noise_rate))
         throw std::invalid_argument("FaultPlan: probability outside [0, 1]");
     if (cfg_.nan_rate + cfg_.inf_rate + cfg_.saturate_rate > 1.0)
         throw std::invalid_argument("FaultPlan: corruption rates sum above 1");
     if (cfg_.burst_rate_per_h < 0.0 || cfg_.burst_len_s < 0.0 ||
         cfg_.env_stall_rate_per_h < 0.0 || cfg_.env_stall_len_s < 0.0 ||
-        cfg_.env_clock_skew_s < 0.0)
+        cfg_.env_clock_skew_s < 0.0 || cfg_.link_outage_rate_per_h < 0.0 ||
+        cfg_.link_outage_len_s < 0.0 || cfg_.link_clock_skew_s < 0.0 ||
+        cfg_.phase_jump_max_rad < 0.0 || cfg_.phase_noise_sigma_rad < 0.0)
         throw std::invalid_argument("FaultPlan: negative rate/duration");
 }
 
@@ -150,6 +178,64 @@ bool FaultPlan::env_stalled(double t) const {
                                cfg_.env_stall_len_s);
 }
 
+WireFault FaultPlan::wire_fault(std::uint8_t link_id,
+                                std::uint64_t sequence) const {
+    WireFault fault;
+    if (!active_) return fault;
+    std::uint64_t h = substream_seed(cfg_.seed ^ link_salt(kSaltWire, link_id),
+                                     sequence);
+    // Corruption and truncation are mutually exclusive (a torn frame is one
+    // or the other); duplication and reordering can ride on anything.
+    const double u = uniform01(next(h));
+    if (u < cfg_.wire_corrupt_rate)
+        fault.corrupt = true;
+    else if (u < cfg_.wire_corrupt_rate + cfg_.wire_truncate_rate)
+        fault.truncate = true;
+    if (fault.corrupt || fault.truncate) fault.byte_seed = next(h) | 1u;
+    if (uniform01(next(h)) < cfg_.wire_duplicate_rate) fault.duplicate = true;
+    if (uniform01(next(h)) < cfg_.wire_reorder_rate) fault.reorder = true;
+    if (metrics_enabled() && fault.any()) {
+        static Counter& wire_faults = obs_counter("fault.wire_frames_faulted");
+        wire_faults.add(1);
+    }
+    return fault;
+}
+
+bool FaultPlan::link_offline(std::uint8_t link_id, double t) const {
+    return active_ &&
+           window_fault_active(t, link_salt(kSaltLinkOut, link_id),
+                               cfg_.link_outage_rate_per_h,
+                               cfg_.link_outage_len_s);
+}
+
+double FaultPlan::link_skew_s(std::uint8_t link_id) const {
+    if (!active_ || cfg_.link_clock_skew_s <= 0.0 || link_id == 0) return 0.0;
+    std::uint64_t h = substream_seed(cfg_.seed ^ kSaltLinkSkew, link_id);
+    return uniform01(next(h)) * cfg_.link_clock_skew_s;
+}
+
+PhaseFault FaultPlan::phase_fault(std::uint64_t packet_index,
+                                  std::uint8_t link_id) const {
+    PhaseFault fault;
+    if (!active_ || (cfg_.phase_jump_rate <= 0.0 && cfg_.phase_noise_rate <= 0.0))
+        return fault;
+    std::uint64_t h = substream_seed(cfg_.seed ^ link_salt(kSaltPhase, link_id),
+                                     packet_index);
+    if (uniform01(next(h)) < cfg_.phase_jump_rate)
+        fault.jump_rad = (2.0 * uniform01(next(h)) - 1.0) * cfg_.phase_jump_max_rad;
+    else
+        (void)next(h);  // keep the chain length fault-independent
+    if (uniform01(next(h)) < cfg_.phase_noise_rate) {
+        fault.noise_seed = next(h) | 1u;
+        fault.noise_sigma_rad = cfg_.phase_noise_sigma_rad;
+    }
+    if (metrics_enabled() && fault.any()) {
+        static Counter& phase_faults = obs_counter("fault.phase_faults");
+        phase_faults.add(1);
+    }
+    return fault;
+}
+
 void apply_packet_fault(std::span<float> amps, const PacketFault& fault,
                         double full_scale, double dropout_fraction) {
     if (amps.empty()) return;
@@ -193,6 +279,26 @@ void apply_packet_fault(std::span<float> amps, const PacketFault& fault,
     }
 }
 
+void apply_phase_fault(std::span<std::complex<double>> cfr,
+                       const PhaseFault& fault) {
+    if (!fault.any() || cfr.empty()) return;
+    if (fault.noise_seed != 0 && fault.noise_sigma_rad > 0.0) {
+        // Per-subcarrier Gaussian phase noise via Box-Muller over the fault's
+        // own splitmix64 chain — pure in (seed, k), thread-safe by value.
+        std::uint64_t h = fault.noise_seed;
+        for (std::size_t k = 0; k < cfr.size(); ++k) {
+            const double u1 = std::max(uniform01(next(h)), 1e-300);
+            const double u2 = uniform01(next(h));
+            const double g = std::sqrt(-2.0 * std::log(u1)) *
+                             std::cos(2.0 * 3.14159265358979323846 * u2);
+            cfr[k] *= std::polar(1.0, fault.jump_rad + fault.noise_sigma_rad * g);
+        }
+        return;
+    }
+    const std::complex<double> rot = std::polar(1.0, fault.jump_rad);
+    for (std::complex<double>& v : cfr) v *= rot;
+}
+
 [[nodiscard]] Result<FaultConfig> parse_fault_spec(std::string_view spec) {
     FaultConfig cfg;
     std::string_view rest = spec;
@@ -227,6 +333,17 @@ void apply_packet_fault(std::span<float> amps, const PacketFault& fault,
         else if (key == "env_stall_rate") cfg.env_stall_rate_per_h = v;
         else if (key == "env_stall_len") cfg.env_stall_len_s = v;
         else if (key == "skew") cfg.env_clock_skew_s = v;
+        else if (key == "wire_corrupt") cfg.wire_corrupt_rate = v;
+        else if (key == "wire_truncate") cfg.wire_truncate_rate = v;
+        else if (key == "wire_reorder") cfg.wire_reorder_rate = v;
+        else if (key == "wire_duplicate") cfg.wire_duplicate_rate = v;
+        else if (key == "link_outage_rate") cfg.link_outage_rate_per_h = v;
+        else if (key == "link_outage_len") cfg.link_outage_len_s = v;
+        else if (key == "link_skew") cfg.link_clock_skew_s = v;
+        else if (key == "phase_jump") cfg.phase_jump_rate = v;
+        else if (key == "phase_jump_max") cfg.phase_jump_max_rad = v;
+        else if (key == "phase_noise") cfg.phase_noise_rate = v;
+        else if (key == "phase_noise_sigma") cfg.phase_noise_sigma_rad = v;
         else if (key == "seed") cfg.seed = static_cast<std::uint64_t>(v);
         else
             return Status(StatusCode::kInvalidArgument,
@@ -252,7 +369,19 @@ std::string to_spec(const FaultConfig& cfg) {
        << ",burst_len=" << cfg.burst_len_s
        << ",env_stall_rate=" << cfg.env_stall_rate_per_h
        << ",env_stall_len=" << cfg.env_stall_len_s
-       << ",skew=" << cfg.env_clock_skew_s << ",seed=" << cfg.seed;
+       << ",skew=" << cfg.env_clock_skew_s
+       << ",wire_corrupt=" << cfg.wire_corrupt_rate
+       << ",wire_truncate=" << cfg.wire_truncate_rate
+       << ",wire_reorder=" << cfg.wire_reorder_rate
+       << ",wire_duplicate=" << cfg.wire_duplicate_rate
+       << ",link_outage_rate=" << cfg.link_outage_rate_per_h
+       << ",link_outage_len=" << cfg.link_outage_len_s
+       << ",link_skew=" << cfg.link_clock_skew_s
+       << ",phase_jump=" << cfg.phase_jump_rate
+       << ",phase_jump_max=" << cfg.phase_jump_max_rad
+       << ",phase_noise=" << cfg.phase_noise_rate
+       << ",phase_noise_sigma=" << cfg.phase_noise_sigma_rad
+       << ",seed=" << cfg.seed;
     return os.str();
 }
 

@@ -20,6 +20,7 @@
 //     bitwise identical to the seed outputs.
 #pragma once
 
+#include <complex>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -51,6 +52,33 @@ struct FaultConfig {
     /// CSI<->env clock skew: env readings lag the CSI timeline by this much.
     double env_clock_skew_s = 0.0;
 
+    // -- wire-level transport faults (per encoded telemetry frame) ----------
+    // Applied by data::LinkEncoder between framing and the byte stream; the
+    // decisions are keyed on (link_id, sequence) so every link degrades
+    // independently under one plan.
+    double wire_corrupt_rate = 0.0;    ///< random bit flips inside a frame
+    double wire_truncate_rate = 0.0;   ///< frame cut short mid-stream
+    double wire_reorder_rate = 0.0;    ///< frame swapped with its successor
+    double wire_duplicate_rate = 0.0;  ///< frame delivered twice
+
+    // -- per-link faults (multi-link telemetry) -----------------------------
+    /// Per-link outage windows: the link emits no bytes at all while down.
+    double link_outage_rate_per_h = 0.0;
+    double link_outage_len_s = 30.0;
+    /// Cross-link clock skew ceiling: link l's wire timestamps lag the world
+    /// clock by a deterministic per-link amount in [0, link_clock_skew_s].
+    double link_clock_skew_s = 0.0;
+
+    // -- phase-stream faults (src/csi/phase.cpp ingest path) ----------------
+    /// Chance a packet's CFR picks up a random constant phase jump (CFO
+    /// glitch) and/or per-subcarrier phase noise (PLL jitter). Amplitudes are
+    /// invariant to a pure rotation, so these only reach the amplitude
+    /// pipeline through the additive receiver noise that follows them.
+    double phase_jump_rate = 0.0;
+    double phase_jump_max_rad = 3.14159265358979323846;
+    double phase_noise_rate = 0.0;
+    double phase_noise_sigma_rad = 0.2;
+
     std::uint64_t seed = 0x5eed;
 
     /// True if any fault channel can fire.
@@ -79,6 +107,29 @@ struct PacketFault {
     }
 };
 
+/// The wire-transport fault decision for one encoded telemetry frame.
+/// Default-constructed == the frame passes through untouched.
+struct WireFault {
+    bool corrupt = false;    ///< flip a seeded handful of payload bits
+    bool truncate = false;   ///< emit only a seeded prefix of the frame
+    bool duplicate = false;  ///< emit the frame twice
+    bool reorder = false;    ///< swap the frame with its successor
+    /// Seeds the corruption offsets / truncation point (nonzero iff corrupt
+    /// or truncate fired).
+    std::uint64_t byte_seed = 0;
+
+    bool any() const { return corrupt || truncate || duplicate || reorder; }
+};
+
+/// The phase-stream fault decision for one packet's CFR. Default == clean.
+struct PhaseFault {
+    double jump_rad = 0.0;           ///< constant rotation over all subcarriers
+    std::uint64_t noise_seed = 0;    ///< nonzero => per-subcarrier phase noise
+    double noise_sigma_rad = 0.0;    ///< std-dev of that per-subcarrier noise
+
+    bool any() const { return jump_rad != 0.0 || noise_seed != 0; }
+};
+
 /// Stateless, seeded description of every fault the pipeline will see.
 /// All queries are pure and safe to call concurrently.
 class FaultPlan {
@@ -102,6 +153,25 @@ public:
     /// Constant env-behind-CSI clock skew in seconds (>= 0).
     double env_skew_s() const { return active_ ? cfg_.env_clock_skew_s : 0.0; }
 
+    /// Wire-transport fault for frame `sequence` of link `link_id`. Keyed on
+    /// (seed, link, sequence): links degrade independently, and the same
+    /// frame always sees the same fate.
+    WireFault wire_fault(std::uint8_t link_id, std::uint64_t sequence) const;
+
+    /// True while a per-link outage window covers timestamp `t` on `link_id`
+    /// (the link emits nothing at all; cf. csi_offline for the paper's
+    /// single-receiver bursts).
+    bool link_offline(std::uint8_t link_id, double t) const;
+
+    /// Deterministic per-link clock skew in [0, link_clock_skew_s]; link 0 is
+    /// the reference clock and never skews.
+    double link_skew_s(std::uint8_t link_id) const;
+
+    /// Phase-stream fault for the packet_index-th packet (salted by link so
+    /// each receiver's oscillator glitches independently).
+    PhaseFault phase_fault(std::uint64_t packet_index,
+                           std::uint8_t link_id = 0) const;
+
 private:
     bool window_fault_active(double t, std::uint64_t salt, double rate_per_h,
                              double len_s) const;
@@ -117,11 +187,22 @@ private:
 void apply_packet_fault(std::span<float> amps, const PacketFault& fault,
                         double full_scale, double dropout_fraction = 0.15);
 
+/// Rotate a CFR in place per a phase fault: the constant jump plus seeded
+/// per-subcarrier Gaussian phase noise. Pure — the noise stream is derived
+/// from the fault's own seed, never from a shared RNG. |H[k]| is unchanged
+/// by construction (rotations preserve magnitude); csi::sanitize_phase
+/// removes the constant term downstream.
+void apply_phase_fault(std::span<std::complex<double>> cfr,
+                       const PhaseFault& fault);
+
 /// Parse a "key=value,key=value" fault-plan spec, e.g.
 ///   "drop=0.05,nan=0.01,dropout=0.02,burst_rate=0.5,burst_len=45,
 ///    env_stall_rate=0.3,env_stall_len=120,skew=1.5,seed=99"
 /// Keys: drop, nan, inf, saturate, dropout, dropout_fraction, burst_rate,
-/// burst_len, env_stall_rate, env_stall_len, skew, seed. Unknown keys and
+/// burst_len, env_stall_rate, env_stall_len, skew, seed, plus the wire /
+/// multi-link / phase families: wire_corrupt, wire_truncate, wire_reorder,
+/// wire_duplicate, link_outage_rate, link_outage_len, link_skew, phase_jump,
+/// phase_jump_max, phase_noise, phase_noise_sigma. Unknown keys and
 /// out-of-range values produce kInvalidArgument.
 [[nodiscard]] Result<FaultConfig> parse_fault_spec(std::string_view spec);
 

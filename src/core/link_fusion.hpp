@@ -1,0 +1,180 @@
+// Link-loss graceful degradation: fuse N receiver links into one CSI
+// observation for the ResilientDetector, stepping down a fixed ladder as
+// links die instead of falling over.
+//
+//   kFullFusion    every link healthy and contributing -> element-wise mean
+//                  CSI over all N links (what the fused model trained on).
+//   kSubsetFusion  1 < k < N links usable -> mean over the survivors;
+//                  confidence scaled by sqrt(k/N) (fewer independent looks
+//                  at the room, higher variance of the fused frame).
+//   kSingleLink    one usable link left -> its frame alone, sqrt(1/N)
+//                  confidence scale.
+//   kEnvOnly /     no usable CSI at all -> the wrapped ResilientDetector's
+//   kStaleHold     own env-fallback / hold ladder takes over unchanged.
+//
+// A link contributes only when it delivered a finite frame this instant AND
+// its validity EWMA (core/stream_health.hpp LinkHealthBank) sits above the
+// configured floor — a mostly-dead link's occasional frame is worse than no
+// frame, because the fused mean would mix training-distribution frames with
+// outliers. With every link alive and clean, the fused frame equals the
+// plain N-link mean and the wrapped detector sees exactly what it saw in
+// training; with one link configured, fusion is the identity and the ladder
+// collapses onto the wrapped detector's own modes.
+//
+// Subset re-centering: each link sees the room through its own multipath
+// geometry, so per-link amplitude baselines differ, and a mean over k < N
+// survivors sits at a systematically shifted baseline the fused model never
+// trained on — far enough off-manifold to saturate the MLP the wrong way.
+// calibrate_links() records per-link per-subcarrier amplitude means from a
+// representative clean window; degraded fusion then re-centers the
+// survivors' mean onto the all-link baseline
+// (fused += mean_all(mu) - mean_survivors(mu)), which cancels the
+// first-order baseline shift while leaving the occupancy-driven deviations
+// (shared across links) intact. The correction applies only when
+// used < n_links, so the full-fusion path is bitwise unaffected; without
+// calibration the detector behaves exactly as before.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/resilient_detector.hpp"
+#include "core/stream_health.hpp"
+#include "data/dataset.hpp"
+#include "data/record.hpp"
+
+namespace wifisense::core {
+
+/// One link's contribution to a fusion instant. `present == false` models a
+/// link that delivered nothing this tick (outage, decode loss, reassembly
+/// gap); a present frame may still carry NaN/Inf amplitudes.
+struct LinkFrame {
+    bool present = false;
+    std::array<float, data::kNumSubcarriers> csi{};
+};
+
+/// One multi-link inference instant.
+struct MultiLinkObservation {
+    double timestamp = 0.0;
+    bool has_env = false;
+    float temperature_c = 0.0f;
+    float humidity_pct = 0.0f;
+    /// One entry per configured link, indexed by link id.
+    std::span<const LinkFrame> links;
+};
+
+enum class FusionTier : std::uint8_t {
+    kFullFusion = 0,
+    kSubsetFusion = 1,
+    kSingleLink = 2,
+    kEnvOnly = 3,
+    kStaleHold = 4,
+};
+
+std::string to_string(FusionTier tier);
+
+struct FusionDecision {
+    /// The wrapped detector's decision on the fused observation, with
+    /// confidence already scaled for the surviving-link count.
+    DetectorDecision base;
+    FusionTier tier = FusionTier::kStaleHold;
+    std::uint32_t links_used = 0;
+    double mean_link_health = 0.0;
+};
+
+struct MultiLinkConfig {
+    std::size_t n_links = 4;
+    ResilientConfig resilient;
+    StreamHealthConfig link_health;
+    /// A link below this validity EWMA (or stale) loses its vote even when a
+    /// frame shows up.
+    double link_health_floor = 0.3;
+};
+
+/// Per-tier counters over the processed stream.
+struct FusionStats {
+    std::uint64_t observations = 0;
+    std::uint64_t full_fusion = 0;
+    std::uint64_t subset_fusion = 0;
+    std::uint64_t single_link = 0;
+    std::uint64_t env_only = 0;
+    std::uint64_t stale_hold = 0;
+    std::uint64_t link_frames_seen = 0;
+    std::uint64_t link_frames_rejected = 0;  ///< present but non-finite/unhealthy
+};
+
+/// N-link front end over a ResilientDetector. Fit on the fused training
+/// stream (see fused_dataset), then feed one MultiLinkObservation per sample
+/// instant. Once fitted, process() never throws on data content and always
+/// returns finite probabilities/confidences in [0,1].
+class MultiLinkDetector {
+public:
+    explicit MultiLinkDetector(MultiLinkConfig cfg = {});
+
+    /// Train the wrapped detector on an (already fused) training fold.
+    nn::TrainHistory fit(const data::DatasetView& fused_train);
+
+    /// Record per-link per-subcarrier amplitude baselines over rows
+    /// [row_begin, min(row_end, link size)) of each link's record stream
+    /// (pass the training range of the same collection the fused model was
+    /// fit on). Non-finite amplitudes are skipped. Enables subset
+    /// re-centering (header comment); full-fusion output is unaffected.
+    /// Survives reset_stream() like the trained models do.
+    void calibrate_links(std::span<const data::Dataset> links,
+                         std::size_t row_begin = 0,
+                         std::size_t row_end = static_cast<std::size_t>(-1));
+    bool calibrated() const { return calibrated_; }
+
+    /// Fuse + infer one instant. Observations must arrive in non-decreasing
+    /// timestamp order; obs.links.size() must equal config().n_links.
+    FusionDecision process(const MultiLinkObservation& obs);
+
+    /// Forget stream state (link health, the wrapped detector's stream
+    /// state) and zero the counters, keeping the trained models.
+    void reset_stream();
+
+    const FusionStats& stats() const { return stats_; }
+    const MultiLinkConfig& config() const { return cfg_; }
+    const LinkHealthBank& link_health() const { return health_; }
+    ResilientDetector& detector() { return detector_; }
+    bool fitted() const { return detector_.fitted(); }
+
+private:
+    MultiLinkConfig cfg_;
+    ResilientDetector detector_;
+    LinkHealthBank health_;
+    FusionStats stats_;
+    bool calibrated_ = false;
+    /// Per-link per-subcarrier amplitude baseline (calibrate_links).
+    std::vector<std::array<double, data::kNumSubcarriers>> link_mu_;
+    /// Mean of link_mu_ over every link: the baseline the fused model saw.
+    std::array<double, data::kNumSubcarriers> all_mu_{};
+};
+
+/// Element-wise mean of per-link record streams: record i of the result
+/// carries the mean CSI over links, with timestamps, env values and labels
+/// taken from link 0 (all links sample the same room at the same instants).
+/// Throws std::invalid_argument when the streams disagree in length or
+/// timestamps. This is the training-time counterpart of kFullFusion.
+data::Dataset fused_dataset(std::span<const data::Dataset> links);
+
+/// Link-dropout training augmentation: row i of the result fuses a seeded
+/// random subset of the links (all of them with probability `full_fraction`,
+/// else a uniform 1..N-1 of a seeded shuffle), re-centered onto the all-link
+/// baseline exactly like the degraded inference path — so a model trained on
+/// this stream has seen every fusion tier at its deployed distribution, not
+/// just kFullFusion. Subset draws are pure functions of (seed, row), making
+/// the stream bitwise reproducible. With full_fraction = 1 the result equals
+/// fused_dataset over the same rows. Rows [row_begin, min(row_end, size)).
+data::Dataset link_dropout_fused(std::span<const data::Dataset> links,
+                                 std::size_t row_begin = 0,
+                                 std::size_t row_end =
+                                     static_cast<std::size_t>(-1),
+                                 std::uint64_t seed = 0x9E3779B9u,
+                                 double full_fraction = 0.5);
+
+}  // namespace wifisense::core

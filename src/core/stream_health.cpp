@@ -43,4 +43,30 @@ void StreamHealth::reset() {
     ever_good_ = false;
 }
 
+LinkHealthBank::LinkHealthBank(std::size_t n_links, StreamHealthConfig cfg) {
+    if (n_links == 0)
+        throw std::invalid_argument("LinkHealthBank: zero links");
+    links_.reserve(n_links);
+    for (std::size_t i = 0; i < n_links; ++i) links_.emplace_back(cfg);
+}
+
+double LinkHealthBank::mean_health() const {
+    if (links_.empty()) return 1.0;
+    double sum = 0.0;
+    for (const auto& l : links_) sum += l.health();
+    return sum / static_cast<double>(links_.size());
+}
+
+std::size_t LinkHealthBank::healthy_count(double floor, double t) const {
+    std::size_t n = 0;
+    for (const auto& l : links_) {
+        if (l.health() >= floor && !l.stale(t)) n++;
+    }
+    return n;
+}
+
+void LinkHealthBank::reset() {
+    for (auto& l : links_) l.reset();
+}
+
 }  // namespace wifisense::core

@@ -2,8 +2,13 @@
 // weighted validity average (continuous-time EWMA, so irregular observation
 // spacing is handled correctly) plus a staleness clock on the last good
 // observation. The ResilientDetector keeps one tracker per input stream
-// (CSI, environmental) and switches inference modes on their state.
+// (CSI, environmental) and switches inference modes on their state; the
+// multi-link fusion stage keeps a LinkHealthBank — one tracker per receiver
+// link — to decide which links still deserve a vote.
 #pragma once
+
+#include <cstddef>
+#include <vector>
 
 namespace wifisense::core {
 
@@ -45,6 +50,33 @@ private:
     bool has_last_ = false;
     double last_good_t_ = 0.0;
     bool ever_good_ = false;
+};
+
+/// A fixed bank of per-link StreamHealth trackers sharing one config. The
+/// fusion stage observes each link every sample instant (valid == "this link
+/// contributed a usable frame") and gates contributions on per-link health.
+class LinkHealthBank {
+public:
+    explicit LinkHealthBank(std::size_t n_links, StreamHealthConfig cfg = {});
+
+    std::size_t size() const { return links_.size(); }
+    StreamHealth& link(std::size_t i) { return links_[i]; }
+    const StreamHealth& link(std::size_t i) const { return links_[i]; }
+
+    void observe(std::size_t link, double t, bool valid) {
+        links_[link].observe(t, valid);
+    }
+
+    /// Mean health across every link (1.0 for an empty bank).
+    double mean_health() const;
+
+    /// Links whose health is at least `floor` and that are not stale at `t`.
+    std::size_t healthy_count(double floor, double t) const;
+
+    void reset();
+
+private:
+    std::vector<StreamHealth> links_;
 };
 
 }  // namespace wifisense::core

@@ -28,8 +28,10 @@ PacketNoise Receiver::draw_packet_noise(std::size_t n_subcarriers) {
     // Fault decisions ride along with the draw but come from the plan's own
     // substreams, keyed on the packet index — the noise RNG above is never
     // touched, so a fault plan cannot perturb the fault-free world.
-    if (fault_plan_ != nullptr && fault_plan_->active())
+    if (fault_plan_ != nullptr && fault_plan_->active()) {
         noise.fault = fault_plan_->packet_fault(packets_drawn_);
+        noise.phase = fault_plan_->phase_fault(packets_drawn_, link_id_);
+    }
     ++packets_drawn_;
     return noise;
 }
@@ -38,6 +40,17 @@ std::vector<float> Receiver::apply_noise(std::span<const std::complex<double>> c
                                          const PacketNoise& noise) const {
     if (noise.iq.size() != 2 * cfr.size())
         throw std::invalid_argument("apply_noise: noise/CFR size mismatch");
+    // A phase fault rotates the CFR before the radio's additive noise (the
+    // oscillator glitch happens in the RF chain, the thermal noise after it).
+    // Pure rotations preserve |H[k]|, so the amplitude pipeline only feels
+    // this through the noise interaction — and the zero-fault path takes the
+    // span as-is, bit for bit.
+    std::vector<std::complex<double>> rotated;
+    if (noise.phase.any()) {
+        rotated.assign(cfr.begin(), cfr.end());
+        common::apply_phase_fault(rotated, noise.phase);
+        cfr = rotated;
+    }
     // Noisy raw amplitudes first: the AGC acts on what the radio receives.
     std::vector<double> raw(cfr.size());
     double power = 0.0;

@@ -48,6 +48,9 @@ struct PacketNoise {
     /// (default: no fault). Keyed on the packet's position in the stream, so
     /// it never consumes from — or perturbs — the receiver's noise RNG.
     common::PacketFault fault;
+    /// Phase-stream fault (CFO glitch / PLL jitter) for this packet; applied
+    /// to the CFR before the additive noise. Default: clean.
+    common::PhaseFault phase;
 };
 
 class Receiver {
@@ -73,7 +76,12 @@ public:
     /// apply_noise() realizes them (dropped packets are the caller's
     /// responsibility — the receiver only marks them). A null or inactive
     /// plan leaves every output bit identical to the fault-free receiver.
-    void set_fault_plan(const common::FaultPlan* plan) { fault_plan_ = plan; }
+    /// `link_id` salts the phase-fault substream so each receiver of a
+    /// multi-link deployment glitches independently.
+    void set_fault_plan(const common::FaultPlan* plan, std::uint8_t link_id = 0) {
+        fault_plan_ = plan;
+        link_id_ = link_id;
+    }
 
     /// Packets drawn so far (the stream index the fault plan is keyed on).
     std::uint64_t packets_drawn() const { return packets_drawn_; }
@@ -83,6 +91,7 @@ private:
     std::mt19937_64 rng_;
     std::normal_distribution<double> noise_{0.0, 1.0};
     const common::FaultPlan* fault_plan_ = nullptr;
+    std::uint8_t link_id_ = 0;
     std::uint64_t packets_drawn_ = 0;
 };
 

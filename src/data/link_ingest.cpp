@@ -1,0 +1,81 @@
+#include "data/link_ingest.hpp"
+
+#include <algorithm>
+
+namespace wifisense::data {
+
+LinkReassembler::LinkReassembler(ReassemblyConfig cfg) : cfg_(cfg) {
+    if (cfg_.reorder_window == 0) cfg_.reorder_window = 1;
+    buf_.reserve(cfg_.reorder_window + 1);
+}
+
+void LinkReassembler::reset() {
+    buf_.clear();
+    has_last_ = false;
+    last_seq_ = 0;
+    stats_ = ReassemblyStats{};
+}
+
+void LinkReassembler::emit_front(FrameSink& sink) {
+    const TelemetryFrame frame = buf_.front();
+    buf_.erase(buf_.begin());
+    if (has_last_ && frame.sequence > last_seq_ + 1) {
+        stats_.gaps++;
+        stats_.missing_frames += frame.sequence - last_seq_ - 1;
+    }
+    has_last_ = true;
+    last_seq_ = frame.sequence;
+    stats_.frames_out++;
+    sink.on_frame(frame);
+}
+
+void LinkReassembler::push(const TelemetryFrame& frame, FrameSink& sink) {
+    stats_.frames_in++;
+    if (has_last_ && frame.sequence <= last_seq_) {
+        // Duplicate of an emitted frame, or a frame so late its slot has
+        // already been released as a gap. Either way it cannot be reinserted
+        // without reordering the output.
+        stats_.duplicates_dropped++;
+        return;
+    }
+    const auto it = std::lower_bound(
+        buf_.begin(), buf_.end(), frame.sequence,
+        [](const TelemetryFrame& f, std::uint32_t seq) {
+            return f.sequence < seq;
+        });
+    if (it != buf_.end() && it->sequence == frame.sequence) {
+        stats_.duplicates_dropped++;
+        return;
+    }
+    buf_.insert(it, frame);  // capacity reserved: no steady-state allocation
+
+    const auto stale = [&] {
+        if (buf_.size() < 2) return false;
+        const std::uint64_t oldest = buf_.front().timestamp_ns;
+        const std::uint64_t newest = buf_.back().timestamp_ns;
+        const double span_s =
+            newest > oldest ? static_cast<double>(newest - oldest) * 1e-9 : 0.0;
+        return span_s > cfg_.staleness_budget_s;
+    };
+    while (!buf_.empty() && (buf_.size() > cfg_.reorder_window || stale())) {
+        emit_front(sink);
+    }
+    // Fast path: with the next-in-sequence frame at the front there is
+    // nothing to wait for.
+    while (!buf_.empty() && has_last_ &&
+           buf_.front().sequence == last_seq_ + 1) {
+        emit_front(sink);
+    }
+    if (!has_last_ && !buf_.empty() && buf_.front().sequence == 0) {
+        emit_front(sink);
+        while (!buf_.empty() && buf_.front().sequence == last_seq_ + 1) {
+            emit_front(sink);
+        }
+    }
+}
+
+void LinkReassembler::flush(FrameSink& sink) {
+    while (!buf_.empty()) emit_front(sink);
+}
+
+}  // namespace wifisense::data

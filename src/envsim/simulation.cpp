@@ -5,6 +5,7 @@
 #include <cmath>
 #include <complex>
 #include <deque>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -49,7 +50,13 @@ namespace {
 struct PacketJob {
     double timestamp = 0.0;
     csi::PacketNoise noise;
+    /// Pre-drawn noise of the extra links (link i+1 at index i); populated
+    /// only by multi-link runs, so the legacy path carries no extra state.
+    std::vector<csi::PacketNoise> link_noise;
 };
+
+using LinkRecordSink =
+    std::function<void(std::uint8_t, const data::SampleRecord&)>;
 
 struct TickJob {
     csi::EnvironmentState env;
@@ -67,6 +74,18 @@ struct TickJob {
 /// every flush wide enough to occupy the pool.
 constexpr std::size_t kFlushPackets = 4096;
 
+void fill_record_fields(data::SampleRecord& rec, const TickJob& job,
+                        double timestamp) {
+    rec.timestamp = timestamp;
+    rec.temperature_c = job.temperature_c;
+    rec.humidity_pct = job.humidity_pct;
+    rec.occupant_count = job.occupant_count;
+    rec.occupancy = job.occupancy;
+    rec.activity = job.activity;
+}
+
+/// Single-link flush: the historical parallel synthesis path, untouched so
+/// run() stays bitwise identical to the seed outputs.
 void flush_window(std::vector<TickJob>& window, const csi::ChannelModel& channel,
                   const csi::Receiver& receiver,
                   const std::function<void(const data::SampleRecord&)>& sink) {
@@ -87,13 +106,8 @@ void flush_window(std::vector<TickJob>& window, const csi::ChannelModel& channel
                 const std::vector<float> amps =
                     receiver.apply_noise(cfr, job.packets[p].noise);
                 data::SampleRecord& rec = records[offset[ti] + p];
-                rec.timestamp = job.packets[p].timestamp;
+                fill_record_fields(rec, job, job.packets[p].timestamp);
                 std::copy(amps.begin(), amps.end(), rec.csi.begin());
-                rec.temperature_c = job.temperature_c;
-                rec.humidity_pct = job.humidity_pct;
-                rec.occupant_count = job.occupant_count;
-                rec.occupancy = job.occupancy;
-                rec.activity = job.activity;
             }
         },
         /*grain=*/4);
@@ -102,11 +116,62 @@ void flush_window(std::vector<TickJob>& window, const csi::ChannelModel& channel
     window.clear();
 }
 
+/// Multi-link flush: per tick, one CFR per link (each link's geometry
+/// against the SAME scatterer snapshot — the pure frequency_response
+/// overload reads only immutable channel state), then each link's pre-drawn
+/// noise. Records land in (packet, link) order; link 0's bytes match the
+/// single-link flush exactly because its channel, receiver and noise are the
+/// very same objects consuming the very same draws.
+void flush_window_links(std::vector<TickJob>& window,
+                        const csi::ChannelModel& channel,
+                        const csi::Receiver& receiver,
+                        std::span<const csi::ChannelModel> link_channels,
+                        std::span<const csi::Receiver> link_receivers,
+                        const LinkRecordSink& sink) {
+    if (window.empty()) return;
+    const std::size_t n_links = 1 + link_channels.size();
+    std::vector<std::size_t> offset(window.size() + 1, 0);
+    for (std::size_t i = 0; i < window.size(); ++i)
+        offset[i + 1] = offset[i] + window[i].packets.size();
+
+    std::vector<data::SampleRecord> records(offset.back() * n_links);
+    common::parallel_for(
+        window.size(),
+        [&](std::size_t ti) {
+            common::TraceScope span("csi.sample");
+            const TickJob& job = window[ti];
+            std::vector<std::vector<std::complex<double>>> cfr(n_links);
+            cfr[0] = channel.frequency_response(job.env, job.bodies,
+                                                job.scatterers);
+            for (std::size_t l = 1; l < n_links; ++l)
+                cfr[l] = link_channels[l - 1].frequency_response(
+                    job.env, job.bodies, job.scatterers);
+            for (std::size_t p = 0; p < job.packets.size(); ++p) {
+                const PacketJob& packet = job.packets[p];
+                for (std::size_t l = 0; l < n_links; ++l) {
+                    const std::vector<float> amps =
+                        l == 0 ? receiver.apply_noise(cfr[0], packet.noise)
+                               : link_receivers[l - 1].apply_noise(
+                                     cfr[l], packet.link_noise[l - 1]);
+                    data::SampleRecord& rec =
+                        records[(offset[ti] + p) * n_links + l];
+                    fill_record_fields(rec, job, packet.timestamp);
+                    std::copy(amps.begin(), amps.end(), rec.csi.begin());
+                }
+            }
+        },
+        /*grain=*/4);
+
+    for (std::size_t i = 0; i < records.size(); ++i)
+        sink(static_cast<std::uint8_t>(i % n_links), records[i]);
+    window.clear();
+}
+
 /// Mutable world state shared by the logical processes: the seeded component
 /// models (each with its own substream RNG), the fault plan, and the per-tick
 /// latches written by earlier LPs and read by later ones in the same tick.
 struct SimWorld {
-    explicit SimWorld(const SimulationConfig& cfg_in)
+    explicit SimWorld(const SimulationConfig& cfg_in, bool with_links = false)
         : cfg(cfg_in),
           sample_period(1.0 / cfg_in.sample_rate_hz),
           channel(cfg_in.room, cfg_in.channel, cfg_in.seed ^ 0x11),
@@ -127,6 +192,28 @@ struct SimWorld {
         // are perturbed. An inactive plan leaves the emitted bytes exactly as
         // before the fault layer existed.
         if (fault_plan.active()) receiver.set_fault_plan(&fault_plan);
+
+        // Extra receiver links (multi-link runs only): each link gets its own
+        // channel geometry (same room, its own rx position — the image-source
+        // inventory is rx-independent, so the same channel seed reproduces
+        // the same scatterer world) and its own receiver noise substream.
+        // Building these touches none of link 0's RNGs, which is what keeps
+        // link 0 bitwise identical to a single-link run.
+        if (with_links) {
+            link_channels.reserve(cfg.extra_rx.size());
+            link_receivers.reserve(cfg.extra_rx.size());
+            for (std::size_t i = 0; i < cfg.extra_rx.size(); ++i) {
+                csi::RoomGeometry geo = cfg.room;
+                geo.rx = cfg.extra_rx[i];
+                link_channels.emplace_back(geo, cfg.channel, cfg.seed ^ 0x11);
+                link_receivers.emplace_back(
+                    cfg.receiver,
+                    common::substream_seed(cfg.seed ^ 0x22, i + 1));
+                if (fault_plan.active())
+                    link_receivers.back().set_fault_plan(
+                        &fault_plan, static_cast<std::uint8_t>(i + 1));
+            }
+        }
 
         // Warm up the thermal state: simulate the morning before collection
         // starts (06:00 -> start) so the 15:08 initial condition is
@@ -149,6 +236,9 @@ struct SimWorld {
 
     csi::ChannelModel channel;
     csi::Receiver receiver;
+    /// Extra links (index i = link i+1); empty for single-link runs.
+    std::vector<csi::ChannelModel> link_channels;
+    std::vector<csi::Receiver> link_receivers;
     ThermalModel thermal;
     EnvironmentSensor sensor;
     OccupantModel occupants;
@@ -344,10 +434,12 @@ private:
 /// and stops the run once the sample budget is spent.
 class CsiSamplingLP final : public TickProcess {
 public:
-    explicit CsiSamplingLP(
-        SimWorld& world,
-        const std::function<void(const data::SampleRecord&)>& sink)
-        : TickProcess(world), sink_(&sink) {}
+    /// Exactly one of `sink` / `link_sink` is non-null; the link sink routes
+    /// through the multi-link flush.
+    CsiSamplingLP(SimWorld& world,
+                  const std::function<void(const data::SampleRecord&)>* sink,
+                  const LinkRecordSink* link_sink)
+        : TickProcess(world), sink_(sink), link_sink_(link_sink) {}
 
 private:
     void step(double t, EventQueue& queue) override {
@@ -396,6 +488,15 @@ private:
                 // fault-free run.
                 packet.noise =
                     w.receiver.draw_packet_noise(w.cfg.channel.n_subcarriers);
+                // Extra links advance their own substreams in lockstep —
+                // also for lost packets, so every link's noise stream is a
+                // pure function of the sample index.
+                if (!w.link_receivers.empty()) {
+                    packet.link_noise.reserve(w.link_receivers.size());
+                    for (csi::Receiver& link_rx : w.link_receivers)
+                        packet.link_noise.push_back(link_rx.draw_packet_noise(
+                            w.cfg.channel.n_subcarriers));
+                }
                 const bool lost = w.fault_plan.active() &&
                                   (packet.noise.fault.dropped ||
                                    w.fault_plan.csi_offline(sample_time));
@@ -407,7 +508,12 @@ private:
             w.window_packets += job.packets.size();
             if (!job.packets.empty()) w.window.push_back(std::move(job));
             if (w.window_packets >= kFlushPackets) {
-                flush_window(w.window, w.channel, w.receiver, *sink_);
+                if (link_sink_ != nullptr)
+                    flush_window_links(w.window, w.channel, w.receiver,
+                                       w.link_channels, w.link_receivers,
+                                       *link_sink_);
+                else
+                    flush_window(w.window, w.channel, w.receiver, *sink_);
                 w.window_packets = 0;
             }
         }
@@ -420,6 +526,7 @@ private:
     }
 
     const std::function<void(const data::SampleRecord&)>* sink_;
+    const LinkRecordSink* link_sink_;
 };
 
 }  // namespace
@@ -431,18 +538,24 @@ OfficeSimulator::OfficeSimulator(SimulationConfig cfg) : cfg_(cfg) {
         throw std::invalid_argument("OfficeSimulator: non-positive duration");
 }
 
-void OfficeSimulator::run(const std::function<void(const data::SampleRecord&)>& sink) {
+namespace {
+
+/// Shared DES driver: builds the world, wires the five LPs, runs the queue,
+/// flushes the tail window. Exactly one of the sinks is non-null.
+void run_simulation(const SimulationConfig& cfg,
+                    const std::function<void(const data::SampleRecord&)>* sink,
+                    const LinkRecordSink* link_sink) {
     // Dynamics and event randomness advance on a fixed tick regardless of
     // the CSI sampling rate, so a given seed produces the *same world*
     // (schedules, furniture shuffles, window events, thermal trajectory) at
     // every rate — only the measurement density changes.
-    SimWorld world(cfg_);
+    SimWorld world(cfg, /*with_links=*/link_sink != nullptr);
 
     FurnitureVentilationLP furniture_lp(world);
     OccupantLP occupant_lp(world);
     ThermalLP thermal_lp(world);
     SensorLP sensor_lp(world);
-    CsiSamplingLP csi_lp(world, sink);
+    CsiSamplingLP csi_lp(world, sink, link_sink);
 
     if (world.n_ticks > 0 && world.n_samples > 0) {
         EventQueue queue;
@@ -454,7 +567,23 @@ void OfficeSimulator::run(const std::function<void(const data::SampleRecord&)>& 
         csi_lp.register_with(queue);
         queue.run();
     }
-    flush_window(world.window, world.channel, world.receiver, sink);
+    if (link_sink != nullptr)
+        flush_window_links(world.window, world.channel, world.receiver,
+                           world.link_channels, world.link_receivers,
+                           *link_sink);
+    else
+        flush_window(world.window, world.channel, world.receiver, *sink);
+}
+
+}  // namespace
+
+void OfficeSimulator::run(const std::function<void(const data::SampleRecord&)>& sink) {
+    run_simulation(cfg_, &sink, nullptr);
+}
+
+void OfficeSimulator::run_links(
+    const std::function<void(std::uint8_t, const data::SampleRecord&)>& sink) {
+    run_simulation(cfg_, nullptr, &sink);
 }
 
 data::Dataset OfficeSimulator::run() {
@@ -463,6 +592,24 @@ data::Dataset OfficeSimulator::run() {
         static_cast<std::size_t>(cfg_.duration_s * cfg_.sample_rate_hz) + 1);
     run([&dataset](const data::SampleRecord& r) { dataset.push_back(r); });
     return dataset;
+}
+
+std::vector<csi::Vec3> default_link_positions(const csi::RoomGeometry& room,
+                                              std::size_t n_links) {
+    std::vector<csi::Vec3> out;
+    out.reserve(n_links);
+    if (n_links == 0) return out;
+    out.push_back(room.rx);
+    for (std::size_t i = 1; i < n_links; ++i) {
+        // Spread the extra receivers along the far wall at router height so
+        // every link sees the occupants through a distinct multipath
+        // geometry.
+        const double frac =
+            static_cast<double>(i) / static_cast<double>(n_links);
+        out.push_back(csi::Vec3{room.lx * (0.15 + 0.7 * frac), room.ly - 0.4,
+                                room.rx.z});
+    }
+    return out;
 }
 
 SimulationConfig paper_config(double sample_rate_hz, std::uint64_t seed) {

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/fault.hpp"
 #include "csi/channel.hpp"
@@ -105,6 +106,14 @@ struct SimulationConfig {
     /// the corresponding packets of the fault-free run.
     common::FaultConfig faults;
 
+    /// Additional receiver positions for multi-link runs: link 0 is the
+    /// paper's receiver at room.rx; extra_rx[i] becomes link i+1, observing
+    /// the same room (same occupants, furniture, thermal state, scatterer
+    /// drift) through its own geometry and its own receiver noise stream.
+    /// Only run_links() looks at this — run() always emits the single-link
+    /// stream, bitwise identical whether or not extra links are configured.
+    std::vector<csi::Vec3> extra_rx;
+
     /// Mean window-opening events per occupied hour (ventilation bursts).
     double window_open_rate_per_h = 0.08;
     double window_open_len_s = 300.0;
@@ -125,11 +134,27 @@ public:
     /// Streaming variant: invokes `sink` per record without storing them.
     void run(const std::function<void(const data::SampleRecord&)>& sink);
 
+    /// Multi-link streaming run over 1 + extra_rx.size() receiver links.
+    /// Every link samples the identical world at the identical instants;
+    /// records arrive grouped per sample instant, links in ascending id
+    /// order. Link 0's records are bitwise identical to what run() emits —
+    /// the extra links draw from their own receiver substreams and never
+    /// touch link 0's RNGs — and with extra_rx empty this IS run() with a
+    /// link id prepended.
+    void run_links(
+        const std::function<void(std::uint8_t, const data::SampleRecord&)>& sink);
+
     const SimulationConfig& config() const { return cfg_; }
 
 private:
     SimulationConfig cfg_;
 };
+
+/// Evenly spread receiver positions for an n_links deployment: index 0 is
+/// room.rx (the paper's receiver); the rest sit along the far wall at the
+/// same height. Feed [1, n) into SimulationConfig::extra_rx.
+std::vector<csi::Vec3> default_link_positions(const csi::RoomGeometry& room,
+                                              std::size_t n_links);
 
 /// The configuration used by all paper-reproduction benches: full 74.5 h
 /// timeline at the given rate with the default seeds.

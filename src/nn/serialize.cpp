@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/crc32.hpp"
+
 namespace wifisense::nn {
 
 using common::Result;
@@ -38,22 +40,11 @@ T read_pod(std::istream& is) {
     return value;
 }
 
-/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+/// CRC-32 (IEEE 802.3) — the shared common/crc32 implementation, so the
+/// model containers stay bit-compatible with the telemetry wire frames and
+/// standard tooling.
 std::uint32_t crc32(const char* data, std::size_t n) {
-    static const std::array<std::uint32_t, 256> table = [] {
-        std::array<std::uint32_t, 256> t{};
-        for (std::uint32_t i = 0; i < 256; ++i) {
-            std::uint32_t c = i;
-            for (int k = 0; k < 8; ++k)
-                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-            t[i] = c;
-        }
-        return t;
-    }();
-    std::uint32_t crc = 0xFFFFFFFFu;
-    for (std::size_t i = 0; i < n; ++i)
-        crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xFFu] ^ (crc >> 8);
-    return crc ^ 0xFFFFFFFFu;
+    return common::crc32(data, n);
 }
 
 /// Serializes `u64 layer_count | layers...` (the payload shared by v1/v2).

@@ -1,0 +1,48 @@
+// Known-bad wire-format snippets for the wire.packed rule (the file name
+// contains "wire", which binds the rule), plus negative cases proving that
+// pinned layouts, nested stats structs, forward declarations and non-Wire
+// names do NOT fire. Never compiled — scanned by wifisense-lint --self-test
+// only.
+#include <cstddef>
+#include <cstdint>
+
+struct WireMissingBoth {  // lint-expect: wire.packed
+    std::uint32_t magic = 0;
+    std::uint16_t len = 0;
+};
+
+struct WireMissingOffsets {  // lint-expect: wire.packed
+    std::uint64_t timestamp_ns = 0;
+};
+static_assert(sizeof(WireMissingOffsets) == 8);
+
+struct WireMissingSize {  // lint-expect: wire.packed
+    std::uint32_t sequence = 0;
+};
+static_assert(offsetof(WireMissingSize, sequence) == 0);
+
+// Negative: a fully pinned layout is exactly what the rule wants.
+struct WirePinned {
+    std::uint32_t magic = 0;
+    std::uint32_t sequence = 0;
+};
+static_assert(sizeof(WirePinned) == 8);
+static_assert(offsetof(WirePinned, magic) == 0);
+static_assert(offsetof(WirePinned, sequence) == 4);
+
+// Negative: nested Wire* helper structs (per-encoder stats and the like)
+// never touch the wire; only column-0 declarations bind the contract.
+class FixtureEncoder {
+public:
+    struct WireStats {
+        std::uint64_t frames = 0;
+    };
+};
+
+// Negative: a forward declaration carries no layout to pin.
+struct WireForward;
+
+// Negative: non-Wire names in a wire file bind nothing.
+struct FrameDefectFixture {
+    int kind = 0;
+};

@@ -8,7 +8,10 @@
 
 #include "common/fault.hpp"
 #include "common/rng.hpp"
+#include "core/link_fusion.hpp"
 #include "core/resilient_detector.hpp"
+#include "data/link_ingest.hpp"
+#include "data/telemetry.hpp"
 #include "csi/channel.hpp"
 #include "csi/receiver.hpp"
 #include "data/scaler.hpp"
@@ -434,5 +437,141 @@ TEST(ChaosSoak, TotalBlackoutHoldsFiniteOutputs) {
             EXPECT_LE(d.confidence, last_confidence + 1e-12) << "tick " << i;
         }
         last_confidence = d.confidence;
+    }
+}
+
+TEST(ChaosSoak, MultiLinkWireFaultsNeverThrowNeverNaN) {
+    // Multi-link extension of the soak: one 4-link collection, then a sweep
+    // of random wire-fault plans (corruption, truncation, reordering,
+    // duplication, per-link outages, cross-link clock skew). Every link's
+    // records run the full transport — LinkEncoder, hostile-byte
+    // TelemetryDecoder, LinkReassembler — before fusion. The invariant under
+    // ANY plan: MultiLinkDetector::process never throws, probabilities and
+    // confidences stay finite in [0,1], and the tier counters account every
+    // observation.
+    namespace common = wifisense::common;
+    namespace core = wifisense::core;
+    namespace data = wifisense::data;
+    namespace envsim = wifisense::envsim;
+    constexpr std::uint64_t kMasterSeed = 0x3717C4;
+    constexpr std::size_t kLinks = 4;
+    constexpr std::uint64_t kPlans = 12;
+
+    envsim::SimulationConfig cfg = envsim::paper_config(2.0, 7);
+    cfg.duration_s = 900.0;
+    const std::vector<wifisense::csi::Vec3> positions =
+        envsim::default_link_positions(cfg.room, kLinks);
+    cfg.extra_rx.assign(positions.begin() + 1, positions.end());
+    std::vector<data::Dataset> links(kLinks);
+    envsim::OfficeSimulator(cfg).run_links(
+        [&](std::uint8_t link, const data::SampleRecord& rec) {
+            links[link].push_back(rec);
+        });
+    const data::Dataset fused = core::fused_dataset(links);
+
+    core::MultiLinkConfig mcfg;
+    mcfg.n_links = kLinks;
+    mcfg.resilient.full.training.epochs = 3;
+    mcfg.resilient.fallback.training.epochs = 3;
+    core::MultiLinkDetector det(mcfg);
+    det.fit(fused.view());
+
+    const std::size_t n = links[0].size();
+    for (std::uint64_t plan_i = 0; plan_i < kPlans; ++plan_i) {
+        SCOPED_TRACE("wire plan " + std::to_string(plan_i));
+        std::mt19937_64 rng = common::substream(kMasterSeed, plan_i);
+        std::uniform_real_distribution<double> u(0.0, 1.0);
+        common::FaultConfig f;
+        f.wire_corrupt_rate = 0.3 * u(rng);
+        f.wire_truncate_rate = 0.2 * u(rng);
+        f.wire_reorder_rate = 0.3 * u(rng);
+        f.wire_duplicate_rate = 0.3 * u(rng);
+        f.link_outage_rate_per_h = 8.0 * u(rng);
+        f.link_outage_len_s = 10.0 + 170.0 * u(rng);
+        f.link_clock_skew_s = 2.0 * u(rng);
+        f.seed = common::substream_seed(kMasterSeed, plan_i ^ 0x3717);
+        const common::FaultPlan plan(f);
+
+        // Transport every link, then index the survivors by sequence number
+        // (sequence i carries record i — the encoder consumes one sequence
+        // per record even when an outage eats the frame).
+        struct BySeq final : data::FrameSink {
+            std::vector<const data::TelemetryFrame*> slots;
+            std::vector<data::TelemetryFrame> storage;
+            void on_frame(const data::TelemetryFrame& fr) override {
+                storage.push_back(fr);
+            }
+        };
+        std::vector<BySeq> arrived(kLinks);
+        for (std::size_t l = 0; l < kLinks; ++l) {
+            data::LinkEncoder enc(static_cast<std::uint8_t>(l), 6, &plan);
+            std::vector<std::uint8_t> stream;
+            for (std::size_t i = 0; i < n; ++i)
+                enc.encode(links[l][i], stream);
+            enc.flush(stream);
+
+            data::TelemetryDecoder dec;
+            arrived[l].storage.reserve(n);
+            data::LinkReassembler reasm;
+            struct Raw final : data::WireSink {
+                data::LinkReassembler* reasm;
+                BySeq* out;
+                void on_frame(const data::TelemetryFrame& fr) override {
+                    reasm->push(fr, *out);
+                }
+            } raw;
+            raw.reasm = &reasm;
+            raw.out = &arrived[l];
+            ASSERT_NO_THROW({
+                dec.push(stream, raw);
+                dec.finish(raw);
+                reasm.flush(arrived[l]);
+            });
+            arrived[l].slots.assign(n, nullptr);
+            for (const data::TelemetryFrame& fr : arrived[l].storage)
+                if (fr.sequence < n)
+                    arrived[l].slots[fr.sequence] = &fr;
+        }
+
+        det.reset_stream();
+        std::size_t violations = 0;
+        std::string first_violation;
+        std::vector<core::LinkFrame> obs_links(kLinks);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t l = 0; l < kLinks; ++l) {
+                obs_links[l] = core::LinkFrame{};
+                if (arrived[l].slots[i] != nullptr) {
+                    obs_links[l].present = true;
+                    obs_links[l].csi = arrived[l].slots[i]->record.csi;
+                }
+            }
+            core::MultiLinkObservation obs;
+            obs.timestamp = links[0][i].timestamp;
+            obs.has_env = true;
+            obs.temperature_c = links[0][i].temperature_c;
+            obs.humidity_pct = links[0][i].humidity_pct;
+            obs.links = obs_links;
+            core::FusionDecision d;
+            try {
+                d = det.process(obs);
+            } catch (const std::exception& e) {
+                FAIL() << "process() threw on record " << i << ": " << e.what();
+            }
+            std::string why = decision_violation(d.base);
+            if (why.empty() &&
+                !(std::isfinite(d.mean_link_health) &&
+                  d.mean_link_health >= 0.0 && d.mean_link_health <= 1.0))
+                why = "mean_link_health outside [0,1] or non-finite";
+            if (why.empty() && d.links_used > kLinks)
+                why = "links_used exceeds link count";
+            if (!why.empty() && ++violations == 1)
+                first_violation = "record " + std::to_string(i) + ": " + why;
+        }
+        EXPECT_EQ(violations, 0u) << first_violation;
+        const core::FusionStats& st = det.stats();
+        EXPECT_EQ(st.observations, n);
+        EXPECT_EQ(st.full_fusion + st.subset_fusion + st.single_link +
+                      st.env_only + st.stale_hold,
+                  st.observations);
     }
 }

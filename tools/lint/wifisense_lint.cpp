@@ -36,6 +36,13 @@
 //   err.todo          TODO/FIXME in src/ without an issue tag "(#N)"
 //   hdr.pragma-once   header missing #pragma once
 //   hdr.using-namespace  using namespace at namespace scope in a header
+//   wire.packed       a top-level `struct Wire<Name>` in a wire-format file
+//                     (path contains "telemetry" or "wire") without
+//                     static_assert(sizeof(...)) and static_assert(
+//                     offsetof(...)) layout pins in the same file — wire
+//                     structs ARE the byte format, so an unpinned layout is
+//                     one silent padding change away from corrupting every
+//                     stored stream
 //   lint.bad-directive   malformed wifisense-lint comment
 //
 // Suppression (scoped, reason required; the directive prefix is
@@ -92,7 +99,7 @@ const char* const kAllRules[] = {
     "noalloc.std-function",
     "noalloc.required",  "noalloc.unbalanced", "err.nodiscard",
     "err.todo",          "hdr.pragma-once",   "hdr.using-namespace",
-    "lint.bad-directive",
+    "wire.packed",       "lint.bad-directive",
 };
 
 bool known_rule(std::string_view rule) {
@@ -679,6 +686,49 @@ void check_header_hygiene(const std::string& file, const std::vector<Line>& line
     }
 }
 
+/// Wire-format layout pins. In files whose path mentions "telemetry" or
+/// "wire", every top-level `struct Wire<Name>` (column 0 — nested helper
+/// structs like per-encoder stats are not wire layout) must be accompanied,
+/// somewhere in the same file, by both a static_assert(sizeof(<Name>...)
+/// and a static_assert(offsetof(<Name>...). These structs are memcpy'd onto
+/// the wire, so their layout is an external contract the compiler must be
+/// made to enforce.
+void check_wire_packed(const std::string& file, const std::vector<Line>& lines,
+                       std::vector<Finding>& findings) {
+    if (file.find("telemetry") == std::string::npos &&
+        file.find("wire") == std::string::npos)
+        return;
+    // Whitespace-stripped code of the whole file, for the assert lookups.
+    std::string flat;
+    for (const Line& l : lines)
+        for (const char c : l.code)
+            if (!std::isspace(static_cast<unsigned char>(c))) flat += c;
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+        const std::string& code = lines[li].code;
+        const std::vector<Token> toks = identifiers(code);
+        if (toks.size() < 2 || toks[0].text != "struct") continue;
+        if (toks[0].begin != 0) continue;  // nested/indented: not wire layout
+        const std::string& name = toks[1].text;
+        if (name.rfind("Wire", 0) != 0) continue;
+        if (next_code_char(code, toks[1].end) == ';') continue;  // fwd decl
+        const bool has_sizeof =
+            flat.find("static_assert(sizeof(" + name) != std::string::npos;
+        const bool has_offsetof =
+            flat.find("static_assert(offsetof(" + name) != std::string::npos;
+        if (has_sizeof && has_offsetof) continue;
+        std::string missing;
+        if (!has_sizeof) missing += "static_assert(sizeof(" + name + ")...)";
+        if (!has_offsetof) {
+            if (!missing.empty()) missing += " and ";
+            missing += "static_assert(offsetof(" + name + ", ...)...)";
+        }
+        findings.push_back({file, li + 1, "wire.packed",
+                            "wire-format struct '" + name +
+                                "' must pin its layout with " + missing +
+                                " in this file"});
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
@@ -703,6 +753,7 @@ FileReport scan_file(const std::string& path, bool self_test) {
     check_nodiscard(path, lines, raw_findings);
     check_todo(path, lines, raw_findings);
     check_header_hygiene(path, lines, raw_findings);
+    check_wire_packed(path, lines, raw_findings);
 
     FileReport report;
     report.directives = d;
