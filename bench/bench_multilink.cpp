@@ -168,7 +168,7 @@ int main(int argc, char** argv) {
     // distribution, and degraded inference re-centers the survivors' mean
     // onto the all-link baseline the model trained on (full fusion frames
     // are fused exactly as fused_dataset builds them).
-    det.calibrate_links(links, 0, split.train.size());
+    det.calibrate_links(links, 0, split.train.size()).throw_if_error();
     const data::Dataset aug_train =
         core::link_dropout_fused(links, 0, split.train.size());
     det.fit(aug_train.view());

@@ -219,7 +219,8 @@ int main(int argc, char** argv) {
             std::max<std::size_t>(1, msplit.train.size() / 25000);
         mcfg.resilient.fallback.train_stride = mcfg.resilient.full.train_stride;
         core::MultiLinkDetector mdet(mcfg);
-        mdet.calibrate_links(link_sets, 0, msplit.train.size());
+        mdet.calibrate_links(link_sets, 0, msplit.train.size())
+            .throw_if_error();
         data::Dataset aug_train =
             core::link_dropout_fused(link_sets, 0, msplit.train.size());
         if (have_faults)

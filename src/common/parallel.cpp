@@ -67,8 +67,9 @@ public:
     // wifisense-lint: noalloc-begin
 
     /// Run task(ctx, 0..n-1) to completion, caller participating.
-    void run(std::size_t n, void (*task)(const void*, std::size_t),
-             const void* ctx) {
+    // wifisense-lint: allow-call(rethrow_exception) rethrows the region body's own exception; bodies proven noexcept by their contracts never store one
+    void run_region(std::size_t n, void (*task)(const void*, std::size_t),
+                    const void* ctx) {
         if (n == 0) return;
         if (tl_region_depth > 0) {  // nested region: inline, no fan-out
             run_inline(n, task, ctx);
@@ -113,6 +114,7 @@ private:
         spawn_workers(threads - 1);
     }
 
+    // wifisense-lint: allow-call(task) type-erased trampoline: the pointed-to chunk lambda is scanned in place at the enclosing parallel_for_chunks call site
     static void run_inline(std::size_t n, void (*task)(const void*, std::size_t),
                            const void* ctx) {
         ++tl_region_depth;
@@ -120,12 +122,15 @@ private:
             for (std::size_t i = 0; i < n; ++i) task(ctx, i);
         } catch (...) {
             --tl_region_depth;
+            // wifisense-lint: allow(ipa.throw-leak) rethrows the region
+            // body's own exception; proven-noexcept bodies never throw here
             throw;
         }
         --tl_region_depth;
     }
 
     /// Pull tasks until the cursor runs out; returns how many this thread ran.
+    // wifisense-lint: allow-call(task) type-erased trampoline: the pointed-to chunk lambda is scanned in place at the enclosing parallel_for_chunks call site
     static std::size_t drain(Job& job) {
         ++tl_region_depth;
         std::size_t mine = 0;
@@ -243,13 +248,15 @@ struct ChunkCtx {
     const void* body_ctx;
 };
 
+// wifisense-lint: allow-call(body) type-erased trampoline: the pointed-to chunk lambda is scanned in place at the enclosing parallel_for_chunks call site
+// wifisense-lint: allow-call(TraceScope) env-gated observability: the span ring is preallocated at trace start; a disabled tracer records nothing
 void run_chunks_erased(std::size_t n, std::size_t chunk_size,
                        void (*body)(const void* ctx, std::size_t begin,
                                     std::size_t end),
                        const void* ctx) {
     const std::size_t chunks = (n + chunk_size - 1) / chunk_size;
     const ChunkCtx chunk_ctx{n, chunk_size, body, ctx};
-    ThreadPool::instance().run(
+    ThreadPool::instance().run_region(
         chunks,
         +[](const void* p, std::size_t c) {
             // Each fanned-out chunk records one span on the worker that ran
@@ -268,7 +275,7 @@ void run_chunks_erased(std::size_t n, std::size_t chunk_size,
 }  // namespace detail
 
 void parallel_invoke(std::span<const std::function<void()>> tasks) {
-    ThreadPool::instance().run(
+    ThreadPool::instance().run_region(
         tasks.size(),
         +[](const void* ctx, std::size_t i) {
             TraceScope span("pool.task");

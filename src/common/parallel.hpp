@@ -88,6 +88,7 @@ void run_chunks_erased(std::size_t n, std::size_t chunk_size,
 /// DESIGN.md, "Memory model"). The chunk decomposition and per-chunk
 /// execution order are identical on both paths, so results stay bitwise
 /// independent of which path runs.
+// wifisense-lint: allow-call(body) the chunk callable is a lambda scanned in place at the enclosing call site; its effects are charged to the function that wrote it
 template <class Body>
 void parallel_for_chunks(std::size_t n, std::size_t chunk_size, const Body& body) {
     if (n == 0) return;
@@ -113,6 +114,7 @@ void parallel_for_chunks(std::size_t n, std::size_t chunk_size, const Body& body
 
 /// Run body(i) for every i in [0, n), grouped into chunks of `grain`
 /// consecutive indices per task.
+// wifisense-lint: allow-call(body) the per-index callable is a lambda scanned in place at the enclosing call site; its effects are charged to the function that wrote it
 template <class Body>
 void parallel_for(std::size_t n, const Body& body, std::size_t grain = 1) {
     parallel_for_chunks(n, grain, [&](std::size_t begin, std::size_t end) {

@@ -79,19 +79,29 @@ nn::TrainHistory MultiLinkDetector::fit(const data::DatasetView& fused_train) {
     return detector_.fit(fused_train);
 }
 
-void MultiLinkDetector::calibrate_links(std::span<const data::Dataset> links,
-                                        std::size_t row_begin,
-                                        std::size_t row_end) {
+common::Status MultiLinkDetector::calibrate_links(
+    std::span<const data::Dataset> links, std::size_t row_begin,
+    std::size_t row_end) {
     if (links.size() != cfg_.n_links)
-        throw std::invalid_argument(
+        return common::Status(
+            common::StatusCode::kInvalidArgument,
             "MultiLinkDetector::calibrate_links: link count != configured "
             "links");
+    // Validated up front so link_baselines' throwing guard stays unreachable
+    // and a failed call leaves the previous calibration intact.
+    for (const auto& d : links)
+        if (row_begin >= std::min(row_end, d.size()))
+            return common::Status(
+                common::StatusCode::kInvalidArgument,
+                "MultiLinkDetector::calibrate_links: empty calibration row "
+                "window");
     link_mu_ = link_baselines(links, row_begin, row_end);
     all_mu_.fill(0.0);
     for (const auto& m : link_mu_)
         for (std::size_t k = 0; k < all_mu_.size(); ++k) all_mu_[k] += m[k];
     for (double& v : all_mu_) v /= static_cast<double>(cfg_.n_links);
     calibrated_ = true;
+    return common::Status::ok();
 }
 
 void MultiLinkDetector::reset_stream() {
@@ -100,8 +110,11 @@ void MultiLinkDetector::reset_stream() {
     stats_ = FusionStats{};
 }
 
+// wifisense-lint: requires(noalloc, noexcept)
 FusionDecision MultiLinkDetector::process(const MultiLinkObservation& obs) {
     if (obs.links.size() != cfg_.n_links)
+        // wifisense-lint: allow(ipa.throw-leak) precondition guard: fires only
+        // on caller API misuse (wrong links span length), never on data content
         throw std::invalid_argument(
             "MultiLinkDetector: observation link count != configured links");
     stats_.observations++;

@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "core/resilient_detector.hpp"
 #include "core/stream_health.hpp"
 #include "data/dataset.hpp"
@@ -123,11 +124,13 @@ public:
     /// (pass the training range of the same collection the fused model was
     /// fit on). Non-finite amplitudes are skipped. Enables subset
     /// re-centering (header comment); full-fusion output is unaffected.
-    /// Survives reset_stream() like the trained models do.
-    void calibrate_links(std::span<const data::Dataset> links,
-                         std::size_t row_begin = 0,
-                         std::size_t row_end = static_cast<std::size_t>(-1));
-    bool calibrated() const { return calibrated_; }
+    /// Survives reset_stream() like the trained models do. Returns
+    /// kInvalidArgument (leaving calibration untouched) when the link count
+    /// disagrees with the config or any link's row window is empty.
+    [[nodiscard]] common::Status calibrate_links(
+        std::span<const data::Dataset> links, std::size_t row_begin = 0,
+        std::size_t row_end = static_cast<std::size_t>(-1));
+    [[nodiscard]] bool calibrated() const { return calibrated_; }
 
     /// Fuse + infer one instant. Observations must arrive in non-decreasing
     /// timestamp order; obs.links.size() must equal config().n_links.
@@ -137,11 +140,11 @@ public:
     /// state) and zero the counters, keeping the trained models.
     void reset_stream();
 
-    const FusionStats& stats() const { return stats_; }
-    const MultiLinkConfig& config() const { return cfg_; }
-    const LinkHealthBank& link_health() const { return health_; }
+    [[nodiscard]] const FusionStats& stats() const { return stats_; }
+    [[nodiscard]] const MultiLinkConfig& config() const { return cfg_; }
+    [[nodiscard]] const LinkHealthBank& link_health() const { return health_; }
     ResilientDetector& detector() { return detector_; }
-    bool fitted() const { return detector_.fitted(); }
+    [[nodiscard]] bool fitted() const { return detector_.fitted(); }
 
 private:
     MultiLinkConfig cfg_;

@@ -54,13 +54,19 @@ std::vector<int> OccupancyDetector::predict(const data::DatasetView& view) {
     return nn::predict_binary(net_, x);
 }
 
+// wifisense-lint: requires(noalloc, noexcept)
 double OccupancyDetector::predict_proba(const data::SampleRecord& record) {
-    if (!fitted_) throw std::logic_error("OccupancyDetector: not fitted");
+    if (!fitted_)
+        // wifisense-lint: allow(ipa.throw-leak) precondition guard: fires
+        // only when predict precedes fit, never on data content
+        throw std::logic_error("OccupancyDetector: not fitted");
     const std::span<const data::SampleRecord> one(&record, 1);
-    const nn::Matrix x = scaler_.transform(data::make_features(one, cfg_.features));
-    // Inference-mode workspace forward: no activation caching, no per-call
-    // allocations once the single-row workspace is warm.
-    const nn::Matrix& logits = net_.forward_ws(x, /*cache=*/false);
+    // Feature extraction and standardization both write into member
+    // workspaces; with forward_ws below, a warm call performs zero heap
+    // allocations end to end (proven transitively by wifisense-lint).
+    data::make_features_into(one, cfg_.features, feat_ws_);
+    scaler_.transform_into(feat_ws_, x_ws_);
+    const nn::Matrix& logits = net_.forward_ws(x_ws_, /*cache=*/false);
     return 1.0 / (1.0 + std::exp(-static_cast<double>(logits.at(0, 0))));
 }
 

@@ -73,6 +73,11 @@ private:
     data::StandardScaler scaler_;
     nn::Mlp net_;
     bool fitted_ = false;
+    /// Single-record predict_proba workspaces: raw features and the
+    /// standardized row. Grown on the first call, reused (allocation-free)
+    /// on every later one — the warm serving path's noalloc contract.
+    nn::Matrix feat_ws_;
+    nn::Matrix x_ws_;
 };
 
 }  // namespace wifisense::core

@@ -107,6 +107,7 @@ nn::TrainHistory ResilientDetector::fit(const data::DatasetView& train) {
     return history;
 }
 
+// wifisense-lint: allow-call(reconnect_hook_) user-supplied probe; documented contract (resilient_detector.hpp) requires it to be non-allocating and non-throwing
 void ResilientDetector::update_reconnect(double t, bool csi_usable) {
     if (csi_usable) {
         if (csi_down_) ++stats_.reconnects;
@@ -136,8 +137,12 @@ void ResilientDetector::update_reconnect(double t, bool csi_usable) {
     }
 }
 
+// wifisense-lint: requires(noalloc, noexcept)
+// wifisense-lint: allow-call(obs_gauge, note_mode_transition) env-gated observability: gauge registration runs once per process behind a function-local static; transition counters fire only on rare mode flips, never on the per-tick arithmetic
 DetectorDecision ResilientDetector::process(const Observation& obs) {
     if (!fitted_)
+        // wifisense-lint: allow(ipa.throw-leak) precondition guard: fires only
+        // when process() is called before fit(), never on data content
         throw std::logic_error("ResilientDetector::process: not fitted");
     ++stats_.observations;
     const double t = obs.timestamp;

@@ -51,7 +51,9 @@ double ChannelModel::subcarrier_frequency(std::size_t k) const {
 
 void ChannelModel::perturb_furniture(double magnitude, std::mt19937_64& rng,
                                      double fraction) {
+    // wifisense-lint: allow(ipa.rng-leak) stateless shaper over the caller's seeded substream engine: deterministic under the fixed-seed contract
     std::uniform_real_distribution<double> u(-magnitude, magnitude);
+    // wifisense-lint: allow(ipa.rng-leak) stateless shaper over the caller's seeded substream engine: deterministic under the fixed-seed contract
     std::uniform_real_distribution<double> pick(0.0, 1.0);
     for (Vec3& f : furniture_) {
         if (pick(rng) > fraction) continue;
@@ -65,7 +67,9 @@ void ChannelModel::reset_furniture() { furniture_ = furniture_original_; }
 
 void ChannelModel::shuffle_furniture(double magnitude, std::mt19937_64& rng,
                                      double fraction) {
+    // wifisense-lint: allow(ipa.rng-leak) stateless shaper over the caller's seeded substream engine: deterministic under the fixed-seed contract
     std::uniform_real_distribution<double> u(-magnitude, magnitude);
+    // wifisense-lint: allow(ipa.rng-leak) stateless shaper over the caller's seeded substream engine: deterministic under the fixed-seed contract
     std::uniform_real_distribution<double> pick(0.0, 1.0);
     for (std::size_t i = 0; i < furniture_.size(); ++i) {
         if (pick(rng) > fraction) continue;
@@ -88,6 +92,7 @@ void ChannelModel::advance_drift(double dt, std::mt19937_64& rng) {
     const double decay = dt / cfg_.furniture_drift_tau_s;
     const double kick =
         cfg_.furniture_drift_sigma_m * std::sqrt(2.0 * decay);
+    // wifisense-lint: allow(ipa.rng-leak) stateless shaper over the caller's seeded substream engine: deterministic under the fixed-seed contract
     std::normal_distribution<double> norm(0.0, 1.0);
     for (Vec3& d : drift_) {
         d.x += -d.x * decay + kick * norm(rng);

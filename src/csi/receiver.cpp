@@ -13,6 +13,7 @@ Receiver::Receiver(ReceiverConfig cfg, std::uint64_t seed) : cfg_(cfg), rng_(see
         throw std::invalid_argument("Receiver: non-positive full scale");
 }
 
+// wifisense-lint: allow-call(noise_) Gaussian draw from the receiver's own substream engine (seeded in the ctor): deterministic under the fixed-seed contract
 PacketNoise Receiver::draw_packet_noise(std::size_t n_subcarriers) {
     PacketNoise noise;
     noise.iq.resize(2 * n_subcarriers);

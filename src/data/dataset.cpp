@@ -13,6 +13,8 @@ std::size_t feature_count(FeatureSet set) {
         case FeatureSet::kCsiEnv: return kNumSubcarriers + 2;
         case FeatureSet::kTime: return 1;
     }
+    // wifisense-lint: allow(ipa.throw-leak) enum-exhaustiveness guard:
+    // unreachable for every in-range FeatureSet value
     throw std::invalid_argument("feature_count: unknown feature set");
 }
 
@@ -37,11 +39,20 @@ double OccupancyDistribution::fraction_with(std::size_t k) const {
 }
 
 nn::Matrix make_features(std::span<const SampleRecord> records, FeatureSet set) {
+    nn::Matrix m;
+    make_features_into(records, set, m);
+    return m;
+}
+
+void make_features_into(std::span<const SampleRecord> records, FeatureSet set,
+                        nn::Matrix& out) {
     const std::size_t d = feature_count(set);
-    nn::Matrix m(records.size(), d);
+    // wifisense-lint: allow(noalloc.container-growth) resize within the
+    // reserved workspace capacity is allocation-free (DESIGN.md §11)
+    out.resize(records.size(), d);
     for (std::size_t i = 0; i < records.size(); ++i) {
         const SampleRecord& r = records[i];
-        std::span<float> row = m.row(i);
+        std::span<float> row = out.row(i);
         switch (set) {
             case FeatureSet::kCsi:
                 std::copy(r.csi.begin(), r.csi.end(), row.begin());
@@ -60,7 +71,6 @@ nn::Matrix make_features(std::span<const SampleRecord> records, FeatureSet set) 
                 break;
         }
     }
-    return m;
 }
 
 nn::Matrix DatasetView::features(FeatureSet set) const {

@@ -103,6 +103,12 @@ private:
 /// Build the feature matrix for any span of records.
 nn::Matrix make_features(std::span<const SampleRecord> records, FeatureSet set);
 
+/// make_features() into a caller-owned workspace matrix: allocation-free
+/// once `out` has been reserved to the batch shape (the warm-predict path
+/// relies on this; see DESIGN.md, "Memory model").
+void make_features_into(std::span<const SampleRecord> records, FeatureSet set,
+                        nn::Matrix& out);
+
 /// One room's contiguous run of records inside a fleet dataset (fleet
 /// output is concatenated in room-id order, so each room is one slice).
 struct RoomSlice {

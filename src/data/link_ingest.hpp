@@ -50,8 +50,8 @@ public:
     /// for a fresh stream via reset().
     void flush(FrameSink& sink);
 
-    const ReassemblyStats& stats() const { return stats_; }
-    std::size_t pending() const { return buf_.size(); }
+    [[nodiscard]] const ReassemblyStats& stats() const { return stats_; }
+    [[nodiscard]] std::size_t pending() const { return buf_.size(); }
     void reset();
 
 private:

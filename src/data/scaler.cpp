@@ -43,17 +43,29 @@ void StandardScaler::fit(const nn::Matrix& x) {
 }
 
 nn::Matrix StandardScaler::transform(const nn::Matrix& x) const {
-    if (!fitted()) throw std::logic_error("StandardScaler: not fitted");
+    nn::Matrix out;
+    transform_into(x, out);
+    return out;
+}
+
+void StandardScaler::transform_into(const nn::Matrix& x, nn::Matrix& out) const {
+    if (!fitted())
+        // wifisense-lint: allow(ipa.throw-leak) precondition guard: fires
+        // only when transform precedes fit, never on data content
+        throw std::logic_error("StandardScaler: not fitted");
     if (x.cols() != mean_.size())
+        // wifisense-lint: allow(ipa.throw-leak) shape precondition guard:
+        // fires only on caller API misuse, never on data content
         throw std::invalid_argument("StandardScaler::transform: width mismatch");
-    nn::Matrix out(x.rows(), x.cols());
+    // wifisense-lint: allow(noalloc.container-growth) resize within the
+    // reserved workspace capacity is allocation-free (DESIGN.md §11)
+    out.resize(x.rows(), x.cols());
     for (std::size_t r = 0; r < x.rows(); ++r) {
         const std::span<const float> in = x.row(r);
         std::span<float> o = out.row(r);
         for (std::size_t c = 0; c < x.cols(); ++c)
             o[c] = static_cast<float>((static_cast<double>(in[c]) - mean_[c]) / scale_[c]);
     }
-    return out;
 }
 
 nn::Matrix StandardScaler::fit_transform(const nn::Matrix& x) {

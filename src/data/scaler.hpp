@@ -16,6 +16,11 @@ public:
     /// (x - mean) / sd per column; sd of a constant column is treated as 1.
     nn::Matrix transform(const nn::Matrix& x) const;
 
+    /// transform() into a caller-owned workspace matrix: allocation-free
+    /// once `out` has been reserved to the batch shape (the warm-predict
+    /// path relies on this; see DESIGN.md, "Memory model").
+    void transform_into(const nn::Matrix& x, nn::Matrix& out) const;
+
     nn::Matrix fit_transform(const nn::Matrix& x);
 
     /// Restore previously fitted parameters (deserialization path).

@@ -124,6 +124,7 @@ void TelemetryDecoder::reset() {
     stats_ = Stats{};
 }
 
+// wifisense-lint: requires(noalloc, noexcept, noclock, det)
 void TelemetryDecoder::push(std::span<const std::uint8_t> bytes,
                             WireSink& sink) {
     while (!bytes.empty()) {
@@ -138,10 +139,12 @@ void TelemetryDecoder::push(std::span<const std::uint8_t> bytes,
     }
 }
 
+// wifisense-lint: requires(noalloc, noexcept, noclock, det)
 void TelemetryDecoder::finish(WireSink& sink) {
     scan(sink, /*at_end=*/true);
 }
 
+// wifisense-lint: allow-call(on_frame, on_defect) WireSink is an abstract observer; the decoder contract (DESIGN.md §17) requires implementations to be non-allocating and non-throwing on the hot path
 void TelemetryDecoder::scan(WireSink& sink, bool at_end) {
     // Flushes the pending skipped-byte run as one aggregated kGarbage defect;
     // called before any frame or typed defect so sink events keep stream

@@ -200,7 +200,7 @@ public:
     /// pending garbage as kGarbage. The decoder is reusable afterwards.
     void finish(WireSink& sink);
 
-    const Stats& stats() const { return stats_; }
+    [[nodiscard]] const Stats& stats() const { return stats_; }
     void reset();
 
 private:
@@ -247,8 +247,8 @@ public:
     /// end-of-stream.
     void flush(std::vector<std::uint8_t>& out);
 
-    std::uint32_t next_sequence() const { return seq_; }
-    const WireStats& wire_stats() const { return stats_; }
+    [[nodiscard]] std::uint32_t next_sequence() const { return seq_; }
+    [[nodiscard]] const WireStats& wire_stats() const { return stats_; }
 
 private:
     std::uint8_t link_id_;

@@ -22,6 +22,14 @@ void EventQueue::schedule(double t, std::size_t lp_id) {
     heap_.push(Event{t, lp_id, seq_++});
 }
 
+/// Event dispatch is the replay-determinism choke point: every simulated
+/// sample flows through here, so a wall-clock read or a raw (unseeded) RNG
+/// draw anywhere in the dispatch subtree would silently break the fixed-seed
+/// reproducibility contract (DESIGN.md §7). The contract below makes
+/// wifisense-lint prove both properties transitively across every
+/// LogicalProcess subclass reachable from the virtual on_event dispatch.
+// wifisense-lint: requires(noclock, det)
+// wifisense-lint: allow-call(TraceScope) env-gated observability: span timestamps never feed back into simulation state
 void EventQueue::run() {
     stop_requested_ = false;
     while (!heap_.empty() && !stop_requested_) {

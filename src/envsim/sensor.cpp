@@ -12,6 +12,7 @@ EnvironmentSensor::EnvironmentSensor(SensorConfig cfg, std::uint64_t seed)
         throw std::invalid_argument("EnvironmentSensor: non-positive time constant");
 }
 
+// wifisense-lint: allow-call(noise_) Gaussian draw from the sensor's own substream engine (seeded in the ctor): deterministic under the fixed-seed contract
 void EnvironmentSensor::step(double dt, double true_temperature_c,
                              double true_humidity_pct, bool heater_on) {
     if (dt <= 0.0) throw std::invalid_argument("EnvironmentSensor::step: dt <= 0");
@@ -31,6 +32,7 @@ void EnvironmentSensor::step(double dt, double true_temperature_c,
     hum_state_ += a * (true_humidity_pct - hum_state_);
 }
 
+// wifisense-lint: allow-call(noise_) Gaussian draw from the sensor's own substream engine (seeded in the ctor): deterministic under the fixed-seed contract
 double EnvironmentSensor::read_temperature_c() {
     const double raw = temp_state_ + cfg_.temp_noise_c * noise_(rng_);
     const double q = std::round(raw / cfg_.temp_quant_c) * cfg_.temp_quant_c;
@@ -38,6 +40,7 @@ double EnvironmentSensor::read_temperature_c() {
     return last_temp_reading_;
 }
 
+// wifisense-lint: allow-call(noise_) Gaussian draw from the sensor's own substream engine (seeded in the ctor): deterministic under the fixed-seed contract
 double EnvironmentSensor::read_humidity_pct() {
     const double raw = hum_state_ + cfg_.humidity_noise_pct * noise_(rng_);
     const double q = std::clamp(

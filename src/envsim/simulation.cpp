@@ -86,6 +86,7 @@ void fill_record_fields(data::SampleRecord& rec, const TickJob& job,
 
 /// Single-link flush: the historical parallel synthesis path, untouched so
 /// run() stays bitwise identical to the seed outputs.
+// wifisense-lint: allow-call(sink) caller-supplied record sink: it only consumes finished samples and feeds nothing back into simulation state, so it cannot perturb the deterministic replay
 void flush_window(std::vector<TickJob>& window, const csi::ChannelModel& channel,
                   const csi::Receiver& receiver,
                   const std::function<void(const data::SampleRecord&)>& sink) {
@@ -122,6 +123,7 @@ void flush_window(std::vector<TickJob>& window, const csi::ChannelModel& channel
 /// noise. Records land in (packet, link) order; link 0's bytes match the
 /// single-link flush exactly because its channel, receiver and noise are the
 /// very same objects consuming the very same draws.
+// wifisense-lint: allow-call(sink) caller-supplied record sink: it only consumes finished samples and feeds nothing back into simulation state, so it cannot perturb the deterministic replay
 void flush_window_links(std::vector<TickJob>& window,
                         const csi::ChannelModel& channel,
                         const csi::Receiver& receiver,
@@ -311,6 +313,7 @@ public:
     using TickProcess::TickProcess;
 
 private:
+    // wifisense-lint: allow-call(uni) uniform draw from the world's event substream (seeded cfg.seed ^ 0x66 in the SimWorld ctor): deterministic under the fixed-seed contract
     void step(double t, EventQueue&) override {
         SimWorld& w = *w_;
         const SimulationConfig& cfg = w.cfg;

@@ -82,6 +82,7 @@ constexpr std::size_t kPanelK = 256;
 /// and reload it — so the result is bitwise identical to the single-row
 /// kernel above at any blocking phase, which is what keeps this backend
 /// thread-count invariant (row chunks can start at any r0).
+// wifisense-lint: requires(noalloc, noexcept, noclock, det)
 void avx2_matmul_rows(const float* a, const float* b, float* c, std::size_t k,
                       std::size_t n, std::size_t r0, std::size_t r1) {
     const std::size_t n16 = n & ~std::size_t{15};
@@ -168,6 +169,7 @@ void avx2_matmul_rows(const float* a, const float* b, float* c, std::size_t k,
         matmul_row_tail(a + i * k, b, c + i * n, k, n, 0);
 }
 
+// wifisense-lint: requires(noalloc, noexcept, noclock, det)
 void avx2_matmul_tn_rows(const float* a, const float* b, float* c,
                          std::size_t kk_count, std::size_t m, std::size_t n,
                          std::size_t i0, std::size_t i1) {
@@ -190,6 +192,7 @@ void avx2_matmul_tn_rows(const float* a, const float* b, float* c,
     }
 }
 
+// wifisense-lint: requires(noalloc, noexcept, noclock, det)
 void avx2_matmul_nt_rows(const float* a, const float* b, float* c,
                          std::size_t k, std::size_t n, std::size_t r0,
                          std::size_t r1) {
@@ -213,6 +216,7 @@ void avx2_matmul_nt_rows(const float* a, const float* b, float* c,
 
 /// Bitwise identical to scalar: per-column sums accumulate rows in the same
 /// sequential order; vectorizing across columns reorders nothing.
+// wifisense-lint: requires(noalloc, noexcept, noclock, det)
 void avx2_column_sums_rows(const float* a, std::size_t rows, std::size_t cols,
                            float* out) {
     const std::size_t c8 = cols & ~std::size_t{7};
@@ -228,6 +232,7 @@ void avx2_column_sums_rows(const float* a, std::size_t rows, std::size_t cols,
 
 /// kNone/kReLU are plain elementwise add/max — bitwise identical to scalar.
 /// kSigmoid needs libm exp per element, so it runs the scalar loop.
+// wifisense-lint: requires(noalloc, noexcept, noclock, det)
 void avx2_bias_act_rows(float* c, const float* bias, std::size_t n,
                         Activation act, std::size_t r0, std::size_t r1) {
     const std::size_t n8 = n & ~std::size_t{7};
@@ -270,6 +275,7 @@ void avx2_bias_act_rows(float* c, const float* bias, std::size_t n,
 /// int8 dot products via sign-extension to int16 + _mm256_madd_epi16
 /// pair-sums: 16 multiplies per instruction, exact int32 accumulation —
 /// bitwise identical to the scalar backend by construction.
+// wifisense-lint: requires(noalloc, noexcept, noclock, det)
 void avx2_gemm_s8_rows(const std::int8_t* a, const std::int8_t* w,
                        std::int32_t* c, std::size_t k, std::size_t n,
                        std::size_t r0, std::size_t r1) {
@@ -300,6 +306,7 @@ void avx2_gemm_s8_rows(const std::int8_t* a, const std::int8_t* w,
 /// Clamp-then-convert; _mm256_cvtps_epi32 rounds to nearest-even exactly
 /// like the scalar nearbyintf, and inputs are pre-clamped to ±127 so the
 /// saturating packs below never alter a value.
+// wifisense-lint: requires(noalloc, noexcept, noclock, det)
 void avx2_quantize_s8_rows(const float* x, std::int8_t* q, float inv_scale,
                            std::size_t n, std::size_t r0, std::size_t r1) {
     const __m256 vscale = _mm256_set1_ps(inv_scale);
@@ -335,6 +342,7 @@ void avx2_quantize_s8_rows(const float* x, std::int8_t* q, float inv_scale,
 
 /// mul + add (no FMA) in the same per-element order as scalar => bitwise
 /// identical dequantization; sigmoid delegates to the scalar loop.
+// wifisense-lint: requires(noalloc, noexcept, noclock, det)
 void avx2_dequant_bias_act_rows(const std::int32_t* acc, float scale,
                                 const float* bias, float* out, std::size_t n,
                                 Activation act, std::size_t r0,

@@ -36,6 +36,7 @@ const KernelBackend* startup_backend() {
 /// Relaxed is enough: the table contents are immutable statics; only the
 /// pointer swaps, and callers are required to switch between parallel
 /// regions (same contract as common::set_execution_config).
+// wifisense-lint: allow-call(startup_backend) runs once per process inside the function-local static's initializer, before any steady-state caller exists
 std::atomic<const KernelBackend*>& active_slot() {
     static std::atomic<const KernelBackend*> slot{startup_backend()};
     return slot;
@@ -49,18 +50,21 @@ bool avx2_supported() {
 }
 
 const KernelBackend& active_backend() {
-    return *active_slot().load(std::memory_order_relaxed);
+    std::atomic<const KernelBackend*>& slot = active_slot();
+    return *slot.load(std::memory_order_relaxed);
 }
 
 bool set_kernel_backend(std::string_view name) {
     const KernelBackend* backend = resolve(name);
     if (backend == nullptr) return false;
-    active_slot().store(backend, std::memory_order_relaxed);
+    std::atomic<const KernelBackend*>& slot = active_slot();
+    slot.store(backend, std::memory_order_relaxed);
     return true;
 }
 
 const char* configure_kernels_from_env() {
-    return active_slot().load(std::memory_order_relaxed)->name;
+    std::atomic<const KernelBackend*>& slot = active_slot();
+    return slot.load(std::memory_order_relaxed)->name;
 }
 
 }  // namespace wifisense::nn::kernels

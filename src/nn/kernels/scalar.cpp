@@ -15,6 +15,7 @@ namespace {
 // wifisense-lint: noalloc-begin
 
 /// C[r0:r1) += A * B, i-k-j order (streams B and C rows, row-major friendly).
+// wifisense-lint: requires(noalloc, noexcept, noclock, det)
 void scalar_matmul_rows(const float* a, const float* b, float* c,
                         std::size_t k, std::size_t n, std::size_t r0,
                         std::size_t r1) {
@@ -32,6 +33,7 @@ void scalar_matmul_rows(const float* a, const float* b, float* c,
 
 /// Rows [i0, i1) of C += A^T * B: row i accumulates a(kk, i) * b(kk, :)
 /// over ascending kk — the historical per-element order.
+// wifisense-lint: requires(noalloc, noexcept, noclock, det)
 void scalar_matmul_tn_rows(const float* a, const float* b, float* c,
                            std::size_t kk_count, std::size_t m, std::size_t n,
                            std::size_t i0, std::size_t i1) {
@@ -47,6 +49,7 @@ void scalar_matmul_tn_rows(const float* a, const float* b, float* c,
 }
 
 /// C[r0:r1) = A * B^T: independent dot products per output element.
+// wifisense-lint: requires(noalloc, noexcept, noclock, det)
 void scalar_matmul_nt_rows(const float* a, const float* b, float* c,
                            std::size_t k, std::size_t n, std::size_t r0,
                            std::size_t r1) {
@@ -62,6 +65,7 @@ void scalar_matmul_nt_rows(const float* a, const float* b, float* c,
     }
 }
 
+// wifisense-lint: requires(noalloc, noexcept, noclock, det)
 void scalar_column_sums_rows(const float* a, std::size_t rows,
                              std::size_t cols, float* out) {
     for (std::size_t r = 0; r < rows; ++r) {
@@ -70,6 +74,7 @@ void scalar_column_sums_rows(const float* a, std::size_t rows,
     }
 }
 
+// wifisense-lint: requires(noalloc, noexcept, noclock, det)
 void scalar_bias_act_rows(float* c, const float* bias, std::size_t n,
                           Activation act, std::size_t r0, std::size_t r1) {
     for (std::size_t i = r0; i < r1; ++i) {
@@ -94,6 +99,7 @@ void scalar_bias_act_rows(float* c, const float* bias, std::size_t n,
     }
 }
 
+// wifisense-lint: requires(noalloc, noexcept, noclock, det)
 void scalar_gemm_s8_rows(const std::int8_t* a, const std::int8_t* w,
                          std::int32_t* c, std::size_t k, std::size_t n,
                          std::size_t r0, std::size_t r1) {
@@ -111,6 +117,7 @@ void scalar_gemm_s8_rows(const std::int8_t* a, const std::int8_t* w,
     }
 }
 
+// wifisense-lint: requires(noalloc, noexcept, noclock, det)
 void scalar_quantize_s8_rows(const float* x, std::int8_t* q, float inv_scale,
                              std::size_t n, std::size_t r0, std::size_t r1) {
     // nearbyintf under the default FP environment rounds to nearest-even —
@@ -123,6 +130,7 @@ void scalar_quantize_s8_rows(const float* x, std::int8_t* q, float inv_scale,
     }
 }
 
+// wifisense-lint: requires(noalloc, noexcept, noclock, det)
 void scalar_dequant_bias_act_rows(const std::int32_t* acc, float scale,
                                   const float* bias, float* out, std::size_t n,
                                   Activation act, std::size_t r0,

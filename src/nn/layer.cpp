@@ -29,6 +29,10 @@ void Layer::cache_forward(const Matrix& input, const Matrix& output, bool cache)
 
 void Layer::require_cached_forward(const char* who) const {
     if (in_view_ == nullptr || out_view_ == nullptr)
+        // wifisense-lint: allow(ipa.throw-leak) precondition guard: fires
+        // only on caller API misuse, never on data content
+        // wifisense-lint: allow(ipa.alloc-leak) error-text exists only on
+        // the failure path ending in the allowed throw
         throw std::logic_error(std::string(who) +
                                ": no cached forward pass (was the last forward "
                                "run in inference mode?)");
@@ -46,6 +50,7 @@ Matrix Layer::backward(const Matrix& grad_output) {
     return shim_grad_in_;
 }
 
+// wifisense-lint: allow-call(parameters) base default runs only for parameter-free layers (Dense overrides zero_grad), and their parameters() returns an empty vector without touching the heap
 void Layer::zero_grad() {
     for (ParamView& p : parameters())
         std::fill(p.grads.begin(), p.grads.end(), 0.0f);
@@ -56,9 +61,13 @@ Dense::Dense(std::size_t in, std::size_t out)
     if (in == 0 || out == 0) throw std::invalid_argument("Dense: zero dimension");
 }
 
+// wifisense-lint: allow-call(shape_string) error-text construction reached only on the precondition-failure path, which ends in an allowed throw
 void Dense::forward_into(const Matrix& input, Matrix& output, bool cache) {
     if (input.cols() != in_)
+        // wifisense-lint: allow(ipa.throw-leak) shape precondition guard:
+        // fires only on caller API misuse, never on data content
         throw std::invalid_argument("Dense::forward: input width " +
+                                    // wifisense-lint: allow(ipa.alloc-leak) error-text exists only on the failure path ending in the allowed throw
                                     input.shape_string() + " != " + std::to_string(in_));
     matmul_into(input, w_, output);
     add_row_vector_inplace(output, b_);
@@ -95,6 +104,8 @@ void Dense::zero_grad() {
 
 void ReLU::forward_into(const Matrix& input, Matrix& output, bool cache) {
     if (input.cols() != width_)
+        // wifisense-lint: allow(ipa.throw-leak) shape precondition guard:
+        // fires only on caller API misuse, never on data content
         throw std::invalid_argument("ReLU::forward: width mismatch");
     output.copy_from(input);
     for (float& v : output.data()) v = v > 0.0f ? v : 0.0f;
@@ -124,6 +135,8 @@ void Dropout::reserve_batch(std::size_t max_rows) {
 
 void Dropout::forward_into(const Matrix& input, Matrix& output, bool cache) {
     if (input.cols() != width_)
+        // wifisense-lint: allow(ipa.throw-leak) shape precondition guard:
+        // fires only on caller API misuse, never on data content
         throw std::invalid_argument("Dropout::forward: width mismatch");
     output.copy_from(input);
     if (!training_ || p_ == 0.0) {
@@ -131,6 +144,8 @@ void Dropout::forward_into(const Matrix& input, Matrix& output, bool cache) {
     } else {
         std::bernoulli_distribution keep(1.0 - p_);
         const float scale = static_cast<float>(1.0 / (1.0 - p_));
+        // wifisense-lint: allow(noalloc.container-growth) resize within the
+        // capacity reserved by reserve_batch is allocation-free
         mask_.resize(input.rows(), input.cols());
         for (std::size_t i = 0; i < output.size(); ++i) {
             const float m = keep(rng_) ? scale : 0.0f;
@@ -154,6 +169,8 @@ void Dropout::backward_into(const Matrix& grad_output, Matrix& grad_input) {
 
 void Sigmoid::forward_into(const Matrix& input, Matrix& output, bool cache) {
     if (input.cols() != width_)
+        // wifisense-lint: allow(ipa.throw-leak) shape precondition guard:
+        // fires only on caller API misuse, never on data content
         throw std::invalid_argument("Sigmoid::forward: width mismatch");
     output.copy_from(input);
     for (float& v : output.data()) v = 1.0f / (1.0f + std::exp(-v));

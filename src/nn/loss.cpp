@@ -7,10 +7,18 @@ namespace wifisense::nn {
 
 namespace {
 
+// wifisense-lint: allow-call(shape_string) error-text construction reached only on the precondition-failure path, which ends in an allowed throw
 void check_shapes(const Matrix& a, const Matrix& b, const char* what) {
     if (a.rows() != b.rows() || a.cols() != b.cols())
+        // wifisense-lint: allow(ipa.throw-leak) shape precondition guard:
+        // fires only on caller API misuse, never on data content
+        // wifisense-lint: allow(ipa.alloc-leak) error-text exists only on
+        // the failure path ending in the allowed throw
         throw std::invalid_argument(std::string(what) + ": shape mismatch " +
                                     a.shape_string() + " vs " + b.shape_string());
+    // wifisense-lint: allow(ipa.throw-leak) empty-batch precondition guard
+    // wifisense-lint: allow(ipa.alloc-leak) error-text exists only on the
+    // failure path ending in the allowed throw
     if (a.empty()) throw std::invalid_argument(std::string(what) + ": empty batch");
 }
 
@@ -25,6 +33,8 @@ LossResult Loss::compute(const Matrix& outputs, const Matrix& targets) const {
 double BceWithLogitsLoss::compute_into(const Matrix& outputs,
                                        const Matrix& targets, Matrix& grad) const {
     check_shapes(outputs, targets, "BceWithLogitsLoss");
+    // wifisense-lint: allow(noalloc.container-growth) resize within the
+    // reserved gradient-buffer capacity is allocation-free (DESIGN.md §11)
     grad.resize(outputs.rows(), outputs.cols());
     const double inv_n = 1.0 / static_cast<double>(outputs.size());
     double acc = 0.0;
@@ -41,6 +51,8 @@ double BceWithLogitsLoss::compute_into(const Matrix& outputs,
 double MseLoss::compute_into(const Matrix& outputs, const Matrix& targets,
                              Matrix& grad) const {
     check_shapes(outputs, targets, "MseLoss");
+    // wifisense-lint: allow(noalloc.container-growth) resize within the
+    // reserved gradient-buffer capacity is allocation-free (DESIGN.md §11)
     grad.resize(outputs.rows(), outputs.cols());
     const double inv_n = 1.0 / static_cast<double>(outputs.size());
     double acc = 0.0;
@@ -57,6 +69,8 @@ double SoftmaxCrossEntropyLoss::compute_into(const Matrix& outputs,
                                              const Matrix& targets,
                                              Matrix& grad) const {
     check_shapes(outputs, targets, "SoftmaxCrossEntropyLoss");
+    // wifisense-lint: allow(noalloc.container-growth) resize within the
+    // reserved gradient-buffer capacity is allocation-free (DESIGN.md §11)
     grad.resize(outputs.rows(), outputs.cols());
     const double inv_n = 1.0 / static_cast<double>(outputs.rows());
     double acc = 0.0;

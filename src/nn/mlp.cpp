@@ -43,8 +43,13 @@ void Mlp::reserve_grad_buffers() {
     ws_input_grad_.reserve(ws_grad_rows_, input_size());
 }
 
+// wifisense-lint: requires(noalloc, noexcept)
+// wifisense-lint: allow-call(reserve_workspace) cold-path growth: runs only when a batch exceeds every earlier batch's rows; a warm steady-state call never enters it
 const Matrix& Mlp::forward_ws(const Matrix& input, bool cache) {
-    if (layers_.empty()) throw std::logic_error("Mlp::forward: empty network");
+    if (layers_.empty())
+        // wifisense-lint: allow(ipa.throw-leak) precondition guard: fires
+        // only on an unconstructed network, never on data content
+        throw std::logic_error("Mlp::forward: empty network");
     if (input.rows() > ws_rows_ || ws_act_.size() != layers_.size())
         reserve_workspace(std::max(input.rows(), ws_rows_));
     const Matrix* cur = &input;
@@ -93,6 +98,7 @@ const Matrix& Mlp::forward_ws(const Matrix& input, bool cache) {
     return *cur;
 }
 
+// wifisense-lint: allow-call(reserve_grad_buffers) cold-path growth: runs only when the workspace row capacity grew since the last backward pass; a warm steady-state call never enters it
 Matrix& Mlp::output_grad_buffer() {
     if (layers_.empty())
         throw std::logic_error("Mlp::output_grad_buffer: empty network");
@@ -100,6 +106,8 @@ Matrix& Mlp::output_grad_buffer() {
         throw std::logic_error("Mlp::output_grad_buffer: no forward pass yet");
     reserve_grad_buffers();
     const Matrix& out = ws_act_.back();
+    // wifisense-lint: allow(noalloc.container-growth) resize within the
+    // reserved gradient-buffer capacity is allocation-free (DESIGN.md §11)
     ws_grad_.back().resize(out.rows(), out.cols());
     return ws_grad_.back();
 }

@@ -13,10 +13,17 @@ AdamW::AdamW(AdamWConfig cfg) : cfg_(cfg) {
 
 void AdamW::step(std::vector<ParamView>& params) {
     if (m_.empty()) {
+        // First-step state warmup: allocates the moment buffers once; every
+        // later step reuses this storage untouched, keeping the steady-state
+        // training loop heap-free (tests/test_nn_workspace.cpp).
+        // wifisense-lint: allow(noalloc.container-growth) cold-path warmup
         m_.resize(params.size());
+        // wifisense-lint: allow(noalloc.container-growth) cold-path warmup
         v_.resize(params.size());
         for (std::size_t i = 0; i < params.size(); ++i) {
+            // wifisense-lint: allow(noalloc.container-growth) cold-path warmup
             m_[i].assign(params[i].values.size(), 0.0f);
+            // wifisense-lint: allow(noalloc.container-growth) cold-path warmup
             v_[i].assign(params[i].values.size(), 0.0f);
         }
     }
@@ -56,8 +63,11 @@ Sgd::Sgd(SgdConfig cfg) : cfg_(cfg) {
 
 void Sgd::step(std::vector<ParamView>& params) {
     if (velocity_.empty()) {
+        // First-step state warmup: see AdamW::step above.
+        // wifisense-lint: allow(noalloc.container-growth) cold-path warmup
         velocity_.resize(params.size());
         for (std::size_t i = 0; i < params.size(); ++i)
+            // wifisense-lint: allow(noalloc.container-growth) cold-path warmup
             velocity_[i].assign(params[i].values.size(), 0.0f);
     }
     if (velocity_.size() != params.size())

@@ -85,6 +85,7 @@ float symmetric_scale(float absmax) {
 /// int8-GEMM against the transposed weights, dequantize+bias+activation
 /// into `out`. All three stages run per row chunk while the rows are
 /// cache-hot. Buffers are caller-owned; nothing here allocates.
+// wifisense-lint: allow-call(quantize_s8_rows, gemm_s8_rows, dequant_bias_act_rows) KernelBackend function-pointer dispatch: every registered backend's row kernel is itself a requires(noalloc, noexcept, noclock, det) root proven by this linter
 void quantized_layer_forward_into(const QuantizedDenseLayer& layer,
                                   const float* in, std::size_t rows,
                                   std::int8_t* q, std::int32_t* acc,
@@ -164,10 +165,17 @@ void QuantizedMlp::reserve_workspace(std::size_t max_rows) {
     ws_acc_.resize(max_rows * max_out);
 }
 
+// wifisense-lint: requires(noalloc, noexcept)
+// wifisense-lint: allow-call(reserve_workspace) cold-path growth: runs only when a batch exceeds every earlier batch's rows; a warm steady-state call never enters it
+// wifisense-lint: allow-call(shape_string) error-text construction reached only on the precondition-failure path, which ends in an allowed throw
 const Matrix& QuantizedMlp::forward_ws(const Matrix& input) {
     if (layers_.empty())
+        // wifisense-lint: allow(ipa.throw-leak) precondition guard: fires
+        // only on an unconstructed network, never on data content
         throw std::logic_error("QuantizedMlp::forward: empty network");
     if (input.cols() != input_size())
+        // wifisense-lint: allow(ipa.throw-leak) shape precondition guard:
+        // fires only on caller API misuse, never on data content
         throw std::invalid_argument("QuantizedMlp::forward: input width " +
                                     input.shape_string() + " != network input");
     if (input.rows() > ws_rows_) reserve_workspace(input.rows());

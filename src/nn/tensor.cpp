@@ -11,8 +11,13 @@ namespace wifisense::nn {
 
 namespace {
 
+// wifisense-lint: allow-call(shape_string) error-text construction reached only on the precondition-failure path, which ends in an allowed throw
 void check_same_shape(const Matrix& a, const Matrix& b, const char* what) {
     if (a.rows() != b.rows() || a.cols() != b.cols())
+        // wifisense-lint: allow(ipa.throw-leak) shape precondition guard:
+        // fires only on caller API misuse, never on data content
+        // wifisense-lint: allow(ipa.alloc-leak) error-text std::string exists
+        // only on the precondition-failure path ending in the allowed throw
         throw std::invalid_argument(std::string(what) + ": shape mismatch " +
                                     a.shape_string() + " vs " + b.shape_string());
 }
@@ -71,6 +76,8 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<float>> rows) {
 void Matrix::fill(float v) { std::fill(values_.begin(), values_.end(), v); }
 
 void Matrix::copy_from(const Matrix& src) {
+    // wifisense-lint: allow(noalloc.container-growth) resize within the
+    // reserved workspace capacity is allocation-free (DESIGN.md §11)
     resize(src.rows(), src.cols());
     std::copy_n(src.data().data(), src.size(), values_.data());
 }
@@ -86,8 +93,12 @@ std::string Matrix::shape_string() const {
 // zero-allocation contract of DESIGN.md §11.
 // wifisense-lint: noalloc-begin
 
+// wifisense-lint: allow-call(shape_string) error-text construction reached only on the precondition-failure path, which ends in an allowed throw
+// wifisense-lint: allow-call(matmul_rows) KernelBackend function-pointer dispatch: every registered backend's row kernel is itself a requires(noalloc, noexcept, noclock, det) root proven by this linter
 void matmul_into(const Matrix& a, const Matrix& b, Matrix& out) {
     if (a.cols() != b.rows())
+        // wifisense-lint: allow(ipa.throw-leak) shape precondition guard:
+        // fires only on caller API misuse, never on data content
         throw std::invalid_argument("matmul: inner dimensions differ " +
                                     a.shape_string() + " * " + b.shape_string());
     // wifisense-lint: allow(noalloc.container-growth) resize within the
@@ -105,13 +116,19 @@ void matmul_into(const Matrix& a, const Matrix& b, Matrix& out) {
                                 });
 }
 
+// wifisense-lint: allow-call(shape_string) error-text construction reached only on the precondition-failure path, which ends in an allowed throw
+// wifisense-lint: allow-call(matmul_tn_rows) KernelBackend function-pointer dispatch: every registered backend's row kernel is itself a requires(noalloc, noexcept, noclock, det) root proven by this linter
 void matmul_tn_into(const Matrix& a, const Matrix& b, Matrix& out,
                     bool accumulate) {
     if (a.rows() != b.rows())
+        // wifisense-lint: allow(ipa.throw-leak) shape precondition guard:
+        // fires only on caller API misuse, never on data content
         throw std::invalid_argument("matmul_tn: row counts differ " +
                                     a.shape_string() + "^T * " + b.shape_string());
     if (accumulate) {
         if (out.rows() != a.cols() || out.cols() != b.cols())
+            // wifisense-lint: allow(ipa.throw-leak) shape precondition guard:
+            // fires only on caller API misuse, never on data content
             throw std::invalid_argument("matmul_tn_into: accumulate shape mismatch");
     } else {
         // wifisense-lint: allow(noalloc.container-growth) resize within the
@@ -130,8 +147,12 @@ void matmul_tn_into(const Matrix& a, const Matrix& b, Matrix& out,
                                 });
 }
 
+// wifisense-lint: allow-call(shape_string) error-text construction reached only on the precondition-failure path, which ends in an allowed throw
+// wifisense-lint: allow-call(matmul_nt_rows) KernelBackend function-pointer dispatch: every registered backend's row kernel is itself a requires(noalloc, noexcept, noclock, det) root proven by this linter
 void matmul_nt_into(const Matrix& a, const Matrix& b, Matrix& out) {
     if (a.cols() != b.cols())
+        // wifisense-lint: allow(ipa.throw-leak) shape precondition guard:
+        // fires only on caller API misuse, never on data content
         throw std::invalid_argument("matmul_nt: column counts differ " +
                                     a.shape_string() + " * " + b.shape_string() + "^T");
     // wifisense-lint: allow(noalloc.container-growth) resize within the
@@ -148,13 +169,19 @@ void matmul_nt_into(const Matrix& a, const Matrix& b, Matrix& out) {
                                 });
 }
 
+// wifisense-lint: allow-call(shape_string) error-text construction reached only on the precondition-failure path, which ends in an allowed throw
+// wifisense-lint: allow-call(matmul_rows, bias_act_rows) KernelBackend function-pointer dispatch: every registered backend's row kernel is itself a requires(noalloc, noexcept, noclock, det) root proven by this linter
 void dense_forward_into(const Matrix& a, const Matrix& w,
                         std::span<const float> bias, kernels::Activation act,
                         Matrix& out) {
     if (a.cols() != w.rows())
+        // wifisense-lint: allow(ipa.throw-leak) shape precondition guard:
+        // fires only on caller API misuse, never on data content
         throw std::invalid_argument("dense_forward: inner dimensions differ " +
                                     a.shape_string() + " * " + w.shape_string());
     if (bias.size() != w.cols())
+        // wifisense-lint: allow(ipa.throw-leak) shape precondition guard:
+        // fires only on caller API misuse, never on data content
         throw std::invalid_argument("dense_forward: bias length != output cols");
     // wifisense-lint: allow(noalloc.container-growth) resize within the
     // reserved workspace capacity is allocation-free (DESIGN.md §11)
@@ -196,6 +223,8 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b) {
 
 void add_row_vector_inplace(Matrix& a, std::span<const float> v) {
     if (v.size() != a.cols())
+        // wifisense-lint: allow(ipa.throw-leak) shape precondition guard:
+        // fires only on caller API misuse, never on data content
         throw std::invalid_argument("add_row_vector_inplace: vector length != cols");
     for (std::size_t r = 0; r < a.rows(); ++r) {
         const std::span<float> row = a.row(r);
@@ -210,8 +239,11 @@ std::vector<float> column_sums(const Matrix& a) {
 }
 
 // wifisense-lint: noalloc-begin
+// wifisense-lint: allow-call(column_sums_rows) KernelBackend function-pointer dispatch: every registered backend's row kernel is itself a requires(noalloc, noexcept, noclock, det) root proven by this linter
 void column_sums_into(const Matrix& a, std::span<float> out, bool accumulate) {
     if (out.size() != a.cols())
+        // wifisense-lint: allow(ipa.throw-leak) shape precondition guard:
+        // fires only on caller API misuse, never on data content
         throw std::invalid_argument("column_sums_into: output length != cols");
     if (!accumulate) std::fill(out.begin(), out.end(), 0.0f);
     kernels::active_backend().column_sums_rows(a.data().data(), a.rows(),
@@ -281,6 +313,8 @@ Matrix row_block(const Matrix& a, std::size_t begin, std::size_t count) {
 void row_block_into(const Matrix& a, std::size_t begin, std::size_t count,
                     Matrix& out) {
     if (begin + count > a.rows())
+        // wifisense-lint: allow(ipa.throw-leak) range precondition guard:
+        // fires only on caller API misuse, never on data content
         throw std::out_of_range("row_block: range exceeds matrix");
     // wifisense-lint: allow(noalloc.container-growth) resize within the
     // reserved workspace capacity is allocation-free (DESIGN.md §11)
@@ -303,6 +337,8 @@ void gather_rows_into(const Matrix& a, std::span<const std::size_t> indices,
     // reserved workspace capacity is allocation-free (DESIGN.md §11)
     out.resize(indices.size(), a.cols());
     for (std::size_t i = 0; i < indices.size(); ++i) {
+        // wifisense-lint: allow(ipa.throw-leak) range precondition guard:
+        // fires only on caller API misuse, never on data content
         if (indices[i] >= a.rows()) throw std::out_of_range("gather_rows: bad index");
         std::copy_n(a.row(indices[i]).data(), a.cols(), out.row(i).data());
     }

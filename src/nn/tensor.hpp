@@ -49,6 +49,9 @@ public:
     /// elements, if any, are zero). Never shrinks capacity; never allocates
     /// when rows*cols fits the reserved capacity.
     void resize(std::size_t rows, std::size_t cols) {
+        // wifisense-lint: allow(noalloc.container-growth) growth is charged
+        // to each caller's resize() call site, which carries its own
+        // capacity proof; below reserved capacity this never allocates
         values_.resize(rows * cols);
         rows_ = rows;
         cols_ = cols;

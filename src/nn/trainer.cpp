@@ -44,6 +44,40 @@ void clip_gradients(std::vector<ParamView>& params, double max_norm) {
         for (float& g : p.grads) g *= scale;
 }
 
+/// One SGD step over the index window `idx`: gather the batch, forward,
+/// loss+gradient, backward, clip, optimizer update. Returns the batch loss.
+/// After the first batch warms the optimizer state this is heap-free
+/// (tests/test_nn_workspace.cpp asserts 0 allocations per step, with tracing
+/// disabled AND enabled); the contract below makes wifisense-lint prove it
+/// transitively over the whole call graph. TraceScope/Counter recording is a
+/// gated atomic slot write into pre-reserved buffers — never a heap touch.
+// wifisense-lint: requires(noalloc)
+// wifisense-lint: allow-call(TraceScope) env-gated observability: the span ring is preallocated at trace start; a disabled tracer records nothing
+double train_step(Mlp& net, const Matrix& inputs, const Matrix& targets,
+                  const Loss& loss, const TrainConfig& cfg, Optimizer& opt,
+                  std::vector<ParamView>& params, Matrix& by,
+                  std::span<const std::size_t> idx, std::mt19937_64& rng,
+                  common::Counter& obs_steps) {
+    common::TraceScope step_span("train.step");
+    obs_steps.add(1);
+    Matrix& bx = net.input_buffer();
+    gather_rows_into(inputs, idx, bx);
+    gather_rows_into(targets, idx, by);
+    if (cfg.input_noise > 0.0) {
+        std::normal_distribution<float> jitter(
+            0.0f, static_cast<float>(cfg.input_noise));
+        for (float& v : bx.data()) v += jitter(rng);
+    }
+
+    net.zero_grad();
+    const Matrix& out = net.forward_ws(bx, /*cache=*/true);
+    const double batch_loss = loss.compute_into(out, by, net.output_grad_buffer());
+    net.backward_ws();
+    if (cfg.grad_clip > 0.0) clip_gradients(params, cfg.grad_clip);
+    opt.step(params);
+    return batch_loss;
+}
+
 }  // namespace
 
 TrainHistory train(Mlp& net, const Matrix& inputs, const Matrix& targets,
@@ -94,36 +128,16 @@ TrainHistory train(Mlp& net, const Matrix& inputs, const Matrix& targets,
         double epoch_loss = 0.0;
         std::size_t batches = 0;
 
-        // Steady-state step: after the first batch warms the optimizer state
-        // this loop is heap-free (tests/test_nn_workspace.cpp asserts 0
-        // allocations per step, with tracing disabled AND enabled); the
-        // annotation lets wifisense-lint reject any future allocating call
-        // textually inside it. TraceScope/Counter recording is a gated
-        // atomic slot write into pre-reserved buffers — never a heap touch.
+        // Steady-state stepping: each train_step carries a requires(noalloc)
+        // contract proven transitively by wifisense-lint; the textual region
+        // marker additionally rejects any future allocating call spelled
+        // directly inside this loop.
         // wifisense-lint: noalloc-begin
         for (std::size_t begin = 0; begin < order.size(); begin += cfg.batch_size) {
-            common::TraceScope step_span("train.step");
-            obs_steps.add(1);
             const std::size_t count = std::min(cfg.batch_size, order.size() - begin);
             const std::span<const std::size_t> idx(&order[begin], count);
-            Matrix& bx = net.input_buffer();
-            gather_rows_into(inputs, idx, bx);
-            gather_rows_into(targets, idx, by);
-            if (cfg.input_noise > 0.0) {
-                std::normal_distribution<float> jitter(
-                    0.0f, static_cast<float>(cfg.input_noise));
-                for (float& v : bx.data()) v += jitter(rng);
-            }
-
-            net.zero_grad();
-            const Matrix& out = net.forward_ws(bx, /*cache=*/true);
-            const double batch_loss =
-                loss.compute_into(out, by, net.output_grad_buffer());
-            net.backward_ws();
-            if (cfg.grad_clip > 0.0) clip_gradients(params, cfg.grad_clip);
-            opt.step(params);
-
-            epoch_loss += batch_loss;
+            epoch_loss += train_step(net, inputs, targets, loss, cfg, opt, params,
+                                     by, idx, rng, obs_steps);
             ++batches;
         }
         // wifisense-lint: noalloc-end

@@ -1,0 +1,28 @@
+// Malformed and dangling interprocedural directives all degrade to
+// lint.bad-directive, never to silent acceptance.
+namespace ipa_fix {
+
+// Unknown effect name (the valid one still attaches, so no dangling).
+// wifisense-lint: requires(nofoo, noalloc)  // lint-expect: lint.bad-directive
+void bd_unknown_effect() {}
+
+// allow-call without a reason is rejected. (Expectation is file-level:
+// trailing comment text after the ')' would itself parse as the reason.)
+// lint-expect-file: lint.bad-directive
+// wifisense-lint: allow-call(ext_thing)
+void bd_allow_call_no_reason() {}
+
+// trusted without a reason is rejected.
+// lint-expect-file: lint.bad-directive
+// wifisense-lint: trusted(noalloc)
+void bd_trusted_no_reason() {}
+
+// A directive followed by a mere declaration dangles: contracts bind
+// definitions, not prototypes.
+// wifisense-lint: requires(noexcept)  // lint-expect: lint.bad-directive
+void bd_decl_only(int x);
+
+}  // namespace ipa_fix
+
+// A directive at end of file dangles too.
+// wifisense-lint: requires(noalloc)  // lint-expect: lint.bad-directive

@@ -1,0 +1,31 @@
+// Clock / RNG leak fixtures: the two determinism-facing effects propagate
+// like the allocation one, and the file-local rules keep firing at the
+// source line while the ipa rule fires at the root.
+#include <chrono>
+#include <random>
+
+namespace ipa_fix {
+
+long ck_helper() {
+    return std::chrono::steady_clock::now()  // lint-expect: obs.raw-clock
+        .time_since_epoch()
+        .count();
+}
+
+// wifisense-lint: requires(noclock)  // lint-expect: ipa.clock-leak
+long ck_root() {
+    return ck_helper();
+}
+
+double rg_helper(unsigned long long seed) {
+    std::mt19937_64 gen(seed);
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(gen);
+}
+
+// wifisense-lint: requires(det)  // lint-expect: ipa.rng-leak
+double rg_root() {
+    return rg_helper(42);
+}
+
+}  // namespace ipa_fix

@@ -1,0 +1,33 @@
+// Worst-case-edge fixtures.
+//
+// 1. A call through a function-pointer parameter resolves to nothing the
+//    index knows; a requires() root reaching it must either name it in an
+//    allow-call(...) (see suppressed_external.cpp) or fail with
+//    ipa.unresolved-call — unknown code is an error, not a pass.
+// 2. Overload sets collapse per name: a call links to EVERY indexed
+//    overload, so the raw RNG in one overload taints a root that (humanly
+//    speaking) calls the other. Worst case is the sound answer for virtual
+//    dispatch and dispatch tables, which is exactly how the kernel-backend
+//    function-pointer table is analyzed.
+#include <cstdlib>
+
+namespace ipa_fix {
+
+using FpCallback = int (*)(int);
+
+// wifisense-lint: requires(det)  // lint-expect: ipa.unresolved-call
+int fp_root(FpCallback cb) {
+    return cb(3);
+}
+
+inline int ov_helper(int x) { return x + 1; }
+inline int ov_helper(double x) {
+    return static_cast<int>(x) + std::rand();  // lint-expect: det.rand
+}
+
+// wifisense-lint: requires(det)  // lint-expect: ipa.rng-leak
+int ov_root(int x) {
+    return ov_helper(x);
+}
+
+}  // namespace ipa_fix

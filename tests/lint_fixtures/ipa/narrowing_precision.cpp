@@ -1,0 +1,79 @@
+// Call-resolution precision fixtures: receiver/hierarchy narrowing, std::
+// qualification pruning, and the line-level unresolved-call allow. Each
+// clean root here would be a false positive under naive by-name union.
+#include <string>
+#include <vector>
+
+namespace ipa_fix {
+
+// --- unqualified this-call narrowing -----------------------------------
+// NpNoisy::np_helper allocates, but it is unrelated to NpQuiet: the
+// unqualified np_helper() inside NpQuiet::np_run is an implicit this->
+// call and must narrow to NpQuiet's own hierarchy, not union by name.
+
+class NpNoisy {
+public:
+    void np_helper();
+    std::vector<int> d_;
+};
+void NpNoisy::np_helper() { d_.push_back(4); }
+
+class NpQuiet {
+public:
+    void np_helper() {}
+    // wifisense-lint: requires(noalloc, noexcept)
+    void np_run() { np_helper(); }
+};
+
+// --- virtual dispatch stays in the narrowed set ------------------------
+// The derived override's allocation must still fail a base-class root:
+// narrowing keeps the class itself plus every transitively derived type.
+
+class NpBase {
+public:
+    virtual ~NpBase() = default;
+    virtual void np_refresh() {}
+    // wifisense-lint: requires(noalloc)  // lint-expect: ipa.alloc-leak
+    void np_tick() { np_refresh(); }
+};
+
+class NpLeaky : public NpBase {
+public:
+    void np_refresh() override;
+    std::vector<int> buf_;
+};
+void NpLeaky::np_refresh() { buf_.push_back(2); }
+
+// --- std:: qualification prunes the project-name union -----------------
+// A project function sharing its name with an explicitly std-qualified
+// call (the std::to_string shape) must not pollute the root: std::f() can
+// never resolve to a project function, and as a std call it is charged by
+// the token scan, not reported unresolved.
+
+std::string np_render(int v) {
+    std::string s(static_cast<std::size_t>(v), 'x');
+    return s;
+}
+
+// wifisense-lint: requires(noalloc)
+int np_std_qualified_root(int v) {
+    return static_cast<int>(std::np_render(v));  // lexical std:: pruning
+}
+
+// --- line-level allow(ipa.unresolved-call) -----------------------------
+// An unknown external reached from a root is reported unless one specific
+// call site carries a reasoned allow.
+
+// wifisense-lint: requires(noalloc)  // lint-expect: ipa.unresolved-call
+int np_unresolved_root(int x) {
+    return np_ext_probe(x);
+}
+
+// wifisense-lint: requires(noalloc)
+int np_allowed_root(int x) {
+    // wifisense-lint: allow(ipa.unresolved-call) fixture: the probe is a
+    // vetted effect-free external
+    return np_ext_gauge(x);
+}
+
+}  // namespace ipa_fix

@@ -1,0 +1,35 @@
+// SCC fixture: mutual recursion forms a call-graph cycle; the worklist
+// fixpoint must converge (no infinite propagation) and every member of the
+// cycle must carry the union of the cycle's effects, so a root calling
+// either entry point sees the throw seeded in one of them.
+namespace ipa_fix {
+
+int scc_even(int n);
+
+int scc_odd(int n) {
+    if (n == 0) throw 1;  // the effect, inside the cycle
+    return scc_even(n - 1);
+}
+
+int scc_even(int n) {
+    if (n == 0) return 1;
+    return scc_odd(n - 1);
+}
+
+// wifisense-lint: requires(noexcept)  // lint-expect: ipa.throw-leak
+int scc_root(int n) {
+    return scc_even(n);
+}
+
+// Self-recursion is the one-node cycle; must also converge and stay clean
+// when no effect is present.
+int scc_self(int n) {
+    return n <= 1 ? 1 : n * scc_self(n - 1);
+}
+
+// wifisense-lint: requires(noalloc, noexcept)
+int scc_self_root(int n) {
+    return scc_self(n);
+}
+
+}  // namespace ipa_fix

@@ -1,0 +1,35 @@
+// Suppression fixtures for the interprocedural pass.
+//
+// allow-call(name) reason: prunes the named worst-case edge from the
+// annotated function — the reasoned escape hatch for externals the index
+// cannot see. trusted(effects) reason: masks the named effects out of a
+// function's own summary, vouching for its whole subtree.
+namespace ipa_fix {
+
+void ext_log_line(const char* msg);
+void ext_flush_sink();
+
+// wifisense-lint: allow-call(ext_log_line) fixture: the log sink is wait-free and preallocated by contract
+// wifisense-lint: requires(noalloc)  // lint-expect: ipa.unresolved-call
+void sup_root(const char* msg) {
+    ext_log_line(msg);  // named above -> silenced
+    ext_flush_sink();   // NOT named -> the expected unresolved-call
+}
+
+// wifisense-lint: trusted(noalloc) fixture: arena-backed in production builds
+int* tr_helper() {
+    return new int(3);  // visible allocation, masked by trusted()
+}
+
+// wifisense-lint: allow-call(ext_reclaim) fixture: frees into the arena, never the heap
+// wifisense-lint: requires(noalloc)
+int tr_root() {
+    int* p = tr_helper();
+    int v = *p;
+    ext_reclaim(p);
+    return v;
+}
+
+void ext_reclaim(int* p);
+
+}  // namespace ipa_fix

@@ -1,0 +1,32 @@
+// Interprocedural fixture: an alloc effect seeded two helper levels below
+// a requires(noalloc) root must fail the root with the FULL call chain in
+// the message (root -> helper_a -> helper_b -> push_back). This is the
+// acceptance fixture for the indexer + effect-closure + contract passes.
+#include <vector>
+
+namespace ipa_fix {
+
+void tl_helper_b(std::vector<int>& v) {
+    v.push_back(1);  // the real allocation, two calls below the root
+}
+
+void tl_helper_a(std::vector<int>& v) {
+    tl_helper_b(v);
+}
+
+// wifisense-lint: requires(noalloc)  // lint-expect: ipa.alloc-leak
+void tl_root(std::vector<int>& v) {
+    tl_helper_a(v);
+}
+
+// Control: the same shape with no effect below stays clean.
+void tl_clean_helper(std::vector<int>& v) {
+    if (!v.empty()) v[0] = 7;
+}
+
+// wifisense-lint: requires(noalloc, noexcept, noclock, det)
+void tl_clean_root(std::vector<int>& v) {
+    tl_clean_helper(v);
+}
+
+}  // namespace ipa_fix

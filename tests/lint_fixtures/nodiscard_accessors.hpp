@@ -1,0 +1,27 @@
+#pragma once
+// Fixture for the serving-accessor flavor of err.nodiscard: the driver
+// binds this exact filename alongside the real ingest/fusion headers
+// (telemetry.hpp, link_ingest.hpp, link_fusion.hpp). Value-returning
+// zero-arg const accessors must be [[nodiscard]] there — dropped stats
+// hide decode faults.
+
+struct FixtureStats {
+    int frames = 0;
+};
+
+class FixtureDecoder {
+public:
+    const FixtureStats& stats() const { return stats_; }  // lint-expect: err.nodiscard
+    bool healthy() const { return true; }  // lint-expect: err.nodiscard
+
+    [[nodiscard]] int pending() const { return 0; }  // annotated: clean
+    // [[nodiscard]] on the preceding line is accepted too.
+    [[nodiscard]]
+    const FixtureStats& wire_stats() const { return stats_; }
+
+    void reset();                 // void return: exempt
+    int consume(int n) { return n; }  // takes arguments: exempt
+
+private:
+    FixtureStats stats_;
+};

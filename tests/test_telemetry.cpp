@@ -942,7 +942,7 @@ TEST(LinkFusion, CalibrationRecentersSubsetAndLeavesFullFusionBitwise) {
     core::MultiLinkDetector plain(mcfg), calib(mcfg);
     plain.fit(fused.view());
     calib.fit(fused.view());
-    calib.calibrate_links(links);
+    EXPECT_TRUE(calib.calibrate_links(links).is_ok());
     EXPECT_FALSE(plain.calibrated());
     EXPECT_TRUE(calib.calibrated());
 

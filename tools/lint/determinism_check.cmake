@@ -1,0 +1,51 @@
+# lint.deterministic: two sweeps of the same tree must be byte-identical —
+# stdout AND the JSON report — with the ROOT ORDER REVERSED on the second
+# run, so any dependence on directory-iteration or argument order shows up
+# as a diff. Exit codes 0 (clean) and 1 (findings) are both fine as long as
+# the two runs agree; 2 means the tool itself failed.
+#
+# Inputs: LINT_BIN (wifisense-lint path), LINT_ROOTS (;-list), WORK_DIR.
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(roots_fwd ${LINT_ROOTS})
+set(roots_rev ${LINT_ROOTS})
+list(REVERSE roots_rev)
+
+execute_process(
+  COMMAND "${LINT_BIN}" --json "${WORK_DIR}/report_a.json" ${roots_fwd}
+  OUTPUT_FILE "${WORK_DIR}/out_a.txt"
+  RESULT_VARIABLE rc_a)
+execute_process(
+  COMMAND "${LINT_BIN}" --json "${WORK_DIR}/report_b.json" ${roots_rev}
+  OUTPUT_FILE "${WORK_DIR}/out_b.txt"
+  RESULT_VARIABLE rc_b)
+
+if(rc_a GREATER 1 OR rc_b GREATER 1)
+  message(FATAL_ERROR "wifisense-lint failed (exit ${rc_a} / ${rc_b})")
+endif()
+if(NOT rc_a EQUAL rc_b)
+  message(FATAL_ERROR
+    "wifisense-lint exit codes differ across runs: ${rc_a} vs ${rc_b}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    "${WORK_DIR}/out_a.txt" "${WORK_DIR}/out_b.txt"
+  RESULT_VARIABLE diff_out)
+if(NOT diff_out EQUAL 0)
+  message(FATAL_ERROR
+    "wifisense-lint stdout differs between runs (root order reversed); "
+    "diagnostic ordering must not depend on traversal order")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    "${WORK_DIR}/report_a.json" "${WORK_DIR}/report_b.json"
+  RESULT_VARIABLE diff_json)
+if(NOT diff_json EQUAL 0)
+  message(FATAL_ERROR
+    "wifisense-lint JSON report differs between runs (root order reversed)")
+endif()
+
+message(STATUS "wifisense-lint deterministic: two sweeps byte-identical")

@@ -1,0 +1,70 @@
+// Effect-inference pass for wifisense-lint (DESIGN.md §18).
+//
+// Pass 2 of the multi-pass analyzer. Works on the TreeIndex built by pass 1:
+//
+//   1. Direct sources — scan every function body for tokens that carry one
+//      of the four effects on their own (operator new, container growth,
+//      raw clocks, raw RNG, ...). Sources honor the driver's allow()
+//      suppressions: a line allowed for the matching file-local rule (e.g.
+//      noalloc.container-growth) or for the ipa.* rule does not contribute.
+//   2. Closure — propagate effects bottom-up over the call graph to a
+//      fixpoint. A worklist fixpoint is equivalent to bottom-up propagation
+//      over the SCC condensation: members of a cycle converge to the union
+//      of the cycle's effects. `allow-call(name)` prunes that edge from the
+//      annotated caller; `trusted(effects)` masks the named effects out of
+//      the annotated function's summary (sources AND closure).
+//
+// Call resolution is by unqualified name: a call `f(...)` links to every
+// indexed function named `f` (worst case over overloads, virtual overrides
+// and function-pointer tables). A call that resolves to nothing is either
+//   - benign (a known effect-free std/libc name),
+//   - a known effect carrier (`.at()`, `to_string`, ...) -> direct source,
+//   - or genuinely unknown -> recorded for the contract pass, which turns it
+//     into ipa.unresolved-call when a requires() root can reach it.
+#pragma once
+
+#include "index.hpp"
+
+namespace wifilint {
+
+/// Unresolved, non-benign call reachable in some function's body.
+struct UnresolvedCall {
+    std::size_t fn = 0;     ///< index of the containing function
+    std::string name;       ///< callee name
+    std::size_t line = 0;   ///< call-site line
+};
+
+struct EffectResult {
+    /// All unresolved-unknown call sites, in function-index order.
+    std::vector<UnresolvedCall> unresolved;
+};
+
+/// True for paths exempt from clock/RNG direct sources (the sanctioned
+/// owners of those primitives — mirrors the driver's det.* exemption).
+bool det_exempt_path(const std::string& path);
+
+/// Known effect-free external names (libc/std calls that never allocate,
+/// throw, read clocks or consume RNG). Exposed for the driver's self-test.
+bool benign_external(const std::string& name);
+
+/// Run the effect pass: fills direct_effects / closure_effects / sources on
+/// every FunctionDef in `tree` and returns the unresolved-call sites.
+EffectResult compute_effects(TreeIndex& tree);
+
+/// Resolve a call site from `caller` to function indices (empty when
+/// external). Shared with the contract pass so witness chains walk the same
+/// edges the closure used.
+std::vector<std::size_t> resolve_call(const TreeIndex& tree,
+                                      const FunctionDef& caller,
+                                      const CallSite& site);
+
+/// Pass 3 (rules_ipa.cpp): check every requires() root against the closure.
+/// Emits ipa.alloc-leak / ipa.throw-leak / ipa.clock-leak / ipa.rng-leak
+/// with the full offending call chain, and ipa.unresolved-call for every
+/// unindexed, non-benign external call a root can reach. Findings anchor at
+/// the root's requires() line, so the driver's normal allow() suppression
+/// applies to them like to any other finding.
+std::vector<Finding> contract_findings(const TreeIndex& tree,
+                                       const EffectResult& effects);
+
+}  // namespace wifilint

@@ -1,0 +1,203 @@
+// Interprocedural index for wifisense-lint (DESIGN.md §18).
+//
+// Pass 1 of the multi-pass analyzer: a tree-wide symbol table of function
+// definitions and a call graph, built from the same token stream the
+// file-local rules use (no libclang). The indexer walks every file once,
+// tracking namespace / class / function brace scopes, and records
+//
+//   - every function definition (qualified display name, unqualified name
+//     used for call resolution, body line range),
+//   - every call site inside a body, by unqualified callee name (overload
+//     sets collapse per name; a member call `x.f(...)` links to EVERY
+//     indexed `f` — the worst-case edge set, which is exactly what makes
+//     virtual dispatch and function-pointer tables sound to analyze),
+//   - local lambda bindings (`auto f = [...]`), so invoking one resolves to
+//     the enclosing function itself (lambda bodies are scanned in place),
+//   - the interprocedural contract directives attached to the next function
+//     definition (prefix spelled loosely so this comment is not a directive):
+//       // <prefix> requires(noalloc, noexcept, noclock, det)
+//       // <prefix> allow-call(callee) reason
+//       // <prefix> trusted(effects) reason
+//
+// The shared lexical model (comment/string-blanked lines, identifier
+// tokens) lives here too, so the driver and the effect pass agree on what
+// "code" means.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wifilint {
+
+// ---------------------------------------------------------------------------
+// Findings & rule identifiers (shared by every pass)
+// ---------------------------------------------------------------------------
+
+struct Finding {
+    std::string file;
+    std::size_t line = 0;  // 1-based; 0 = whole-file
+    std::string rule;
+    std::string message;
+};
+
+bool known_rule(std::string_view rule);
+const std::vector<std::string>& all_rules();
+
+// ---------------------------------------------------------------------------
+// Lexical model
+// ---------------------------------------------------------------------------
+
+struct Line {
+    std::string raw;
+    std::string code;     ///< comments and string/char literal bodies blanked
+    std::string comment;  ///< concatenated comment text of this line
+};
+
+/// Strip comments and literals across the whole file, preserving columns.
+std::vector<Line> split_lines(const std::string& text);
+
+struct Token {
+    std::string text;
+    std::size_t begin = 0;  ///< column of first char
+    std::size_t end = 0;    ///< one past last char
+};
+
+std::vector<Token> identifiers(const std::string& code);
+bool is_ident_char(char c);
+
+/// First non-space char at or after `pos`, or '\0'.
+char next_code_char(const std::string& code, std::size_t pos,
+                    std::size_t* at = nullptr);
+
+bool is_qualified_std(const std::string& code, std::size_t ident_begin);
+
+std::string trim(std::string_view s);
+
+/// True when the line's first code char is '#' (preprocessor). Both passes
+/// skip these lines: macro bodies are not code paths, and unbalanced braces
+/// inside #if/#else branches would corrupt the scope walk.
+bool is_preprocessor(const Line& line);
+
+// ---------------------------------------------------------------------------
+// Effects
+// ---------------------------------------------------------------------------
+
+/// The four tracked effects, as a bitmask.
+enum : unsigned {
+    kEffAlloc = 1u << 0,  ///< allocates (new/malloc/container-growth/...)
+    kEffThrow = 1u << 1,  ///< throws (throw / unresolved .at()/.value())
+    kEffClock = 1u << 2,  ///< reads a raw wall clock (obs.raw-clock sources)
+    kEffRng = 1u << 3,    ///< consumes raw RNG (det.* sources)
+};
+inline constexpr unsigned kEffAll = kEffAlloc | kEffThrow | kEffClock | kEffRng;
+
+/// requires()/trusted() spelling -> bit ("noalloc" -> kEffAlloc, "noexcept"
+/// -> kEffThrow, "noclock" -> kEffClock, "det" -> kEffRng); 0 if unknown.
+unsigned effect_bit(std::string_view name);
+
+/// Bit -> the ipa rule it breaks ("ipa.alloc-leak", ...).
+const char* effect_rule(unsigned bit);
+
+/// Bit -> human verb ("allocates", "throws", ...).
+const char* effect_verb(unsigned bit);
+
+/// Bit -> contract spelling ("noalloc", ...).
+const char* effect_contract(unsigned bit);
+
+// ---------------------------------------------------------------------------
+// Symbol table & call graph
+// ---------------------------------------------------------------------------
+
+struct CallSite {
+    std::string name;      ///< unqualified callee
+    std::size_t line = 0;  ///< 1-based
+    /// True for `Type name(...)` declarator sites recorded against `Type`:
+    /// a constructor call IF `Type` is indexed, silence otherwise.
+    bool decl = false;
+    /// Member-call receiver: "" for a plain call, "?" for a member call on a
+    /// compound expression (`f().g()`), else the simple receiver identifier
+    /// (`health_.observe` -> "health_"). Used to narrow overload-set
+    /// resolution through declared field/local types.
+    std::string recv;
+    /// True for `std::name(...)` — explicitly std-qualified calls can never
+    /// resolve to a project function, so they never create a call edge
+    /// (`std::to_string` must not union with a project `to_string`).
+    bool std_qual = false;
+};
+
+struct DirectSource {
+    unsigned effect = 0;    ///< one kEff* bit
+    std::size_t line = 0;   ///< 1-based
+    std::string what;       ///< e.g. "std::vector growth via 'push_back'"
+};
+
+struct FunctionDef {
+    std::string qual_name;  ///< display name: scopes joined with "::"
+    std::string name;       ///< unqualified; call-resolution key
+    std::string file;
+    std::size_t sig_line = 0;       ///< first line of the signature
+    std::size_t body_begin = 0;     ///< line of the opening '{'
+    std::size_t body_open_col = 0;  ///< column of the opening '{'
+    std::size_t body_end = 0;       ///< line of the closing '}'
+    std::size_t body_close_col = 0;
+
+    // Contract directives.
+    unsigned requires_effects = 0;  ///< requires(...) => this is a root
+    std::size_t requires_line = 0;
+    unsigned trusted_effects = 0;   ///< trusted(...): subtree pruned per bit
+    std::set<std::string> allow_calls;  ///< edges pruned by callee name
+
+    std::vector<CallSite> calls;
+    std::set<std::string> local_lambdas;
+    /// `Type name(...)` declarator locals: variable -> simple type name.
+    std::map<std::string, std::string> local_types;
+
+    // Filled by the effect pass.
+    unsigned direct_effects = 0;
+    unsigned closure_effects = 0;
+    std::vector<DirectSource> sources;
+};
+
+struct TreeIndex {
+    std::vector<FunctionDef> functions;
+    /// Unqualified name -> indices into `functions`, in index order.
+    std::map<std::string, std::vector<std::size_t>> by_name;
+    /// Class/struct names seen anywhere (constructor-call resolution).
+    std::set<std::string> class_names;
+    /// Qualified class path ("wifisense::core::MultiLinkDetector") ->
+    /// member-field name -> simple type name. Lets resolve_call narrow a
+    /// `field_.method(...)` site to that type's overload instead of the
+    /// whole-tree name union.
+    std::map<std::string, std::map<std::string, std::string>> class_fields;
+    /// Namespace-scope variables: simple name -> simple type name ("?" when
+    /// two declarations disagree). Narrows `g_flag.load()`-style calls.
+    std::map<std::string, std::string> global_types;
+    /// Direct bases per class simple name (`class Dense : public Layer` ->
+    /// {"Dense" -> {"Layer"}}). The effect pass expands this to
+    /// `derived_of` so receiver-type narrowing keeps the whole virtual
+    /// override set of the receiver's static type.
+    std::map<std::string, std::set<std::string>> class_bases;
+    /// Base simple name -> every transitively derived class (plus itself).
+    /// Filled by compute_effects from `class_bases`.
+    std::map<std::string, std::set<std::string>> derived_of;
+    /// Per-file blanked lines, for the effect pass and witness rendering.
+    std::map<std::string, std::vector<Line>> file_lines;
+    /// Per-file, per-line allow()ed rules (the driver's suppression model,
+    /// shared so effect sources honor line allows).
+    std::map<std::string, std::map<std::size_t, std::set<std::string>>>
+        line_allows;
+    std::map<std::string, std::set<std::string>> file_allows;
+};
+
+/// Index one file's function definitions, call sites and ipa directives into
+/// `tree`. Malformed or dangling directives are reported as
+/// lint.bad-directive findings. `lines` must outlive nothing — the index
+/// copies what it keeps.
+void index_file(const std::string& path, const std::vector<Line>& lines,
+                TreeIndex& tree, std::vector<Finding>& findings);
+
+}  // namespace wifilint

@@ -1,0 +1,166 @@
+// Contract pass for wifisense-lint (DESIGN.md §18).
+//
+// Pass 3: every function annotated with a requires(...) directive is a
+// proof root. If the effect closure says a required-absent effect leaks in,
+// we report it WITH the witness chain — the concrete call path from the
+// root to the function that carries the effect directly:
+//
+//   requires(noalloc) violated: TelemetryDecoder::push -> scan ->
+//   record_frame allocates (container growth via 'push_back' at
+//   src/data/telemetry.cpp:210)
+//
+// Roots must also account for every external call they can reach: a call
+// that resolves to nothing indexed, is not on the benign list and carries
+// no known effect is reported as ipa.unresolved-call until the containing
+// function names it in an allow-call(...) with a reason. This is what keeps
+// the worst-case analysis honest — unknown code is an error, not a pass.
+#include "effects.hpp"
+
+#include <algorithm>
+
+namespace wifilint {
+
+namespace {
+
+/// DFS for a witness chain: a path root -> ... -> g where g has a direct
+/// source of `bit`, descending only into callees whose closure carries the
+/// bit (guaranteed to terminate at a source). Deterministic: calls are
+/// walked in body order, overload sets in index order.
+bool witness_dfs(const TreeIndex& tree, std::size_t fn_idx, unsigned bit,
+                 std::vector<char>& visited, std::vector<std::size_t>& path) {
+    if (visited[fn_idx]) return false;
+    visited[fn_idx] = 1;
+    const FunctionDef& fn = tree.functions[fn_idx];
+    path.push_back(fn_idx);
+    if (fn.direct_effects & bit) return true;
+    for (const CallSite& cs : fn.calls) {
+        for (const std::size_t callee : resolve_call(tree, fn, cs)) {
+            if (!(tree.functions[callee].closure_effects & bit)) continue;
+            if (witness_dfs(tree, callee, bit, visited, path)) return true;
+        }
+    }
+    path.pop_back();
+    return false;
+}
+
+std::string render_chain(const TreeIndex& tree,
+                         const std::vector<std::size_t>& path) {
+    std::string out;
+    for (const std::size_t idx : path) {
+        if (!out.empty()) out += " -> ";
+        out += tree.functions[idx].qual_name;
+    }
+    return out;
+}
+
+const DirectSource* first_source(const FunctionDef& fn, unsigned bit) {
+    for (const DirectSource& s : fn.sources)
+        if (s.effect & bit) return &s;
+    return nullptr;
+}
+
+/// A function trusted for every effect is fully opaque: its subtree is not
+/// walked for unresolved externals either (the trust reason vouches for it).
+bool fully_trusted(const FunctionDef& fn) {
+    return (fn.trusted_effects & kEffAll) == kEffAll;
+}
+
+}  // namespace
+
+std::vector<Finding> contract_findings(const TreeIndex& tree,
+                                       const EffectResult& effects) {
+    std::vector<Finding> findings;
+
+    // Unresolved call sites grouped by containing function.
+    std::map<std::size_t, std::vector<const UnresolvedCall*>> unresolved_in;
+    for (const UnresolvedCall& u : effects.unresolved)
+        unresolved_in[u.fn].push_back(&u);
+
+    for (std::size_t root = 0; root < tree.functions.size(); ++root) {
+        const FunctionDef& r = tree.functions[root];
+        if (r.requires_effects == 0) continue;
+        const std::size_t anchor =
+            r.requires_line != 0 ? r.requires_line : r.sig_line;
+
+        // Effect leaks, one witness chain per (root, effect).
+        for (const unsigned bit :
+             {kEffAlloc, kEffThrow, kEffClock, kEffRng}) {
+            if (!(r.requires_effects & bit)) continue;
+            if (!(r.closure_effects & bit)) continue;
+            std::vector<char> visited(tree.functions.size(), 0);
+            std::vector<std::size_t> path;
+            if (!witness_dfs(tree, root, bit, visited, path)) {
+                // Closure says leak but no witness — should be impossible;
+                // report without a chain rather than stay silent.
+                findings.push_back(
+                    {r.file, anchor, effect_rule(bit),
+                     "requires(" + std::string(effect_contract(bit)) +
+                         ") violated in " + r.qual_name +
+                         " (no witness chain — analyzer bug?)"});
+                continue;
+            }
+            const FunctionDef& g = tree.functions[path.back()];
+            const DirectSource* src = first_source(g, bit);
+            std::string msg = "requires(" +
+                              std::string(effect_contract(bit)) +
+                              ") violated: " + render_chain(tree, path) +
+                              " " + effect_verb(bit);
+            if (src != nullptr)
+                msg += " (" + src->what + " at " + g.file + ":" +
+                       std::to_string(src->line) + ")";
+            findings.push_back({r.file, anchor, effect_rule(bit), msg});
+        }
+
+        // Unresolved externals reachable from this root. BFS with parents
+        // for chain reconstruction; deduped by callee name per root.
+        std::vector<std::ptrdiff_t> parent(tree.functions.size(), -2);
+        std::vector<std::size_t> queue;
+        parent[root] = -1;
+        queue.push_back(root);
+        for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+            const FunctionDef& fn = tree.functions[queue[qi]];
+            if (fully_trusted(fn) && queue[qi] != root) continue;
+            for (const CallSite& cs : fn.calls) {
+                for (const std::size_t callee : resolve_call(tree, fn, cs)) {
+                    if (parent[callee] != -2) continue;
+                    parent[callee] = static_cast<std::ptrdiff_t>(queue[qi]);
+                    queue.push_back(callee);
+                }
+            }
+        }
+        std::set<std::string> reported;
+        for (const std::size_t fi : queue) {
+            if (fully_trusted(tree.functions[fi]) && fi != root) continue;
+            const auto it = unresolved_in.find(fi);
+            if (it == unresolved_in.end()) continue;
+            for (const UnresolvedCall* u : it->second) {
+                if (!reported.insert(u->name).second) continue;
+                std::vector<std::size_t> chain;
+                for (std::ptrdiff_t at = static_cast<std::ptrdiff_t>(fi);
+                     at >= 0; at = parent[static_cast<std::size_t>(at)])
+                    chain.push_back(static_cast<std::size_t>(at));
+                std::reverse(chain.begin(), chain.end());
+                findings.push_back(
+                    {r.file, anchor, "ipa.unresolved-call",
+                     "unresolved external call '" + u->name +
+                         "' reached from requires() root: " +
+                         render_chain(tree, chain) + " (call at " +
+                         tree.functions[fi].file + ":" +
+                         std::to_string(u->line) +
+                         "); add allow-call(" + u->name +
+                         ") with a reason or index the callee"});
+            }
+        }
+    }
+
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding& a, const Finding& b) {
+                  if (a.file != b.file) return a.file < b.file;
+                  if (a.line != b.line) return a.line < b.line;
+                  if (a.rule != b.rule) return a.rule < b.rule;
+                  return a.message < b.message;
+              });
+    return findings;
+}
+
+}  // namespace wifilint

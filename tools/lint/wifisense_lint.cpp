@@ -1,15 +1,23 @@
-// The project-rule static checker (wifisense-lint).
+// The project-rule static checker (wifisense-lint) — driver.
 //
-// The repo's three load-bearing guarantees — bitwise determinism at any
-// thread count (DESIGN.md §10), an allocation-free train/predict hot path
-// (§11), and typed Status/Result error handling on every load path (§12) —
-// are invariants a single careless token can erode long before a golden
-// test notices. This tool makes them cheap to keep: a token/line-level
-// scanner (no libclang) that walks src/, bench/, tools/ and examples/ and
-// fails the build on any violation. See DESIGN.md §13 for the rule
-// catalogue and suppression syntax.
+// The repo's load-bearing guarantees — bitwise determinism at any thread
+// count (DESIGN.md §10), an allocation-free train/predict hot path (§11),
+// and typed Status/Result error handling on every load path (§12) — are
+// invariants a single careless token can erode long before a golden test
+// notices. This tool makes them cheap to keep: a token/line-level scanner
+// (no libclang) that walks src/, bench/, tools/ and examples/ and fails the
+// build on any violation. See DESIGN.md §13 for the file-local rule
+// catalogue and suppression syntax, and §18 for the interprocedural passes.
 //
-// Rules (rule-id: meaning):
+// Since PR 9 the tool is multi-pass (tools/lint/index.* builds a tree-wide
+// call graph, effects.* infers allocation/throw/clock/RNG effects
+// transitively, rules_ipa.cpp checks `requires(...)` contract roots), so a
+// run has two phases: every file is scanned for the file-local rules AND
+// indexed; then the whole-tree effect closure produces the ipa.* findings,
+// which are anchored at each root's requires() line and flow through the
+// same allow() suppression model as every other rule.
+//
+// File-local rules (rule-id: meaning):
 //   det.rand          std::rand/srand/rand_r/drand48 — unseedable legacy RNG
 //   det.random-device std::random_device — nondeterministic entropy source
 //   det.clock         wall clocks and time() — time-dependent logic
@@ -32,18 +40,23 @@
 //                     src/nn/trainer.cpp)
 //   noalloc.unbalanced  noalloc-begin/end nesting errors
 //   err.nodiscard     function returning Status/Result<T> without
-//                     [[nodiscard]]
+//                     [[nodiscard]]; also value-returning zero-arg const
+//                     accessors on the serving ingest/fusion headers
 //   err.todo          TODO/FIXME in src/ without an issue tag "(#N)"
 //   hdr.pragma-once   header missing #pragma once
 //   hdr.using-namespace  using namespace at namespace scope in a header
 //   wire.packed       a top-level `struct Wire<Name>` in a wire-format file
-//                     (path contains "telemetry" or "wire") without
-//                     static_assert(sizeof(...)) and static_assert(
-//                     offsetof(...)) layout pins in the same file — wire
-//                     structs ARE the byte format, so an unpinned layout is
-//                     one silent padding change away from corrupting every
-//                     stored stream
+//                     without sizeof/offsetof static_assert layout pins
 //   lint.bad-directive   malformed wifisense-lint comment
+//
+// Interprocedural rules (anchored at the requires() line of the root):
+//   ipa.alloc-leak    a requires(noalloc) root transitively allocates; the
+//                     message carries the witness call chain
+//   ipa.throw-leak    a requires(noexcept) root can transitively throw
+//   ipa.clock-leak    a requires(noclock) root reads a raw wall clock
+//   ipa.rng-leak      a requires(det) root consumes raw (non-substream) RNG
+//   ipa.unresolved-call  a requires() root reaches an unindexed external
+//                     call that is neither benign nor allow-call()ed
 //
 // Suppression (scoped, reason required; the directive prefix is
 // "wifisense-lint" followed by a colon — spelled loosely here so this very
@@ -55,13 +68,19 @@
 //   // <prefix> allow-file(<rule>) <reason>   <- whole file
 //
 // Region annotations: "<prefix> noalloc-begin" / "<prefix> noalloc-end"
-// comments bracket an allocation-free region.
+// comments bracket an allocation-free region. Contract annotations
+// ("<prefix> requires(...)", "allow-call(...)", "trusted(...)") are parsed
+// by the indexer and attach to the next function definition.
 //
 // Self-test mode (--self-test <dir>): every fixture line may carry
 //   // lint-expect: <rule-id>        a finding of that rule MUST fire here
 //   // lint-expect-file: <rule-id>   ... anywhere in this file
 // The run fails on any unexpected finding or unsatisfied expectation, so
-// the fixture corpus pins each rule to a known-bad snippet.
+// the fixture corpus pins each rule to a known-bad snippet. The fixture
+// tree is indexed as one unit, so interprocedural fixtures work too.
+//
+// --json <path> writes a machine-readable report (rule -> count ->
+// locations) for CI archiving; it reflects post-suppression findings only.
 //
 // Exit status: 0 clean, 1 findings (or self-test mismatch), 2 usage/IO error.
 
@@ -77,165 +96,14 @@
 #include <string_view>
 #include <vector>
 
+#include "effects.hpp"
+#include "index.hpp"
+
 namespace fs = std::filesystem;
 
+using namespace wifilint;
+
 namespace {
-
-// ---------------------------------------------------------------------------
-// Finding & rule identifiers
-// ---------------------------------------------------------------------------
-
-struct Finding {
-    std::string file;
-    std::size_t line = 0;  // 1-based; 0 = whole-file
-    std::string rule;
-    std::string message;
-};
-
-const char* const kAllRules[] = {
-    "det.rand",          "det.random-device", "det.clock",
-    "obs.raw-clock",     "det.raw-mt19937",   "noalloc.new",
-    "noalloc.malloc",    "noalloc.container-growth",
-    "noalloc.std-function",
-    "noalloc.required",  "noalloc.unbalanced", "err.nodiscard",
-    "err.todo",          "hdr.pragma-once",   "hdr.using-namespace",
-    "wire.packed",       "lint.bad-directive",
-};
-
-bool known_rule(std::string_view rule) {
-    for (const char* r : kAllRules)
-        if (rule == r) return true;
-    return false;
-}
-
-// ---------------------------------------------------------------------------
-// Line model: the raw text, the code with comments/strings blanked (same
-// column positions), and the comment text (directives live in comments).
-// ---------------------------------------------------------------------------
-
-struct Line {
-    std::string raw;
-    std::string code;     ///< comments and string/char literal bodies blanked
-    std::string comment;  ///< concatenated comment text of this line
-};
-
-/// Strip comments and literals across the whole file, preserving columns.
-std::vector<Line> split_lines(const std::string& text) {
-    std::vector<std::string> raw;
-    {
-        std::string cur;
-        for (const char c : text) {
-            if (c == '\n') {
-                raw.push_back(cur);
-                cur.clear();
-            } else {
-                cur += c;
-            }
-        }
-        raw.push_back(cur);
-    }
-
-    std::vector<Line> lines(raw.size());
-    bool in_block_comment = false;
-    for (std::size_t li = 0; li < raw.size(); ++li) {
-        const std::string& s = raw[li];
-        Line& out = lines[li];
-        out.raw = s;
-        out.code.assign(s.size(), ' ');
-        std::size_t i = 0;
-        while (i < s.size()) {
-            if (in_block_comment) {
-                if (s[i] == '*' && i + 1 < s.size() && s[i + 1] == '/') {
-                    in_block_comment = false;
-                    i += 2;
-                } else {
-                    out.comment += s[i];
-                    ++i;
-                }
-                continue;
-            }
-            const char c = s[i];
-            if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
-                out.comment += s.substr(i + 2);
-                break;  // rest of the line is comment
-            }
-            if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
-                in_block_comment = true;
-                i += 2;
-                continue;
-            }
-            if (c == '"') {
-                out.code[i] = '"';
-                ++i;
-                while (i < s.size() && s[i] != '"') {
-                    if (s[i] == '\\') ++i;
-                    ++i;
-                }
-                if (i < s.size()) out.code[i] = '"';
-                ++i;
-                continue;
-            }
-            // Char literal — but not a digit separator (1'000'000).
-            if (c == '\'' && (i == 0 || !std::isalnum(static_cast<unsigned char>(s[i - 1])))) {
-                out.code[i] = '\'';
-                ++i;
-                while (i < s.size() && s[i] != '\'') {
-                    if (s[i] == '\\') ++i;
-                    ++i;
-                }
-                if (i < s.size()) out.code[i] = '\'';
-                ++i;
-                continue;
-            }
-            out.code[i] = c;
-            ++i;
-        }
-    }
-    return lines;
-}
-
-bool is_ident_char(char c) {
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-struct Token {
-    std::string text;
-    std::size_t begin = 0;  ///< column of first char
-    std::size_t end = 0;    ///< one past last char
-};
-
-std::vector<Token> identifiers(const std::string& code) {
-    std::vector<Token> out;
-    std::size_t i = 0;
-    while (i < code.size()) {
-        if (is_ident_char(code[i]) &&
-            !std::isdigit(static_cast<unsigned char>(code[i]))) {
-            const std::size_t begin = i;
-            while (i < code.size() && is_ident_char(code[i])) ++i;
-            out.push_back({code.substr(begin, i - begin), begin, i});
-        } else {
-            ++i;
-        }
-    }
-    return out;
-}
-
-/// First non-space char at or after `pos`, or '\0'.
-char next_code_char(const std::string& code, std::size_t pos, std::size_t* at = nullptr) {
-    while (pos < code.size() && std::isspace(static_cast<unsigned char>(code[pos]))) ++pos;
-    if (at) *at = pos;
-    return pos < code.size() ? code[pos] : '\0';
-}
-
-bool is_qualified_std(const std::string& code, std::size_t ident_begin) {
-    // True when the identifier is written std::<ident> (possibly with spaces).
-    std::size_t i = ident_begin;
-    while (i > 0 && std::isspace(static_cast<unsigned char>(code[i - 1]))) --i;
-    if (i < 2 || code[i - 1] != ':' || code[i - 2] != ':') return false;
-    std::size_t j = i - 2;
-    while (j > 0 && std::isspace(static_cast<unsigned char>(code[j - 1]))) --j;
-    return j >= 3 && code.compare(j - 3, 3, "std") == 0;
-}
 
 // ---------------------------------------------------------------------------
 // Directives
@@ -251,13 +119,6 @@ struct Directives {
     std::map<std::size_t, std::vector<std::string>> expect_lines;
     std::vector<std::string> expect_file;
 };
-
-std::string trim(std::string_view s) {
-    std::size_t b = 0, e = s.size();
-    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
-    return std::string(s.substr(b, e - b));
-}
 
 /// Parse "allow(rule) reason" / "allow-file(rule) reason" bodies. Returns
 /// the rule, or empty on malformed input.
@@ -339,6 +200,12 @@ Directives collect_directives(const std::vector<Line>& lines,
                     d.line_allows[next + 1].insert(rule);
                 }
             }
+        } else if (body.rfind("requires(", 0) == 0 ||
+                   body.rfind("allow-call(", 0) == 0 ||
+                   body.rfind("trusted(", 0) == 0) {
+            // Interprocedural contract directives: parsed and validated by
+            // the indexer pass (index.cpp), which owns their attachment to
+            // the next function definition.
         } else {
             findings.push_back({file, lineno, "lint.bad-directive",
                                 "unknown wifisense-lint directive: '" + body + "'"});
@@ -365,17 +232,6 @@ bool path_ends_with(const std::string& path, std::string_view suffix) {
            path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-/// Files exempt from the determinism rules: the substream API itself, the
-/// pool (which owns the only legitimate uses of low-level primitives), and
-/// the trace module (the sanctioned owner of the monotonic clock).
-bool det_exempt(const std::string& path) {
-    return path_ends_with(path, "src/common/rng.hpp") ||
-           path_ends_with(path, "src/common/parallel.hpp") ||
-           path_ends_with(path, "src/common/parallel.cpp") ||
-           path_ends_with(path, "src/common/trace.hpp") ||
-           path_ends_with(path, "src/common/trace.cpp");
-}
-
 bool is_header(const std::string& path) {
     return path_ends_with(path, ".hpp") || path_ends_with(path, ".h");
 }
@@ -386,7 +242,7 @@ bool in_src_tree(const std::string& path) {
 
 void check_determinism(const std::string& file, const std::vector<Line>& lines,
                        std::vector<Finding>& findings) {
-    if (det_exempt(file)) return;
+    if (det_exempt_path(file)) return;
     for (std::size_t li = 0; li < lines.size(); ++li) {
         const std::size_t lineno = li + 1;
         const std::string& code = lines[li].code;
@@ -505,7 +361,7 @@ bool has_kernel_suffix(const std::string& text,
 /// microkernel backends under src/nn/kernels/ bind both `*_into` and the
 /// row-range `*_rows` implementations; trainer.cpp must annotate its
 /// steady-state step; parallel.cpp must annotate its region posting /
-/// fan-out path (run_chunks_erased and the pool's run/drain).
+/// fan-out path (run_chunks_erased and the pool's dispatch/drain).
 void check_noalloc_required(const std::string& file,
                             const std::vector<Line>& lines, const Directives& d,
                             std::vector<Finding>& findings) {
@@ -622,24 +478,69 @@ bool returns_status_or_result(const std::string& code) {
     return next_code_char(code, e, &at2) == '(';
 }
 
+/// Is there a [[nodiscard]] on this line or on the nearest preceding code
+/// line?
+bool nodiscard_here_or_above(const std::vector<Line>& lines, std::size_t li) {
+    if (lines[li].code.find("[[nodiscard]]") != std::string::npos) return true;
+    for (std::size_t p = li; p-- > 0;) {
+        const std::string prev = trim(lines[p].code);
+        if (prev.empty()) continue;  // comment/blank line
+        return prev.find("[[nodiscard]]") != std::string::npos;
+    }
+    return false;
+}
+
 void check_nodiscard(const std::string& file, const std::vector<Line>& lines,
                      std::vector<Finding>& findings) {
     for (std::size_t li = 0; li < lines.size(); ++li) {
         const std::string& code = lines[li].code;
         if (!returns_status_or_result(code)) continue;
-        const bool here = code.find("[[nodiscard]]") != std::string::npos;
-        bool above = false;
-        for (std::size_t p = li; p-- > 0;) {
-            const std::string prev = trim(lines[p].code);
-            if (prev.empty()) continue;  // comment/blank line
-            above = prev.find("[[nodiscard]]") != std::string::npos;
-            break;
-        }
-        if (!here && !above)
+        if (!nodiscard_here_or_above(lines, li))
             findings.push_back({file, li + 1, "err.nodiscard",
                                 "function returning Status/Result must be "
                                 "[[nodiscard]] (a dropped error is a "
                                 "swallowed failure)"});
+    }
+}
+
+/// The serving ingest/fusion headers: decode/reassembly/fusion statistics
+/// are the only visibility into silently-dropped frames, so every
+/// value-returning zero-arg const accessor on these types must be
+/// [[nodiscard]] — calling stats() and ignoring the result is always a bug.
+void check_nodiscard_accessors(const std::string& file,
+                               const std::vector<Line>& lines,
+                               std::vector<Finding>& findings) {
+    const bool bound = path_ends_with(file, "src/data/telemetry.hpp") ||
+                       path_ends_with(file, "src/data/link_ingest.hpp") ||
+                       path_ends_with(file, "src/core/link_fusion.hpp") ||
+                       path_ends_with(file, "lint_fixtures/nodiscard_accessors.hpp");
+    if (!bound) return;
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+        const std::string& code = lines[li].code;
+        const std::vector<Token> toks = identifiers(code);
+        if (!toks.empty() && toks.front().text == "void") continue;
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            if (i == 0) continue;  // need a return type before the name
+            const Token& t = toks[i];
+            if (t.text == "operator") break;
+            std::size_t at = 0;
+            if (next_code_char(code, t.end, &at) != '(') continue;
+            std::size_t at2 = 0;
+            if (next_code_char(code, at + 1, &at2) != ')') continue;  // args
+            // `) const` and then a body/terminator.
+            std::size_t at3 = 0;
+            if (!is_ident_char(next_code_char(code, at2 + 1, &at3))) continue;
+            std::size_t e = at3;
+            while (e < code.size() && is_ident_char(code[e])) ++e;
+            if (code.substr(at3, e - at3) != "const") continue;
+            if (!nodiscard_here_or_above(lines, li))
+                findings.push_back(
+                    {file, li + 1, "err.nodiscard",
+                     "value-returning const accessor '" + t.text +
+                         "()' on a serving ingest/fusion type must be "
+                         "[[nodiscard]] (dropped stats hide decode faults)"});
+            break;
+        }
     }
 }
 
@@ -733,47 +634,82 @@ void check_wire_packed(const std::string& file, const std::vector<Line>& lines,
 // Driver
 // ---------------------------------------------------------------------------
 
-struct FileReport {
-    std::vector<Finding> findings;  ///< post-suppression
+/// One file, loaded and locally scanned; findings are still unsuppressed
+/// (ipa findings are merged in before suppression runs).
+struct LintedFile {
+    std::string path;
+    std::vector<Line> lines;
     Directives directives;
+    std::vector<Finding> raw_findings;
 };
 
-FileReport scan_file(const std::string& path, bool self_test) {
+LintedFile load_file(const std::string& path, bool self_test, TreeIndex& tree) {
     std::ifstream in(path, std::ios::binary);
     std::ostringstream buf;
     buf << in.rdbuf();
-    const std::vector<Line> lines = split_lines(buf.str());
 
-    std::vector<Finding> raw_findings;
-    Directives d = collect_directives(lines, raw_findings, path, self_test);
+    LintedFile lf;
+    lf.path = path;
+    lf.lines = split_lines(buf.str());
+    lf.directives =
+        collect_directives(lf.lines, lf.raw_findings, path, self_test);
 
-    check_determinism(path, lines, raw_findings);
-    check_noalloc(path, lines, d, raw_findings);
-    check_noalloc_required(path, lines, d, raw_findings);
-    check_nodiscard(path, lines, raw_findings);
-    check_todo(path, lines, raw_findings);
-    check_header_hygiene(path, lines, raw_findings);
-    check_wire_packed(path, lines, raw_findings);
+    check_determinism(path, lf.lines, lf.raw_findings);
+    check_noalloc(path, lf.lines, lf.directives, lf.raw_findings);
+    check_noalloc_required(path, lf.lines, lf.directives, lf.raw_findings);
+    check_nodiscard(path, lf.lines, lf.raw_findings);
+    check_nodiscard_accessors(path, lf.lines, lf.raw_findings);
+    check_todo(path, lf.lines, lf.raw_findings);
+    check_header_hygiene(path, lf.lines, lf.raw_findings);
+    check_wire_packed(path, lf.lines, lf.raw_findings);
 
-    FileReport report;
-    report.directives = d;
-    for (Finding& f : raw_findings) {
-        if (d.file_allows.count(f.rule)) continue;
-        const auto it = d.line_allows.find(f.line);
-        if (it != d.line_allows.end() && it->second.count(f.rule)) continue;
-        report.findings.push_back(std::move(f));
+    index_file(path, lf.lines, tree, lf.raw_findings);
+    tree.line_allows[path] = lf.directives.line_allows;
+    tree.file_allows[path] = lf.directives.file_allows;
+    return lf;
+}
+
+/// Run the interprocedural passes over the indexed tree and append each
+/// ipa finding to the raw findings of the file that owns its root.
+void run_ipa_passes(TreeIndex& tree, std::vector<LintedFile>& files) {
+    const EffectResult effects = compute_effects(tree);
+    std::map<std::string, LintedFile*> by_path;
+    for (LintedFile& lf : files) by_path[lf.path] = &lf;
+    for (Finding& f : contract_findings(tree, effects)) {
+        const auto it = by_path.find(f.file);
+        if (it != by_path.end()) it->second->raw_findings.push_back(std::move(f));
     }
-    std::sort(report.findings.begin(), report.findings.end(),
-              [](const Finding& a, const Finding& b) {
-                  return std::tie(a.file, a.line, a.rule) <
-                         std::tie(b.file, b.line, b.rule);
-              });
-    return report;
+}
+
+/// Apply allow()/allow-file() suppression and sort.
+std::vector<Finding> suppressed(LintedFile& lf) {
+    std::vector<Finding> out;
+    for (Finding& f : lf.raw_findings) {
+        if (lf.directives.file_allows.count(f.rule)) continue;
+        const auto it = lf.directives.line_allows.find(f.line);
+        if (it != lf.directives.line_allows.end() && it->second.count(f.rule))
+            continue;
+        out.push_back(std::move(f));
+    }
+    std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+        if (a.line != b.line) return a.line < b.line;
+        if (a.rule != b.rule) return a.rule < b.rule;
+        return a.message < b.message;
+    });
+    return out;
 }
 
 bool lintable(const fs::path& p) {
     const std::string ext = p.extension().string();
     return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+/// Directory components pruned from the walk (checked per component, so
+/// out-of-source build dirs like build-asan/ and nested fixture trees are
+/// skipped wherever they sit relative to the root).
+bool skip_dir_component(const std::string& name) {
+    return name == "build" || name.rfind("build-", 0) == 0 ||
+           name == "lint_fixtures" || name == ".git";
 }
 
 std::vector<std::string> collect_files(const std::vector<std::string>& roots,
@@ -791,33 +727,109 @@ std::vector<std::string> collect_files(const std::vector<std::string>& roots,
             *io_error = true;
             continue;
         }
+        // Note: only components BELOW the root are pruned — an explicitly
+        // named root (e.g. the self-test fixture dir) is always walked.
         for (auto it = fs::recursive_directory_iterator(root, ec);
              it != fs::recursive_directory_iterator(); it.increment(ec)) {
             if (ec) break;
+            if (it->is_directory() &&
+                skip_dir_component(it->path().filename().string())) {
+                it.disable_recursion_pending();
+                continue;
+            }
             if (it->is_regular_file() && lintable(it->path()))
                 files.push_back(it->path().string());
         }
     }
+    // Sort (and dedupe) so diagnostics and the index are byte-identical
+    // regardless of directory-iteration order.
     std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
     return files;
 }
 
-int run_lint(const std::vector<std::string>& roots) {
-    bool io_error = false;
-    const std::vector<std::string> files = collect_files(roots, &io_error);
-    if (io_error) return 2;
-    std::size_t total = 0;
-    for (const std::string& file : files) {
-        const FileReport report = scan_file(file, /*self_test=*/false);
-        for (const Finding& f : report.findings) {
-            std::cout << f.file << ":" << f.line << ": " << f.rule << ": "
-                      << f.message << "\n";
-            ++total;
+std::string json_escape(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
         }
     }
-    if (total > 0) {
-        std::cout << "wifisense-lint: " << total << " finding"
-                  << (total == 1 ? "" : "s") << " in " << files.size()
+    return out;
+}
+
+/// Machine-readable report: per-rule counts and locations, plus totals.
+/// Deterministic by construction (rules and findings are sorted).
+bool write_json_report(const std::string& path,
+                       const std::vector<Finding>& findings,
+                       std::size_t files_scanned) {
+    std::map<std::string, std::vector<const Finding*>> by_rule;
+    for (const Finding& f : findings) by_rule[f.rule].push_back(&f);
+
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        std::cerr << "wifisense-lint: cannot write JSON report to " << path
+                  << "\n";
+        return false;
+    }
+    out << "{\n";
+    out << "  \"files_scanned\": " << files_scanned << ",\n";
+    out << "  \"total_findings\": " << findings.size() << ",\n";
+    out << "  \"rules\": {\n";
+    bool first_rule = true;
+    for (const auto& [rule, list] : by_rule) {
+        if (!first_rule) out << ",\n";
+        first_rule = false;
+        out << "    \"" << json_escape(rule) << "\": {\n";
+        out << "      \"count\": " << list.size() << ",\n";
+        out << "      \"locations\": [\n";
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            out << "        {\"file\": \"" << json_escape(list[i]->file)
+                << "\", \"line\": " << list[i]->line << ", \"message\": \""
+                << json_escape(list[i]->message) << "\"}";
+            out << (i + 1 < list.size() ? ",\n" : "\n");
+        }
+        out << "      ]\n    }";
+    }
+    out << "\n  }\n}\n";
+    return out.good();
+}
+
+int run_lint(const std::vector<std::string>& roots,
+             const std::string& json_path) {
+    bool io_error = false;
+    const std::vector<std::string> paths = collect_files(roots, &io_error);
+    if (io_error) return 2;
+
+    TreeIndex tree;
+    std::vector<LintedFile> files;
+    files.reserve(paths.size());
+    for (const std::string& path : paths)
+        files.push_back(load_file(path, /*self_test=*/false, tree));
+    run_ipa_passes(tree, files);
+
+    std::vector<Finding> all;
+    for (LintedFile& lf : files)
+        for (Finding& f : suppressed(lf)) all.push_back(std::move(f));
+
+    for (const Finding& f : all)
+        std::cout << f.file << ":" << f.line << ": " << f.rule << ": "
+                  << f.message << "\n";
+
+    if (!json_path.empty() &&
+        !write_json_report(json_path, all, files.size()))
+        return 2;
+
+    if (!all.empty()) {
+        std::cout << "wifisense-lint: " << all.size() << " finding"
+                  << (all.size() == 1 ? "" : "s") << " in " << files.size()
                   << " files\n";
         return 1;
     }
@@ -827,24 +839,33 @@ int run_lint(const std::vector<std::string>& roots) {
 
 int run_self_test(const std::string& dir) {
     bool io_error = false;
-    const std::vector<std::string> files = collect_files({dir}, &io_error);
-    if (io_error || files.empty()) {
+    const std::vector<std::string> paths = collect_files({dir}, &io_error);
+    if (io_error || paths.empty()) {
         std::cerr << "wifisense-lint: no fixtures under " << dir << "\n";
         return 2;
     }
+
+    // The fixture tree is indexed as one unit (like a real tree run), so
+    // interprocedural fixtures can spread roots and helpers across a file.
+    TreeIndex tree;
+    std::vector<LintedFile> files;
+    files.reserve(paths.size());
+    for (const std::string& path : paths)
+        files.push_back(load_file(path, /*self_test=*/true, tree));
+    run_ipa_passes(tree, files);
+
     std::size_t mismatches = 0;
     std::size_t satisfied = 0;
-    for (const std::string& file : files) {
-        const FileReport report = scan_file(file, /*self_test=*/true);
-        // Expected (file,line,rule) triples, multiset semantics.
+    for (LintedFile& lf : files) {
+        const std::vector<Finding> findings = suppressed(lf);
+        // Expected (line,rule) pairs, multiset semantics.
         std::multiset<std::pair<std::size_t, std::string>> expected;
-        for (const auto& [line, rules] : report.directives.expect_lines)
+        for (const auto& [line, rules] : lf.directives.expect_lines)
             for (const std::string& r : rules) expected.insert({line, r});
         std::multiset<std::string> expected_file(
-            report.directives.expect_file.begin(),
-            report.directives.expect_file.end());
+            lf.directives.expect_file.begin(), lf.directives.expect_file.end());
 
-        for (const Finding& f : report.findings) {
+        for (const Finding& f : findings) {
             const auto line_it = expected.find({f.line, f.rule});
             if (line_it != expected.end()) {
                 expected.erase(line_it);
@@ -862,12 +883,12 @@ int run_self_test(const std::string& dir) {
             ++mismatches;
         }
         for (const auto& [line, rule] : expected) {
-            std::cout << file << ":" << line << ": expected finding did not "
+            std::cout << lf.path << ":" << line << ": expected finding did not "
                       << "fire: " << rule << "\n";
             ++mismatches;
         }
         for (const std::string& rule : expected_file) {
-            std::cout << file << ":0: expected file-level finding did not "
+            std::cout << lf.path << ":0: expected file-level finding did not "
                       << "fire: " << rule << "\n";
             ++mismatches;
         }
@@ -887,7 +908,7 @@ int run_self_test(const std::string& dir) {
 int main(int argc, char** argv) {
     std::vector<std::string> args(argv + 1, argv + argc);
     if (args.empty()) {
-        std::cerr << "usage: wifisense-lint <path>...\n"
+        std::cerr << "usage: wifisense-lint [--json <report>] <path>...\n"
                   << "       wifisense-lint --self-test <fixture-dir>\n";
         return 2;
     }
@@ -898,5 +919,22 @@ int main(int argc, char** argv) {
         }
         return run_self_test(args[1]);
     }
-    return run_lint(args);
+    std::string json_path;
+    std::vector<std::string> roots;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--json") {
+            if (i + 1 >= args.size()) {
+                std::cerr << "wifisense-lint: --json needs a path\n";
+                return 2;
+            }
+            json_path = args[++i];
+        } else {
+            roots.push_back(args[i]);
+        }
+    }
+    if (roots.empty()) {
+        std::cerr << "usage: wifisense-lint [--json <report>] <path>...\n";
+        return 2;
+    }
+    return run_lint(roots, json_path);
 }
