@@ -39,6 +39,8 @@
 #include "common/cpuid.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/telemetry/flight_recorder.hpp"
+#include "common/telemetry/snapshot.hpp"
 #include "common/trace.hpp"
 #include "core/experiments.hpp"
 #include "data/folds.hpp"
@@ -63,9 +65,10 @@ inline common::ObservabilityEnv& observability() {
 }
 
 /// Apply the environment and then any --trace-out=FILE / --metrics-out=FILE
-/// / --kernels=NAME command-line flags (flags win over the WIFISENSE_TRACE /
-/// WIFISENSE_METRICS / WIFISENSE_KERNELS environment). Call first thing in
-/// main(); unknown arguments are left for the bench's own parsing.
+/// / --snapshot-out=FILE / --kernels=NAME command-line flags (flags win over
+/// the WIFISENSE_TRACE / WIFISENSE_METRICS / WIFISENSE_SNAPSHOT /
+/// WIFISENSE_KERNELS environment). Call first thing in main(); unknown
+/// arguments are left for the bench's own parsing.
 inline common::ObservabilityEnv& configure_observability(int argc,
                                                          char** argv) {
     common::ObservabilityEnv& env = observability();
@@ -78,6 +81,11 @@ inline common::ObservabilityEnv& configure_observability(int argc,
             env.metrics = true;
             env.metrics_path = argv[i] + 14;
             common::metrics_enable();
+        } else if (std::strncmp(argv[i], "--snapshot-out=", 15) == 0) {
+            env.snapshot = true;
+            env.snapshot_path = argv[i] + 15;
+            common::metrics_enable();
+            common::flight_enable();
         } else if (std::strncmp(argv[i], "--kernels=", 10) == 0) {
             // First touch applies WIFISENSE_KERNELS; the flag then overrides.
             (void)nn::kernels::configure_kernels_from_env();
@@ -230,6 +238,15 @@ private:
                 std::printf("wrote %s\n", env.metrics_path.c_str());
             else
                 std::fprintf(stderr, "metrics export failed: %s\n",
+                             st.to_string().c_str());
+        }
+        if (env.snapshot && !env.snapshot_path.empty()) {
+            const common::Status st =
+                common::write_telemetry_snapshot(env.snapshot_path);
+            if (st.is_ok())
+                std::printf("wrote %s\n", env.snapshot_path.c_str());
+            else
+                std::fprintf(stderr, "snapshot export failed: %s\n",
                              st.to_string().c_str());
         }
     }

@@ -3,6 +3,7 @@
 //
 //   ./quickstart [sample_rate_hz] [--links=N] [--fault-plan=SPEC]
 //               [--trace-out=FILE] [--metrics-out=FILE]
+//               [--snapshot-out=FILE] [--slo=SPEC] [--slo-strict]
 //
 // The optional fault plan injects deterministic sensing faults into the
 // simulated collection (frame drops, NaN/Inf/saturated amplitudes,
@@ -23,8 +24,15 @@
 //
 // --trace-out=FILE records the run's spans into a Chrome-trace JSON (open
 // in chrome://tracing or Perfetto); --metrics-out=FILE dumps the metric
-// registry. The WIFISENSE_TRACE / WIFISENSE_METRICS environment variables
-// do the same without flags (see DESIGN.md §14).
+// registry; --snapshot-out=FILE writes the unified telemetry snapshot
+// (metrics + sketches + windows + SLO verdicts + flight-recorder tail,
+// DESIGN.md §19). The WIFISENSE_TRACE / WIFISENSE_METRICS /
+// WIFISENSE_SNAPSHOT environment variables do the same without flags.
+//
+// --slo=SPEC (e.g. --slo=name=serve,p99<=2000,avail>=95) replays fold 1
+// through the trained detector as a serving stream, records every request
+// into a multi-window SLO monitor, and prints the burn-rate verdict table.
+// With --slo-strict a breach exits 3, so CI can gate on serving health.
 //
 // The defaults finish in under a minute on a laptop.
 #include <algorithm>
@@ -37,6 +45,9 @@
 
 #include "common/fault.hpp"
 #include "common/metrics.hpp"
+#include "common/telemetry/flight_recorder.hpp"
+#include "common/telemetry/slo.hpp"
+#include "common/telemetry/snapshot.hpp"
 #include "common/trace.hpp"
 #include "core/experiments.hpp"
 #include "core/link_fusion.hpp"
@@ -55,6 +66,9 @@ int main(int argc, char** argv) {
     std::size_t n_links = 1;
     common::FaultConfig faults;  // inert by default
     bool have_faults = false;
+    common::SloSpec slo_spec;
+    bool have_slo = false;
+    bool slo_strict = false;
     common::ObservabilityEnv obs = common::configure_observability_from_env();
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
@@ -65,6 +79,26 @@ int main(int argc, char** argv) {
             obs.metrics = true;
             obs.metrics_path = argv[i] + 14;
             common::metrics_enable();
+        } else if (std::strncmp(argv[i], "--snapshot-out=", 15) == 0) {
+            obs.snapshot = true;
+            obs.snapshot_path = argv[i] + 15;
+            common::metrics_enable();
+            common::flight_enable();
+        } else if (std::strncmp(argv[i], "--slo=", 6) == 0) {
+            auto parsed = common::parse_slo_spec(argv[i] + 6);
+            if (!parsed.is_ok()) {
+                std::fprintf(stderr, "bad --slo: %s\n",
+                             parsed.status().message().c_str());
+                return 1;
+            }
+            slo_spec = parsed.value();
+            have_slo = true;
+            // The monitor's windows are metric instruments, so the SLO flag
+            // arms the registry (and the recorder, for breach events).
+            common::metrics_enable();
+            common::flight_enable();
+        } else if (std::strcmp(argv[i], "--slo-strict") == 0) {
+            slo_strict = true;
         } else if (std::strncmp(argv[i], "--links=", 8) == 0) {
             const long v = std::strtol(argv[i] + 8, nullptr, 10);
             if (v < 1 || v > 8) {
@@ -144,6 +178,27 @@ int main(int argc, char** argv) {
     std::printf("   reloaded model: P(occupied) for a fold-5 sample = %.3f "
                 "(ground truth: %d)\n",
                 loaded.predict_proba(probe), static_cast<int>(probe.occupancy));
+
+    common::SloVerdict slo_verdict;
+    if (have_slo) {
+        const data::DatasetView fold = split.test[0];
+        std::printf("SLO) replaying fold 1 (%zu requests) against '%s'...\n",
+                    fold.size(), slo_spec.name.c_str());
+        common::SloMonitor& mon = common::obs_slo(slo_spec);
+        for (std::size_t i = 0; i < fold.size(); ++i) {
+            const data::SampleRecord& rec = fold[i];
+            const std::uint64_t t0 = common::trace_now_ns();
+            const double p = detector.predict_proba(rec);
+            const double us =
+                static_cast<double>(common::trace_now_ns() - t0) * 1e-3;
+            const bool ok =
+                (p > 0.5 ? 1 : 0) == static_cast<int>(rec.occupancy);
+            mon.record(rec.timestamp, us, ok);
+        }
+        slo_verdict = mon.evaluate();
+        std::printf("%s",
+                    common::format_verdict_table(mon.spec(), slo_verdict).c_str());
+    }
 
     if (n_links > 1) {
         std::printf("6) multi-link: %zu receivers -> telemetry wire -> fusion "
@@ -290,7 +345,22 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "metrics export failed: %s\n",
                          st.to_string().c_str());
     }
+    if (obs.snapshot && !obs.snapshot_path.empty()) {
+        const common::Status st =
+            common::write_telemetry_snapshot(obs.snapshot_path);
+        if (st.is_ok())
+            std::printf("wrote snapshot to %s\n", obs.snapshot_path.c_str());
+        else
+            std::fprintf(stderr, "snapshot export failed: %s\n",
+                         st.to_string().c_str());
+    }
 
+    if (have_slo && slo_strict &&
+        slo_verdict.state == common::SloState::kBreach) {
+        std::fprintf(stderr, "SLO '%s' breached (--slo-strict)\n",
+                     slo_spec.name.c_str());
+        return 3;
+    }
     std::printf("done.\n");
     return 0;
 }

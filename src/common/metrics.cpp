@@ -5,6 +5,9 @@
 #include <memory>
 #include <mutex>
 
+#include "common/telemetry/quantile_sketch.hpp"
+#include "common/telemetry/sliding_window.hpp"
+
 namespace wifisense::common {
 
 #if WIFISENSE_TRACE_COMPILED
@@ -23,6 +26,14 @@ struct Registry {
     std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
     std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
     std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+    // Serving-grade telemetry instruments (common/telemetry/), registered
+    // alongside the PR-5 trio so one registry owns every handle's lifetime
+    // and one reset touches everything.
+    std::map<std::string, std::unique_ptr<QuantileSketch>, std::less<>> sketches;
+    std::map<std::string, std::unique_ptr<WindowedCounter>, std::less<>>
+        windowed_counters;
+    std::map<std::string, std::unique_ptr<WindowedQuantile>, std::less<>>
+        windowed_quantiles;
 };
 
 Registry& registry() {
@@ -52,6 +63,8 @@ std::uint64_t Histogram::total_count() const {
 void Histogram::reset() {
     for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
     sum_bits_.store(0, std::memory_order_relaxed);
+    underflow_.store(0, std::memory_order_relaxed);
+    overflow_.store(0, std::memory_order_relaxed);
 }
 
 void metrics_enable() {
@@ -72,6 +85,9 @@ void metrics_reset() {
     for (auto& [name, c] : r.counters) c->reset();
     for (auto& [name, g] : r.gauges) g->reset();
     for (auto& [name, h] : r.histograms) h->reset();
+    for (auto& [name, s] : r.sketches) s->reset();
+    for (auto& [name, w] : r.windowed_counters) w->reset();
+    for (auto& [name, w] : r.windowed_quantiles) w->reset();
 }
 
 Counter& obs_counter(std::string_view name) {
@@ -108,6 +124,127 @@ Histogram& obs_histogram(std::string_view name, std::span<const double> edges) {
                           std::make_unique<Histogram>(std::string(name), edges))
                  .first;
     return *it->second;
+}
+
+QuantileSketch& obs_sketch(std::string_view name) {
+    Registry& r = registry();
+    std::lock_guard lock(r.mu);
+    auto it = r.sketches.find(name);
+    if (it == r.sketches.end())
+        it = r.sketches
+                 .emplace(std::string(name),
+                          std::make_unique<QuantileSketch>(std::string(name)))
+                 .first;
+    return *it->second;
+}
+
+WindowedCounter& obs_windowed_counter(std::string_view name,
+                                      const WindowConfig& cfg) {
+    Registry& r = registry();
+    std::lock_guard lock(r.mu);
+    auto it = r.windowed_counters.find(name);
+    if (it == r.windowed_counters.end())
+        it = r.windowed_counters
+                 .emplace(std::string(name), std::make_unique<WindowedCounter>(
+                                                 std::string(name), cfg))
+                 .first;
+    return *it->second;
+}
+
+WindowedQuantile& obs_windowed_quantile(std::string_view name,
+                                        const WindowConfig& cfg) {
+    Registry& r = registry();
+    std::lock_guard lock(r.mu);
+    auto it = r.windowed_quantiles.find(name);
+    if (it == r.windowed_quantiles.end())
+        it = r.windowed_quantiles
+                 .emplace(std::string(name), std::make_unique<WindowedQuantile>(
+                                                 std::string(name), cfg))
+                 .first;
+    return *it->second;
+}
+
+std::string sketches_to_json() {
+    Registry& r = registry();
+    std::lock_guard lock(r.mu);
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [name, s] : r.sketches) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += name;
+        out += "\":{\"count\":";
+        out += std::to_string(s->count());
+        out += ",\"min\":";
+        append_double(out, s->min());
+        out += ",\"max\":";
+        append_double(out, s->max());
+        out += ",\"sum\":";
+        append_double(out, s->sum());
+        static constexpr const char* kQuantileKeys[] = {"p50", "p90", "p99",
+                                                        "p999"};
+        for (std::size_t i = 0; i < kSketchQuantileCount; ++i) {
+            out += ",\"";
+            out += kQuantileKeys[i];
+            out += "\":";
+            append_double(out, s->estimate(i));
+        }
+        out += '}';
+    }
+    out += "}";
+    return out;
+}
+
+std::string windows_to_json() {
+    Registry& r = registry();
+    std::lock_guard lock(r.mu);
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, w] : r.windowed_counters) {
+        if (!first) out += ',';
+        first = false;
+        const double span =
+            static_cast<double>(w->config().epochs) * w->config().epoch_seconds;
+        out += '"';
+        out += name;
+        out += "\":{\"window_s\":";
+        append_double(out, span);
+        out += ",\"total\":";
+        out += std::to_string(w->total());
+        out += ",\"rate_per_s\":";
+        append_double(out, w->rate_per_s(span));
+        out += ",\"late_dropped\":";
+        out += std::to_string(w->late_dropped());
+        out += '}';
+    }
+    out += "},\"quantiles\":{";
+    first = true;
+    for (const auto& [name, w] : r.windowed_quantiles) {
+        if (!first) out += ',';
+        first = false;
+        const double span =
+            static_cast<double>(w->config().epochs) * w->config().epoch_seconds;
+        out += '"';
+        out += name;
+        out += "\":{\"window_s\":";
+        append_double(out, span);
+        out += ",\"count\":";
+        out += std::to_string(w->count_last(span));
+        out += ",\"late_dropped\":";
+        out += std::to_string(w->late_dropped());
+        static constexpr const char* kQuantileKeys[] = {"p50", "p90", "p99",
+                                                        "p999"};
+        for (std::size_t i = 0; i < kSketchQuantileCount; ++i) {
+            out += ",\"";
+            out += kQuantileKeys[i];
+            out += "\":";
+            append_double(out, w->quantile_last(span, kSketchQuantiles[i]));
+        }
+        out += '}';
+    }
+    out += "}}";
+    return out;
 }
 
 std::string metrics_to_json() {
@@ -154,6 +291,10 @@ std::string metrics_to_json() {
         out += std::to_string(h->total_count());
         out += ",\"sum\":";
         append_double(out, h->sum());
+        out += ",\"underflow\":";
+        out += std::to_string(h->underflow_count());
+        out += ",\"overflow\":";
+        out += std::to_string(h->overflow_count());
         out += '}';
     }
     out += "}}";

@@ -106,12 +106,24 @@ private:
 /// Fixed-bucket histogram: `edges` are the ascending upper bounds of the
 /// first N buckets; one overflow bucket catches everything above the last
 /// edge. observe(v) lands v in the first bucket whose edge is >= v.
+/// Out-of-range observations are additionally tallied explicitly:
+/// underflow counts v below the first edge (they land in bucket 0, which
+/// otherwise hides them among legitimately small values), overflow counts
+/// v above the last edge (the catch-all bucket, named in the export so a
+/// saturated edge table is visible instead of silent).
 class Histogram {
 public:
     Histogram(std::string name, std::span<const double> edges);
 
     void observe(double v) {
         if (!metrics_enabled()) return;
+        if (!edges_.empty()) {
+            // NaN fails both comparisons and is counted in neither.
+            if (v < edges_.front())
+                underflow_.fetch_add(1, std::memory_order_relaxed);
+            else if (v > edges_.back())
+                overflow_.fetch_add(1, std::memory_order_relaxed);
+        }
         std::size_t lo = 0, hi = edges_.size();
         while (lo < hi) {  // first edge >= v (upper_bound on <)
             const std::size_t mid = (lo + hi) / 2;
@@ -142,6 +154,14 @@ public:
         return counts_[i].load(std::memory_order_relaxed);
     }
     std::uint64_t total_count() const;
+    /// Observations below the first edge (clamped into bucket 0).
+    std::uint64_t underflow_count() const {
+        return underflow_.load(std::memory_order_relaxed);
+    }
+    /// Observations above the last edge (in the catch-all bucket).
+    std::uint64_t overflow_count() const {
+        return overflow_.load(std::memory_order_relaxed);
+    }
     double sum() const {
         const std::uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
         double d;
@@ -156,6 +176,8 @@ private:
     std::vector<double> edges_;
     std::vector<std::atomic<std::uint64_t>> counts_;  ///< edges.size() + 1
     std::atomic<std::uint64_t> sum_bits_{0};
+    std::atomic<std::uint64_t> underflow_{0};
+    std::atomic<std::uint64_t> overflow_{0};
 };
 
 /// Microsecond latency bucket edges shared by the predict/step histograms.

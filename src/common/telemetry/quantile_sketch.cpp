@@ -1,0 +1,166 @@
+#include "common/telemetry/quantile_sketch.hpp"
+
+namespace wifisense::common {
+
+namespace {
+
+/// Piecewise-parabolic (P²) height prediction for marker i moved by d
+/// (±1). Falls back to linear interpolation when the parabola would push
+/// the marker past a neighbour (the standard P² guard).
+double parabolic(const double* h, const double* p, int i, double d) {
+    const double num1 = p[i] - p[i - 1] + d;
+    const double num2 = p[i + 1] - p[i] - d;
+    const double dp1 = (h[i + 1] - h[i]) / (p[i + 1] - p[i]);
+    const double dm1 = (h[i] - h[i - 1]) / (p[i] - p[i - 1]);
+    return h[i] + d / (p[i + 1] - p[i - 1]) * (num1 * dp1 + num2 * dm1);
+}
+
+double linear(const double* h, const double* p, int i, double d) {
+    const int j = i + static_cast<int>(d);
+    return h[i] + d * (h[j] - h[i]) / (p[j] - p[i]);
+}
+
+}  // namespace
+
+// wifisense-lint: requires(noalloc, noexcept, noclock, det)
+void P2Quantile::observe(double v) {
+    if (n_ < 5) {
+        // Warm-up: insertion-sort the first five observations into place.
+        std::uint64_t i = n_;
+        while (i > 0 && heights_[i - 1] > v) {
+            heights_[i] = heights_[i - 1];
+            --i;
+        }
+        heights_[i] = v;
+        ++n_;
+        if (n_ == 5) {
+            for (int k = 0; k < 5; ++k) pos_[k] = k + 1;
+            desired_[0] = 1.0;
+            desired_[1] = 1.0 + 2.0 * q_;
+            desired_[2] = 1.0 + 4.0 * q_;
+            desired_[3] = 3.0 + 2.0 * q_;
+            desired_[4] = 5.0;
+        }
+        return;
+    }
+
+    // Locate the cell and clamp the extremes.
+    int k;
+    if (v < heights_[0]) {
+        heights_[0] = v;
+        k = 0;
+    } else if (v >= heights_[4]) {
+        heights_[4] = v;
+        k = 3;
+    } else {
+        k = 0;
+        while (k < 3 && v >= heights_[k + 1]) ++k;
+    }
+    for (int i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+    ++n_;
+
+    // Desired positions advance by their quantile-proportional increments.
+    desired_[1] += q_ / 2.0;
+    desired_[2] += q_;
+    desired_[3] += (1.0 + q_) / 2.0;
+    desired_[4] += 1.0;
+
+    // Adjust the three interior markers toward their desired positions.
+    for (int i = 1; i <= 3; ++i) {
+        const double d = desired_[i] - pos_[i];
+        if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+            (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+            const double step = d >= 0.0 ? 1.0 : -1.0;
+            double h = parabolic(heights_, pos_, i, step);
+            if (h <= heights_[i - 1] || h >= heights_[i + 1])
+                h = linear(heights_, pos_, i, step);
+            heights_[i] = h;
+            pos_[i] += step;
+        }
+    }
+}
+
+[[nodiscard]] double P2Quantile::estimate() const {
+    if (n_ == 0) return 0.0;
+    if (n_ < 5) {
+        // Exact sample quantile over the sorted warm-up buffer
+        // (nearest-rank on n_ observations).
+        const double rank = q_ * static_cast<double>(n_ - 1);
+        std::uint64_t lo = static_cast<std::uint64_t>(rank);
+        if (lo >= n_ - 1) return heights_[n_ - 1];
+        const double frac = rank - static_cast<double>(lo);
+        return heights_[lo] + frac * (heights_[lo + 1] - heights_[lo]);
+    }
+    return heights_[2];
+}
+
+void P2Quantile::reset() {
+    n_ = 0;
+    for (int i = 0; i < 5; ++i) {
+        heights_[i] = 0.0;
+        pos_[i] = i + 1;
+        desired_[i] = 0.0;
+    }
+}
+
+QuantileSketch::QuantileSketch(std::string name) : name_(std::move(name)) {}
+
+// wifisense-lint: requires(noalloc, noexcept, noclock, det)
+void QuantileSketch::observe(double v) {
+    if (!metrics_enabled()) return;
+    if (!(v == v)) return;  // NaN would poison every marker
+    lock_spin();
+    for (auto& e : est_) e.observe(v);
+    const std::uint64_t n = count_.load(std::memory_order_relaxed);
+    if (n == 0) {
+        min_ = v;
+        max_ = v;
+        sum_ = v;
+    } else {
+        if (v < min_) min_ = v;
+        if (v > max_) max_ = v;
+        sum_ += v;
+    }
+    count_.store(n + 1, std::memory_order_relaxed);
+    unlock_spin();
+}
+
+[[nodiscard]] double QuantileSketch::estimate(std::size_t i) const {
+    lock_spin();
+    const double v = est_[i].estimate();
+    unlock_spin();
+    return v;
+}
+
+[[nodiscard]] double QuantileSketch::min() const {
+    lock_spin();
+    const double v = min_;
+    unlock_spin();
+    return v;
+}
+
+[[nodiscard]] double QuantileSketch::max() const {
+    lock_spin();
+    const double v = max_;
+    unlock_spin();
+    return v;
+}
+
+[[nodiscard]] double QuantileSketch::sum() const {
+    lock_spin();
+    const double v = sum_;
+    unlock_spin();
+    return v;
+}
+
+void QuantileSketch::reset() {
+    lock_spin();
+    for (auto& e : est_) e.reset();
+    count_.store(0, std::memory_order_relaxed);
+    min_ = 0.0;
+    max_ = 0.0;
+    sum_ = 0.0;
+    unlock_spin();
+}
+
+}  // namespace wifisense::common

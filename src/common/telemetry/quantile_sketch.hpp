@@ -1,0 +1,119 @@
+// Streaming quantile sketches for the serving-grade telemetry layer
+// (DESIGN.md §19).
+//
+// A QuantileSketch is a fixed-memory online estimator of p50/p90/p99/p999
+// built on the P² algorithm (Jain & Chlamtác 1985): five markers per tracked
+// quantile, adjusted by a piecewise-parabolic update on every observation.
+// Memory is a handful of doubles set at construction — observe() never
+// allocates, never throws, never reads a clock, and never draws randomness,
+// so it is provable inside the `requires(noalloc, noexcept, noclock, det)`
+// hot-path contracts (tools/lint, ipa.* rules). P² was chosen over a
+// reservoir here precisely because it needs no RNG: the registry sketches
+// sit on serving paths whose lint roots forbid raw randomness.
+//
+// Concurrency: observe() serializes through a tiny CAS spinlock
+// (std::atomic exchange / store — no heap, no OS mutex), mirroring the
+// histogram's lock-free-but-racy-tolerant spirit while keeping the P²
+// marker state internally consistent. Sketch estimates are observational
+// only and never feed back into computed outputs, so cross-thread
+// interleaving of observations is allowed to perturb the *estimate* (never
+// a bitwise-gated result).
+//
+// Like every instrument in common/metrics.hpp: creation (obs_sketch) takes
+// the registry lock and may allocate — hoist the reference out of hot
+// loops; recording is runtime-gated on metrics_enabled() and costs one
+// relaxed atomic load and a branch when disabled.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/metrics.hpp"  // metrics_enabled() gate
+
+namespace wifisense::common {
+
+/// One P² estimator for a single quantile q in (0,1). Not thread-safe on
+/// its own; QuantileSketch serializes access. ~13 doubles of state, fixed
+/// at construction.
+class P2Quantile {
+public:
+    explicit P2Quantile(double q) : q_(q) {}
+
+    /// Fold one observation into the marker state. Pure arithmetic: no
+    /// allocation, no exceptions, no clock, no RNG.
+    void observe(double v);
+
+    /// Current estimate of the q-quantile (the middle marker height). With
+    /// fewer than five observations, the exact sample quantile so far.
+    [[nodiscard]] double estimate() const;
+
+    [[nodiscard]] std::uint64_t count() const { return n_; }
+    [[nodiscard]] double quantile() const { return q_; }
+    void reset();
+
+private:
+    double q_;
+    double heights_[5] = {0, 0, 0, 0, 0};  ///< marker heights (sorted)
+    double pos_[5] = {1, 2, 3, 4, 5};      ///< actual marker positions
+    double desired_[5] = {0, 0, 0, 0, 0};  ///< desired marker positions
+    std::uint64_t n_ = 0;                  ///< observations so far
+};
+
+/// The quantile set every registry sketch tracks.
+inline constexpr double kSketchQuantiles[] = {0.5, 0.9, 0.99, 0.999};
+inline constexpr std::size_t kSketchQuantileCount = 4;
+
+/// Fixed-memory streaming sketch of p50/p90/p99/p999 plus count/min/max/sum.
+/// observe() is gated on metrics_enabled() and holds the hot-path purity
+/// contracts; query methods are registry-export-time conveniences.
+class QuantileSketch {
+public:
+    explicit QuantileSketch(std::string name);
+
+    /// Record one sample. NaN observations are dropped (they would poison
+    /// every marker). Proven `noalloc, noexcept, noclock, det` — see the
+    /// lint contract at the definition.
+    void observe(double v);
+
+    /// Estimate for kSketchQuantiles[i].
+    [[nodiscard]] double estimate(std::size_t i) const;
+    [[nodiscard]] std::uint64_t count() const {
+        return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] double min() const;
+    [[nodiscard]] double max() const;
+    [[nodiscard]] double sum() const;
+    void reset();
+    [[nodiscard]] const std::string& name() const { return name_; }
+
+private:
+    void lock_spin() const {
+        while (lock_.exchange(1, std::memory_order_acquire) != 0) {
+        }
+    }
+    void unlock_spin() const { lock_.store(0, std::memory_order_release); }
+
+    std::string name_;
+    mutable std::atomic<std::uint32_t> lock_{0};
+    P2Quantile est_[kSketchQuantileCount] = {
+        P2Quantile(kSketchQuantiles[0]), P2Quantile(kSketchQuantiles[1]),
+        P2Quantile(kSketchQuantiles[2]), P2Quantile(kSketchQuantiles[3])};
+    std::atomic<std::uint64_t> count_{0};
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/// Registry lookup-or-create, alongside obs_counter / obs_gauge /
+/// obs_histogram (defined in common/metrics.cpp — one registry, one export
+/// order). May allocate on first use; hoist out of hot loops.
+QuantileSketch& obs_sketch(std::string_view name);
+
+/// Compact JSON of every registered sketch:
+/// {"name":{"count":N,"min":..,"max":..,"sum":..,"p50":..,...}} — names
+/// sorted, deterministic. Consumed by the telemetry snapshot.
+std::string sketches_to_json();
+
+}  // namespace wifisense::common

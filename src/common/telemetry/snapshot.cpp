@@ -1,0 +1,44 @@
+#include "common/telemetry/snapshot.hpp"
+
+#include <cstdio>
+
+#include "common/metrics.hpp"
+#include "common/telemetry/flight_recorder.hpp"
+#include "common/telemetry/quantile_sketch.hpp"
+#include "common/telemetry/sliding_window.hpp"
+#include "common/telemetry/slo.hpp"
+
+namespace wifisense::common {
+
+std::string telemetry_snapshot_json(const SnapshotOptions& opts) {
+    std::string out = "{\"schema\":\"wifisense.telemetry_snapshot/v1\"";
+    out += ",\"metrics\":";
+    out += metrics_to_json();
+    out += ",\"sketches\":";
+    out += sketches_to_json();
+    out += ",\"windows\":";
+    out += windows_to_json();
+    out += ",\"slo\":";
+    out += slo_verdicts_to_json();
+    out += ",\"recorder\":";
+    out += flight_to_json(opts.recorder_tail);
+    out += "}";
+    return out;
+}
+
+[[nodiscard]] Status write_telemetry_snapshot(const std::string& path,
+                                              const SnapshotOptions& opts) {
+    const std::string json = telemetry_snapshot_json(opts) + "\n";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return Status(StatusCode::kIoError,
+                      "write_telemetry_snapshot: cannot open " + path);
+    const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    if (written != json.size())
+        return Status(StatusCode::kIoError,
+                      "write_telemetry_snapshot: short write to " + path);
+    return Status::ok();
+}
+
+}  // namespace wifisense::common

@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "common/metrics.hpp"
+#include "common/telemetry/flight_recorder.hpp"
 
 namespace wifisense::common {
 
@@ -291,6 +292,7 @@ ObservabilityEnv configure_observability_from_env() {
     };
     parse(std::getenv("WIFISENSE_TRACE"), &env.trace, &env.trace_path);
     parse(std::getenv("WIFISENSE_METRICS"), &env.metrics, &env.metrics_path);
+    parse(std::getenv("WIFISENSE_SNAPSHOT"), &env.snapshot, &env.snapshot_path);
     if (const char* sample = std::getenv("WIFISENSE_TRACE_SAMPLE")) {
         const long v = std::atol(sample);
         if (v > 1) env.trace_sample_every = static_cast<std::size_t>(v);
@@ -301,6 +303,12 @@ ObservabilityEnv configure_observability_from_env() {
         trace_enable(cfg);
     }
     if (env.metrics) metrics_enable();
+    if (env.snapshot) {
+        // A snapshot is only useful with live instruments, so arming it arms
+        // the metric registry and the flight recorder too.
+        metrics_enable();
+        flight_enable();
+    }
     return env;
 }
 

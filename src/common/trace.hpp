@@ -182,6 +182,8 @@ struct ObservabilityEnv {
     std::string trace_path;       ///< output path ("" = in-memory only)
     bool metrics = false;         ///< metrics enabled via WIFISENSE_METRICS
     std::string metrics_path;     ///< output path ("" = embed in reports only)
+    bool snapshot = false;        ///< snapshot armed via WIFISENSE_SNAPSHOT
+    std::string snapshot_path;    ///< telemetry_snapshot output path
     std::size_t trace_sample_every = 1;  ///< WIFISENSE_TRACE_SAMPLE (1-in-N)
 };
 
@@ -191,6 +193,9 @@ struct ObservabilityEnv {
 ///   WIFISENSE_TRACE=1             enable tracing, keep events in memory
 ///   WIFISENSE_TRACE_SAMPLE=N      record only every N-th span per thread
 ///   WIFISENSE_METRICS=metrics.json / =1   likewise for the metric registry
+///   WIFISENSE_SNAPSHOT=snap.json  arm metrics + the flight recorder and
+///                                 request a telemetry snapshot at snap.json
+///                                 (harness writes it at exit; =1 arms only)
 /// Unset, empty, or "0" leaves the corresponding subsystem untouched.
 ObservabilityEnv configure_observability_from_env();
 

@@ -6,10 +6,24 @@
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "common/telemetry/flight_recorder.hpp"
 
 namespace wifisense::core {
 
 namespace {
+
+/// Flight-recorder label for a tier: string literals, so recording stays
+/// allocation-free (to_string below returns std::string and is export-only).
+const char* tier_label(FusionTier tier) {
+    switch (tier) {
+        case FusionTier::kFullFusion: return "full-fusion";
+        case FusionTier::kSubsetFusion: return "subset-fusion";
+        case FusionTier::kSingleLink: return "single-link";
+        case FusionTier::kEnvOnly: return "env-only";
+        case FusionTier::kStaleHold: return "stale-hold";
+    }
+    return "unknown";
+}
 
 /// Per-link per-subcarrier amplitude means over rows [row_begin, row_end),
 /// skipping non-finite amplitudes (a subcarrier with no finite sample in the
@@ -108,6 +122,9 @@ void MultiLinkDetector::reset_stream() {
     detector_.reset_stream();
     health_.reset();
     stats_ = FusionStats{};
+    prev_tier_ = FusionTier::kStaleHold;
+    has_prev_tier_ = false;
+    prev_voting_mask_ = 0;
 }
 
 // wifisense-lint: requires(noalloc, noexcept)
@@ -125,6 +142,7 @@ FusionDecision MultiLinkDetector::process(const MultiLinkObservation& obs) {
     std::array<double, data::kNumSubcarriers> sum{};
     std::array<double, data::kNumSubcarriers> mu_used{};
     std::uint32_t used = 0;
+    std::uint64_t voting_mask = 0;
     for (std::size_t l = 0; l < obs.links.size(); ++l) {
         const LinkFrame& f = obs.links[l];
         bool finite = f.present;
@@ -143,6 +161,7 @@ FusionDecision MultiLinkDetector::process(const MultiLinkObservation& obs) {
                             !health_.link(l).stale(obs.timestamp);
         if (f.present && !voting) stats_.link_frames_rejected++;
         if (!voting) continue;
+        if (l < 64) voting_mask |= std::uint64_t{1} << l;
         for (std::size_t k = 0; k < sum.size(); ++k)
             sum[k] += static_cast<double>(f.csi[k]);
         if (calibrated_)
@@ -202,6 +221,29 @@ FusionDecision MultiLinkDetector::process(const MultiLinkObservation& obs) {
         out.base.confidence =
             std::clamp(out.base.confidence * scale, 0.0, 1.0);
     }
+
+    // Flight recorder: tier ladder transitions and per-link vote flips, so a
+    // snapshot's recorder tail replays the degradation walk. Observational
+    // only — never feeds back into the decision.
+    if (common::flight_enabled()) {
+        if (!has_prev_tier_ || prev_tier_ != out.tier)
+            common::flight_record("tier", tier_label(out.tier), obs.timestamp,
+                                  static_cast<double>(used),
+                                  static_cast<double>(out.tier));
+        const std::uint64_t flips = voting_mask ^ prev_voting_mask_;
+        if (has_prev_tier_ && flips != 0) {
+            for (std::size_t l = 0; l < cfg_.n_links && l < 64; ++l) {
+                if ((flips >> l) & 1u)
+                    common::flight_record(
+                        "link", ((voting_mask >> l) & 1u) != 0 ? "up" : "down",
+                        obs.timestamp, static_cast<double>(l),
+                        health_.link(l).health());
+            }
+        }
+    }
+    prev_tier_ = out.tier;
+    has_prev_tier_ = true;
+    prev_voting_mask_ = voting_mask;
     return out;
 }
 

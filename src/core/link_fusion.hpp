@@ -152,6 +152,11 @@ private:
     LinkHealthBank health_;
     FusionStats stats_;
     bool calibrated_ = false;
+    /// Last emitted fusion tier and per-link voting mask, so the flight
+    /// recorder logs transitions and vote flips instead of every tick.
+    FusionTier prev_tier_ = FusionTier::kStaleHold;
+    bool has_prev_tier_ = false;
+    std::uint64_t prev_voting_mask_ = 0;
     /// Per-link per-subcarrier amplitude baseline (calibrate_links).
     std::vector<std::array<double, data::kNumSubcarriers>> link_mu_;
     /// Mean of link_mu_ over every link: the baseline the fused model saw.

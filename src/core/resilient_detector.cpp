@@ -5,6 +5,9 @@
 #include <stdexcept>
 
 #include "common/metrics.hpp"
+#include "common/telemetry/flight_recorder.hpp"
+#include "common/telemetry/quantile_sketch.hpp"
+#include "common/telemetry/sliding_window.hpp"
 #include "common/trace.hpp"
 
 namespace wifisense::core {
@@ -12,23 +15,41 @@ namespace wifisense::core {
 namespace {
 
 /// Observability hook for a degradation-state change: one instant event on
-/// the trace timeline (named after the new mode) plus a per-target-mode
-/// transition counter. Purely observational — the decision is already made.
-void note_mode_transition(DetectorMode mode) {
+/// the trace timeline (named after the new mode), a per-target-mode
+/// transition counter, and a flight-recorder event carrying the stream time
+/// so post-mortems can replay the ladder walk. Purely observational — the
+/// decision is already made.
+void note_mode_transition(DetectorMode mode, double t) {
     switch (mode) {
         case DetectorMode::kFull:
             common::trace_instant("resilient.to_full");
             common::obs_counter("resilient.transitions_to_full").add(1);
+            common::flight_record("mode", "full", t, 0.0);
             break;
         case DetectorMode::kEnvOnly:
             common::trace_instant("resilient.to_env_only");
             common::obs_counter("resilient.transitions_to_env_only").add(1);
+            common::flight_record("mode", "env_only", t, 1.0);
             break;
         case DetectorMode::kStaleHold:
             common::trace_instant("resilient.to_stale_hold");
             common::obs_counter("resilient.transitions_to_stale_hold").add(1);
+            common::flight_record("mode", "stale_hold", t, 2.0);
             break;
     }
+}
+
+/// Observability hook for one model inference: microsecond latency feeds the
+/// lifetime P2 sketch and the 60s sliding-window reservoir keyed on stream
+/// time. Registration runs once behind the function-local statics; the two
+/// observe() calls are proven noalloc/noexcept lint roots.
+void note_predict_latency(double stream_t, double us) {
+    static common::QuantileSketch& sketch =
+        common::obs_sketch("resilient.predict_us");
+    static common::WindowedQuantile& window =
+        common::obs_windowed_quantile("resilient.predict_us");
+    sketch.observe(us);
+    window.observe(stream_t, us);
 }
 
 double clamp01(double v) {
@@ -138,7 +159,7 @@ void ResilientDetector::update_reconnect(double t, bool csi_usable) {
 }
 
 // wifisense-lint: requires(noalloc, noexcept)
-// wifisense-lint: allow-call(obs_gauge, note_mode_transition) env-gated observability: gauge registration runs once per process behind a function-local static; transition counters fire only on rare mode flips, never on the per-tick arithmetic
+// wifisense-lint: allow-call(obs_gauge, note_mode_transition, note_predict_latency, trace_now_ns) env-gated observability: gauge/sketch registration runs once per process behind function-local statics; transition events fire only on rare mode flips; the latency clock reads bracket predict_proba and never feed back into the decision
 DetectorDecision ResilientDetector::process(const Observation& obs) {
     if (!fitted_)
         // wifisense-lint: allow(ipa.throw-leak) precondition guard: fires only
@@ -224,7 +245,12 @@ DetectorDecision ResilientDetector::process(const Observation& obs) {
         r.csi = frame;
         r.temperature_c = temp;
         r.humidity_pct = hum;
+        const std::uint64_t t0 =
+            common::metrics_enabled() ? common::trace_now_ns() : 0;
         d.probability = clamp01(full_.predict_proba(r));
+        if (t0 != 0)
+            note_predict_latency(
+                t, static_cast<double>(common::trace_now_ns() - t0) * 1e-3);
         d.confidence = clamp01(2.0 * std::abs(d.probability - 0.5) * d.csi_health);
     } else if (env_usable) {
         d.mode = DetectorMode::kEnvOnly;
@@ -233,7 +259,12 @@ DetectorDecision ResilientDetector::process(const Observation& obs) {
         r.timestamp = t;
         r.temperature_c = temp;
         r.humidity_pct = hum;
+        const std::uint64_t t0 =
+            common::metrics_enabled() ? common::trace_now_ns() : 0;
         d.probability = clamp01(fallback_.predict_proba(r));
+        if (t0 != 0)
+            note_predict_latency(
+                t, static_cast<double>(common::trace_now_ns() - t0) * 1e-3);
         d.confidence = clamp01(2.0 * std::abs(d.probability - 0.5) * d.env_health);
     } else {
         // Both streams dark: hold the last model-backed estimate, shrinking
@@ -266,7 +297,8 @@ DetectorDecision ResilientDetector::process(const Observation& obs) {
         static common::Gauge& env_gauge = common::obs_gauge("resilient.env_health");
         csi_gauge.set(d.csi_health);
         env_gauge.set(d.env_health);
-        if (!has_prev_mode_ || prev_mode_ != d.mode) note_mode_transition(d.mode);
+        if (!has_prev_mode_ || prev_mode_ != d.mode)
+            note_mode_transition(d.mode, t);
     }
     prev_mode_ = d.mode;
     has_prev_mode_ = true;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/telemetry/flight_recorder.hpp"
+
 namespace wifisense::data {
 
 LinkReassembler::LinkReassembler(ReassemblyConfig cfg) : cfg_(cfg) {
@@ -23,6 +25,14 @@ void LinkReassembler::emit_front(FrameSink& sink) {
     if (has_last_ && frame.sequence > last_seq_ + 1) {
         stats_.gaps++;
         stats_.missing_frames += frame.sequence - last_seq_ - 1;
+        // Flight recorder: one event per sequence hole, timed on the wire
+        // clock carried by the frame (never a host clock read — push/flush
+        // keep their noclock/det contract). value = frames lost, extra = link.
+        common::flight_record(
+            "reassembly", "gap",
+            static_cast<double>(frame.timestamp_ns) * 1e-9,
+            static_cast<double>(frame.sequence - last_seq_ - 1),
+            static_cast<double>(frame.link_id));
     }
     has_last_ = true;
     last_seq_ = frame.sequence;

@@ -7,6 +7,7 @@
 
 #include "common/crc32.hpp"
 #include "common/rng.hpp"
+#include "common/telemetry/flight_recorder.hpp"
 
 namespace wifisense::data {
 
@@ -79,7 +80,7 @@ void encode_frame(const TelemetryFrame& frame, std::vector<std::uint8_t>& out) {
                                                           kWireFrameBytes));
 }
 
-const char* to_string(FrameDefectKind kind) {
+const char* defect_label(FrameDefectKind kind) {
     switch (kind) {
         case FrameDefectKind::kGarbage: return "garbage";
         case FrameDefectKind::kTruncated: return "truncated frame";
@@ -90,6 +91,8 @@ const char* to_string(FrameDefectKind kind) {
     }
     return "unknown defect";
 }
+
+const char* to_string(FrameDefectKind kind) { return defect_label(kind); }
 
 [[nodiscard]] common::Status to_status(const FrameDefect& defect) {
     char msg[160];
@@ -159,6 +162,12 @@ void TelemetryDecoder::scan(WireSink& sink, bool at_end) {
         stats_.defects++;
         stats_.resyncs++;
         run_len_ = 0;
+        // Flight recorder: the decoder has no stream clock, so defect events
+        // carry t=0 and identify themselves by byte offset (value) and run
+        // length / detail word (extra); ordering comes from the global seq.
+        common::flight_record("defect", "garbage", 0.0,
+                              static_cast<double>(d.stream_offset),
+                              static_cast<double>(d.detail));
         sink.on_defect(d);
     };
     const auto typed_defect = [&](FrameDefectKind kind, std::size_t pos,
@@ -169,6 +178,9 @@ void TelemetryDecoder::scan(WireSink& sink, bool at_end) {
         d.stream_offset = base_offset_ + pos;
         d.detail = detail;
         stats_.defects++;
+        common::flight_record("defect", defect_label(kind), 0.0,
+                              static_cast<double>(d.stream_offset),
+                              static_cast<double>(detail));
         sink.on_defect(d);
     };
     const auto skip_byte = [&](std::size_t& pos) {

@@ -125,6 +125,10 @@ enum class FrameDefectKind : std::uint8_t {
     kCrcMismatch = 5,  ///< framing consistent but the checksum disagrees
 };
 
+/// Static label for a defect kind. The distinct name (not a to_string
+/// overload) keeps the decoder's hot-path flight-recorder call resolvable
+/// to this one pure function under the interprocedural lint.
+const char* defect_label(FrameDefectKind kind);
 const char* to_string(FrameDefectKind kind);
 
 /// One typed rejection. POD by design: the decoder hands these out on the

@@ -3,7 +3,10 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/telemetry/flight_recorder.hpp"
+#include "common/telemetry/sliding_window.hpp"
 #include "common/trace.hpp"
 #include "envsim/simulation.hpp"
 
@@ -64,6 +67,17 @@ FleetRunStats FleetSimulator::run(
         stats.rows += shards[room].size();
         h = data::dataset_digest(data::DatasetView(shards[room]), h);
         for (const data::SampleRecord& r : shards[room]) sink(r);
+        // Telemetry: one flight event and a windowed row count per completed
+        // room, emitted from this serial loop so event order matches the
+        // deterministic concatenation order, not worker completion order.
+        if (!shards[room].empty()) {
+            const double t_end = shards[room].back().timestamp;
+            common::flight_record("fleet", "room-done", t_end,
+                                  static_cast<double>(shards[room].size()),
+                                  static_cast<double>(room));
+            common::obs_windowed_counter("fleet.rows")
+                .add(t_end, shards[room].size());
+        }
         shards[room].clear();
         shards[room].shrink_to_fit();
     }

@@ -1,0 +1,81 @@
+// Telemetry-contract fixtures: miniature models of the common/telemetry
+// hot paths (DESIGN.md §19). The load-bearing property is the clean case —
+// a serving root under the full contract may call a proven fixed-ring
+// recorder with NO allow-call, because the callee's effect closure is
+// empty. The three bad roots pin the failure modes the subsystem must
+// never regress into: an allocating export reached from a noalloc claim,
+// a wall-clock stamp under noclock, and a throwing validator under
+// noexcept.
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+namespace ipa_fix {
+
+struct TcEvent {
+    const char* category;
+    const char* label;
+    double t;
+    double value;
+    unsigned long long seq;
+};
+
+TcEvent tc_ring[64];
+std::atomic<unsigned long long> tc_head{0};
+std::atomic<unsigned long long> tc_seq{0};
+
+// The model of flight_record(): interned pointers into a fixed ring via
+// atomic head/sequence counters — no heap, no clock, no RNG, no throw.
+void tc_record(const char* category, const char* label, double t,
+               double value) {
+    const unsigned long long seq = tc_seq.fetch_add(1);
+    TcEvent& slot = tc_ring[tc_head.fetch_add(1) & 63];
+    slot = TcEvent{category, label, t, value, seq};
+}
+
+// Clean transitivity: the serving root holds the full contract through the
+// recorder without any allow-call — the whole point of proving tc_record.
+// wifisense-lint: requires(noalloc, noexcept, noclock, det)
+void tc_serving_root(double stream_t, double v) {
+    tc_record("tier", "subset-fusion", stream_t, v);
+}
+
+// Export-time formatting allocates; it belongs behind the snapshot call,
+// never under a hot-path claim.
+std::string tc_format(const TcEvent& e) {
+    return std::string(e.category) + ":" + e.label;
+}
+
+// wifisense-lint: requires(noalloc)  // lint-expect: ipa.alloc-leak
+void tc_bad_inline_export(std::string& out) {
+    out += tc_format(tc_ring[0]);
+}
+
+// Stamping events with a wall clock instead of caller stream time breaks
+// snapshot determinism — the noclock claim must catch the sneak path.
+double tc_wall_now() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now()  // lint-expect: obs.raw-clock
+                   .time_since_epoch())
+        .count();
+}
+
+// wifisense-lint: requires(noclock, det)  // lint-expect: ipa.clock-leak
+void tc_bad_clock_stamp(double v) {
+    tc_record("mode", "full", tc_wall_now(), v);
+}
+
+// A validator that throws on bad payloads cannot sit under the recorder's
+// noexcept claim; defects are recorded, not thrown.
+void tc_validate(double v) {
+    if (!(v == v)) throw std::runtime_error("NaN payload");
+}
+
+// wifisense-lint: requires(noexcept)  // lint-expect: ipa.throw-leak
+void tc_bad_validating_record(double stream_t, double v) {
+    tc_validate(v);
+    tc_record("defect", "nan", stream_t, v);
+}
+
+}  // namespace ipa_fix

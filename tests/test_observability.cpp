@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <random>
 #include <string>
 #include <vector>
@@ -229,6 +230,31 @@ TEST(MetricsRegistry, HistogramBucketEdges) {
     EXPECT_EQ(h.bucket_count(3), 1u);
     EXPECT_EQ(h.total_count(), 6u);
     EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 10.0 + 50.0 + 1000.0);
+
+    // Out-of-range tallies: 0.5 undercut the first edge, 1000.0 overshot the
+    // last; the on-edge observations count in neither. Bucket counts above
+    // are unchanged by the tallies (the export-only fields ride along).
+    EXPECT_EQ(h.underflow_count(), 1u);
+    EXPECT_EQ(h.overflow_count(), 1u);
+    const std::string json = common::metrics_to_json();
+    EXPECT_NE(json.find("\"underflow\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"overflow\":1"), std::string::npos);
+
+    h.reset();
+    EXPECT_EQ(h.underflow_count(), 0u);
+    EXPECT_EQ(h.overflow_count(), 0u);
+}
+
+TEST(MetricsRegistry, HistogramUnderOverflowIgnoresNaN) {
+    ObservabilityGuard guard;
+    common::metrics_enable();
+    const double edges[] = {1.0, 10.0};
+    common::Histogram& h =
+        common::obs_histogram("test.hist_nan_tallies", edges);
+    h.reset();
+    h.observe(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(h.underflow_count(), 0u);
+    EXPECT_EQ(h.overflow_count(), 0u);
 }
 
 TEST(MetricsRegistry, DisabledRecordingIsInert) {
